@@ -1,0 +1,28 @@
+package main
+
+import "testing"
+
+func TestRunList(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-exp", "nope"}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-definitely-not-a-flag"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	// table2 is pure trace generation: fast and deterministic.
+	if err := run([]string{"-exp", "table2", "-scale", "256", "-runs", "1"}); err != nil {
+		t.Fatal(err)
+	}
+}

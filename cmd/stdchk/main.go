@@ -1,0 +1,248 @@
+// Command stdchk is the client CLI: store, retrieve, list and manage
+// checkpoint files in a stdchk pool.
+//
+// Usage:
+//
+//	stdchk -manager host:9400 put app.n1.t0 < image.ckpt
+//	stdchk -manager host:9400 get app.n1.t0 > image.ckpt
+//	stdchk -manager host:9400 ls [folder]
+//	stdchk -manager host:9400 stat app.n1
+//	stdchk -manager host:9400 rm app.n1
+//	stdchk -manager host:9400 policy app replace
+//	stdchk -manager host:9400 policy app purge 1h
+//	stdchk -manager host:9400 benefactors
+//	stdchk -manager host:9400 stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"stdchk/internal/client"
+	"stdchk/internal/core"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "stdchk:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("stdchk", flag.ContinueOnError)
+	var (
+		mgr         = fs.String("manager", "127.0.0.1:9400", "manager address")
+		width       = fs.Int("stripe", 0, "stripe width (0 = manager default)")
+		replication = fs.Int("replication", 0, "replication target (0 = manager default)")
+		pessimistic = fs.Bool("pessimistic", false, "wait for the replication target before put returns")
+		incremental = fs.Bool("incremental", false, "enable FsCH dedup against stored chunks")
+		protocol    = fs.String("protocol", "sliding-window", "write protocol: sliding-window | incremental | complete-local")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rest := fs.Args()
+	if len(rest) == 0 {
+		return fmt.Errorf("usage: stdchk [flags] put|get|ls|stat|rm|policy|benefactors|stats ...")
+	}
+
+	sem := core.WriteOptimistic
+	if *pessimistic {
+		sem = core.WritePessimistic
+	}
+	var proto client.Protocol
+	switch *protocol {
+	case "sliding-window":
+		proto = client.SlidingWindow
+	case "incremental":
+		proto = client.IncrementalWrite
+	case "complete-local":
+		proto = client.CompleteLocalWrite
+	default:
+		return fmt.Errorf("unknown protocol %q", *protocol)
+	}
+	cl, err := client.New(client.Config{
+		ManagerAddr: *mgr,
+		StripeWidth: *width,
+		Replication: *replication,
+		Semantics:   sem,
+		Protocol:    proto,
+		Incremental: *incremental,
+	})
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+
+	switch cmd, rest := rest[0], rest[1:]; cmd {
+	case "put":
+		return cmdPut(cl, rest)
+	case "get":
+		return cmdGet(cl, rest)
+	case "ls":
+		return cmdLs(cl, rest)
+	case "stat":
+		return cmdStat(cl, rest)
+	case "rm":
+		return cmdRm(cl, rest)
+	case "policy":
+		return cmdPolicy(cl, rest)
+	case "benefactors":
+		return cmdBenefactors(cl)
+	case "stats":
+		return cmdStats(cl)
+	default:
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+func cmdPut(cl *client.Client, args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: put <name> (reads stdin)")
+	}
+	w, err := cl.Create(args[0])
+	if err != nil {
+		return err
+	}
+	if _, err := io.Copy(w, os.Stdin); err != nil {
+		return err
+	}
+	if err := w.Close(); err != nil {
+		return err
+	}
+	if err := w.Wait(); err != nil {
+		return err
+	}
+	m := w.Metrics()
+	fmt.Fprintf(os.Stderr, "stored %s: %d bytes (%.1f MB/s OAB, %.1f MB/s ASB, %d deduped)\n",
+		args[0], m.Bytes, m.OABMBps(), m.ASBMBps(), m.Deduped)
+	return nil
+}
+
+func cmdGet(cl *client.Client, args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: get <name> (writes stdout)")
+	}
+	r, err := cl.Open(args[0])
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	_, err = io.Copy(os.Stdout, r)
+	return err
+}
+
+func cmdLs(cl *client.Client, args []string) error {
+	folder := ""
+	if len(args) > 0 {
+		folder = args[0]
+	}
+	infos, err := cl.List(folder)
+	if err != nil {
+		return err
+	}
+	for _, info := range infos {
+		latest := "-"
+		var size int64
+		if n := len(info.Versions); n > 0 {
+			latest = info.Versions[n-1].Name
+			size = info.Versions[n-1].FileSize
+		}
+		fmt.Printf("%-32s versions=%d latest=%s (%d bytes)\n",
+			info.Name, len(info.Versions), latest, size)
+	}
+	return nil
+}
+
+func cmdStat(cl *client.Client, args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: stat <name>")
+	}
+	info, err := cl.Stat(args[0])
+	if err != nil {
+		return err
+	}
+	fmt.Printf("dataset %s (folder %s, id %d)\n", info.Name, info.Folder, info.ID)
+	for _, v := range info.Versions {
+		fmt.Printf("  v%-4d %-28s %12d bytes  repl=%d  new=%d  %s\n",
+			v.Version, v.Name, v.FileSize, v.Replication, v.StoredBytes,
+			v.CreatedAt.Format(time.RFC3339))
+	}
+	return nil
+}
+
+func cmdRm(cl *client.Client, args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: rm <name>")
+	}
+	return cl.Delete(args[0], 0)
+}
+
+func cmdPolicy(cl *client.Client, args []string) error {
+	switch len(args) {
+	case 1:
+		p, err := cl.GetPolicy(args[0])
+		if err != nil {
+			return err
+		}
+		fmt.Printf("folder %s: %s", args[0], p.Kind)
+		if p.Kind == core.PolicyPurge {
+			fmt.Printf(" after %v", p.PurgeAfter)
+		}
+		fmt.Println()
+		return nil
+	case 2, 3:
+		kind, err := core.ParsePolicyKind(args[1])
+		if err != nil {
+			return err
+		}
+		p := core.Policy{Kind: kind}
+		if kind == core.PolicyPurge {
+			if len(args) != 3 {
+				return fmt.Errorf("usage: policy <folder> purge <interval>")
+			}
+			d, err := time.ParseDuration(args[2])
+			if err != nil {
+				return err
+			}
+			p.PurgeAfter = d
+		}
+		return cl.SetPolicy(args[0], p)
+	default:
+		return fmt.Errorf("usage: policy <folder> [none|replace|purge <interval>]")
+	}
+}
+
+func cmdBenefactors(cl *client.Client) error {
+	infos, err := cl.Benefactors()
+	if err != nil {
+		return err
+	}
+	for _, b := range infos {
+		state := "offline"
+		if b.Online {
+			state = "online"
+		}
+		fmt.Printf("%-24s %-22s %-8s free=%d reserved=%d chunks=%d\n",
+			b.ID, b.Addr, state, b.Free, b.Reserved, b.ChunkHeld)
+	}
+	return nil
+}
+
+func cmdStats(cl *client.Client) error {
+	s, err := cl.ManagerStats()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("benefactors: %d (%d online)\n", s.Benefactors, s.OnlineBenefactors)
+	fmt.Printf("datasets: %d, versions: %d, unique chunks: %d\n", s.Datasets, s.Versions, s.UniqueChunks)
+	fmt.Printf("logical bytes: %d, stored bytes: %d\n", s.LogicalBytes, s.StoredBytes)
+	fmt.Printf("active sessions: %d, transactions: %d\n", s.ActiveSessions, s.Transactions)
+	fmt.Printf("replicas copied: %d, chunks collected: %d, versions pruned: %d\n",
+		s.ReplicasCopied, s.ChunksCollected, s.VersionsPruned)
+	return nil
+}

@@ -1,0 +1,417 @@
+// Package benefactor implements a stdchk storage donor node (paper §IV.A):
+// it publishes its status and free space to the manager with soft-state
+// registration, serves client requests to store and retrieve data chunks,
+// executes manager-driven replication copies, runs the garbage-collection
+// protocol, and keeps chunk-map replicas for manager-failure recovery.
+package benefactor
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"stdchk/internal/core"
+	"stdchk/internal/proto"
+	"stdchk/internal/store"
+	"stdchk/internal/wire"
+)
+
+// Config parameterizes a benefactor.
+type Config struct {
+	// ID identifies the node at the manager. Defaults to the listen
+	// address.
+	ID core.NodeID
+	// ListenAddr is the chunk-service address ("127.0.0.1:0" for
+	// ephemeral).
+	ListenAddr string
+	// ManagerAddr is the metadata manager to register with. Empty runs
+	// the node unmanaged (unit tests).
+	ManagerAddr string
+	// Capacity is the contributed space in bytes (0 = unlimited). Used
+	// when Store is nil.
+	Capacity int64
+	// Store overrides the default in-memory chunk store.
+	Store store.Store
+	// GCInterval paces inventory reports to the manager.
+	GCInterval time.Duration
+	// GCGrace protects freshly written chunks from collection: only
+	// chunks older than this are reported as GC candidates, which keeps
+	// in-flight (uncommitted) uploads safe.
+	GCGrace time.Duration
+	// Shaper wraps accepted connections with device models (the node's
+	// NIC/disk).
+	Shaper wire.Shaper
+	// DialShaper wraps outbound connections (replication pushes, manager
+	// calls).
+	DialShaper wire.Shaper
+	// Logger receives operational messages. Nil discards them.
+	Logger *log.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.ListenAddr == "" {
+		c.ListenAddr = "127.0.0.1:0"
+	}
+	if c.GCInterval <= 0 {
+		c.GCInterval = 2 * time.Second
+	}
+	if c.GCGrace <= 0 {
+		c.GCGrace = 30 * time.Second
+	}
+	return c
+}
+
+// Benefactor is a running donor node.
+type Benefactor struct {
+	cfg    Config
+	id     core.NodeID
+	chunks store.Store
+	srv    *wire.Server
+	pool   *wire.Pool
+	logger *log.Logger
+
+	mu     sync.Mutex
+	births map[core.ChunkID]time.Time
+	maps   map[string]*core.ChunkMap // chunk-map replicas for recovery
+
+	stop      chan struct{}
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+}
+
+// New starts a benefactor serving on cfg.ListenAddr and, when a manager is
+// configured, registers and begins heartbeating.
+func New(cfg Config) (*Benefactor, error) {
+	cfg = cfg.withDefaults()
+	ln, err := net.Listen("tcp", cfg.ListenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("benefactor: listen %s: %w", cfg.ListenAddr, err)
+	}
+	b := &Benefactor{
+		cfg:    cfg,
+		chunks: cfg.Store,
+		pool:   wire.NewPool(cfg.DialShaper, 4),
+		logger: cfg.Logger,
+		births: make(map[core.ChunkID]time.Time),
+		maps:   make(map[string]*core.ChunkMap),
+		stop:   make(chan struct{}),
+	}
+	if b.chunks == nil {
+		b.chunks = store.NewMemory(cfg.Capacity, nil)
+	}
+	b.id = cfg.ID
+	if b.id == "" {
+		b.id = core.NodeID(ln.Addr().String())
+	}
+	// Chunks present at startup (disk store reopen) are treated as born
+	// now, so the GC grace period protects them until the manager knows
+	// about the node again.
+	now := time.Now()
+	for _, id := range b.chunks.Inventory() {
+		b.births[id] = now
+	}
+	b.srv = wire.NewServer(ln, b.handle, cfg.Shaper)
+
+	if cfg.ManagerAddr != "" {
+		b.wg.Add(2)
+		go b.managerLoop()
+		go b.gcLoop()
+	}
+	return b, nil
+}
+
+// ID returns the node's identity.
+func (b *Benefactor) ID() core.NodeID { return b.id }
+
+// Addr returns the chunk-service address.
+func (b *Benefactor) Addr() string { return b.srv.Addr() }
+
+// Store exposes the underlying chunk store (tests, tooling).
+func (b *Benefactor) Store() store.Store { return b.chunks }
+
+// Close stops serving and background loops.
+func (b *Benefactor) Close() error {
+	var err error
+	b.closeOnce.Do(func() {
+		close(b.stop)
+		err = b.srv.Close()
+		b.wg.Wait()
+		b.pool.Close()
+		b.chunks.Close()
+	})
+	return err
+}
+
+func (b *Benefactor) logf(format string, args ...interface{}) {
+	if b.logger != nil {
+		b.logger.Printf("benefactor %s: "+format, append([]interface{}{b.id}, args...)...)
+	}
+}
+
+// handle dispatches one RPC.
+func (b *Benefactor) handle(op string, meta json.RawMessage, body []byte) (interface{}, []byte, error) {
+	switch op {
+	case proto.BPut:
+		var req proto.PutReq
+		if err := wire.UnmarshalMeta(meta, &req); err != nil {
+			return nil, nil, err
+		}
+		if err := b.putChunk(req.ID, body); err != nil {
+			return nil, nil, err
+		}
+		return proto.HeartbeatResp{OK: true}, nil, nil
+	case proto.BGet:
+		var req proto.GetReq
+		if err := wire.UnmarshalMeta(meta, &req); err != nil {
+			return nil, nil, err
+		}
+		data, err := b.chunks.Get(req.ID)
+		if err != nil {
+			return nil, nil, err
+		}
+		return nil, data, nil
+	case proto.BHas:
+		var req proto.HasReq
+		if err := wire.UnmarshalMeta(meta, &req); err != nil {
+			return nil, nil, err
+		}
+		present := make([]bool, len(req.IDs))
+		for i, id := range req.IDs {
+			present[i] = b.chunks.Has(id)
+		}
+		return proto.HasResp{Present: present}, nil, nil
+	case proto.BDel:
+		var req proto.DelReq
+		if err := wire.UnmarshalMeta(meta, &req); err != nil {
+			return nil, nil, err
+		}
+		for _, id := range req.IDs {
+			if err := b.chunks.Delete(id); err != nil {
+				return nil, nil, err
+			}
+			b.mu.Lock()
+			delete(b.births, id)
+			b.mu.Unlock()
+		}
+		return proto.HeartbeatResp{OK: true}, nil, nil
+	case proto.BReplicate:
+		var req proto.ReplicateReq
+		if err := wire.UnmarshalMeta(meta, &req); err != nil {
+			return nil, nil, err
+		}
+		if err := b.replicateTo(req.ID, req.Target); err != nil {
+			return nil, nil, err
+		}
+		return proto.HeartbeatResp{OK: true}, nil, nil
+	case proto.BMapPut:
+		var req proto.MapPutReq
+		if err := wire.UnmarshalMeta(meta, &req); err != nil {
+			return nil, nil, err
+		}
+		if req.Name == "" || req.Map == nil {
+			return nil, nil, errors.New("benefactor: mapput requires name and map")
+		}
+		b.mu.Lock()
+		b.maps[req.Name+"#"+fmt.Sprint(req.Map.Version)] = req.Map.Clone()
+		b.mu.Unlock()
+		return proto.HeartbeatResp{OK: true}, nil, nil
+	case proto.BMapList:
+		return b.mapList(), nil, nil
+	case proto.BPing:
+		return proto.HeartbeatResp{OK: true}, nil, nil
+	case proto.BStats:
+		return proto.StatsResp{
+			Used:     b.chunks.Used(),
+			Capacity: b.chunks.Capacity(),
+			Chunks:   b.chunks.Len(),
+		}, nil, nil
+	default:
+		return nil, nil, fmt.Errorf("benefactor: unknown op %q", op)
+	}
+}
+
+func (b *Benefactor) putChunk(id core.ChunkID, data []byte) error {
+	if err := b.chunks.Put(id, data); err != nil {
+		return err
+	}
+	b.mu.Lock()
+	if _, ok := b.births[id]; !ok {
+		b.births[id] = time.Now()
+	}
+	b.mu.Unlock()
+	return nil
+}
+
+// replicateTo pushes one of this node's chunks to another benefactor
+// (the manager-driven shadow-map copy).
+func (b *Benefactor) replicateTo(id core.ChunkID, target string) error {
+	data, err := b.chunks.Get(id)
+	if err != nil {
+		return err
+	}
+	if _, err := b.pool.Call(target, proto.BPut, proto.PutReq{ID: id}, data, nil); err != nil {
+		return fmt.Errorf("replicate %s to %s: %w", id.Short(), target, err)
+	}
+	return nil
+}
+
+func (b *Benefactor) mapList() proto.MapListResp {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	resp := proto.MapListResp{Maps: make([]proto.NamedMap, 0, len(b.maps))}
+	for key, m := range b.maps {
+		name := key
+		if i := lastIndexByte(key, '#'); i >= 0 {
+			name = key[:i]
+		}
+		resp.Maps = append(resp.Maps, proto.NamedMap{Name: name, Map: m.Clone()})
+	}
+	sort.Slice(resp.Maps, func(i, j int) bool {
+		if resp.Maps[i].Name != resp.Maps[j].Name {
+			return resp.Maps[i].Name < resp.Maps[j].Name
+		}
+		return resp.Maps[i].Map.Version < resp.Maps[j].Map.Version
+	})
+	return resp
+}
+
+func lastIndexByte(s string, c byte) int {
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i] == c {
+			return i
+		}
+	}
+	return -1
+}
+
+// managerLoop registers with the manager and heartbeats; on manager
+// restart (heartbeat rejected) it re-registers, which also feeds the
+// manager's recovery pull.
+func (b *Benefactor) managerLoop() {
+	defer b.wg.Done()
+	interval := time.Second
+	registered := false
+	for {
+		if !registered {
+			resp, err := b.register()
+			if err != nil {
+				b.logf("register: %v", err)
+			} else {
+				registered = true
+				if resp.HeartbeatInterval > 0 {
+					interval = resp.HeartbeatInterval
+				}
+			}
+		} else if err := b.heartbeat(); err != nil {
+			b.logf("heartbeat: %v (re-registering)", err)
+			registered = false
+			continue // re-register immediately
+		}
+		select {
+		case <-b.stop:
+			return
+		case <-time.After(interval):
+		}
+	}
+}
+
+func (b *Benefactor) register() (proto.RegisterResp, error) {
+	free := int64(0)
+	if cap := b.chunks.Capacity(); cap > 0 {
+		free = cap - b.chunks.Used()
+	} else {
+		free = 1 << 40 // "unlimited" contribution advertised as 1 TB
+	}
+	req := proto.RegisterReq{
+		ID:       b.id,
+		Addr:     b.Addr(),
+		Capacity: b.chunks.Capacity(),
+		Free:     free,
+	}
+	var resp proto.RegisterResp
+	if _, err := b.pool.Call(b.cfg.ManagerAddr, proto.MRegister, req, nil, &resp); err != nil {
+		return proto.RegisterResp{}, err
+	}
+	return resp, nil
+}
+
+func (b *Benefactor) heartbeat() error {
+	free := int64(0)
+	if cap := b.chunks.Capacity(); cap > 0 {
+		free = cap - b.chunks.Used()
+	} else {
+		free = 1 << 40
+	}
+	req := proto.HeartbeatReq{
+		ID:     b.id,
+		Free:   free,
+		Used:   b.chunks.Used(),
+		Chunks: b.chunks.Len(),
+	}
+	var resp proto.HeartbeatResp
+	_, err := b.pool.Call(b.cfg.ManagerAddr, proto.MHeartbeat, req, nil, &resp)
+	return err
+}
+
+// gcLoop periodically reconciles the chunk inventory with the manager and
+// deletes what the manager declares orphaned (paper §IV.A "Garbage
+// collection").
+func (b *Benefactor) gcLoop() {
+	defer b.wg.Done()
+	ticker := time.NewTicker(b.cfg.GCInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-b.stop:
+			return
+		case <-ticker.C:
+			if n, err := b.CollectGarbage(); err != nil {
+				b.logf("gc: %v", err)
+			} else if n > 0 {
+				b.logf("gc: collected %d chunks", n)
+			}
+		}
+	}
+}
+
+// CollectGarbage runs one GC round: report aged chunks, delete the ones the
+// manager no longer references. Returns the number deleted. Exposed for
+// tests and tooling.
+func (b *Benefactor) CollectGarbage() (int, error) {
+	if b.cfg.ManagerAddr == "" {
+		return 0, nil
+	}
+	cutoff := time.Now().Add(-b.cfg.GCGrace)
+	var aged []core.ChunkID
+	b.mu.Lock()
+	for _, id := range b.chunks.Inventory() {
+		if birth, ok := b.births[id]; !ok || birth.Before(cutoff) {
+			aged = append(aged, id)
+		}
+	}
+	b.mu.Unlock()
+	if len(aged) == 0 {
+		return 0, nil
+	}
+	var resp proto.GCReportResp
+	req := proto.GCReportReq{ID: b.id, IDs: aged}
+	if _, err := b.pool.Call(b.cfg.ManagerAddr, proto.MGCReport, req, nil, &resp); err != nil {
+		return 0, err
+	}
+	deleted := 0
+	for _, id := range resp.Deletable {
+		if err := b.chunks.Delete(id); err != nil {
+			return deleted, err
+		}
+		b.mu.Lock()
+		delete(b.births, id)
+		b.mu.Unlock()
+		deleted++
+	}
+	return deleted, nil
+}

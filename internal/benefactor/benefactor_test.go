@@ -1,0 +1,200 @@
+package benefactor
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"stdchk/internal/core"
+	"stdchk/internal/proto"
+	"stdchk/internal/wire"
+)
+
+func startNode(t *testing.T, cfg Config) *Benefactor {
+	t.Helper()
+	b, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { b.Close() })
+	return b
+}
+
+func call(t *testing.T, addr, op string, meta interface{}, body []byte, out interface{}) []byte {
+	t.Helper()
+	conn, err := wire.Dial(addr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	respBody, err := conn.Call(op, meta, body, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return respBody
+}
+
+func TestPutGetHasDel(t *testing.T) {
+	b := startNode(t, Config{})
+	data := []byte("the chunk payload")
+	id := core.HashChunk(data)
+
+	call(t, b.Addr(), proto.BPut, proto.PutReq{ID: id}, data, nil)
+	got := call(t, b.Addr(), proto.BGet, proto.GetReq{ID: id}, nil, nil)
+	if !bytes.Equal(got, data) {
+		t.Fatal("payload mismatch")
+	}
+
+	var has proto.HasResp
+	ghost := core.HashChunk([]byte("ghost"))
+	call(t, b.Addr(), proto.BHas, proto.HasReq{IDs: []core.ChunkID{id, ghost}}, nil, &has)
+	if !has.Present[0] || has.Present[1] {
+		t.Fatalf("has = %v", has.Present)
+	}
+
+	call(t, b.Addr(), proto.BDel, proto.DelReq{IDs: []core.ChunkID{id}}, nil, nil)
+	conn, err := wire.Dial(b.Addr(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Call(proto.BGet, proto.GetReq{ID: id}, nil, nil); !errors.Is(err, core.ErrNotFound) {
+		t.Fatalf("get after del: %v", err)
+	}
+}
+
+func TestPutRejectsCorruption(t *testing.T) {
+	b := startNode(t, Config{})
+	conn, err := wire.Dial(b.Addr(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	var bogus core.ChunkID
+	bogus[3] = 0xaa
+	if _, err := conn.Call(proto.BPut, proto.PutReq{ID: bogus}, []byte("data"), nil); !errors.Is(err, core.ErrIntegrity) {
+		t.Fatalf("corrupt put: %v", err)
+	}
+}
+
+func TestReplicateBetweenNodes(t *testing.T) {
+	src := startNode(t, Config{})
+	dst := startNode(t, Config{})
+	data := []byte("replicate me")
+	id := core.HashChunk(data)
+	call(t, src.Addr(), proto.BPut, proto.PutReq{ID: id}, data, nil)
+
+	call(t, src.Addr(), proto.BReplicate, proto.ReplicateReq{ID: id, Target: dst.Addr()}, nil, nil)
+	if !dst.Store().Has(id) {
+		t.Fatal("chunk not replicated to target")
+	}
+	got := call(t, dst.Addr(), proto.BGet, proto.GetReq{ID: id}, nil, nil)
+	if !bytes.Equal(got, data) {
+		t.Fatal("replica corrupted")
+	}
+}
+
+func TestReplicateMissingChunk(t *testing.T) {
+	src := startNode(t, Config{})
+	dst := startNode(t, Config{})
+	conn, err := wire.Dial(src.Addr(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	ghost := core.HashChunk([]byte("nothing"))
+	if _, err := conn.Call(proto.BReplicate, proto.ReplicateReq{ID: ghost, Target: dst.Addr()}, nil, nil); !errors.Is(err, core.ErrNotFound) {
+		t.Fatalf("replicating missing chunk: %v", err)
+	}
+}
+
+func TestMapReplicaStorage(t *testing.T) {
+	b := startNode(t, Config{})
+	data := []byte("chunk for the map")
+	id := core.HashChunk(data)
+	cm := &core.ChunkMap{
+		Dataset:   1,
+		Version:   2,
+		FileSize:  int64(len(data)),
+		ChunkSize: 1024,
+		Chunks:    []core.ChunkRef{{Index: 0, ID: id, Size: int64(len(data))}},
+		Locations: [][]core.NodeID{{"n1"}},
+		CreatedAt: time.Now(),
+	}
+	call(t, b.Addr(), proto.BMapPut, proto.MapPutReq{Name: "a.n1.t0", Map: cm}, nil, nil)
+	// A second version of the same file must coexist.
+	cm2 := cm.Clone()
+	cm2.Version = 3
+	call(t, b.Addr(), proto.BMapPut, proto.MapPutReq{Name: "a.n1.t1", Map: cm2}, nil, nil)
+
+	var list proto.MapListResp
+	call(t, b.Addr(), proto.BMapList, nil, nil, &list)
+	if len(list.Maps) != 2 {
+		t.Fatalf("stored %d maps, want 2", len(list.Maps))
+	}
+	if list.Maps[0].Name != "a.n1.t0" || list.Maps[0].Map.Version != 2 {
+		t.Fatalf("map[0] = %+v", list.Maps[0])
+	}
+}
+
+func TestStatsAndPing(t *testing.T) {
+	b := startNode(t, Config{Capacity: 1 << 20})
+	data := bytes.Repeat([]byte("x"), 1024)
+	call(t, b.Addr(), proto.BPut, proto.PutReq{ID: core.HashChunk(data)}, data, nil)
+
+	var stats proto.StatsResp
+	call(t, b.Addr(), proto.BStats, nil, nil, &stats)
+	if stats.Used != 1024 || stats.Capacity != 1<<20 || stats.Chunks != 1 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	var pong proto.HeartbeatResp
+	call(t, b.Addr(), proto.BPing, nil, nil, &pong)
+	if !pong.OK {
+		t.Fatal("ping not OK")
+	}
+}
+
+func TestUnknownOp(t *testing.T) {
+	b := startNode(t, Config{})
+	conn, err := wire.Dial(b.Addr(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Call("b.bogus", nil, nil, nil); err == nil {
+		t.Fatal("unknown op accepted")
+	}
+}
+
+func TestCollectGarbageUnmanaged(t *testing.T) {
+	b := startNode(t, Config{})
+	n, err := b.CollectGarbage()
+	if err != nil || n != 0 {
+		t.Fatalf("unmanaged GC = %d, %v", n, err)
+	}
+}
+
+func TestIDDefaultsToAddr(t *testing.T) {
+	b := startNode(t, Config{})
+	if string(b.ID()) != b.Addr() {
+		t.Fatalf("ID %q != addr %q", b.ID(), b.Addr())
+	}
+	named := startNode(t, Config{ID: "donor-7"})
+	if named.ID() != "donor-7" {
+		t.Fatalf("ID = %q", named.ID())
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	b, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

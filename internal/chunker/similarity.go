@@ -1,0 +1,140 @@
+package chunker
+
+import (
+	"time"
+
+	"stdchk/internal/core"
+)
+
+// Similarity returns the fraction of next's bytes that are covered by
+// chunks whose content hash also occurs in prev. This is the paper's
+// "rate of detected similarity": the bytes of a new checkpoint image that
+// do not need to be stored or transferred again.
+func Similarity(prev, next []Chunk) float64 {
+	var total int64
+	for _, c := range next {
+		total += c.Len
+	}
+	if total == 0 {
+		return 0
+	}
+	seen := make(map[core.ChunkID]struct{}, len(prev))
+	for _, c := range prev {
+		seen[c.ID] = struct{}{}
+	}
+	var matched int64
+	for _, c := range next {
+		if _, ok := seen[c.ID]; ok {
+			matched += c.Len
+		}
+	}
+	return float64(matched) / float64(total)
+}
+
+// TraceStats aggregates a heuristic's behaviour over a sequence of
+// checkpoint images: the quantities reported in paper Tables 3 and 4.
+type TraceStats struct {
+	// Heuristic is the chunker's Name().
+	Heuristic string
+	// Images is the number of images processed.
+	Images int
+	// TotalBytes is the cumulative input size.
+	TotalBytes int64
+	// MatchedBytes is the cumulative size of chunks already present in the
+	// immediately preceding image.
+	MatchedBytes int64
+	// Elapsed is the total time spent splitting and hashing.
+	Elapsed time.Duration
+	// AvgChunk, AvgMinChunk and AvgMaxChunk average, per image, the mean,
+	// minimum and maximum chunk sizes (Table 4 columns).
+	AvgChunk    float64
+	AvgMinChunk float64
+	AvgMaxChunk float64
+}
+
+// SimilarityRatio is the average fraction of bytes matched against the
+// previous image, over all images after the first.
+func (s TraceStats) SimilarityRatio() float64 {
+	if s.TotalBytes == 0 {
+		return 0
+	}
+	return float64(s.MatchedBytes) / float64(s.TotalBytes)
+}
+
+// ThroughputMBps is the heuristic's processing throughput in MB/s
+// (decimal MB, as the paper reports).
+func (s TraceStats) ThroughputMBps() float64 {
+	if s.Elapsed <= 0 {
+		return 0
+	}
+	return float64(s.TotalBytes) / 1e6 / s.Elapsed.Seconds()
+}
+
+// EvalTrace runs a chunker over successive checkpoint images and measures
+// detected similarity (each image against its predecessor), processing
+// throughput, and chunk-size statistics.
+func EvalTrace(c Chunker, images [][]byte) TraceStats {
+	stats := TraceStats{Heuristic: c.Name()}
+	var prev map[core.ChunkID]struct{}
+	var sumAvg, sumMin, sumMax float64
+	for _, img := range images {
+		start := time.Now()
+		chunks := SplitAndHash(c, img)
+		stats.Elapsed += time.Since(start)
+		stats.Images++
+
+		var minLen, maxLen, total int64
+		for i, ch := range chunks {
+			if i == 0 || ch.Len < minLen {
+				minLen = ch.Len
+			}
+			if ch.Len > maxLen {
+				maxLen = ch.Len
+			}
+			total += ch.Len
+		}
+		if len(chunks) > 0 {
+			sumAvg += float64(total) / float64(len(chunks))
+			sumMin += float64(minLen)
+			sumMax += float64(maxLen)
+		}
+
+		if prev != nil {
+			stats.TotalBytes += int64(len(img))
+			for _, ch := range chunks {
+				if _, ok := prev[ch.ID]; ok {
+					stats.MatchedBytes += ch.Len
+				}
+			}
+		}
+		next := make(map[core.ChunkID]struct{}, len(chunks))
+		for _, ch := range chunks {
+			next[ch.ID] = struct{}{}
+		}
+		prev = next
+	}
+	if stats.Images > 0 {
+		stats.AvgChunk = sumAvg / float64(stats.Images)
+		stats.AvgMinChunk = sumMin / float64(stats.Images)
+		stats.AvgMaxChunk = sumMax / float64(stats.Images)
+	}
+	return stats
+}
+
+// DedupBytes reports, across a whole trace, how many bytes a
+// content-addressed store would actually hold (unique chunks) versus the
+// total checkpointed bytes — the paper's "storage space and network effort"
+// saving (Fig 7, Table 5).
+func DedupBytes(c Chunker, images [][]byte) (unique, total int64) {
+	seen := make(map[core.ChunkID]struct{})
+	for _, img := range images {
+		total += int64(len(img))
+		for _, ch := range SplitAndHash(c, img) {
+			if _, ok := seen[ch.ID]; !ok {
+				seen[ch.ID] = struct{}{}
+				unique += ch.Len
+			}
+		}
+	}
+	return unique, total
+}

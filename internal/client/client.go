@@ -1,0 +1,258 @@
+// Package client implements the stdchk client proxy (paper §IV): striped
+// writes to a stripe of benefactors with eager space reservation, the
+// three write-optimized protocols (complete local write, incremental
+// write, sliding-window write), optimistic/pessimistic write semantics,
+// incremental checkpointing via fixed-size compare-by-hash dedup, session
+// semantics (atomic chunk-map commit at close), and parallel reads with
+// replica failover.
+package client
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"stdchk/internal/core"
+	"stdchk/internal/device"
+	"stdchk/internal/proto"
+	"stdchk/internal/wire"
+)
+
+// Protocol selects the write data path (paper §IV.B).
+type Protocol int
+
+const (
+	// SlidingWindow pushes data from the write memory buffer directly to
+	// stdchk storage, eliminating local disk entirely.
+	SlidingWindow Protocol = iota + 1
+	// IncrementalWrite stages data in bounded local temporary files and
+	// pushes each as it fills, overlapping creation and propagation.
+	IncrementalWrite
+	// CompleteLocalWrite dumps the whole file locally first and pushes it
+	// to stdchk after close.
+	CompleteLocalWrite
+)
+
+// String implements fmt.Stringer.
+func (p Protocol) String() string {
+	switch p {
+	case SlidingWindow:
+		return "sliding-window"
+	case IncrementalWrite:
+		return "incremental"
+	case CompleteLocalWrite:
+		return "complete-local"
+	default:
+		return fmt.Sprintf("Protocol(%d)", int(p))
+	}
+}
+
+// Config parameterizes a Client.
+type Config struct {
+	// ManagerAddr is the metadata manager address.
+	ManagerAddr string
+	// StripeWidth is the number of benefactors to stripe writes across
+	// (0 = manager default).
+	StripeWidth int
+	// ChunkSize is the striping chunk size (0 = manager default, 1 MB).
+	ChunkSize int64
+	// Replication is the user-defined replication target (0 = manager
+	// default).
+	Replication int
+	// Semantics selects optimistic (default) or pessimistic writes.
+	Semantics core.WriteSemantics
+	// Protocol selects the write data path. Default SlidingWindow.
+	Protocol Protocol
+	// BufferBytes bounds the sliding-window in-memory buffer: bytes
+	// accepted from the application but not yet pushed to benefactors.
+	BufferBytes int64
+	// TempFileBytes bounds incremental-write temporary files.
+	TempFileBytes int64
+	// Incremental enables FsCH chunk dedup against the manager's content
+	// index (paper §IV.C): chunks whose hash the system already stores
+	// are not uploaded again.
+	Incremental bool
+	// ReserveQuantum is the eager space-reservation granularity. The
+	// paper's workload averages four manager transactions per 100 MB
+	// write; the default (32 MB) reproduces that order.
+	ReserveQuantum int64
+	// PushMapReplicas stores chunk-map copies on the stripe benefactors
+	// at commit time, enabling manager recovery by benefactor quorum
+	// (paper §IV.A).
+	PushMapReplicas bool
+	// PessimisticTimeout bounds the pessimistic-write replication wait.
+	PessimisticTimeout time.Duration
+	// LocalDisk paces the complete-local protocol's staging I/O: writes
+	// at the disk's sustained write rate, and the post-close push pays
+	// the disk read back (nil = unpaced). Incremental-write temp files
+	// are bounded and short-lived, so they are modelled as served from
+	// the OS write cache (memory-paced) instead.
+	LocalDisk *device.Disk
+	// Mem paces in-memory copies (nil = unpaced).
+	Mem *device.Limiter
+	// Shaper wraps every connection the client dials (its NIC model).
+	Shaper wire.Shaper
+	// ReadAhead is the number of chunks fetched ahead during reads.
+	ReadAhead int
+	// Logger receives operational messages; nil discards.
+	Logger *log.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.Protocol == 0 {
+		c.Protocol = SlidingWindow
+	}
+	if c.Semantics == 0 {
+		c.Semantics = core.WriteOptimistic
+	}
+	if c.BufferBytes <= 0 {
+		c.BufferBytes = 64 << 20
+	}
+	if c.TempFileBytes <= 0 {
+		c.TempFileBytes = 16 << 20
+	}
+	if c.ReserveQuantum <= 0 {
+		c.ReserveQuantum = 32 << 20
+	}
+	if c.PessimisticTimeout <= 0 {
+		c.PessimisticTimeout = 2 * time.Minute
+	}
+	if c.ReadAhead <= 0 {
+		c.ReadAhead = 4
+	}
+	return c
+}
+
+// Client is a stdchk client proxy.
+type Client struct {
+	cfg  Config
+	pool *wire.Pool
+
+	benefMu    sync.Mutex
+	benefAddrs map[core.NodeID]string // node id -> service address cache
+}
+
+// New returns a client for the given configuration.
+func New(cfg Config) (*Client, error) {
+	if cfg.ManagerAddr == "" {
+		return nil, errors.New("client: ManagerAddr is required")
+	}
+	cfg = cfg.withDefaults()
+	return &Client{
+		cfg:        cfg,
+		pool:       wire.NewPool(cfg.Shaper, 8),
+		benefAddrs: make(map[core.NodeID]string),
+	}, nil
+}
+
+// Close releases pooled connections.
+func (c *Client) Close() error {
+	c.pool.Close()
+	return nil
+}
+
+func (c *Client) logf(format string, args ...interface{}) {
+	if c.cfg.Logger != nil {
+		c.cfg.Logger.Printf("client: "+format, args...)
+	}
+}
+
+// Create opens a write session for a new checkpoint image. The returned
+// Writer implements the configured protocol; Close marks the
+// application-visible end of the write (the OAB endpoint) and Wait blocks
+// until the image is safely stored and committed (the ASB endpoint).
+func (c *Client) Create(name string) (*Writer, error) {
+	return newWriter(c, name)
+}
+
+// Open opens the latest committed version for reading.
+func (c *Client) Open(name string) (*Reader, error) {
+	return c.OpenVersion(name, 0)
+}
+
+// OpenVersion opens a specific committed version (0 = latest).
+func (c *Client) OpenVersion(name string, ver core.VersionID) (*Reader, error) {
+	var resp proto.GetMapResp
+	if _, err := c.pool.Call(c.cfg.ManagerAddr, proto.MGetMap, proto.GetMapReq{Name: name, Version: ver}, nil, &resp); err != nil {
+		return nil, fmt.Errorf("client: open %s: %w", name, err)
+	}
+	return newReader(c, resp.Name, resp.Map), nil
+}
+
+// Delete removes one version, or the whole dataset when ver is 0.
+func (c *Client) Delete(name string, ver core.VersionID) error {
+	_, err := c.pool.Call(c.cfg.ManagerAddr, proto.MDelete, proto.DeleteReq{Name: name, Version: ver}, nil, nil)
+	if err != nil {
+		return fmt.Errorf("client: delete %s: %w", name, err)
+	}
+	return nil
+}
+
+// List lists datasets, optionally restricted to a folder.
+func (c *Client) List(folder string) ([]core.DatasetInfo, error) {
+	var resp proto.ListResp
+	if _, err := c.pool.Call(c.cfg.ManagerAddr, proto.MList, proto.ListReq{Folder: folder}, nil, &resp); err != nil {
+		return nil, fmt.Errorf("client: list: %w", err)
+	}
+	return resp.Datasets, nil
+}
+
+// Stat summarizes one dataset.
+func (c *Client) Stat(name string) (core.DatasetInfo, error) {
+	var resp proto.StatResp
+	if _, err := c.pool.Call(c.cfg.ManagerAddr, proto.MStat, proto.StatReq{Name: name}, nil, &resp); err != nil {
+		return core.DatasetInfo{}, fmt.Errorf("client: stat %s: %w", name, err)
+	}
+	return resp.Dataset, nil
+}
+
+// SetPolicy attaches a data-lifetime policy to a folder.
+func (c *Client) SetPolicy(folder string, p core.Policy) error {
+	if err := p.Validate(); err != nil {
+		return fmt.Errorf("client: set policy: %w", err)
+	}
+	_, err := c.pool.Call(c.cfg.ManagerAddr, proto.MPolicySet, proto.PolicySetReq{Folder: folder, Policy: p}, nil, nil)
+	if err != nil {
+		return fmt.Errorf("client: set policy on %q: %w", folder, err)
+	}
+	return nil
+}
+
+// GetPolicy reads a folder's policy.
+func (c *Client) GetPolicy(folder string) (core.Policy, error) {
+	var resp proto.PolicyGetResp
+	if _, err := c.pool.Call(c.cfg.ManagerAddr, proto.MPolicyGet, proto.PolicyGetReq{Folder: folder}, nil, &resp); err != nil {
+		return core.Policy{}, fmt.Errorf("client: get policy of %q: %w", folder, err)
+	}
+	return resp.Policy, nil
+}
+
+// ManagerStats snapshots manager counters.
+func (c *Client) ManagerStats() (proto.ManagerStats, error) {
+	var resp proto.ManagerStats
+	if _, err := c.pool.Call(c.cfg.ManagerAddr, proto.MStats, nil, nil, &resp); err != nil {
+		return proto.ManagerStats{}, fmt.Errorf("client: manager stats: %w", err)
+	}
+	return resp, nil
+}
+
+// Benefactors lists registered benefactors.
+func (c *Client) Benefactors() ([]core.BenefactorInfo, error) {
+	var resp proto.BenefactorsResp
+	if _, err := c.pool.Call(c.cfg.ManagerAddr, proto.MBenefactors, nil, nil, &resp); err != nil {
+		return nil, fmt.Errorf("client: benefactors: %w", err)
+	}
+	return resp.Benefactors, nil
+}
+
+// replicationLevel polls the live replication of a dataset's latest
+// version (pessimistic writes).
+func (c *Client) replicationLevel(name string) (proto.ReplStatusResp, error) {
+	var resp proto.ReplStatusResp
+	if _, err := c.pool.Call(c.cfg.ManagerAddr, proto.MReplStatus, proto.ReplStatusReq{Name: name}, nil, &resp); err != nil {
+		return proto.ReplStatusResp{}, err
+	}
+	return resp, nil
+}

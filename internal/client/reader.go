@@ -1,0 +1,195 @@
+package client
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+
+	"stdchk/internal/core"
+	"stdchk/internal/proto"
+)
+
+// Reader streams one committed version of a checkpoint image. Chunks are
+// prefetched in parallel (read-ahead) from the benefactors named in the
+// chunk-map; a fetch that fails on one replica falls over to the next
+// (paper §IV.E: read performance via read-ahead and caching; §IV.A:
+// replicas provide availability).
+type Reader struct {
+	c    *Client
+	name string
+	cm   *core.ChunkMap
+
+	mu      sync.Mutex
+	pending map[int]chan fetchResult
+	next    int // next chunk index to hand to the application
+	off     int // offset within the current chunk
+	cur     []byte
+	started int // chunks dispatched so far
+	closed  bool
+	err     error
+}
+
+type fetchResult struct {
+	data []byte
+	err  error
+}
+
+func newReader(c *Client, name string, cm *core.ChunkMap) *Reader {
+	return &Reader{
+		c:       c,
+		name:    name,
+		cm:      cm,
+		pending: make(map[int]chan fetchResult),
+	}
+}
+
+// Name returns the file name of the opened version.
+func (r *Reader) Name() string { return r.name }
+
+// Size returns the file size.
+func (r *Reader) Size() int64 { return r.cm.FileSize }
+
+// Map returns a copy of the chunk-map (diagnostics, tooling).
+func (r *Reader) Map() *core.ChunkMap { return r.cm.Clone() }
+
+var _ io.ReadCloser = (*Reader)(nil)
+
+// Read implements io.Reader.
+func (r *Reader) Read(p []byte) (int, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return 0, core.ErrClosed
+	}
+	if r.err != nil {
+		return 0, r.err
+	}
+	if r.cur == nil || r.off >= len(r.cur) {
+		if r.next >= len(r.cm.Chunks) {
+			return 0, io.EOF
+		}
+		if err := r.advanceLocked(); err != nil {
+			r.err = err
+			return 0, err
+		}
+	}
+	n := copy(p, r.cur[r.off:])
+	r.off += n
+	return n, nil
+}
+
+// advanceLocked ensures the read-ahead window is primed and blocks for the
+// next chunk.
+func (r *Reader) advanceLocked() error {
+	window := r.c.cfg.ReadAhead
+	for r.started < len(r.cm.Chunks) && r.started < r.next+window {
+		idx := r.started
+		ch := make(chan fetchResult, 1)
+		r.pending[idx] = ch
+		r.started++
+		go r.fetch(idx, ch)
+	}
+	ch, ok := r.pending[r.next]
+	if !ok {
+		return fmt.Errorf("reader: chunk %d not scheduled", r.next)
+	}
+	delete(r.pending, r.next)
+	r.mu.Unlock()
+	res := <-ch
+	r.mu.Lock()
+	if res.err != nil {
+		return res.err
+	}
+	r.cur = res.data
+	r.off = 0
+	r.next++
+	return nil
+}
+
+// fetch retrieves one chunk, trying each replica in turn and verifying
+// content integrity against the chunk's content-based name.
+func (r *Reader) fetch(idx int, ch chan<- fetchResult) {
+	ref := r.cm.Chunks[idx]
+	locs := r.cm.Locations[idx]
+	var lastErr error
+	for _, node := range locs {
+		addr, err := r.resolve(node)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		body, err := r.c.pool.Call(addr, proto.BGet, proto.GetReq{ID: ref.ID}, nil, nil)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if core.HashChunk(body) != ref.ID {
+			lastErr = fmt.Errorf("chunk %d from %s: %w", idx, node, core.ErrIntegrity)
+			continue
+		}
+		ch <- fetchResult{data: body}
+		return
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("chunk %d has no replicas: %w", idx, core.ErrNotFound)
+	}
+	ch <- fetchResult{err: fmt.Errorf("reader: %w", lastErr)}
+}
+
+// resolve maps a benefactor node ID to its current address. Node IDs
+// default to their service address (host:port), which needs no lookup —
+// committed data stays readable even while the manager is down. Custom
+// IDs are resolved through the manager's registry and cached.
+func (r *Reader) resolve(node core.NodeID) (string, error) {
+	if strings.ContainsRune(string(node), ':') {
+		return string(node), nil
+	}
+	r.c.benefMu.Lock()
+	addr, ok := r.c.benefAddrs[node]
+	r.c.benefMu.Unlock()
+	if ok {
+		return addr, nil
+	}
+	infos, err := r.c.Benefactors()
+	if err != nil {
+		return "", err
+	}
+	r.c.benefMu.Lock()
+	for _, info := range infos {
+		r.c.benefAddrs[info.ID] = info.Addr
+	}
+	addr, ok = r.c.benefAddrs[node]
+	r.c.benefMu.Unlock()
+	if !ok {
+		return "", fmt.Errorf("benefactor %s: %w", node, core.ErrNotFound)
+	}
+	return addr, nil
+}
+
+// ReadAll reads the whole version into memory.
+func (r *Reader) ReadAll() ([]byte, error) {
+	out := make([]byte, 0, r.cm.FileSize)
+	buf := make([]byte, 256<<10)
+	for {
+		n, err := r.Read(buf)
+		out = append(out, buf[:n]...)
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+	}
+}
+
+// Close releases the reader. Outstanding prefetches drain in the
+// background.
+func (r *Reader) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.closed = true
+	r.pending = map[int]chan fetchResult{}
+	r.cur = nil
+	return nil
+}

@@ -1,0 +1,663 @@
+package client
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"stdchk/internal/core"
+	"stdchk/internal/proto"
+	"stdchk/internal/wire"
+)
+
+// Writer is one write session. The application writes sequentially and
+// closes; Close marks the application-perceived end of the checkpoint
+// operation (the OAB endpoint) while Wait blocks until all remote I/O has
+// completed and the chunk-map is committed (the ASB endpoint).
+//
+// The three protocols differ in what happens between Write and the
+// benefactor uploads:
+//
+//   - sliding-window: Write lands in a bounded memory buffer that uploader
+//     goroutines drain directly to the stripe; no local disk at all.
+//   - incremental: Write fills bounded in-memory temporary files; each full
+//     temp file is handed to a background pusher, overlapping data creation
+//     with remote propagation.
+//   - complete-local: Write stages the whole image on the local disk
+//     (paced by its model); the push to stdchk happens only after Close.
+type Writer struct {
+	c        *Client
+	name     string
+	protocol Protocol
+
+	openedAt time.Time
+
+	mu           sync.Mutex
+	cond         *sync.Cond
+	err          error // sticky first failure
+	inflight     int64 // bytes accepted but not yet stored remotely
+	commitChunks []proto.CommitChunk
+	closedAt     time.Time
+	storedAt     time.Time
+	written      int64
+	uploaded     int64 // bytes actually moved to benefactors
+	deduped      int64 // bytes skipped thanks to FsCH dedup
+	closed       bool
+
+	sess      proto.AllocResp
+	stripe    []proto.Stripe
+	chunkSize int64
+	reserved  int64
+
+	cur      []byte
+	chunkIdx int
+
+	workers []*uploadWorker
+
+	// incremental-write staging
+	temp      []byte
+	tempQueue chan []byte
+	pushWg    sync.WaitGroup
+
+	done    chan struct{}
+	waitErr error
+}
+
+type uploadWorker struct {
+	addr string
+	ch   chan uploadItem
+	conn *wire.Conn
+}
+
+type uploadItem struct {
+	idx  int
+	id   core.ChunkID
+	data []byte
+}
+
+func newWriter(c *Client, name string) (*Writer, error) {
+	w := &Writer{
+		c:        c,
+		name:     name,
+		protocol: c.cfg.Protocol,
+		openedAt: time.Now(),
+		done:     make(chan struct{}),
+	}
+	w.cond = sync.NewCond(&w.mu)
+
+	req := proto.AllocReq{
+		Name:         name,
+		StripeWidth:  c.cfg.StripeWidth,
+		ChunkSize:    c.cfg.ChunkSize,
+		ReserveBytes: c.cfg.ReserveQuantum,
+		Replication:  c.cfg.Replication,
+	}
+	if _, err := c.pool.Call(c.cfg.ManagerAddr, proto.MAlloc, req, nil, &w.sess); err != nil {
+		return nil, fmt.Errorf("client: create %s: %w", name, err)
+	}
+	w.stripe = w.sess.Stripe
+	w.chunkSize = c.cfg.ChunkSize
+	if w.chunkSize <= 0 {
+		w.chunkSize = core.DefaultChunkSize
+	}
+	w.reserved = c.cfg.ReserveQuantum
+
+	for _, st := range w.stripe {
+		conn, err := wire.Dial(st.Addr, c.cfg.Shaper)
+		if err != nil {
+			w.abort()
+			return nil, fmt.Errorf("client: create %s: dial stripe node %s: %w", name, st.Addr, err)
+		}
+		worker := &uploadWorker{addr: st.Addr, ch: make(chan uploadItem, 4), conn: conn}
+		w.workers = append(w.workers, worker)
+		go w.runUploader(worker)
+	}
+
+	if w.protocol == IncrementalWrite {
+		// Capacity one bounds outstanding temp files to: one being
+		// filled, one queued, one being pushed.
+		w.tempQueue = make(chan []byte, 1)
+		w.pushWg.Add(1)
+		go w.runTempPusher()
+	}
+	return w, nil
+}
+
+// Name returns the file name being written.
+func (w *Writer) Name() string { return w.name }
+
+// Write implements io.Writer. Data is accepted in application-sized blocks
+// and re-chunked to the striping chunk size.
+func (w *Writer) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return 0, core.ErrClosed
+	}
+	if w.err != nil {
+		err := w.err
+		w.mu.Unlock()
+		return 0, err
+	}
+	w.written += int64(len(p))
+	w.mu.Unlock()
+
+	if err := w.ensureReservation(); err != nil {
+		return 0, err
+	}
+
+	switch w.protocol {
+	case SlidingWindow:
+		w.c.cfg.Mem.Acquire(len(p))
+		return len(p), w.appendChunked(p)
+	case IncrementalWrite:
+		w.c.cfg.Mem.Acquire(len(p))
+		return len(p), w.appendTemp(p)
+	case CompleteLocalWrite:
+		if w.c.cfg.LocalDisk != nil {
+			w.c.cfg.LocalDisk.Write(len(p))
+		} else {
+			w.c.cfg.Mem.Acquire(len(p))
+		}
+		w.mu.Lock()
+		w.temp = append(w.temp, p...)
+		w.mu.Unlock()
+		return len(p), nil
+	default:
+		return 0, fmt.Errorf("client: unknown protocol %v", w.protocol)
+	}
+}
+
+// ensureReservation extends the eager space reservation as the file grows.
+func (w *Writer) ensureReservation() error {
+	w.mu.Lock()
+	need := w.written > w.reserved
+	w.mu.Unlock()
+	if !need {
+		return nil
+	}
+	quantum := w.c.cfg.ReserveQuantum
+	if _, err := w.c.pool.Call(w.c.cfg.ManagerAddr, proto.MExtend,
+		proto.ExtendReq{WriteID: w.sess.WriteID, Bytes: quantum}, nil, nil); err != nil {
+		w.fail(fmt.Errorf("extend reservation: %w", err))
+		return err
+	}
+	w.mu.Lock()
+	w.reserved += quantum
+	w.mu.Unlock()
+	return nil
+}
+
+// appendChunked accumulates bytes into striping chunks and emits full ones.
+func (w *Writer) appendChunked(p []byte) error {
+	for len(p) > 0 {
+		if w.cur == nil {
+			w.cur = make([]byte, 0, w.chunkSize)
+		}
+		room := int(w.chunkSize) - len(w.cur)
+		take := room
+		if take > len(p) {
+			take = len(p)
+		}
+		w.cur = append(w.cur, p[:take]...)
+		p = p[take:]
+		if int64(len(w.cur)) == w.chunkSize {
+			if err := w.emitChunk(w.cur); err != nil {
+				return err
+			}
+			w.cur = nil
+		}
+	}
+	return nil
+}
+
+// appendTemp implements the incremental-write staging.
+func (w *Writer) appendTemp(p []byte) error {
+	limit := w.c.cfg.TempFileBytes
+	for len(p) > 0 {
+		room := limit - int64(len(w.temp))
+		take := int64(len(p))
+		if take > room {
+			take = room
+		}
+		w.temp = append(w.temp, p[:take]...)
+		p = p[take:]
+		if int64(len(w.temp)) >= limit {
+			if err := w.flushTemp(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// flushTemp hands the current temp file to the background pusher. Blocks
+// when too many temps are outstanding, which is what bounds local space
+// usage (the point of incremental writes over complete-local writes).
+func (w *Writer) flushTemp() error {
+	if len(w.temp) == 0 {
+		return nil
+	}
+	t := w.temp
+	w.temp = nil
+	select {
+	case w.tempQueue <- t:
+		return nil
+	default:
+	}
+	// Queue full: wait, unless the pipeline already failed.
+	for {
+		w.mu.Lock()
+		err := w.err
+		w.mu.Unlock()
+		if err != nil {
+			return err
+		}
+		select {
+		case w.tempQueue <- t:
+			return nil
+		case <-time.After(time.Millisecond):
+		}
+	}
+}
+
+func (w *Writer) runTempPusher() {
+	defer w.pushWg.Done()
+	for t := range w.tempQueue {
+		// Temp files are bounded and short-lived: they are read back
+		// from the OS cache, so the push pays a memory copy, not a disk
+		// read (the complete-local protocol, whose staged file is
+		// large, does pay the disk read). This extra copy is what keeps
+		// incremental writes slightly behind the sliding window.
+		w.c.cfg.Mem.Acquire(len(t))
+		if err := w.appendChunkedRemote(t); err != nil {
+			w.fail(err)
+		}
+	}
+}
+
+// appendChunkedRemote re-chunks staged bytes and emits them (pusher-side
+// path shared by incremental and complete-local writes).
+func (w *Writer) appendChunkedRemote(data []byte) error {
+	for off := 0; off < len(data); {
+		take := int(w.chunkSize) - len(w.cur)
+		if w.cur == nil {
+			w.cur = make([]byte, 0, w.chunkSize)
+			take = int(w.chunkSize)
+		}
+		if take > len(data)-off {
+			take = len(data) - off
+		}
+		w.cur = append(w.cur, data[off:off+take]...)
+		off += take
+		if int64(len(w.cur)) == w.chunkSize {
+			if err := w.emitChunk(w.cur); err != nil {
+				return err
+			}
+			w.cur = nil
+		}
+	}
+	return nil
+}
+
+// emitChunk hashes a full (or final short) chunk and either dedups it
+// against the manager's content index or dispatches it to its round-robin
+// stripe worker. Blocks while the in-memory window is full.
+func (w *Writer) emitChunk(data []byte) error {
+	n := int64(len(data))
+	id := core.HashChunk(data)
+
+	w.mu.Lock()
+	for w.err == nil && w.inflight+n > w.c.cfg.BufferBytes && w.inflight > 0 {
+		w.cond.Wait()
+	}
+	if w.err != nil {
+		err := w.err
+		w.mu.Unlock()
+		return err
+	}
+	idx := w.chunkIdx
+	w.chunkIdx++
+	w.inflight += n
+	w.growCommitChunks(idx + 1)
+	w.commitChunks[idx] = proto.CommitChunk{ID: id, Size: n}
+	w.mu.Unlock()
+
+	if w.c.cfg.Incremental {
+		var resp proto.HasResp
+		_, err := w.c.pool.Call(w.c.cfg.ManagerAddr, proto.MHasChunks,
+			proto.HasReq{IDs: []core.ChunkID{id}}, nil, &resp)
+		if err == nil && len(resp.Present) == 1 && resp.Present[0] {
+			// Chunk already stored: copy-on-write reuse, no upload.
+			w.mu.Lock()
+			w.deduped += n
+			w.inflight -= n
+			w.cond.Broadcast()
+			w.mu.Unlock()
+			return nil
+		}
+		if err != nil {
+			w.fail(fmt.Errorf("dedup query: %w", err))
+			return err
+		}
+	}
+
+	w.mu.Lock()
+	workers := w.workers
+	w.mu.Unlock()
+	if len(workers) == 0 {
+		return core.ErrClosed
+	}
+	worker := workers[idx%len(workers)]
+	worker.ch <- uploadItem{idx: idx, id: id, data: data}
+	return nil
+}
+
+func (w *Writer) growCommitChunks(n int) {
+	for len(w.commitChunks) < n {
+		w.commitChunks = append(w.commitChunks, proto.CommitChunk{})
+	}
+}
+
+// runUploader is one stripe node's upload goroutine: chunks bound to this
+// node by round-robin stream through a dedicated connection.
+func (w *Writer) runUploader(worker *uploadWorker) {
+	for item := range worker.ch {
+		w.mu.Lock()
+		failed := w.err != nil
+		w.mu.Unlock()
+		if !failed {
+			_, err := worker.conn.Call(proto.BPut, proto.PutReq{ID: item.id}, item.data, nil)
+			if err != nil {
+				w.fail(fmt.Errorf("upload chunk %d to %s: %w", item.idx, worker.addr, err))
+			} else {
+				w.recordUpload(item, worker)
+			}
+		}
+		w.mu.Lock()
+		w.inflight -= int64(len(item.data))
+		w.cond.Broadcast()
+		w.mu.Unlock()
+	}
+}
+
+func (w *Writer) recordUpload(item uploadItem, worker *uploadWorker) {
+	nodeID := w.nodeIDFor(worker.addr)
+	w.mu.Lock()
+	w.uploaded += int64(len(item.data))
+	w.commitChunks[item.idx].Locations = append(w.commitChunks[item.idx].Locations, nodeID)
+	w.mu.Unlock()
+}
+
+func (w *Writer) nodeIDFor(addr string) core.NodeID {
+	for _, st := range w.stripe {
+		if st.Addr == addr {
+			return st.ID
+		}
+	}
+	return core.NodeID(addr)
+}
+
+// fail records the first error and wakes all waiters.
+func (w *Writer) fail(err error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err == nil {
+		w.err = err
+	}
+	w.cond.Broadcast()
+}
+
+// Close ends the application's write. Semantics per protocol:
+// sliding-window and incremental return once the remaining data has been
+// handed to the background pipeline; complete-local returns once the local
+// staging copy is complete (its push starts now). With pessimistic
+// semantics Close additionally blocks until the configured replication
+// level is reached.
+func (w *Writer) Close() error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return core.ErrClosed
+	}
+	w.closed = true
+	firstErr := w.err
+	w.mu.Unlock()
+	if firstErr != nil {
+		w.teardown()
+		return firstErr
+	}
+
+	var closeErr error
+	switch w.protocol {
+	case SlidingWindow:
+		if w.cur != nil {
+			closeErr = w.emitChunk(w.cur)
+			w.cur = nil
+		}
+	case IncrementalWrite:
+		closeErr = w.flushTemp()
+	case CompleteLocalWrite:
+		// Local staging already complete; push happens in background.
+	}
+
+	w.mu.Lock()
+	w.closedAt = time.Now()
+	w.mu.Unlock()
+
+	// finish() owns pipeline drain and teardown even on the error path,
+	// so background goroutines never race a closing channel.
+	go w.finish()
+	if closeErr != nil {
+		return closeErr
+	}
+
+	if w.c.cfg.Semantics == core.WritePessimistic {
+		if err := w.Wait(); err != nil {
+			return err
+		}
+		return w.awaitReplication()
+	}
+	return nil
+}
+
+// finish drains the pipeline, commits the chunk-map (session semantics)
+// and, when configured, pushes map replicas to the stripe benefactors.
+func (w *Writer) finish() {
+	defer close(w.done)
+
+	if w.protocol == IncrementalWrite {
+		close(w.tempQueue)
+		w.pushWg.Wait()
+		if w.cur != nil {
+			if err := w.emitChunk(w.cur); err != nil {
+				w.waitErr = err
+			}
+			w.cur = nil
+		}
+	}
+	if w.protocol == CompleteLocalWrite {
+		// Push the staged file: the read back from local disk is paced
+		// by the disk model (a complete staged image does not fit the
+		// cache), then chunks flow through the regular upload path.
+		data := w.temp
+		w.temp = nil
+		if w.c.cfg.LocalDisk != nil {
+			w.c.cfg.LocalDisk.Read(len(data))
+		}
+		if err := w.appendChunkedRemote(data); err != nil {
+			w.waitErr = err
+		}
+		if w.cur != nil {
+			if err := w.emitChunk(w.cur); err != nil && w.waitErr == nil {
+				w.waitErr = err
+			}
+			w.cur = nil
+		}
+	}
+
+	// Wait for the uploaders to drain, then stop them.
+	w.mu.Lock()
+	for w.err == nil && w.inflight > 0 {
+		w.cond.Wait()
+	}
+	err := w.err
+	w.mu.Unlock()
+	w.teardown()
+	if err != nil && w.waitErr == nil {
+		w.waitErr = err
+	}
+	if w.waitErr != nil {
+		w.abort()
+		return
+	}
+
+	if err := w.commit(); err != nil {
+		w.waitErr = err
+		return
+	}
+	w.mu.Lock()
+	w.storedAt = time.Now()
+	w.mu.Unlock()
+}
+
+// teardown closes worker channels and connections exactly once.
+func (w *Writer) teardown() {
+	w.mu.Lock()
+	workers := w.workers
+	w.workers = nil
+	w.mu.Unlock()
+	for _, worker := range workers {
+		close(worker.ch)
+	}
+	// Draining goroutines hold the conns; closing here races benignly
+	// because uploads have completed or failed by the time teardown runs.
+	for _, worker := range workers {
+		worker.conn.Close()
+	}
+}
+
+// commit atomically publishes the chunk-map.
+func (w *Writer) commit() error {
+	w.mu.Lock()
+	chunks := make([]proto.CommitChunk, len(w.commitChunks))
+	copy(chunks, w.commitChunks)
+	written := w.written
+	w.mu.Unlock()
+
+	req := proto.CommitReq{WriteID: w.sess.WriteID, FileSize: written, Chunks: chunks}
+	var resp proto.CommitResp
+	if _, err := w.c.pool.Call(w.c.cfg.ManagerAddr, proto.MCommit, req, nil, &resp); err != nil {
+		return fmt.Errorf("commit %s: %w", w.name, err)
+	}
+
+	if w.c.cfg.PushMapReplicas {
+		w.pushMapReplicas(resp, chunks)
+	}
+	return nil
+}
+
+// pushMapReplicas stores copies of the committed chunk-map on the stripe
+// benefactors so a failed manager can be reconstructed by quorum
+// (paper §IV.A).
+func (w *Writer) pushMapReplicas(resp proto.CommitResp, chunks []proto.CommitChunk) {
+	cm := &core.ChunkMap{
+		Dataset:   resp.Dataset,
+		Version:   resp.Version,
+		FileSize:  w.written,
+		ChunkSize: w.chunkSize,
+		CreatedAt: time.Now(),
+	}
+	for i, ch := range chunks {
+		cm.Chunks = append(cm.Chunks, core.ChunkRef{Index: i, ID: ch.ID, Size: ch.Size})
+		cm.Locations = append(cm.Locations, append([]core.NodeID(nil), ch.Locations...))
+	}
+	for _, st := range w.stripe {
+		req := proto.MapPutReq{Name: w.name, Map: cm}
+		if _, err := w.c.pool.Call(st.Addr, proto.BMapPut, req, nil, nil); err != nil {
+			w.c.logf("push map replica to %s: %v", st.Addr, err)
+		}
+	}
+}
+
+// awaitReplication implements the pessimistic write semantics: poll the
+// manager until the dataset's replication target is met.
+func (w *Writer) awaitReplication() error {
+	deadline := time.Now().Add(w.c.cfg.PessimisticTimeout)
+	for {
+		st, err := w.c.replicationLevel(w.name)
+		if err == nil && st.Level >= st.Target {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			if err != nil {
+				return fmt.Errorf("pessimistic wait on %s: %w", w.name, err)
+			}
+			return fmt.Errorf("pessimistic wait on %s: level %d < target %d after %v",
+				w.name, st.Level, st.Target, w.c.cfg.PessimisticTimeout)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// Wait blocks until the image is stored and committed (the ASB endpoint).
+func (w *Writer) Wait() error {
+	<-w.done
+	return w.waitErr
+}
+
+// abort releases the manager-side session after a failure.
+func (w *Writer) abort() {
+	_, _ = w.c.pool.Call(w.c.cfg.ManagerAddr, proto.MAbort, proto.AbortReq{WriteID: w.sess.WriteID}, nil, nil)
+}
+
+// Metrics exposes the timing and byte counters the evaluation uses.
+type WriteMetrics struct {
+	// Bytes is the application file size.
+	Bytes int64
+	// Uploaded is the number of bytes actually transferred to
+	// benefactors (the network effort).
+	Uploaded int64
+	// Deduped is the number of bytes skipped by incremental
+	// checkpointing.
+	Deduped int64
+	// OpenToClose is the application-perceived duration (OAB interval).
+	OpenToClose time.Duration
+	// OpenToStored is the time until all remote I/O completed and the
+	// map committed (ASB interval).
+	OpenToStored time.Duration
+}
+
+// OABMBps is the observed application bandwidth in decimal MB/s.
+func (m WriteMetrics) OABMBps() float64 {
+	if m.OpenToClose <= 0 {
+		return 0
+	}
+	return float64(m.Bytes) / 1e6 / m.OpenToClose.Seconds()
+}
+
+// ASBMBps is the achieved storage bandwidth in decimal MB/s.
+func (m WriteMetrics) ASBMBps() float64 {
+	if m.OpenToStored <= 0 {
+		return 0
+	}
+	return float64(m.Bytes) / 1e6 / m.OpenToStored.Seconds()
+}
+
+// Metrics returns the session's measurements. Valid after Wait.
+func (w *Writer) Metrics() WriteMetrics {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	m := WriteMetrics{
+		Bytes:    w.written,
+		Uploaded: w.uploaded,
+		Deduped:  w.deduped,
+	}
+	if !w.closedAt.IsZero() {
+		m.OpenToClose = w.closedAt.Sub(w.openedAt)
+	}
+	if !w.storedAt.IsZero() {
+		m.OpenToStored = w.storedAt.Sub(w.openedAt)
+	}
+	return m
+}

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"fmt"
+	"time"
+)
+
+// PolicyKind selects the automated data-lifetime behaviour for a folder of
+// checkpoint images (paper §IV.D).
+type PolicyKind int
+
+const (
+	// PolicyNone persists all versions indefinitely ("no intervention").
+	PolicyNone PolicyKind = iota + 1
+	// PolicyReplace makes a newly committed version obsolete all older
+	// versions of the same dataset ("automated replace").
+	PolicyReplace
+	// PolicyPurge removes versions after a predefined interval
+	// ("automated purge").
+	PolicyPurge
+)
+
+// String implements fmt.Stringer.
+func (k PolicyKind) String() string {
+	switch k {
+	case PolicyNone:
+		return "none"
+	case PolicyReplace:
+		return "replace"
+	case PolicyPurge:
+		return "purge"
+	default:
+		return fmt.Sprintf("PolicyKind(%d)", int(k))
+	}
+}
+
+// ParsePolicyKind parses the string form produced by String.
+func ParsePolicyKind(s string) (PolicyKind, error) {
+	switch s {
+	case "none":
+		return PolicyNone, nil
+	case "replace":
+		return PolicyReplace, nil
+	case "purge":
+		return PolicyPurge, nil
+	default:
+		return 0, fmt.Errorf("unknown policy kind %q", s)
+	}
+}
+
+// Policy is the per-folder data-lifetime policy. KeepVersions optionally
+// retains the most recent N versions under PolicyReplace (N=1 reproduces the
+// paper's "new images make older ones obsolete"); PurgeAfter applies under
+// PolicyPurge.
+type Policy struct {
+	Kind         PolicyKind    `json:"kind"`
+	KeepVersions int           `json:"keepVersions,omitempty"`
+	PurgeAfter   time.Duration `json:"purgeAfter,omitempty"`
+}
+
+// DefaultPolicy is applied to folders without explicit metadata.
+func DefaultPolicy() Policy {
+	return Policy{Kind: PolicyNone}
+}
+
+// Validate checks that the policy parameters are consistent with its kind.
+func (p Policy) Validate() error {
+	switch p.Kind {
+	case PolicyNone:
+		return nil
+	case PolicyReplace:
+		if p.KeepVersions < 0 {
+			return fmt.Errorf("policy replace: negative keepVersions %d", p.KeepVersions)
+		}
+		return nil
+	case PolicyPurge:
+		if p.PurgeAfter <= 0 {
+			return fmt.Errorf("policy purge: non-positive purgeAfter %v", p.PurgeAfter)
+		}
+		return nil
+	default:
+		return fmt.Errorf("policy: unknown kind %d", int(p.Kind))
+	}
+}
+
+// Keep reports the number of most-recent versions PolicyReplace retains
+// (at least one).
+func (p Policy) Keep() int {
+	if p.KeepVersions <= 0 {
+		return 1
+	}
+	return p.KeepVersions
+}
+
+// ReplicationTarget is a user-defined replication level for a dataset or
+// folder (paper §IV.A "User-defined replication targets").
+type ReplicationTarget struct {
+	Level int `json:"level"`
+}
+
+// DefaultReplicationLevel is used when the application does not specify a
+// target. One replica means "stored once, no redundancy"; the paper's
+// availability experiments use 2.
+const DefaultReplicationLevel = 2

@@ -1,0 +1,70 @@
+package device
+
+import (
+	"net"
+)
+
+// ShapedConn wraps a net.Conn so that traffic is paced by the local NIC's
+// transmit/receive limiters and, optionally, a shared fabric limiter
+// modelling the site switch (the §V.F bottleneck). Each endpoint of a
+// connection wraps its own half with its own NIC.
+type ShapedConn struct {
+	net.Conn
+	nic    *NIC
+	fabric *Limiter
+}
+
+var _ net.Conn = (*ShapedConn)(nil)
+
+// Shape wraps conn with the node's NIC and an optional shared fabric.
+// A nil NIC (or nil limiters inside it) leaves that direction unshaped.
+func Shape(conn net.Conn, nic *NIC, fabric *Limiter) net.Conn {
+	if conn == nil {
+		return nil
+	}
+	if nic == nil && fabric == nil {
+		return conn
+	}
+	return &ShapedConn{Conn: conn, nic: nic, fabric: fabric}
+}
+
+// writeQuantum is the pacing granularity for transmissions. Pacing before
+// each quantum (instead of once for the whole message) lets the receiving
+// end overlap with the sender in wall-clock time, as a real pipelined link
+// does.
+const writeQuantum = 64 << 10
+
+// Write paces the outgoing bytes through the NIC TX queue and the fabric.
+func (s *ShapedConn) Write(p []byte) (int, error) {
+	if s.nic == nil && s.fabric == nil {
+		return s.Conn.Write(p)
+	}
+	written := 0
+	for off := 0; off < len(p); off += writeQuantum {
+		end := off + writeQuantum
+		if end > len(p) {
+			end = len(p)
+		}
+		if s.nic != nil {
+			s.nic.TX.Acquire(end - off)
+		}
+		s.fabric.Acquire(end - off)
+		n, err := s.Conn.Write(p[off:end])
+		written += n
+		if err != nil {
+			return written, err
+		}
+	}
+	return written, nil
+}
+
+// Read paces the incoming bytes through the NIC RX queue. The fabric is
+// charged on the transmit side only, so a byte crossing the switch is not
+// double-counted.
+func (s *ShapedConn) Read(p []byte) (int, error) {
+	n, err := s.Conn.Read(p)
+	if n > 0 && s.nic != nil {
+		s.nic.RX.Acquire(n)
+	}
+	return n, err
+}

@@ -1,0 +1,291 @@
+// Package erasure implements systematic Reed-Solomon coding over GF(2^8).
+//
+// The paper (§IV.A "Data replication") weighs erasure coding against
+// replication for checkpoint data and chooses replication: coding costs
+// CPU in the write path (or extra network traffic if done in the
+// background), complicates reads, and its space advantage matters little
+// for transient data. This package exists to *quantify* that argument —
+// the ablation bench compares the erasure write path against replication
+// under the same device models (see internal/experiments).
+//
+// The code is a standard Cauchy-matrix systematic RS(k, m): k data
+// shards, m parity shards, any k of the k+m shards reconstruct the data.
+package erasure
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Field tables for GF(2^8) with the AES polynomial 0x11b.
+var (
+	expTable [512]byte
+	logTable [256]byte
+)
+
+func init() {
+	x := byte(1)
+	for i := 0; i < 255; i++ {
+		expTable[i] = x
+		logTable[x] = byte(i)
+		// multiply x by the generator 0x03 = x+1
+		x = mulSlow(x, 3)
+	}
+	for i := 255; i < 512; i++ {
+		expTable[i] = expTable[i-255]
+	}
+}
+
+func mulSlow(a, b byte) byte {
+	var p byte
+	for b > 0 {
+		if b&1 != 0 {
+			p ^= a
+		}
+		hi := a & 0x80
+		a <<= 1
+		if hi != 0 {
+			a ^= 0x1b
+		}
+		b >>= 1
+	}
+	return p
+}
+
+// gfMul multiplies in GF(2^8) via log/exp tables.
+func gfMul(a, b byte) byte {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return expTable[int(logTable[a])+int(logTable[b])]
+}
+
+// gfDiv divides a by b (b != 0).
+func gfDiv(a, b byte) byte {
+	if a == 0 {
+		return 0
+	}
+	return expTable[int(logTable[a])+255-int(logTable[b])]
+}
+
+// gfInv returns the multiplicative inverse.
+func gfInv(a byte) byte { return expTable[255-int(logTable[a])] }
+
+// Coder is a systematic RS(k, m) encoder/decoder.
+type Coder struct {
+	k, m   int
+	parity [][]byte // m x k Cauchy coefficients
+}
+
+// Errors.
+var (
+	ErrShardCount = errors.New("erasure: invalid shard counts")
+	ErrShardSize  = errors.New("erasure: inconsistent shard sizes")
+	ErrTooFew     = errors.New("erasure: too few shards to reconstruct")
+)
+
+// New returns a coder with k data shards and m parity shards.
+// k + m must be at most 256 (distinct field elements for the Cauchy
+// construction).
+func New(k, m int) (*Coder, error) {
+	if k <= 0 || m < 0 || k+m > 256 {
+		return nil, fmt.Errorf("%w: k=%d m=%d", ErrShardCount, k, m)
+	}
+	c := &Coder{k: k, m: m, parity: make([][]byte, m)}
+	// Cauchy matrix: rows i = 0..m-1, cols j = 0..k-1 with
+	// a_ij = 1 / (x_i + y_j), x_i = i + k, y_j = j (all distinct in GF).
+	for i := 0; i < m; i++ {
+		row := make([]byte, k)
+		for j := 0; j < k; j++ {
+			row[j] = gfInv(byte(i+k) ^ byte(j))
+		}
+		c.parity[i] = row
+	}
+	return c, nil
+}
+
+// K returns the data shard count.
+func (c *Coder) K() int { return c.k }
+
+// M returns the parity shard count.
+func (c *Coder) M() int { return c.m }
+
+// Split pads data to a multiple of k and splits it into k equal data
+// shards. The original length must be carried out of band (Join takes it).
+func (c *Coder) Split(data []byte) [][]byte {
+	shardLen := (len(data) + c.k - 1) / c.k
+	if shardLen == 0 {
+		shardLen = 1
+	}
+	shards := make([][]byte, c.k)
+	for i := range shards {
+		shards[i] = make([]byte, shardLen)
+		start := i * shardLen
+		if start < len(data) {
+			copy(shards[i], data[start:])
+		}
+	}
+	return shards
+}
+
+// Encode computes the m parity shards for k data shards of equal length.
+func (c *Coder) Encode(data [][]byte) ([][]byte, error) {
+	if len(data) != c.k {
+		return nil, fmt.Errorf("%w: got %d data shards, want %d", ErrShardCount, len(data), c.k)
+	}
+	size := len(data[0])
+	for _, s := range data {
+		if len(s) != size {
+			return nil, ErrShardSize
+		}
+	}
+	parity := make([][]byte, c.m)
+	for i := 0; i < c.m; i++ {
+		p := make([]byte, size)
+		row := c.parity[i]
+		for j := 0; j < c.k; j++ {
+			coef := row[j]
+			if coef == 0 {
+				continue
+			}
+			shard := data[j]
+			for b := 0; b < size; b++ {
+				p[b] ^= gfMul(coef, shard[b])
+			}
+		}
+		parity[i] = p
+	}
+	return parity, nil
+}
+
+// Reconstruct rebuilds the k data shards from any k available shards.
+// shards has length k+m; missing shards are nil. It returns the data
+// shards (indexes 0..k-1), repaired in place where missing.
+func (c *Coder) Reconstruct(shards [][]byte) ([][]byte, error) {
+	if len(shards) != c.k+c.m {
+		return nil, fmt.Errorf("%w: got %d shards, want %d", ErrShardCount, len(shards), c.k+c.m)
+	}
+	size := -1
+	available := 0
+	for _, s := range shards {
+		if s != nil {
+			if size < 0 {
+				size = len(s)
+			} else if len(s) != size {
+				return nil, ErrShardSize
+			}
+			available++
+		}
+	}
+	if available < c.k {
+		return nil, fmt.Errorf("%w: %d of %d", ErrTooFew, available, c.k)
+	}
+
+	// Fast path: all data shards present.
+	missing := false
+	for i := 0; i < c.k; i++ {
+		if shards[i] == nil {
+			missing = true
+			break
+		}
+	}
+	if !missing {
+		return shards[:c.k], nil
+	}
+
+	// Build the k x k system from the first k available shards: rows are
+	// identity rows (data shard present) or Cauchy rows (parity shard).
+	matrix := make([][]byte, 0, c.k)
+	rhs := make([][]byte, 0, c.k)
+	for idx := 0; idx < c.k+c.m && len(matrix) < c.k; idx++ {
+		if shards[idx] == nil {
+			continue
+		}
+		row := make([]byte, c.k)
+		if idx < c.k {
+			row[idx] = 1
+		} else {
+			copy(row, c.parity[idx-c.k])
+		}
+		matrix = append(matrix, row)
+		rhs = append(rhs, shards[idx])
+	}
+
+	data, err := solve(matrix, rhs, size)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < c.k; i++ {
+		shards[i] = data[i]
+	}
+	return data, nil
+}
+
+// solve performs Gaussian elimination over GF(2^8) on [matrix | rhs],
+// returning the solution vectors (the data shards).
+func solve(matrix [][]byte, rhs [][]byte, size int) ([][]byte, error) {
+	k := len(matrix)
+	// Work on copies: rhs rows are caller-owned shard buffers.
+	m := make([][]byte, k)
+	r := make([][]byte, k)
+	for i := range matrix {
+		m[i] = append([]byte(nil), matrix[i]...)
+		r[i] = append([]byte(nil), rhs[i]...)
+	}
+	for col := 0; col < k; col++ {
+		// Find pivot.
+		pivot := -1
+		for row := col; row < k; row++ {
+			if m[row][col] != 0 {
+				pivot = row
+				break
+			}
+		}
+		if pivot < 0 {
+			return nil, errors.New("erasure: singular decode matrix")
+		}
+		m[col], m[pivot] = m[pivot], m[col]
+		r[col], r[pivot] = r[pivot], r[col]
+		// Normalize pivot row.
+		if inv := m[col][col]; inv != 1 {
+			d := gfInv(inv)
+			for j := col; j < k; j++ {
+				m[col][j] = gfMul(m[col][j], d)
+			}
+			for b := 0; b < size; b++ {
+				r[col][b] = gfMul(r[col][b], d)
+			}
+		}
+		// Eliminate.
+		for row := 0; row < k; row++ {
+			if row == col || m[row][col] == 0 {
+				continue
+			}
+			coef := m[row][col]
+			for j := col; j < k; j++ {
+				m[row][j] ^= gfMul(coef, m[col][j])
+			}
+			for b := 0; b < size; b++ {
+				r[row][b] ^= gfMul(coef, r[col][b])
+			}
+		}
+	}
+	return r, nil
+}
+
+// Join concatenates data shards back into the original byte stream of
+// length n.
+func Join(shards [][]byte, n int) []byte {
+	out := make([]byte, 0, n)
+	for _, s := range shards {
+		take := len(s)
+		if len(out)+take > n {
+			take = n - len(out)
+		}
+		out = append(out, s[:take]...)
+		if len(out) == n {
+			break
+		}
+	}
+	return out
+}

@@ -1,0 +1,209 @@
+package erasure
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGFFieldProperties(t *testing.T) {
+	// Multiplicative inverses round-trip for all non-zero elements.
+	for a := 1; a < 256; a++ {
+		if got := gfMul(byte(a), gfInv(byte(a))); got != 1 {
+			t.Fatalf("a * a^-1 = %d for a=%d", got, a)
+		}
+	}
+	// Table-based multiply agrees with the slow shift-and-add multiply.
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 10000; i++ {
+		a, b := byte(rng.Intn(256)), byte(rng.Intn(256))
+		if gfMul(a, b) != mulSlow(a, b) {
+			t.Fatalf("gfMul(%d,%d) != mulSlow", a, b)
+		}
+	}
+	// Division inverts multiplication.
+	for i := 0; i < 1000; i++ {
+		a, b := byte(rng.Intn(256)), byte(rng.Intn(255)+1)
+		if gfDiv(gfMul(a, b), b) != a {
+			t.Fatalf("div(mul(%d,%d),%d) != %d", a, b, b, a)
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 2); !errors.Is(err, ErrShardCount) {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := New(4, -1); !errors.Is(err, ErrShardCount) {
+		t.Fatal("m<0 accepted")
+	}
+	if _, err := New(200, 100); !errors.Is(err, ErrShardCount) {
+		t.Fatal("k+m>256 accepted")
+	}
+	c, err := New(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.K() != 4 || c.M() != 2 {
+		t.Fatalf("K/M = %d/%d", c.K(), c.M())
+	}
+}
+
+func TestEncodeReconstructAllErasurePatterns(t *testing.T) {
+	const k, m = 4, 2
+	c, err := New(k, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 10_000)
+	rand.New(rand.NewSource(7)).Read(data)
+	shards := c.Split(data)
+	parity, err := c.Encode(shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := append(append([][]byte(nil), shards...), parity...)
+
+	// Every way of losing up to m shards must reconstruct.
+	for i := 0; i < k+m; i++ {
+		for j := i; j < k+m; j++ {
+			lost := append([][]byte(nil), all...)
+			lost[i] = nil
+			lost[j] = nil // i == j loses one shard
+			recovered, err := c.Reconstruct(lost)
+			if err != nil {
+				t.Fatalf("lose(%d,%d): %v", i, j, err)
+			}
+			if got := Join(recovered, len(data)); !bytes.Equal(got, data) {
+				t.Fatalf("lose(%d,%d): data corrupted", i, j)
+			}
+		}
+	}
+}
+
+func TestReconstructTooFew(t *testing.T) {
+	c, _ := New(4, 2)
+	data := make([]byte, 4096)
+	rand.New(rand.NewSource(8)).Read(data)
+	shards := c.Split(data)
+	parity, _ := c.Encode(shards)
+	all := append(append([][]byte(nil), shards...), parity...)
+	all[0], all[1], all[2] = nil, nil, nil // 3 lost > m=2
+	if _, err := c.Reconstruct(all); !errors.Is(err, ErrTooFew) {
+		t.Fatalf("want ErrTooFew, got %v", err)
+	}
+}
+
+func TestReconstructValidation(t *testing.T) {
+	c, _ := New(4, 2)
+	if _, err := c.Reconstruct(make([][]byte, 3)); !errors.Is(err, ErrShardCount) {
+		t.Fatal("wrong shard count accepted")
+	}
+	bad := [][]byte{make([]byte, 4), make([]byte, 5), nil, nil, nil, nil}
+	if _, err := c.Reconstruct(bad); !errors.Is(err, ErrShardSize) {
+		t.Fatal("inconsistent sizes accepted")
+	}
+}
+
+func TestEncodeValidation(t *testing.T) {
+	c, _ := New(4, 2)
+	if _, err := c.Encode(make([][]byte, 3)); !errors.Is(err, ErrShardCount) {
+		t.Fatal("wrong data shard count accepted")
+	}
+	bad := [][]byte{make([]byte, 4), make([]byte, 4), make([]byte, 4), make([]byte, 5)}
+	if _, err := c.Encode(bad); !errors.Is(err, ErrShardSize) {
+		t.Fatal("inconsistent data shard sizes accepted")
+	}
+}
+
+func TestSplitJoinRoundTripQuick(t *testing.T) {
+	c, _ := New(5, 3)
+	f := func(data []byte) bool {
+		shards := c.Split(data)
+		return bytes.Equal(Join(shards, len(data)), data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReconstructQuick(t *testing.T) {
+	c, _ := New(6, 3)
+	f := func(data []byte, loseSeed uint32) bool {
+		if len(data) == 0 {
+			return true
+		}
+		shards := c.Split(data)
+		parity, err := c.Encode(shards)
+		if err != nil {
+			return false
+		}
+		all := append(append([][]byte(nil), shards...), parity...)
+		rng := rand.New(rand.NewSource(int64(loseSeed)))
+		for _, idx := range rng.Perm(len(all))[:c.M()] {
+			all[idx] = nil
+		}
+		recovered, err := c.Reconstruct(all)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(Join(recovered, len(data)), data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZeroParity(t *testing.T) {
+	// m=0 is legal: pure striping, no redundancy.
+	c, err := New(4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("plain striping")
+	shards := c.Split(data)
+	parity, err := c.Encode(shards)
+	if err != nil || len(parity) != 0 {
+		t.Fatalf("Encode with m=0: %v, %d parity", err, len(parity))
+	}
+	got, err := c.Reconstruct(shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(Join(got, len(data)), data) {
+		t.Fatal("m=0 round trip failed")
+	}
+}
+
+func BenchmarkEncodeRS42(b *testing.B) {
+	c, _ := New(4, 2)
+	data := make([]byte, 1<<20)
+	rand.New(rand.NewSource(9)).Read(data)
+	shards := c.Split(data)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Encode(shards); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReconstructRS42(b *testing.B) {
+	c, _ := New(4, 2)
+	data := make([]byte, 1<<20)
+	rand.New(rand.NewSource(10)).Read(data)
+	shards := c.Split(data)
+	parity, _ := c.Encode(shards)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		all := append(append([][]byte(nil), shards...), parity...)
+		all[0], all[2] = nil, nil
+		if _, err := c.Reconstruct(all); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

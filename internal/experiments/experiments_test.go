@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"table1", "fig2", "fig3", "fig4", "fig5", "fig6",
+		"table2", "table3", "table4", "fig7", "fig8", "table5",
+	}
+	runners := All()
+	if len(runners) != len(want) {
+		t.Fatalf("registry has %d runners, want %d", len(runners), len(want))
+	}
+	for i, name := range want {
+		if runners[i].Name != name {
+			t.Errorf("runner %d = %q, want %q", i, runners[i].Name, name)
+		}
+		if runners[i].Title == "" || runners[i].Run == nil {
+			t.Errorf("runner %q incomplete", name)
+		}
+	}
+	if _, ok := Find("table1"); !ok {
+		t.Fatal("Find(table1) failed")
+	}
+	if _, ok := Find("bogus"); ok {
+		t.Fatal("Find(bogus) succeeded")
+	}
+}
+
+func TestConfigScaling(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	if cfg.Scale != 64 || cfg.Runs != 3 {
+		t.Fatalf("defaults: %+v", cfg)
+	}
+	if got := cfg.scaled(1 << 30); got != 16<<20 {
+		t.Fatalf("scaled(1GB) = %d, want 16MB", got)
+	}
+	if got := cfg.scaled(100); got != 64<<10 {
+		t.Fatalf("scaled floor = %d, want 64KB", got)
+	}
+	if cs := cfg.chunkSize(); cs != 256<<10 {
+		t.Fatalf("chunkSize at /64 = %d, want 256KB", cs)
+	}
+	full := Config{Scale: 1}.withDefaults()
+	if cs := full.chunkSize(); cs != 1<<20 {
+		t.Fatalf("chunkSize at /1 = %d, want 1MB", cs)
+	}
+	tiny := Config{Scale: 1024}.withDefaults()
+	if cs := tiny.chunkSize(); cs != 64<<10 {
+		t.Fatalf("chunkSize at /1024 = %d, want 64KB floor", cs)
+	}
+}
+
+// TestTable1Smoke runs the cheapest experiment end to end at an extreme
+// scale to keep CI fast, and checks the Table 1 ordering: null is much
+// faster than local, FUSE ≈ local.
+func TestTable1Smoke(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Table1(Config{Scale: 256, Runs: 1, Out: &buf}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Local I/O", "FUSE to local I/O", "/stdchk/null", "paper"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestTable2Smoke checks the trace table renders all four workloads.
+func TestTable2Smoke(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Table2(Config{Scale: 256, Runs: 1, Out: &buf}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"BMS", "library (BLCR)", "VM (Xen)", "902 x 279.6"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"stdchk/internal/device"
+	"stdchk/internal/fsiface"
+	"stdchk/internal/metrics"
+)
+
+// Table1 regenerates paper Table 1: the time to write a 1 GB file to the
+// local disk, to the local disk through the FUSE call path, and to
+// /stdchk/null (the FUSE path with writes discarded). The paper reports
+// 11.80 s, 12.00 s and 1.04 s: the user-space interface adds ~2% on top of
+// local I/O, and the interface itself costs ~32 µs per call.
+func Table1(cfg Config) error {
+	cfg = cfg.withDefaults()
+	size := cfg.scaled(1 << 30)
+
+	kinds := []struct {
+		kind  fsiface.BaselineKind
+		label string
+		paper string
+	}{
+		{fsiface.BaselineLocal, "Local I/O", "11.80 s"},
+		{fsiface.BaselineFuseLocal, "FUSE to local I/O", "12.00 s"},
+		{fsiface.BaselineNull, "/stdchk/null", "1.04 s"},
+	}
+
+	fmt.Fprintf(cfg.Out, "Table 1: time to write a 1 GB file (scaled 1/%d: %d MB, %d runs)\n",
+		cfg.Scale, size>>20, cfg.Runs)
+	fmt.Fprintf(cfg.Out, "%-20s %14s %14s %14s %12s\n",
+		"Write path", "avg (scaled)", "stddev", "1GB-equiv", "paper (1GB)")
+
+	for _, k := range kinds {
+		var sum metrics.Summary
+		for run := 0; run < cfg.Runs; run++ {
+			node := device.NewNode(device.PaperNode())
+			b := fsiface.NewBaseline(k.kind, node, nil)
+			buf := make([]byte, appBlock)
+			for w := int64(0); w < size; w += int64(len(buf)) {
+				n := int64(len(buf))
+				if w+n > size {
+					n = size - w
+				}
+				if _, err := b.Write(buf[:n]); err != nil {
+					return fmt.Errorf("table1 %s: %w", k.label, err)
+				}
+			}
+			b.Close()
+			sum.Add(b.Duration().Seconds())
+		}
+		equiv := time.Duration(sum.Mean() * float64(cfg.Scale) * float64(time.Second))
+		fmt.Fprintf(cfg.Out, "%-20s %13.3fs %13.3fs %13.2fs %12s\n",
+			k.label, sum.Mean(), sum.StdDev(), equiv.Seconds(), k.paper)
+	}
+	return nil
+}

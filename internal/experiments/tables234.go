@@ -1,0 +1,148 @@
+package experiments
+
+import (
+	"fmt"
+
+	"stdchk/internal/chunker"
+	"stdchk/internal/workload"
+)
+
+// traceSet builds the four evaluation traces at the configured scale.
+// Counts are reduced along with sizes so the sweep stays quick; the
+// similarity statistics depend on per-image structure, not trace length.
+//
+// Image sizes for the similarity tables have a floor: the paper's CbCH
+// parameterization (m=20, k=14) produces ~330 KB average chunks, so images
+// must stay tens of MB for the chunk-count statistics to be meaningful.
+func traceSet(cfg Config) map[string]*workload.Trace {
+	images := 6
+	if cfg.Scale <= 4 {
+		images = 10
+	}
+	// Paper Table 2 average image sizes, scaled by cfg.Scale.
+	const (
+		bmsSize    = 2_700_000     // 2.7 MB
+		blcr5Size  = 279_600_000   // 279.6 MB
+		blcr15Size = 308_100_000   // 308.1 MB
+		xenSize    = 1_024_800_000 // 1024.8 MB
+	)
+	floor := func(n int64) int64 {
+		if n < 16<<20 {
+			return 16 << 20
+		}
+		return n
+	}
+	return map[string]*workload.Trace{
+		"BMS/app/1min":     workload.AppLevel(11, images, cfg.scaled(bmsSize)),
+		"BLAST/BLCR/5min":  workload.BLCR5Min(12, images, floor(cfg.scaled(blcr5Size))),
+		"BLAST/BLCR/15min": workload.BLCR15Min(13, images, floor(cfg.scaled(blcr15Size))),
+		"BLAST/Xen/5min":   workload.Xen(workload.XenParams{Seed: 14, Images: images, Size: floor(cfg.scaled(xenSize))}),
+	}
+}
+
+// Table2 regenerates the trace-characteristics table: checkpoint type,
+// interval, count and average image size for each collected workload.
+// Counts and sizes are scaled; the paper's originals are printed alongside.
+func Table2(cfg Config) error {
+	cfg = cfg.withDefaults()
+	traces := traceSet(cfg)
+	fmt.Fprintf(cfg.Out, "Table 2: characteristics of the checkpoint traces (sizes scaled 1/%d)\n", cfg.Scale)
+	fmt.Fprintf(cfg.Out, "%-18s %-16s %10s %8s %12s %22s\n",
+		"Application", "Type", "Interval", "Images", "Avg MB", "paper (count x MB)")
+	rows := []struct {
+		key   string
+		paper string
+	}{
+		{"BMS/app/1min", "100 x 2.7"},
+		{"BLAST/BLCR/5min", "902 x 279.6"},
+		{"BLAST/BLCR/15min", "654 x 308.1"},
+		{"BLAST/Xen/5min", "100 x 1024.8"},
+	}
+	for _, r := range rows {
+		tr := traces[r.key]
+		fmt.Fprintf(cfg.Out, "%-18s %-16s %10s %8d %12.2f %22s\n",
+			tr.Application, tr.Type, tr.Interval, tr.Count(), tr.AvgSizeMB(), r.paper)
+	}
+	fmt.Fprintln(cfg.Out)
+	return nil
+}
+
+// table3Heuristics are the compared configurations (paper Table 3).
+func table3Heuristics() []chunker.Chunker {
+	return []chunker.Chunker{
+		chunker.Fixed{Size: 1 << 10},
+		chunker.Fixed{Size: 256 << 10},
+		chunker.Fixed{Size: 1 << 20},
+		chunker.ContentDefined{Window: 20, Bits: 14, Advance: 1},  // overlap
+		chunker.ContentDefined{Window: 20, Bits: 14, Advance: 20}, // no-overlap
+	}
+}
+
+// Table3 regenerates the similarity-heuristics comparison: detected
+// similarity and processing throughput for FsCH at three chunk sizes and
+// CbCH in overlap and no-overlap configurations, over all four traces.
+//
+// Reproduction note (also in EXPERIMENTS.md): the paper reports no-overlap
+// CbCH detecting almost as much similarity as overlap CbCH (82% vs 84% on
+// BLCR-5min). A no-overlap window grid cannot re-synchronize after a shift
+// that is not a multiple of the advance, so an implementation from the
+// paper's description behaves like a variable-size FsCH under byte-level
+// shifts; our measured no-overlap similarity therefore tracks FsCH, not
+// overlap. The paper's headline contrasts — overlap CbCH finds the most,
+// FsCH is by far the fastest, Xen and application-level traces defeat
+// everything — all reproduce.
+func Table3(cfg Config) error {
+	cfg = cfg.withDefaults()
+	traces := traceSet(cfg)
+	order := []string{"BMS/app/1min", "BLAST/BLCR/5min", "BLAST/BLCR/15min", "BLAST/Xen/5min"}
+
+	fmt.Fprintf(cfg.Out, "Table 3: similarity %% [throughput MB/s] per heuristic and trace (scaled 1/%d)\n", cfg.Scale)
+	fmt.Fprintf(cfg.Out, "%-30s", "technique \\ trace")
+	for _, key := range order {
+		fmt.Fprintf(cfg.Out, " %22s", key)
+	}
+	fmt.Fprintln(cfg.Out)
+	for _, h := range table3Heuristics() {
+		fmt.Fprintf(cfg.Out, "%-30s", h.Name())
+		for _, key := range order {
+			stats := chunker.EvalTrace(h, traces[key].Images)
+			fmt.Fprintf(cfg.Out, "   %6.1f%% [%8.1f]", 100*stats.SimilarityRatio(), stats.ThroughputMBps())
+		}
+		fmt.Fprintln(cfg.Out)
+	}
+	fmt.Fprintf(cfg.Out, "paper: FsCH ≈0/25/9%% on app/BLCR5/BLCR15 at ≈100-113 MB/s; CbCH overlap ≈0/84/71%% at ≈1.1-1.5 MB/s;\n")
+	fmt.Fprintf(cfg.Out, "       CbCH no-overlap ≈0/82/70%% at ≈26-28 MB/s; Xen near zero for all (see EXPERIMENTS.md note)\n\n")
+	return nil
+}
+
+// Table4 regenerates the CbCH no-overlap parameter sweep on the
+// BLCR-5min trace: similarity, throughput and chunk-size statistics as
+// the window size m and the boundary-bit count k vary.
+func Table4(cfg Config) error {
+	cfg = cfg.withDefaults()
+	images := 5
+	size := cfg.scaled(279_600_000)
+	if size < 32<<20 {
+		// The sweep's largest parameterization (k=14, m=256) averages
+		// multi-MB chunks; keep enough chunks per image for the trend
+		// rows to be meaningful.
+		size = 32 << 20
+	}
+	tr := workload.BLCR5Min(12, images, size)
+
+	fmt.Fprintf(cfg.Out, "Table 4: CbCH no-overlap sweep on BLAST/BLCR-5min (scaled 1/%d)\n", cfg.Scale)
+	fmt.Fprintf(cfg.Out, "%4s %5s %12s %12s %12s %12s %12s\n",
+		"k", "m(B)", "similarity", "MB/s", "avg KB", "min KB", "max KB")
+	for _, k := range []uint{8, 10, 12, 14} {
+		for _, m := range []int{20, 32, 64, 128, 256} {
+			h := chunker.ContentDefined{Window: m, Bits: k, Advance: m}
+			stats := chunker.EvalTrace(h, tr.Images)
+			fmt.Fprintf(cfg.Out, "%4d %5d %11.1f%% %12.1f %12.1f %12.1f %12.1f\n",
+				k, m, 100*stats.SimilarityRatio(), stats.ThroughputMBps(),
+				stats.AvgChunk/1024, stats.AvgMinChunk/1024, stats.AvgMaxChunk/1024)
+		}
+	}
+	fmt.Fprintf(cfg.Out, "paper: chunk size grows with k and m (k=8,m=20: ≈519 KB avg ... k=14,m=256: ≈2.9 MB);\n")
+	fmt.Fprintf(cfg.Out, "       similarity peaks at small m / large k; throughput 27-87 MB/s across the sweep\n\n")
+	return nil
+}

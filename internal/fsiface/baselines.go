@@ -1,0 +1,107 @@
+package fsiface
+
+import (
+	"time"
+
+	"stdchk/internal/device"
+)
+
+// BaselineKind selects one of the evaluation's comparison write paths.
+type BaselineKind int
+
+const (
+	// BaselineLocal is a plain local-disk write (Table 1 "Local I/O",
+	// Figures 2-3 "Local I/O").
+	BaselineLocal BaselineKind = iota + 1
+	// BaselineFuseLocal routes local writes through the FUSE call path:
+	// the same disk plus the per-call kernel round trip (Table 1 "FUSE to
+	// local I/O", Figures 2-3 "FUSE").
+	BaselineFuseLocal
+	// BaselineNull is /stdchk/null: the FUSE call path with the write
+	// discarded, isolating interface overhead (Table 1 "/stdchk/null").
+	BaselineNull
+	// BaselineNFS writes through a shared dedicated NFS server
+	// (Figures 2-3 "NFS"; §V.A calibrates it at 24.8 MB/s).
+	BaselineNFS
+)
+
+// String implements fmt.Stringer.
+func (k BaselineKind) String() string {
+	switch k {
+	case BaselineLocal:
+		return "local"
+	case BaselineFuseLocal:
+		return "fuse-local"
+	case BaselineNull:
+		return "null"
+	case BaselineNFS:
+		return "nfs"
+	default:
+		return "baseline(?)"
+	}
+}
+
+// Baseline is a calibrated baseline write path. It implements
+// io.WriteCloser; Close is when the write is durable for the baseline's
+// semantics (local file systems buffer, so like the paper we measure the
+// sustained write path, not fsync).
+type Baseline struct {
+	kind BaselineKind
+	node *device.Node
+	nfs  *device.Limiter
+
+	written  int64
+	openedAt time.Time
+	closedAt time.Time
+}
+
+// NewBaseline opens a baseline writer. node models the writing machine;
+// nfs is the shared NFS server queue (required for BaselineNFS, shared
+// across all clients writing to the same server).
+func NewBaseline(kind BaselineKind, node *device.Node, nfs *device.Limiter) *Baseline {
+	return &Baseline{kind: kind, node: node, nfs: nfs, openedAt: time.Now()}
+}
+
+// Write pays the baseline's device costs for n bytes.
+func (b *Baseline) Write(p []byte) (int, error) {
+	n := len(p)
+	switch b.kind {
+	case BaselineLocal:
+		b.node.Disk.Write(n)
+	case BaselineFuseLocal:
+		b.node.Fuse.Pay()
+		b.node.Disk.Write(n)
+	case BaselineNull:
+		b.node.Fuse.Pay()
+		b.node.Mem.Acquire(n)
+	case BaselineNFS:
+		// The client's NIC and the shared server queue both apply.
+		b.node.NIC.TX.Acquire(n)
+		b.nfs.Acquire(n)
+	}
+	b.written += int64(n)
+	return n, nil
+}
+
+// Close ends the write.
+func (b *Baseline) Close() error {
+	b.closedAt = time.Now()
+	return nil
+}
+
+// Duration is the open-to-close wall time.
+func (b *Baseline) Duration() time.Duration {
+	if b.closedAt.IsZero() {
+		return time.Since(b.openedAt)
+	}
+	return b.closedAt.Sub(b.openedAt)
+}
+
+// Written is the byte count accepted.
+func (b *Baseline) Written() int64 { return b.written }
+
+// NewNFSServer returns the shared NFS server queue at the paper's
+// calibrated throughput.
+func NewNFSServer() *device.Limiter {
+	return device.NewLimiter(device.MBps(device.NFSServerMBps))
+}

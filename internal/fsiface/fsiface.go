@@ -1,0 +1,264 @@
+// Package fsiface provides stdchk's traditional file-system interface
+// (paper §IV.E). In the paper this is a FUSE module: system calls against
+// the /stdchk mount point are forwarded through the FUSE kernel module to
+// the user-space client proxy. A kernel module is out of reach here, so
+// the facade reproduces the same call path in user space: every file
+// operation pays the measured FUSE round-trip cost (~32 µs) before
+// reaching the client proxy, application-sized writes are aggregated into
+// storage-sized chunks by the client, and metadata calls (stat/readdir)
+// are served from a cache so most do not contact the manager.
+//
+// The package also implements the evaluation's baselines — local I/O,
+// FUSE-to-local, /stdchk/null and NFS — as calibrated device-model writers
+// (Table 1, Figures 2-3).
+package fsiface
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"stdchk/internal/client"
+	"stdchk/internal/core"
+	"stdchk/internal/device"
+	"stdchk/internal/namespace"
+)
+
+// Config parameterizes the facade.
+type Config struct {
+	// Client is the stdchk client proxy the facade maps calls onto.
+	Client *client.Client
+	// FuseCost is the per-call kernel round-trip model (nil = free,
+	// device.NewCallCost(32µs) for the paper calibration).
+	FuseCost *device.CallCost
+	// MetaTTL bounds metadata cache staleness. Default 1s.
+	MetaTTL time.Duration
+}
+
+// FS is the mounted file-system facade.
+type FS struct {
+	cl   *client.Client
+	fuse *device.CallCost
+	ttl  time.Duration
+
+	mu    sync.Mutex
+	stats map[string]metaEntry
+	dirs  map[string]dirEntry
+}
+
+type metaEntry struct {
+	info    core.DatasetInfo
+	fetched time.Time
+}
+
+type dirEntry struct {
+	infos   []core.DatasetInfo
+	fetched time.Time
+}
+
+// New mounts the facade over a client.
+func New(cfg Config) (*FS, error) {
+	if cfg.Client == nil {
+		return nil, errors.New("fsiface: Client is required")
+	}
+	if cfg.MetaTTL <= 0 {
+		cfg.MetaTTL = time.Second
+	}
+	return &FS{
+		cl:    cfg.Client,
+		fuse:  cfg.FuseCost,
+		ttl:   cfg.MetaTTL,
+		stats: make(map[string]metaEntry),
+		dirs:  make(map[string]dirEntry),
+	}, nil
+}
+
+// File is an open file handle. Handles are either write-only (Create) or
+// read-only (Open), the two modes checkpoint I/O uses.
+type File struct {
+	fs   *FS
+	name string
+	w    *client.Writer
+	r    *client.Reader
+}
+
+// Create opens a new checkpoint file for writing under the mount point.
+// Paths follow "folder/file" or bare "file" naming; the file name carries
+// the A.Ni.Tj convention.
+func (fs *FS) Create(path string) (*File, error) {
+	fs.fuse.Pay()
+	_, name := namespace.SplitPath(path)
+	if name == "" {
+		return nil, fmt.Errorf("fsiface: create %q: empty file name", path)
+	}
+	w, err := fs.cl.Create(name)
+	if err != nil {
+		return nil, fmt.Errorf("fsiface: create %q: %w", path, err)
+	}
+	fs.invalidate(name)
+	return &File{fs: fs, name: name, w: w}, nil
+}
+
+// Open opens the latest committed version for reading.
+func (fs *FS) Open(path string) (*File, error) {
+	fs.fuse.Pay()
+	_, name := namespace.SplitPath(path)
+	r, err := fs.cl.Open(name)
+	if err != nil {
+		return nil, fmt.Errorf("fsiface: open %q: %w", path, err)
+	}
+	return &File{fs: fs, name: name, r: r}, nil
+}
+
+// Write implements io.Writer, paying the per-call FUSE cost.
+func (f *File) Write(p []byte) (int, error) {
+	f.fs.fuse.Pay()
+	if f.w == nil {
+		return 0, core.ErrReadOnly
+	}
+	return f.w.Write(p)
+}
+
+// Read implements io.Reader, paying the per-call FUSE cost.
+func (f *File) Read(p []byte) (int, error) {
+	f.fs.fuse.Pay()
+	if f.r == nil {
+		return 0, fmt.Errorf("fsiface: read on write-only handle: %w", core.ErrClosed)
+	}
+	return f.r.Read(p)
+}
+
+// Close ends the handle. For writes this is the application-visible end
+// of the checkpoint operation (session semantics commit happens through
+// the client proxy).
+func (f *File) Close() error {
+	f.fs.fuse.Pay()
+	switch {
+	case f.w != nil:
+		err := f.w.Close()
+		f.fs.invalidate(f.name)
+		return err
+	case f.r != nil:
+		return f.r.Close()
+	default:
+		return core.ErrClosed
+	}
+}
+
+// Wait blocks until a written file is safely stored and committed (the
+// ASB endpoint). No-op for read handles.
+func (f *File) Wait() error {
+	if f.w == nil {
+		return nil
+	}
+	return f.w.Wait()
+}
+
+// Metrics exposes the write session's measurements (valid after Wait).
+func (f *File) Metrics() client.WriteMetrics {
+	if f.w == nil {
+		return client.WriteMetrics{}
+	}
+	return f.w.Metrics()
+}
+
+// Size returns a read handle's file size.
+func (f *File) Size() int64 {
+	if f.r == nil {
+		return 0
+	}
+	return f.r.Size()
+}
+
+var (
+	_ io.WriteCloser = (*File)(nil)
+	_ io.ReadCloser  = (*File)(nil)
+)
+
+// Stat describes a dataset; served from the metadata cache when fresh
+// (paper §IV.E: "caches metadata information so that most readdir and
+// getattr system calls can be answered without contacting the manager").
+func (fs *FS) Stat(path string) (core.DatasetInfo, error) {
+	fs.fuse.Pay()
+	_, name := namespace.SplitPath(path)
+	key := namespace.DatasetOf(name)
+	fs.mu.Lock()
+	if e, ok := fs.stats[key]; ok && time.Since(e.fetched) < fs.ttl {
+		fs.mu.Unlock()
+		return e.info, nil
+	}
+	fs.mu.Unlock()
+	info, err := fs.cl.Stat(name)
+	if err != nil {
+		return core.DatasetInfo{}, err
+	}
+	fs.mu.Lock()
+	fs.stats[key] = metaEntry{info: info, fetched: time.Now()}
+	fs.mu.Unlock()
+	return info, nil
+}
+
+// ReadDir lists the datasets in a folder, cached like Stat.
+func (fs *FS) ReadDir(folder string) ([]core.DatasetInfo, error) {
+	fs.fuse.Pay()
+	fs.mu.Lock()
+	if e, ok := fs.dirs[folder]; ok && time.Since(e.fetched) < fs.ttl {
+		out := append([]core.DatasetInfo(nil), e.infos...)
+		fs.mu.Unlock()
+		return out, nil
+	}
+	fs.mu.Unlock()
+	infos, err := fs.cl.List(folder)
+	if err != nil {
+		return nil, err
+	}
+	fs.mu.Lock()
+	fs.dirs[folder] = dirEntry{infos: infos, fetched: time.Now()}
+	fs.mu.Unlock()
+	return append([]core.DatasetInfo(nil), infos...), nil
+}
+
+// Unlink removes a file (all versions of its dataset when the path names
+// the dataset, one timestep when it names a full A.Ni.Tj file).
+func (fs *FS) Unlink(path string) error {
+	fs.fuse.Pay()
+	_, name := namespace.SplitPath(path)
+	if err := fs.cl.Delete(name, 0); err != nil {
+		return err
+	}
+	fs.invalidate(name)
+	return nil
+}
+
+// SetPolicy attaches a data-lifetime policy to a folder (exposed in the
+// paper as special folder metadata).
+func (fs *FS) SetPolicy(folder string, p core.Policy) error {
+	fs.fuse.Pay()
+	return fs.cl.SetPolicy(folder, p)
+}
+
+// Policy reads a folder's policy.
+func (fs *FS) Policy(folder string) (core.Policy, error) {
+	fs.fuse.Pay()
+	return fs.cl.GetPolicy(folder)
+}
+
+// invalidate drops cached metadata touched by a mutation.
+func (fs *FS) invalidate(name string) {
+	key := namespace.DatasetOf(name)
+	folder := namespace.FolderOf(name)
+	fs.mu.Lock()
+	delete(fs.stats, key)
+	delete(fs.dirs, folder)
+	delete(fs.dirs, "")
+	fs.mu.Unlock()
+}
+
+// CacheSize reports cached entries (tests).
+func (fs *FS) CacheSize() int {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return len(fs.stats) + len(fs.dirs)
+}

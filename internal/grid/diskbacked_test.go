@@ -1,0 +1,43 @@
+package grid
+
+import (
+	"bytes"
+	"testing"
+
+	"stdchk/internal/client"
+	"stdchk/internal/device"
+	"stdchk/internal/manager"
+)
+
+// TestDiskBackedClusterRoundTrip runs the full stack with file-backed
+// benefactor stores (the daemon deployment configuration) instead of the
+// in-memory stores the other tests use.
+func TestDiskBackedClusterRoundTrip(t *testing.T) {
+	c, err := Start(Options{
+		Benefactors:       2,
+		BenefactorProfile: device.Unshaped(),
+		Manager:           manager.Config{},
+		DiskBacked:        true,
+		DiskDir:           t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+
+	cl := testClient(t, c, client.Config{ChunkSize: 32 << 10, StripeWidth: 2, Replication: 1})
+	data := payload(800, 700<<10)
+	writeFile(t, cl, "disk.n1.t0", data)
+	if got := readFile(t, cl, "disk.n1.t0"); !bytes.Equal(got, data) {
+		t.Fatal("disk-backed round trip mismatch")
+	}
+
+	// The chunks really are on disk.
+	var stored int64
+	for _, b := range c.Benefactors {
+		stored += b.Store().Used()
+	}
+	if stored < int64(len(data)) {
+		t.Fatalf("stores hold %d bytes, wrote %d", stored, len(data))
+	}
+}

@@ -1,0 +1,179 @@
+package grid
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"stdchk/internal/client"
+	"stdchk/internal/manager"
+)
+
+// TestWriteFailsOverToNewSessionAfterNodeDeath documents the write-path
+// failure model: a stripe node dying mid-write fails the session (chunks
+// already uploaded are GC'd as orphans), and a retry after the manager's
+// heartbeat expiry allocates a stripe of live nodes and succeeds — the
+// application-level retry the paper's desktop-grid setting assumes.
+func TestWriteFailsOverToNewSessionAfterNodeDeath(t *testing.T) {
+	c := testCluster(t, 3, manager.Config{HeartbeatInterval: 100 * time.Millisecond})
+	cl := testClient(t, c, client.Config{
+		ChunkSize:   16 << 10,
+		StripeWidth: 3,
+		BufferBytes: 32 << 10, // small window so uploads happen during Write
+	})
+
+	w, err := cl.Create("retry.n1.t0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Kill a stripe node mid-write. With width 3 on a 3-node cluster the
+	// victim is guaranteed to be in the stripe.
+	half := payload(700, 256<<10)
+	if _, err := w.Write(half); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.StopBenefactor(0); err != nil {
+		t.Fatal(err)
+	}
+	// Keep writing until the failure surfaces (uploads are asynchronous).
+	var writeErr error
+	for i := 0; i < 64 && writeErr == nil; i++ {
+		_, writeErr = w.Write(half)
+	}
+	if writeErr == nil {
+		if err := w.Close(); err != nil {
+			writeErr = err
+		} else {
+			writeErr = w.Wait()
+		}
+	}
+	if writeErr == nil {
+		t.Fatal("write pipeline survived a dead stripe node; expected an error")
+	}
+
+	// Wait for the manager to expire the dead node, then retry: the new
+	// stripe excludes it and the write succeeds.
+	if err := c.AwaitOffline(2, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	data := payload(701, 512<<10)
+	writeFile(t, cl, "retry.n1.t1", data)
+	if got := readFile(t, cl, "retry.n1.t1"); !bytes.Equal(got, data) {
+		t.Fatal("retried write corrupted")
+	}
+}
+
+// TestAbortedSessionChunksAreCollected verifies the full orphan story: a
+// failed/aborted session leaves chunks on benefactors with no committed
+// references, and the GC protocol reclaims them once past the grace age.
+func TestAbortedSessionChunksAreCollected(t *testing.T) {
+	c, err := Start(Options{
+		Benefactors: 2,
+		Manager:     manager.Config{SessionTTL: 100 * time.Millisecond, HeartbeatInterval: 50 * time.Millisecond},
+		GCInterval:  time.Hour, // triggered manually
+		GCGrace:     50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	cl := testClient(t, c, client.Config{ChunkSize: 16 << 10, StripeWidth: 2, BufferBytes: 32 << 10})
+
+	w, err := cl.Create("orphan.n1.t0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write(payload(702, 256<<10)); err != nil {
+		t.Fatal(err)
+	}
+	// Abandon without commit; wait for session expiry + chunk aging.
+	time.Sleep(300 * time.Millisecond)
+
+	used := func() int64 {
+		var total int64
+		for _, b := range c.Benefactors {
+			if b != nil {
+				total += b.Store().Used()
+			}
+		}
+		return total
+	}
+	if used() == 0 {
+		t.Skip("uploads had not landed before abandonment; nothing to collect")
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for used() > 0 {
+		c.CollectAll()
+		if time.Now().After(deadline) {
+			t.Fatalf("%d orphaned bytes never collected", used())
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// TestReadUnaffectedByUnrelatedNodeDeath checks that losing a node that
+// holds none of a dataset's chunks does not disturb reads.
+func TestReadUnaffectedByUnrelatedNodeDeath(t *testing.T) {
+	c := testCluster(t, 4, manager.Config{HeartbeatInterval: 100 * time.Millisecond})
+	cl := testClient(t, c, client.Config{ChunkSize: 32 << 10, StripeWidth: 2})
+	data := payload(703, 256<<10)
+	writeFile(t, cl, "safe.n1.t0", data)
+
+	// Find a node with no chunks of this file and kill it.
+	victim := -1
+	for i, b := range c.Benefactors {
+		if b != nil && b.Store().Len() == 0 {
+			victim = i
+			break
+		}
+	}
+	if victim < 0 {
+		t.Skip("all nodes hold chunks (round-robin landed everywhere)")
+	}
+	if err := c.StopBenefactor(victim); err != nil {
+		t.Fatal(err)
+	}
+	if got := readFile(t, cl, "safe.n1.t0"); !bytes.Equal(got, data) {
+		t.Fatal("read disturbed by unrelated node death")
+	}
+}
+
+// TestClusterSurvivesManagerlessWindow: benefactors keep serving committed
+// data while the manager is down; only metadata operations fail.
+func TestClusterSurvivesManagerlessWindow(t *testing.T) {
+	c := testCluster(t, 2, manager.Config{HeartbeatInterval: 100 * time.Millisecond})
+	cl := testClient(t, c, client.Config{ChunkSize: 32 << 10, StripeWidth: 2, PushMapReplicas: true})
+	data := payload(704, 128<<10)
+	writeFile(t, cl, "window.n1.t0", data)
+
+	// Fetch the map while the manager is alive.
+	r, err := cl.Open("window.n1.t0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	// Manager dies. The already-opened reader holds the chunk map and
+	// node addresses; data still flows from the benefactors.
+	addr := c.Manager.Addr()
+	if err := c.Manager.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.ReadAll()
+	if err != nil {
+		t.Fatalf("read with dead manager: %v", err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("data corrupted during managerless window")
+	}
+	// Metadata ops fail fast.
+	if _, err := cl.Stat("window.n1"); err == nil {
+		t.Fatal("stat succeeded with dead manager")
+	}
+
+	// Bring a recovery manager back on the same address for cleanup
+	// symmetry (and to show the full heal cycle once more).
+	if err := c.RestartManager(manager.Config{HeartbeatInterval: 100 * time.Millisecond}, true); err != nil {
+		t.Fatalf("restart on %s: %v", addr, err)
+	}
+}

@@ -1,0 +1,271 @@
+// Package grid assembles an in-process stdchk deployment: one metadata
+// manager plus N benefactors, each a real TCP server on loopback with its
+// own device models (disk, NIC) and an optional shared fabric limiter
+// modelling the site switch. It is the reproduction's stand-in for the
+// paper's 28-node LAN testbed: real concurrency and real sockets, with
+// calibrated capacities.
+package grid
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"stdchk/internal/benefactor"
+	"stdchk/internal/client"
+	"stdchk/internal/core"
+	"stdchk/internal/device"
+	"stdchk/internal/manager"
+	"stdchk/internal/store"
+	"stdchk/internal/wire"
+)
+
+// Options configures a cluster.
+type Options struct {
+	// Benefactors is the number of donor nodes to start.
+	Benefactors int
+	// BenefactorCapacity is each node's contributed bytes (0 = unlimited).
+	BenefactorCapacity int64
+	// BenefactorProfile calibrates each donor's disk and NIC
+	// (device.Unshaped() for tests, device.PaperNode() for benches).
+	BenefactorProfile device.Profile
+	// FabricBps caps total cross-node traffic, modelling the shared
+	// switch (0 = uncapped). This is the §V.F bottleneck.
+	FabricBps float64
+	// Manager overrides manager defaults; ListenAddr and shapers are
+	// filled in by Start.
+	Manager manager.Config
+	// GCInterval / GCGrace configure benefactor garbage collection.
+	GCInterval time.Duration
+	GCGrace    time.Duration
+	// DiskBacked stores chunks in per-node temp directories instead of
+	// memory.
+	DiskBacked bool
+	// DiskDir is the root for disk-backed stores.
+	DiskDir string
+}
+
+// Cluster is a running in-process deployment.
+type Cluster struct {
+	Manager     *manager.Manager
+	Benefactors []*benefactor.Benefactor
+	Fabric      *device.Limiter
+
+	opts  Options
+	nodes []*device.Node
+}
+
+// Start launches the manager and benefactors and waits until every
+// benefactor has registered.
+func Start(opts Options) (*Cluster, error) {
+	if opts.Benefactors <= 0 {
+		opts.Benefactors = 4
+	}
+	if opts.GCInterval <= 0 {
+		opts.GCInterval = 2 * time.Second
+	}
+	if opts.GCGrace <= 0 {
+		opts.GCGrace = 30 * time.Second
+	}
+	c := &Cluster{opts: opts}
+	if opts.FabricBps > 0 {
+		c.Fabric = device.NewLimiter(opts.FabricBps)
+	}
+
+	mcfg := opts.Manager
+	mcfg.ListenAddr = "127.0.0.1:0"
+	if mcfg.HeartbeatInterval <= 0 {
+		mcfg.HeartbeatInterval = 200 * time.Millisecond
+	}
+	mgr, err := manager.New(mcfg)
+	if err != nil {
+		return nil, fmt.Errorf("grid: start manager: %w", err)
+	}
+	c.Manager = mgr
+
+	for i := 0; i < opts.Benefactors; i++ {
+		if _, err := c.AddBenefactor(); err != nil {
+			c.Close()
+			return nil, err
+		}
+	}
+	if err := c.AwaitOnline(opts.Benefactors, 10*time.Second); err != nil {
+		c.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// AddBenefactor starts one more donor node (it registers asynchronously;
+// use AwaitOnline to wait).
+func (c *Cluster) AddBenefactor() (*benefactor.Benefactor, error) {
+	node := device.NewNode(c.opts.BenefactorProfile)
+	c.nodes = append(c.nodes, node)
+	var st store.Store
+	if c.opts.DiskBacked {
+		dir := c.opts.DiskDir
+		if dir == "" {
+			dir = "."
+		}
+		ds, err := store.OpenDisk(fmt.Sprintf("%s/benef-%d", dir, len(c.Benefactors)), c.opts.BenefactorCapacity, node.Disk)
+		if err != nil {
+			return nil, fmt.Errorf("grid: open disk store: %w", err)
+		}
+		st = ds
+	} else {
+		st = store.NewMemory(c.opts.BenefactorCapacity, node.Disk)
+	}
+	b, err := benefactor.New(benefactor.Config{
+		ListenAddr:  "127.0.0.1:0",
+		ManagerAddr: c.Manager.Addr(),
+		Store:       st,
+		GCInterval:  c.opts.GCInterval,
+		GCGrace:     c.opts.GCGrace,
+		Shaper:      ShaperFor(node, c.Fabric),
+		DialShaper:  ShaperFor(node, c.Fabric),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("grid: start benefactor: %w", err)
+	}
+	c.Benefactors = append(c.Benefactors, b)
+	return b, nil
+}
+
+// StopBenefactor kills one donor node (failure injection).
+func (c *Cluster) StopBenefactor(i int) error {
+	if i < 0 || i >= len(c.Benefactors) || c.Benefactors[i] == nil {
+		return fmt.Errorf("grid: no benefactor %d", i)
+	}
+	err := c.Benefactors[i].Close()
+	c.Benefactors[i] = nil
+	return err
+}
+
+// AwaitOnline blocks until the manager reports at least n online
+// benefactors.
+func (c *Cluster) AwaitOnline(n int, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		stats := c.Manager.Stats()
+		if stats.OnlineBenefactors >= n {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("grid: %d/%d benefactors online after %v",
+				stats.OnlineBenefactors, n, timeout)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// AwaitOffline blocks until the manager notices at most n online
+// benefactors (heartbeat expiry after failure injection).
+func (c *Cluster) AwaitOffline(n int, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		stats := c.Manager.Stats()
+		if stats.OnlineBenefactors <= n {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("grid: still %d benefactors online after %v",
+				stats.OnlineBenefactors, timeout)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// RestartManager simulates a manager failure: the manager process dies and
+// a replacement starts on the same address. With recover=true the
+// replacement reconstructs its metadata from benefactor-held chunk-map
+// replicas (paper §IV.A); with a journal-configured cfg it replays the
+// journal instead.
+func (c *Cluster) RestartManager(cfg manager.Config, recover bool) error {
+	addr := c.Manager.Addr()
+	if err := c.Manager.Close(); err != nil {
+		return fmt.Errorf("grid: stop manager: %w", err)
+	}
+	cfg.ListenAddr = addr
+	cfg.Recover = recover
+	if cfg.HeartbeatInterval <= 0 {
+		cfg.HeartbeatInterval = 200 * time.Millisecond
+	}
+	var mgr *manager.Manager
+	var err error
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mgr, err = manager.New(cfg)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("grid: restart manager: %w", err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	c.Manager = mgr
+	return nil
+}
+
+// NewClient builds a client against this cluster. The profile models the
+// client machine (its NIC shapes all its connections); pass
+// device.Unshaped() for tests.
+func (c *Cluster) NewClient(cfg client.Config, profile device.Profile) (*client.Client, *device.Node, error) {
+	node := device.NewNode(profile)
+	cfg.ManagerAddr = c.Manager.Addr()
+	cfg.Shaper = ShaperFor(node, c.Fabric)
+	if cfg.LocalDisk == nil {
+		cfg.LocalDisk = node.Disk
+	}
+	if cfg.Mem == nil {
+		cfg.Mem = node.Mem
+	}
+	cl, err := client.New(cfg)
+	if err != nil {
+		return nil, nil, fmt.Errorf("grid: new client: %w", err)
+	}
+	return cl, node, nil
+}
+
+// ShaperFor builds a wire.Shaper from a node's NIC and the shared fabric.
+func ShaperFor(node *device.Node, fabric *device.Limiter) wire.Shaper {
+	if node == nil {
+		return nil
+	}
+	return func(conn net.Conn) net.Conn {
+		return device.Shape(conn, node.NIC, fabric)
+	}
+}
+
+// Close tears the cluster down: benefactors first, then the manager.
+func (c *Cluster) Close() {
+	for _, b := range c.Benefactors {
+		if b != nil {
+			b.Close()
+		}
+	}
+	if c.Manager != nil {
+		c.Manager.Close()
+	}
+}
+
+// CollectAll runs one synchronous GC round on every benefactor (bench
+// harness hygiene between repetitions).
+func (c *Cluster) CollectAll() {
+	for _, b := range c.Benefactors {
+		if b != nil {
+			b.CollectGarbage() // errors ignored: best-effort cleanup
+		}
+	}
+}
+
+// NodeIDs lists the running benefactors' identities.
+func (c *Cluster) NodeIDs() []core.NodeID {
+	var ids []core.NodeID
+	for _, b := range c.Benefactors {
+		if b != nil {
+			ids = append(ids, b.ID())
+		}
+	}
+	return ids
+}

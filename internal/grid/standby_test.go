@@ -1,0 +1,104 @@
+package grid
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"stdchk/internal/client"
+	"stdchk/internal/manager"
+)
+
+// TestHotStandbyTakeover exercises the paper's hot-standby failover
+// option: a standby watches the primary manager, detects its death, takes
+// over its address in recovery mode, and the benefactor-quorum protocol
+// restores the metadata so reads keep working.
+func TestHotStandbyTakeover(t *testing.T) {
+	c := testCluster(t, 3, manager.Config{HeartbeatInterval: 100 * time.Millisecond})
+	cl := testClient(t, c, client.Config{
+		ChunkSize:       32 << 10,
+		StripeWidth:     3,
+		PushMapReplicas: true,
+	})
+	data := payload(600, 256<<10)
+	writeFile(t, cl, "ha.n1.t0", data)
+
+	primaryAddr := c.Manager.Addr()
+	standby, err := manager.NewStandby(manager.StandbyConfig{
+		PrimaryAddr:   primaryAddr,
+		ListenAddr:    primaryAddr, // same-host failover onto the same address
+		ProbeInterval: 50 * time.Millisecond,
+		FailAfter:     2,
+		Manager:       manager.Config{HeartbeatInterval: 100 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer standby.Close()
+
+	// While the primary is healthy, no takeover.
+	time.Sleep(300 * time.Millisecond)
+	if standby.TookOver() {
+		t.Fatal("standby took over while primary was alive")
+	}
+
+	// Kill the primary.
+	if err := c.Manager.Close(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for !standby.TookOver() {
+		if time.Now().After(deadline) {
+			t.Fatal("standby never took over")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	// Hand the replacement to the cluster for cleanup bookkeeping.
+	c.Manager = standby.Manager()
+
+	// Benefactors re-register with the replacement; quorum recovery
+	// restores the dataset; reads succeed.
+	if err := c.AwaitOnline(3, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	cl2 := testClient(t, c, client.Config{ChunkSize: 32 << 10})
+	readDeadline := time.Now().Add(10 * time.Second)
+	for {
+		r, err := cl2.Open("ha.n1.t0")
+		if err == nil {
+			got, rerr := r.ReadAll()
+			r.Close()
+			if rerr != nil {
+				t.Fatal(rerr)
+			}
+			if !bytes.Equal(got, data) {
+				t.Fatal("data corrupted across failover")
+			}
+			break
+		}
+		if time.Now().After(readDeadline) {
+			t.Fatalf("dataset not recovered after takeover: %v", err)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// TestStandbyCloseBeforeTakeover verifies clean shutdown of an idle
+// standby.
+func TestStandbyCloseBeforeTakeover(t *testing.T) {
+	c := testCluster(t, 1, manager.Config{})
+	standby, err := manager.NewStandby(manager.StandbyConfig{
+		PrimaryAddr:   c.Manager.Addr(),
+		ListenAddr:    "127.0.0.1:0",
+		ProbeInterval: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := standby.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := standby.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

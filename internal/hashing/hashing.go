@@ -1,0 +1,123 @@
+// Package hashing provides the hash primitives used by stdchk's similarity
+// detection heuristics (paper §IV.C): a cheap window hash for detecting
+// content-defined chunk boundaries, and a Rabin-style rolling hash used by
+// the rolling-CbCH ablation (an O(1)-per-byte variant of the paper's
+// "overlap" configuration).
+package hashing
+
+// WindowHash computes an FNV-1a style 64-bit hash of the window. CbCH calls
+// it once per window position; its cost is O(len(window)), which is what
+// makes the paper's overlap configuration (advance by one byte) two orders
+// of magnitude slower than the no-overlap configuration (advance by the
+// window size).
+func WindowHash(window []byte) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, b := range window {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	return h
+}
+
+// Boundary reports whether a window hash marks a content-defined chunk
+// boundary: the lowest k bits of the hash are all zero (paper §IV.C).
+// Statistically this yields one boundary every 2^k window positions.
+func Boundary(h uint64, k uint) bool {
+	mask := (uint64(1) << k) - 1
+	return h&mask == 0
+}
+
+// Rolling is a polynomial rolling hash over a fixed-size window
+// (Rabin-Karp form: h = sum b[i] * P^(w-1-i) mod 2^64). Unlike WindowHash it
+// supports O(1) updates when the window slides by one byte, which is the
+// standard fix (used by LBFS) for the overlap-CbCH throughput collapse the
+// paper measures.
+type Rolling struct {
+	window int
+	pow    uint64 // P^(window-1)
+	hash   uint64
+	buf    []byte
+	head   int
+	primed bool
+}
+
+// rollingPrime is the polynomial base. Any odd multiplier works for a
+// 2^64 modulus; this is the FNV prime for familiarity.
+const rollingPrime = 1099511628211
+
+// NewRolling returns a rolling hash over windows of the given size.
+func NewRolling(window int) *Rolling {
+	if window <= 0 {
+		window = 1
+	}
+	pow := uint64(1)
+	for i := 0; i < window-1; i++ {
+		pow *= rollingPrime
+	}
+	return &Rolling{
+		window: window,
+		pow:    pow,
+		buf:    make([]byte, window),
+	}
+}
+
+// Window returns the configured window size.
+func (r *Rolling) Window() int { return r.window }
+
+// Reset clears the hash state so the instance can be reused on a new input.
+func (r *Rolling) Reset() {
+	r.hash = 0
+	r.head = 0
+	r.primed = false
+	for i := range r.buf {
+		r.buf[i] = 0
+	}
+}
+
+// Prime initializes the window with the first r.window bytes of data and
+// returns the hash of that window. len(data) must be at least the window
+// size; extra bytes are ignored.
+func (r *Rolling) Prime(data []byte) uint64 {
+	r.Reset()
+	n := r.window
+	if len(data) < n {
+		n = len(data)
+	}
+	for i := 0; i < n; i++ {
+		r.hash = r.hash*rollingPrime + uint64(data[i])
+		r.buf[i] = data[i]
+	}
+	r.head = 0
+	r.primed = true
+	return r.hash
+}
+
+// Roll slides the window forward by one byte and returns the new hash.
+// Prime must have been called first.
+func (r *Rolling) Roll(in byte) uint64 {
+	out := r.buf[r.head]
+	r.hash = (r.hash-uint64(out)*r.pow)*rollingPrime + uint64(in)
+	r.buf[r.head] = in
+	r.head++
+	if r.head == r.window {
+		r.head = 0
+	}
+	return r.hash
+}
+
+// Sum returns the current window hash.
+func (r *Rolling) Sum() uint64 { return r.hash }
+
+// HashFull computes the same polynomial hash over exactly one window
+// directly; used to cross-check Roll in tests.
+func HashFull(window []byte) uint64 {
+	var h uint64
+	for _, b := range window {
+		h = h*rollingPrime + uint64(b)
+	}
+	return h
+}

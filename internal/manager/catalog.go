@@ -1,0 +1,427 @@
+package manager
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"stdchk/internal/core"
+	"stdchk/internal/namespace"
+	"stdchk/internal/proto"
+)
+
+// catalog is the manager's metadata heart: datasets and their version
+// chains, plus the global content-addressed chunk index that implements
+// copy-on-write sharing between incremental checkpoint versions
+// (paper §IV.C "Architectural support").
+type catalog struct {
+	mu          sync.Mutex
+	byName      map[string]*dataset // dataset key (namespace.DatasetOf) -> chain
+	byID        map[core.DatasetID]*dataset
+	chunks      map[core.ChunkID]*chunkEntry
+	nextDataset core.DatasetID
+	nextVersion core.VersionID
+
+	logicalBytes int64 // sum of committed file sizes
+	storedBytes  int64 // bytes of unique chunks actually stored
+}
+
+type dataset struct {
+	id          core.DatasetID
+	name        string // dataset key, e.g. "blast.n1"
+	folder      string
+	replication int
+	versions    []*version // commit order
+}
+
+type version struct {
+	id          core.VersionID
+	fileName    string // as written, e.g. "blast.n1.t7"
+	fileSize    int64
+	chunkSize   int64
+	chunks      []core.ChunkRef
+	newBytes    int64
+	committedAt time.Time
+}
+
+type chunkEntry struct {
+	size      int64
+	refs      int
+	locations map[core.NodeID]struct{}
+}
+
+func newCatalog() *catalog {
+	return &catalog{
+		byName: make(map[string]*dataset),
+		byID:   make(map[core.DatasetID]*dataset),
+		chunks: make(map[core.ChunkID]*chunkEntry),
+	}
+}
+
+// hasChunks answers the incremental-checkpointing dedup query: which of
+// the given hashes are already stored (referenced by at least one
+// committed version).
+func (c *catalog) hasChunks(ids []core.ChunkID) []bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]bool, len(ids))
+	for i, id := range ids {
+		e, ok := c.chunks[id]
+		out[i] = ok && e.refs > 0 && len(e.locations) > 0
+	}
+	return out
+}
+
+// commit atomically publishes a version. Chunks without explicit locations
+// must already exist in the content index (copy-on-write reuse); chunks
+// with locations are new uploads. Returns the version and the number of
+// newly stored bytes.
+func (c *catalog) commit(fileName string, folder string, replication int, chunkSize int64, fileSize int64, chunks []proto.CommitChunk) (*core.ChunkMap, int64, error) {
+	key := namespace.DatasetOf(fileName)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	// Resolve and validate before mutating anything.
+	refs := make([]core.ChunkRef, len(chunks))
+	var total int64
+	for i, ch := range chunks {
+		if ch.Size <= 0 || ch.Size > chunkSize {
+			return nil, 0, fmt.Errorf("commit %s: chunk %d size %d invalid", fileName, i, ch.Size)
+		}
+		if len(ch.Locations) == 0 {
+			e, ok := c.chunks[ch.ID]
+			if !ok || len(e.locations) == 0 {
+				return nil, 0, fmt.Errorf("commit %s: shared chunk %s unknown: %w", fileName, ch.ID.Short(), core.ErrNotFound)
+			}
+			if e.size != ch.Size {
+				return nil, 0, fmt.Errorf("commit %s: shared chunk %s size %d, index says %d: %w",
+					fileName, ch.ID.Short(), ch.Size, e.size, core.ErrIntegrity)
+			}
+		}
+		refs[i] = core.ChunkRef{Index: i, ID: ch.ID, Size: ch.Size}
+		total += ch.Size
+	}
+	if total != fileSize {
+		return nil, 0, fmt.Errorf("commit %s: chunks sum to %d, file size %d", fileName, total, fileSize)
+	}
+
+	ds, ok := c.byName[key]
+	if !ok {
+		c.nextDataset++
+		ds = &dataset{
+			id:     c.nextDataset,
+			name:   key,
+			folder: namespace.FolderOf(fileName),
+		}
+		c.byName[key] = ds
+		c.byID[ds.id] = ds
+	}
+	if replication > 0 {
+		ds.replication = replication
+	}
+
+	c.nextVersion++
+	v := &version{
+		id:          c.nextVersion,
+		fileName:    fileName,
+		fileSize:    fileSize,
+		chunkSize:   chunkSize,
+		chunks:      refs,
+		committedAt: time.Now(),
+	}
+
+	seenThisCommit := make(map[core.ChunkID]struct{}, len(chunks))
+	for _, ch := range chunks {
+		e, ok := c.chunks[ch.ID]
+		if !ok {
+			e = &chunkEntry{size: ch.Size, locations: make(map[core.NodeID]struct{})}
+			c.chunks[ch.ID] = e
+		}
+		if _, dup := seenThisCommit[ch.ID]; !dup {
+			seenThisCommit[ch.ID] = struct{}{}
+			if e.refs == 0 && len(ch.Locations) > 0 {
+				v.newBytes += ch.Size
+				c.storedBytes += ch.Size
+			}
+			e.refs++
+		}
+		for _, loc := range ch.Locations {
+			e.locations[loc] = struct{}{}
+		}
+	}
+	ds.versions = append(ds.versions, v)
+	c.logicalBytes += fileSize
+
+	return c.buildMapLocked(ds, v), v.newBytes, nil
+}
+
+// buildMapLocked materializes a core.ChunkMap for a version, with current
+// locations from the content index. Callers hold c.mu.
+func (c *catalog) buildMapLocked(ds *dataset, v *version) *core.ChunkMap {
+	m := &core.ChunkMap{
+		Dataset:   ds.id,
+		Version:   v.id,
+		FileSize:  v.fileSize,
+		ChunkSize: v.chunkSize,
+		Chunks:    append([]core.ChunkRef(nil), v.chunks...),
+		Locations: make([][]core.NodeID, len(v.chunks)),
+		CreatedAt: v.committedAt,
+	}
+	for i, ref := range v.chunks {
+		e := c.chunks[ref.ID]
+		if e == nil {
+			continue
+		}
+		locs := make([]core.NodeID, 0, len(e.locations))
+		for id := range e.locations {
+			locs = append(locs, id)
+		}
+		sort.Slice(locs, func(a, b int) bool { return locs[a] < locs[b] })
+		m.Locations[i] = locs
+	}
+	return m
+}
+
+// getMap returns the chunk-map for a file name or dataset key. Version 0
+// means the latest version; a full A.Ni.Tj name selects that timestep's
+// version if present.
+func (c *catalog) getMap(name string, ver core.VersionID) (string, *core.ChunkMap, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ds, v, err := c.lookupLocked(name, ver)
+	if err != nil {
+		return "", nil, err
+	}
+	return v.fileName, c.buildMapLocked(ds, v), nil
+}
+
+// lookupLocked resolves a name (+ optional explicit version) to a version.
+func (c *catalog) lookupLocked(name string, ver core.VersionID) (*dataset, *version, error) {
+	key := namespace.DatasetOf(name)
+	ds, ok := c.byName[key]
+	if !ok {
+		return nil, nil, fmt.Errorf("dataset %q: %w", name, core.ErrNotFound)
+	}
+	if len(ds.versions) == 0 {
+		return nil, nil, fmt.Errorf("dataset %q has no versions: %w", name, core.ErrNotFound)
+	}
+	if ver != 0 {
+		for _, v := range ds.versions {
+			if v.id == ver {
+				return ds, v, nil
+			}
+		}
+		return nil, nil, fmt.Errorf("dataset %q version %d: %w", name, ver, core.ErrNotFound)
+	}
+	if name != key {
+		// Full file name: prefer the exact timestep.
+		for i := len(ds.versions) - 1; i >= 0; i-- {
+			if ds.versions[i].fileName == name {
+				return ds, ds.versions[i], nil
+			}
+		}
+		return nil, nil, fmt.Errorf("file %q: %w", name, core.ErrNotFound)
+	}
+	return ds, ds.versions[len(ds.versions)-1], nil
+}
+
+// deleteVersion removes one version (or, with ver == 0, the whole
+// dataset). It returns the chunk IDs whose reference count dropped to zero
+// (now orphaned; benefactor GC reaps them).
+func (c *catalog) deleteVersion(name string, ver core.VersionID) ([]core.ChunkID, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key := namespace.DatasetOf(name)
+	ds, ok := c.byName[key]
+	if !ok {
+		return nil, fmt.Errorf("dataset %q: %w", name, core.ErrNotFound)
+	}
+	var victims []*version
+	var kept []*version
+	switch {
+	case ver != 0:
+		for _, v := range ds.versions {
+			if v.id == ver {
+				victims = append(victims, v)
+			} else {
+				kept = append(kept, v)
+			}
+		}
+		if len(victims) == 0 {
+			return nil, fmt.Errorf("dataset %q version %d: %w", name, ver, core.ErrNotFound)
+		}
+	case name != key:
+		for _, v := range ds.versions {
+			if v.fileName == name {
+				victims = append(victims, v)
+			} else {
+				kept = append(kept, v)
+			}
+		}
+		if len(victims) == 0 {
+			return nil, fmt.Errorf("file %q: %w", name, core.ErrNotFound)
+		}
+	default:
+		victims = ds.versions
+		kept = nil
+	}
+	orphans := c.dropVersionsLocked(victims)
+	ds.versions = kept
+	if len(ds.versions) == 0 {
+		delete(c.byName, key)
+		delete(c.byID, ds.id)
+	}
+	return orphans, nil
+}
+
+// dropVersionsLocked decrements refcounts for the victims' chunks and
+// returns newly orphaned chunk IDs.
+func (c *catalog) dropVersionsLocked(victims []*version) []core.ChunkID {
+	var orphans []core.ChunkID
+	for _, v := range victims {
+		c.logicalBytes -= v.fileSize
+		seen := make(map[core.ChunkID]struct{}, len(v.chunks))
+		for _, ref := range v.chunks {
+			if _, dup := seen[ref.ID]; dup {
+				continue
+			}
+			seen[ref.ID] = struct{}{}
+			e, ok := c.chunks[ref.ID]
+			if !ok {
+				continue
+			}
+			e.refs--
+			if e.refs <= 0 {
+				c.storedBytes -= e.size
+				delete(c.chunks, ref.ID)
+				orphans = append(orphans, ref.ID)
+			}
+		}
+	}
+	return orphans
+}
+
+// referenced reports whether a chunk is referenced by any committed
+// version (the GC keep-set membership test).
+func (c *catalog) referenced(id core.ChunkID) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.chunks[id]
+	return ok && e.refs > 0
+}
+
+// addLocation records a new replica of a chunk (background replication
+// commit of a shadow-map entry).
+func (c *catalog) addLocation(id core.ChunkID, node core.NodeID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.chunks[id]; ok {
+		e.locations[node] = struct{}{}
+	}
+}
+
+// dropLocationEverywhere removes a node from all chunk location sets
+// (permanent decommission; not used for mere offline transitions, where
+// the node may come back with its chunks intact).
+func (c *catalog) dropLocationEverywhere(node core.NodeID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, e := range c.chunks {
+		delete(e.locations, node)
+	}
+}
+
+// list summarizes datasets, optionally restricted to a folder.
+func (c *catalog) list(folder string, online func(core.NodeID) bool) []core.DatasetInfo {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []core.DatasetInfo
+	for _, ds := range c.byID {
+		if folder != "" && !strings.EqualFold(ds.folder, folder) {
+			continue
+		}
+		out = append(out, c.datasetInfoLocked(ds, online))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// stat summarizes one dataset.
+func (c *catalog) stat(name string, online func(core.NodeID) bool) (core.DatasetInfo, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ds, ok := c.byName[namespace.DatasetOf(name)]
+	if !ok {
+		return core.DatasetInfo{}, fmt.Errorf("dataset %q: %w", name, core.ErrNotFound)
+	}
+	return c.datasetInfoLocked(ds, online), nil
+}
+
+func (c *catalog) datasetInfoLocked(ds *dataset, online func(core.NodeID) bool) core.DatasetInfo {
+	info := core.DatasetInfo{ID: ds.id, Name: ds.name, Folder: ds.folder}
+	for _, v := range ds.versions {
+		info.Versions = append(info.Versions, core.VersionInfo{
+			Dataset:     ds.id,
+			Version:     v.id,
+			Name:        v.fileName,
+			FileSize:    v.fileSize,
+			StoredBytes: v.newBytes,
+			Replication: c.liveReplicationLocked(v, online),
+			CreatedAt:   v.committedAt,
+		})
+	}
+	return info
+}
+
+// liveReplicationLocked computes the minimum number of live replicas
+// across a version's chunks.
+func (c *catalog) liveReplicationLocked(v *version, online func(core.NodeID) bool) int {
+	min := -1
+	for _, ref := range v.chunks {
+		e, ok := c.chunks[ref.ID]
+		if !ok {
+			return 0
+		}
+		live := 0
+		for node := range e.locations {
+			if online == nil || online(node) {
+				live++
+			}
+		}
+		if min < 0 || live < min {
+			min = live
+		}
+	}
+	if min < 0 {
+		return 0
+	}
+	return min
+}
+
+// replStatus reports the live replication of a dataset's latest version and
+// its target.
+func (c *catalog) replStatus(name string, online func(core.NodeID) bool) (proto.ReplStatusResp, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ds, v, err := c.lookupLocked(name, 0)
+	if err != nil {
+		return proto.ReplStatusResp{}, err
+	}
+	return proto.ReplStatusResp{
+		Version: v.id,
+		Level:   c.liveReplicationLocked(v, online),
+		Target:  ds.replication,
+	}, nil
+}
+
+// counters snapshots catalog-level statistics.
+func (c *catalog) counters() (datasets, versions, uniqueChunks int, logical, stored int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, ds := range c.byID {
+		versions += len(ds.versions)
+	}
+	return len(c.byID), versions, len(c.chunks), c.logicalBytes, c.storedBytes
+}

@@ -1,0 +1,142 @@
+package manager
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"stdchk/internal/core"
+	"stdchk/internal/namespace"
+	"stdchk/internal/proto"
+)
+
+// journalEntry is one record of the manager's append-only metadata
+// journal. Replaying the journal in order reconstructs the catalog after a
+// manager restart (the engineered alternative to the paper's
+// benefactor-quorum recovery, which is also implemented; see recovery.go).
+type journalEntry struct {
+	Op          string              `json:"op"` // commit | delete | policy
+	Name        string              `json:"name"`
+	Version     core.VersionID      `json:"version,omitempty"`
+	Replication int                 `json:"replication,omitempty"`
+	ChunkSize   int64               `json:"chunkSize,omitempty"`
+	FileSize    int64               `json:"fileSize,omitempty"`
+	Chunks      []proto.CommitChunk `json:"chunks,omitempty"`
+	Policy      *core.Policy        `json:"policy,omitempty"`
+}
+
+// journal is the append-only writer plus the entries found at open time.
+type journal struct {
+	mu      sync.Mutex
+	f       *os.File
+	w       *bufio.Writer
+	entries []journalEntry
+}
+
+// openJournal reads any existing entries and opens the file for appends.
+func openJournal(path string) (*journal, error) {
+	entries, err := readJournal(path)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("open journal %s: %w", path, err)
+	}
+	return &journal{f: f, w: bufio.NewWriter(f), entries: entries}, nil
+}
+
+func readJournal(path string) ([]journalEntry, error) {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("read journal %s: %w", path, err)
+	}
+	defer f.Close()
+	var entries []journalEntry
+	dec := json.NewDecoder(bufio.NewReader(f))
+	for {
+		var e journalEntry
+		if err := dec.Decode(&e); err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			// A torn final record (crash mid-append) ends the usable
+			// prefix; everything before it is intact.
+			break
+		}
+		entries = append(entries, e)
+	}
+	return entries, nil
+}
+
+// record appends one entry and flushes it.
+func (j *journal) record(e journalEntry) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return core.ErrClosed
+	}
+	b, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Errorf("journal: marshal: %w", err)
+	}
+	if _, err := j.w.Write(append(b, '\n')); err != nil {
+		return fmt.Errorf("journal: append: %w", err)
+	}
+	return j.w.Flush()
+}
+
+func (j *journal) close() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f != nil {
+		j.w.Flush()
+		j.f.Close()
+		j.f = nil
+	}
+}
+
+// journalRecord writes an entry if journaling is enabled; journal failures
+// are logged, not fatal (the paper's recovery path remains available).
+func (m *Manager) journalRecord(e journalEntry) {
+	if m.journal == nil {
+		return
+	}
+	if err := m.journal.record(e); err != nil {
+		m.logf("journal write failed: %v", err)
+	}
+}
+
+// replayJournal reconstructs the catalog from the journal read at open.
+func (m *Manager) replayJournal() error {
+	for i, e := range m.journal.entries {
+		switch e.Op {
+		case "commit":
+			_, _, err := m.cat.commit(e.Name, namespace.FolderOf(e.Name), e.Replication, e.ChunkSize, e.FileSize, e.Chunks)
+			if err != nil {
+				return fmt.Errorf("entry %d (commit %s): %w", i, e.Name, err)
+			}
+		case "delete":
+			if _, err := m.cat.deleteVersion(e.Name, e.Version); err != nil && !errors.Is(err, core.ErrNotFound) {
+				return fmt.Errorf("entry %d (delete %s): %w", i, e.Name, err)
+			}
+		case "policy":
+			if e.Policy != nil {
+				m.policies.set(e.Name, *e.Policy)
+			}
+		default:
+			return fmt.Errorf("entry %d: unknown journal op %q", i, e.Op)
+		}
+	}
+	if n := len(m.journal.entries); n > 0 {
+		m.logf("replayed %d journal entries", n)
+	}
+	return nil
+}

@@ -1,0 +1,489 @@
+// Package manager implements the stdchk metadata manager (paper §IV.A):
+// the soft-state benefactor registry, dataset/version catalog with
+// copy-on-write chunk sharing, write-session space reservation, atomic
+// chunk-map commits (session semantics), manager-driven background
+// replication with write priority, garbage-collection reconciliation,
+// folder data-lifetime policies, and metadata recovery after manager
+// failure (journal replay and benefactor-quorum reconstruction).
+package manager
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"stdchk/internal/core"
+	"stdchk/internal/namespace"
+	"stdchk/internal/proto"
+	"stdchk/internal/wire"
+)
+
+// Config parameterizes a Manager.
+type Config struct {
+	// ListenAddr is the TCP address to serve on ("127.0.0.1:0" for an
+	// ephemeral port).
+	ListenAddr string
+	// HeartbeatInterval is what benefactors are told to use.
+	HeartbeatInterval time.Duration
+	// NodeTTL expires benefactors that stop heartbeating. Defaults to 3x
+	// the heartbeat interval.
+	NodeTTL time.Duration
+	// DefaultStripeWidth applies when a client requests width 0.
+	DefaultStripeWidth int
+	// DefaultChunkSize applies when a client requests chunk size 0.
+	DefaultChunkSize int64
+	// DefaultReplication is the replication target when the client does
+	// not specify one.
+	DefaultReplication int
+	// ReplicationInterval paces the background replication scheduler.
+	ReplicationInterval time.Duration
+	// ReplicationParallel caps concurrent replica copies per round.
+	ReplicationParallel int
+	// WritePriority throttles replication to one copy per round while
+	// write sessions are active (paper: "Creation of new files has
+	// priority over replication").
+	WritePriority bool
+	// SessionTTL expires abandoned write sessions, garbage collecting
+	// their space reservations.
+	SessionTTL time.Duration
+	// PruneInterval paces the folder-policy pruner.
+	PruneInterval time.Duration
+	// JournalPath, when set, persists commits/deletes/policies to an
+	// append-only journal replayed on restart.
+	JournalPath string
+	// Recover starts the manager in recovery mode: registering
+	// benefactors are asked for their chunk-map replicas, and datasets
+	// are restored once two-thirds of a map's stripe concur (paper §IV.A).
+	Recover bool
+	// Shaper wraps server-side connections with device models.
+	Shaper wire.Shaper
+	// DialShaper wraps manager-initiated connections to benefactors.
+	DialShaper wire.Shaper
+	// Logger receives operational messages. Nil discards them.
+	Logger *log.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.ListenAddr == "" {
+		c.ListenAddr = "127.0.0.1:0"
+	}
+	if c.HeartbeatInterval <= 0 {
+		c.HeartbeatInterval = time.Second
+	}
+	if c.NodeTTL <= 0 {
+		c.NodeTTL = 3 * c.HeartbeatInterval
+	}
+	if c.DefaultStripeWidth <= 0 {
+		c.DefaultStripeWidth = 4
+	}
+	if c.DefaultChunkSize <= 0 {
+		c.DefaultChunkSize = core.DefaultChunkSize
+	}
+	if c.DefaultReplication <= 0 {
+		c.DefaultReplication = core.DefaultReplicationLevel
+	}
+	if c.ReplicationInterval <= 0 {
+		c.ReplicationInterval = 500 * time.Millisecond
+	}
+	if c.ReplicationParallel <= 0 {
+		c.ReplicationParallel = 4
+	}
+	if c.SessionTTL <= 0 {
+		c.SessionTTL = 2 * time.Minute
+	}
+	if c.PruneInterval <= 0 {
+		c.PruneInterval = time.Second
+	}
+	return c
+}
+
+// Manager is the stdchk metadata manager.
+type Manager struct {
+	cfg      Config
+	reg      *registry
+	cat      *catalog
+	sess     *sessionTable
+	pool     *wire.Pool
+	srv      *wire.Server
+	journal  *journal
+	logger   *log.Logger
+	policies *policyTable
+
+	recovering atomic.Bool
+	recovery   *recoveryState
+
+	stats struct {
+		transactions    atomic.Int64
+		replicasCopied  atomic.Int64
+		chunksCollected atomic.Int64
+		versionsPruned  atomic.Int64
+	}
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+
+	closeOnce sync.Once
+}
+
+// New starts a manager serving on cfg.ListenAddr.
+func New(cfg Config) (*Manager, error) {
+	cfg = cfg.withDefaults()
+	m := &Manager{
+		cfg:      cfg,
+		reg:      newRegistry(cfg.NodeTTL),
+		cat:      newCatalog(),
+		sess:     newSessionTable(cfg.SessionTTL),
+		pool:     wire.NewPool(cfg.DialShaper, 8),
+		logger:   cfg.Logger,
+		policies: newPolicyTable(),
+		stop:     make(chan struct{}),
+	}
+	if cfg.JournalPath != "" {
+		j, err := openJournal(cfg.JournalPath)
+		if err != nil {
+			return nil, fmt.Errorf("manager: %w", err)
+		}
+		m.journal = j
+		if err := m.replayJournal(); err != nil {
+			return nil, fmt.Errorf("manager: replay journal: %w", err)
+		}
+	}
+	if cfg.Recover {
+		m.recovering.Store(true)
+		m.recovery = newRecoveryState()
+	}
+	ln, err := net.Listen("tcp", cfg.ListenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("manager: listen %s: %w", cfg.ListenAddr, err)
+	}
+	m.srv = wire.NewServer(ln, m.handle, cfg.Shaper)
+
+	m.wg.Add(3)
+	go m.sweepLoop()
+	go m.replicationLoop()
+	go m.pruneLoop()
+	return m, nil
+}
+
+// Addr returns the manager's service address.
+func (m *Manager) Addr() string { return m.srv.Addr() }
+
+// Close stops the manager and its background tasks.
+func (m *Manager) Close() error {
+	var err error
+	m.closeOnce.Do(func() {
+		close(m.stop)
+		err = m.srv.Close()
+		m.wg.Wait()
+		m.pool.Close()
+		if m.journal != nil {
+			m.journal.close()
+		}
+	})
+	return err
+}
+
+func (m *Manager) logf(format string, args ...interface{}) {
+	if m.logger != nil {
+		m.logger.Printf("manager: "+format, args...)
+	}
+}
+
+// handle dispatches one RPC.
+func (m *Manager) handle(op string, meta json.RawMessage, body []byte) (interface{}, []byte, error) {
+	switch op {
+	case proto.MRegister:
+		var req proto.RegisterReq
+		if err := wire.UnmarshalMeta(meta, &req); err != nil {
+			return nil, nil, err
+		}
+		return m.handleRegister(req)
+	case proto.MHeartbeat:
+		var req proto.HeartbeatReq
+		if err := wire.UnmarshalMeta(meta, &req); err != nil {
+			return nil, nil, err
+		}
+		if err := m.reg.heartbeat(req); err != nil {
+			return nil, nil, err
+		}
+		return proto.HeartbeatResp{OK: true, Recovering: m.recovering.Load()}, nil, nil
+	case proto.MAlloc:
+		var req proto.AllocReq
+		if err := wire.UnmarshalMeta(meta, &req); err != nil {
+			return nil, nil, err
+		}
+		return m.handleAlloc(req)
+	case proto.MExtend:
+		var req proto.ExtendReq
+		if err := wire.UnmarshalMeta(meta, &req); err != nil {
+			return nil, nil, err
+		}
+		return m.handleExtend(req)
+	case proto.MCommit:
+		var req proto.CommitReq
+		if err := wire.UnmarshalMeta(meta, &req); err != nil {
+			return nil, nil, err
+		}
+		return m.handleCommit(req)
+	case proto.MAbort:
+		var req proto.AbortReq
+		if err := wire.UnmarshalMeta(meta, &req); err != nil {
+			return nil, nil, err
+		}
+		return m.handleAbort(req)
+	case proto.MHasChunks:
+		var req proto.HasReq
+		if err := wire.UnmarshalMeta(meta, &req); err != nil {
+			return nil, nil, err
+		}
+		return proto.HasResp{Present: m.cat.hasChunks(req.IDs)}, nil, nil
+	case proto.MGetMap:
+		var req proto.GetMapReq
+		if err := wire.UnmarshalMeta(meta, &req); err != nil {
+			return nil, nil, err
+		}
+		m.stats.transactions.Add(1)
+		name, cm, err := m.cat.getMap(req.Name, req.Version)
+		if err != nil {
+			return nil, nil, err
+		}
+		return proto.GetMapResp{Name: name, Map: cm}, nil, nil
+	case proto.MList:
+		var req proto.ListReq
+		if err := wire.UnmarshalMeta(meta, &req); err != nil {
+			return nil, nil, err
+		}
+		return proto.ListResp{Datasets: m.cat.list(req.Folder, m.reg.online)}, nil, nil
+	case proto.MStat:
+		var req proto.StatReq
+		if err := wire.UnmarshalMeta(meta, &req); err != nil {
+			return nil, nil, err
+		}
+		info, err := m.cat.stat(req.Name, m.reg.online)
+		if err != nil {
+			return nil, nil, err
+		}
+		return proto.StatResp{Dataset: info}, nil, nil
+	case proto.MDelete:
+		var req proto.DeleteReq
+		if err := wire.UnmarshalMeta(meta, &req); err != nil {
+			return nil, nil, err
+		}
+		return m.handleDelete(req)
+	case proto.MPolicySet:
+		var req proto.PolicySetReq
+		if err := wire.UnmarshalMeta(meta, &req); err != nil {
+			return nil, nil, err
+		}
+		if err := req.Policy.Validate(); err != nil {
+			return nil, nil, err
+		}
+		m.policies.set(req.Folder, req.Policy)
+		m.journalRecord(journalEntry{Op: "policy", Name: req.Folder, Policy: &req.Policy})
+		return proto.HeartbeatResp{OK: true}, nil, nil
+	case proto.MPolicyGet:
+		var req proto.PolicyGetReq
+		if err := wire.UnmarshalMeta(meta, &req); err != nil {
+			return nil, nil, err
+		}
+		return proto.PolicyGetResp{Policy: m.policies.get(req.Folder)}, nil, nil
+	case proto.MGCReport:
+		var req proto.GCReportReq
+		if err := wire.UnmarshalMeta(meta, &req); err != nil {
+			return nil, nil, err
+		}
+		return m.handleGCReport(req)
+	case proto.MBenefactors:
+		return proto.BenefactorsResp{Benefactors: m.reg.list()}, nil, nil
+	case proto.MReplStatus:
+		var req proto.ReplStatusReq
+		if err := wire.UnmarshalMeta(meta, &req); err != nil {
+			return nil, nil, err
+		}
+		resp, err := m.cat.replStatus(req.Name, m.reg.online)
+		if err != nil {
+			return nil, nil, err
+		}
+		return resp, nil, nil
+	case proto.MStats:
+		return m.statsSnapshot(), nil, nil
+	default:
+		return nil, nil, fmt.Errorf("manager: unknown op %q", op)
+	}
+}
+
+func (m *Manager) handleRegister(req proto.RegisterReq) (interface{}, []byte, error) {
+	if req.ID == "" || req.Addr == "" {
+		return nil, nil, errors.New("manager: register requires id and addr")
+	}
+	m.reg.register(req)
+	m.logf("registered benefactor %s at %s (capacity %d)", req.ID, req.Addr, req.Capacity)
+	recovering := m.recovering.Load()
+	if recovering {
+		m.wg.Add(1)
+		go func(addr string) {
+			defer m.wg.Done()
+			m.pullRecoveryMaps(addr)
+		}(req.Addr)
+	}
+	return proto.RegisterResp{
+		HeartbeatInterval: m.cfg.HeartbeatInterval,
+		Recovering:        recovering,
+	}, nil, nil
+}
+
+func (m *Manager) handleAlloc(req proto.AllocReq) (interface{}, []byte, error) {
+	m.stats.transactions.Add(1)
+	if req.Name == "" {
+		return nil, nil, errors.New("manager: alloc requires a file name")
+	}
+	width := req.StripeWidth
+	if width <= 0 {
+		width = m.cfg.DefaultStripeWidth
+	}
+	chunkSize := req.ChunkSize
+	if chunkSize <= 0 {
+		chunkSize = m.cfg.DefaultChunkSize
+	}
+	repl := req.Replication
+	if repl <= 0 {
+		repl = m.cfg.DefaultReplication
+	}
+	perNode := perNodeShare(req.ReserveBytes, width)
+	stripe, err := m.reg.allocateStripe(width, perNode)
+	if err != nil {
+		return nil, nil, err
+	}
+	s := m.sess.open(req.Name, stripe, chunkSize, repl, perNode)
+	return proto.AllocResp{WriteID: s.id, Stripe: stripe}, nil, nil
+}
+
+func (m *Manager) handleExtend(req proto.ExtendReq) (interface{}, []byte, error) {
+	m.stats.transactions.Add(1)
+	s, err := m.sess.get(req.WriteID)
+	if err != nil {
+		return nil, nil, err
+	}
+	perNode := perNodeShare(req.Bytes, len(s.stripe))
+	ids, err := m.sess.extend(req.WriteID, perNode)
+	if err != nil {
+		return nil, nil, err
+	}
+	m.reg.reserve(ids, perNode)
+	return proto.ExtendResp{Reserved: req.Bytes}, nil, nil
+}
+
+func (m *Manager) handleCommit(req proto.CommitReq) (interface{}, []byte, error) {
+	m.stats.transactions.Add(1)
+	s, err := m.sess.close(req.WriteID)
+	if err != nil {
+		return nil, nil, err
+	}
+	m.reg.release(s.stripeIDs, s.perNode)
+	cm, newBytes, err := m.cat.commit(s.name, namespace.FolderOf(s.name), s.replication, s.chunkSize, req.FileSize, req.Chunks)
+	if err != nil {
+		return nil, nil, err
+	}
+	m.journalRecord(journalEntry{
+		Op: "commit", Name: s.name, Replication: s.replication,
+		ChunkSize: s.chunkSize, FileSize: req.FileSize, Chunks: req.Chunks,
+	})
+	// Apply the folder's replace policy synchronously: a new image makes
+	// old ones obsolete at commit time (paper §IV.D "Automated replace").
+	m.applyReplacePolicy(s.name)
+	return proto.CommitResp{Dataset: cm.Dataset, Version: cm.Version, NewBytes: newBytes}, nil, nil
+}
+
+func (m *Manager) handleAbort(req proto.AbortReq) (interface{}, []byte, error) {
+	m.stats.transactions.Add(1)
+	s, err := m.sess.close(req.WriteID)
+	if err != nil {
+		return nil, nil, err
+	}
+	m.reg.release(s.stripeIDs, s.perNode)
+	return proto.HeartbeatResp{OK: true}, nil, nil
+}
+
+func (m *Manager) handleDelete(req proto.DeleteReq) (interface{}, []byte, error) {
+	m.stats.transactions.Add(1)
+	orphans, err := m.cat.deleteVersion(req.Name, req.Version)
+	if err != nil {
+		return nil, nil, err
+	}
+	m.journalRecord(journalEntry{Op: "delete", Name: req.Name, Version: req.Version})
+	m.logf("deleted %s (version %d): %d chunks orphaned", req.Name, req.Version, len(orphans))
+	return proto.HeartbeatResp{OK: true}, nil, nil
+}
+
+func (m *Manager) handleGCReport(req proto.GCReportReq) (interface{}, []byte, error) {
+	// While recovering, the catalog is incomplete: every chunk would look
+	// unreferenced. Answer conservatively until recovery finishes, or
+	// benefactors would garbage-collect live data.
+	if m.recovering.Load() {
+		return proto.GCReportResp{}, nil, nil
+	}
+	var deletable []core.ChunkID
+	for _, id := range req.IDs {
+		if !m.cat.referenced(id) {
+			deletable = append(deletable, id)
+		}
+	}
+	m.stats.chunksCollected.Add(int64(len(deletable)))
+	return proto.GCReportResp{Deletable: deletable}, nil, nil
+}
+
+func (m *Manager) statsSnapshot() proto.ManagerStats {
+	total, online := m.reg.counts()
+	datasets, versions, chunks, logical, stored := m.cat.counters()
+	return proto.ManagerStats{
+		Benefactors:       total,
+		OnlineBenefactors: online,
+		Datasets:          datasets,
+		Versions:          versions,
+		UniqueChunks:      chunks,
+		LogicalBytes:      logical,
+		StoredBytes:       stored,
+		ActiveSessions:    m.sess.active(),
+		Transactions:      m.stats.transactions.Load(),
+		ReplicasCopied:    m.stats.replicasCopied.Load(),
+		ChunksCollected:   m.stats.chunksCollected.Load(),
+		VersionsPruned:    m.stats.versionsPruned.Load(),
+	}
+}
+
+// Stats returns a snapshot of manager counters (in-process callers).
+func (m *Manager) Stats() proto.ManagerStats { return m.statsSnapshot() }
+
+// sweepLoop expires dead benefactors and abandoned sessions.
+func (m *Manager) sweepLoop() {
+	defer m.wg.Done()
+	ticker := time.NewTicker(m.cfg.HeartbeatInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-m.stop:
+			return
+		case now := <-ticker.C:
+			for _, id := range m.reg.sweep(now) {
+				m.logf("benefactor %s expired (no heartbeat)", id)
+			}
+			for _, s := range m.sess.expire(now) {
+				m.reg.release(s.stripeIDs, s.perNode)
+				m.logf("write session %d (%s) expired; reservations released", s.id, s.name)
+			}
+		}
+	}
+}
+
+// perNodeShare spreads a byte reservation across a stripe.
+func perNodeShare(bytes int64, width int) int64 {
+	if bytes <= 0 || width <= 0 {
+		return 0
+	}
+	return (bytes + int64(width) - 1) / int64(width)
+}

@@ -1,0 +1,144 @@
+package manager
+
+import (
+	"sync"
+	"time"
+
+	"stdchk/internal/core"
+	"stdchk/internal/namespace"
+)
+
+// policyTable holds per-folder data-lifetime policies (paper §IV.D).
+type policyTable struct {
+	mu sync.Mutex
+	m  map[string]core.Policy
+}
+
+func newPolicyTable() *policyTable {
+	return &policyTable{m: make(map[string]core.Policy)}
+}
+
+func (p *policyTable) set(folder string, policy core.Policy) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.m[folder] = policy
+}
+
+func (p *policyTable) get(folder string) core.Policy {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if policy, ok := p.m[folder]; ok {
+		return policy
+	}
+	return core.DefaultPolicy()
+}
+
+// purgeFolders lists folders with a purge policy.
+func (p *policyTable) purgeFolders() map[string]core.Policy {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make(map[string]core.Policy)
+	for folder, policy := range p.m {
+		if policy.Kind == core.PolicyPurge {
+			out[folder] = policy
+		}
+	}
+	return out
+}
+
+// applyReplacePolicy enforces "automated replace" right after a commit:
+// the newly committed image makes versions beyond the keep window obsolete.
+func (m *Manager) applyReplacePolicy(fileName string) {
+	folder := namespace.FolderOf(fileName)
+	policy := m.policies.get(folder)
+	if policy.Kind != core.PolicyReplace {
+		return
+	}
+	removed, orphans := m.cat.trimVersions(namespace.DatasetOf(fileName), policy.Keep())
+	if removed > 0 {
+		m.stats.versionsPruned.Add(int64(removed))
+		m.logf("replace policy on %s: pruned %d versions, %d chunks orphaned", fileName, removed, len(orphans))
+	}
+}
+
+// pruneLoop enforces "automated purge": versions older than the folder's
+// interval are removed.
+func (m *Manager) pruneLoop() {
+	defer m.wg.Done()
+	ticker := time.NewTicker(m.cfg.PruneInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-m.stop:
+			return
+		case now := <-ticker.C:
+			m.pruneOnce(now)
+		}
+	}
+}
+
+// pruneOnce applies purge policies once; exposed for tests.
+func (m *Manager) pruneOnce(now time.Time) int {
+	total := 0
+	for folder, policy := range m.policies.purgeFolders() {
+		cutoff := now.Add(-policy.PurgeAfter)
+		removed, orphans := m.cat.purgeOlderThan(folder, cutoff)
+		if removed > 0 {
+			m.stats.versionsPruned.Add(int64(removed))
+			m.logf("purge policy on folder %q: pruned %d versions, %d chunks orphaned", folder, removed, len(orphans))
+		}
+		total += removed
+	}
+	return total
+}
+
+// trimVersions keeps only the most recent `keep` versions of a dataset.
+func (c *catalog) trimVersions(datasetKey string, keep int) (int, []core.ChunkID) {
+	if keep < 1 {
+		keep = 1
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ds, ok := c.byName[datasetKey]
+	if !ok || len(ds.versions) <= keep {
+		return 0, nil
+	}
+	victims := ds.versions[:len(ds.versions)-keep]
+	kept := append([]*version(nil), ds.versions[len(ds.versions)-keep:]...)
+	orphans := c.dropVersionsLocked(victims)
+	ds.versions = kept
+	return len(victims), orphans
+}
+
+// purgeOlderThan removes all versions in a folder committed before the
+// cutoff. Datasets left empty are removed entirely.
+func (c *catalog) purgeOlderThan(folder string, cutoff time.Time) (int, []core.ChunkID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	removed := 0
+	var orphans []core.ChunkID
+	for key, ds := range c.byName {
+		if ds.folder != folder {
+			continue
+		}
+		var victims, kept []*version
+		for _, v := range ds.versions {
+			if v.committedAt.Before(cutoff) {
+				victims = append(victims, v)
+			} else {
+				kept = append(kept, v)
+			}
+		}
+		if len(victims) == 0 {
+			continue
+		}
+		orphans = append(orphans, c.dropVersionsLocked(victims)...)
+		ds.versions = kept
+		removed += len(victims)
+		if len(ds.versions) == 0 {
+			delete(c.byName, key)
+			delete(c.byID, ds.id)
+		}
+	}
+	return removed, orphans
+}

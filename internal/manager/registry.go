@@ -1,0 +1,237 @@
+package manager
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"stdchk/internal/core"
+	"stdchk/internal/proto"
+)
+
+// registry is the soft-state benefactor directory (paper §IV.A): nodes
+// publish their status and free space via registration and periodic
+// heartbeats; missing heartbeats expire a node to offline.
+type registry struct {
+	ttl time.Duration
+
+	mu     sync.Mutex
+	nodes  map[core.NodeID]*benefactorState
+	ring   []core.NodeID // registration order, for round-robin allocation
+	cursor int
+}
+
+type benefactorState struct {
+	info     core.BenefactorInfo
+	reserved int64 // bytes promised to open write sessions
+}
+
+func newRegistry(ttl time.Duration) *registry {
+	return &registry{
+		ttl:   ttl,
+		nodes: make(map[core.NodeID]*benefactorState),
+	}
+}
+
+// register adds or refreshes a node. Re-registration (a restarted
+// benefactor) keeps its identity and clears stale reservations.
+func (r *registry) register(req proto.RegisterReq) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st, ok := r.nodes[req.ID]
+	if !ok {
+		st = &benefactorState{}
+		r.nodes[req.ID] = st
+		r.ring = append(r.ring, req.ID)
+	}
+	st.info = core.BenefactorInfo{
+		ID:       req.ID,
+		Addr:     req.Addr,
+		Capacity: req.Capacity,
+		Free:     req.Free,
+		Online:   true,
+		LastSeen: time.Now(),
+	}
+	st.reserved = 0
+}
+
+// heartbeat refreshes a node's soft state. Unknown nodes are rejected so a
+// restarted manager forces re-registration (and with it, recovery).
+func (r *registry) heartbeat(req proto.HeartbeatReq) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st, ok := r.nodes[req.ID]
+	if !ok {
+		return fmt.Errorf("heartbeat from unregistered node %s: %w", req.ID, core.ErrNotFound)
+	}
+	st.info.Free = req.Free
+	st.info.ChunkHeld = req.Chunks
+	st.info.Online = true
+	st.info.LastSeen = time.Now()
+	return nil
+}
+
+// sweep expires nodes whose heartbeats stopped. It returns the IDs that
+// transitioned to offline during this sweep.
+func (r *registry) sweep(now time.Time) []core.NodeID {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var expired []core.NodeID
+	for id, st := range r.nodes {
+		if st.info.Online && now.Sub(st.info.LastSeen) > r.ttl {
+			st.info.Online = false
+			expired = append(expired, id)
+		}
+	}
+	return expired
+}
+
+// online reports whether the node is currently considered alive.
+func (r *registry) online(id core.NodeID) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st, ok := r.nodes[id]
+	return ok && st.info.Online
+}
+
+// addr returns a node's service address.
+func (r *registry) addr(id core.NodeID) (string, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st, ok := r.nodes[id]
+	if !ok {
+		return "", false
+	}
+	return st.info.Addr, true
+}
+
+// list snapshots all registrations.
+func (r *registry) list() []core.BenefactorInfo {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]core.BenefactorInfo, 0, len(r.nodes))
+	for _, id := range r.ring {
+		st := r.nodes[id]
+		info := st.info
+		info.Reserved = st.reserved
+		out = append(out, info)
+	}
+	return out
+}
+
+// counts returns (total, online) node counts.
+func (r *registry) counts() (int, int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	online := 0
+	for _, st := range r.nodes {
+		if st.info.Online {
+			online++
+		}
+	}
+	return len(r.nodes), online
+}
+
+// allocateStripe picks `width` online benefactors in round-robin order
+// (paper §IV.A: round-robin striping) that can each accommodate
+// perNodeBytes of new reservation, and reserves that space. Fewer than
+// `width` nodes may be returned if the pool is small but non-empty; an
+// empty pool is an error.
+func (r *registry) allocateStripe(width int, perNodeBytes int64) ([]proto.Stripe, error) {
+	if width <= 0 {
+		width = 1
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.ring) == 0 {
+		return nil, core.ErrNoBenefactors
+	}
+	var stripe []proto.Stripe
+	var chosen []*benefactorState
+	n := len(r.ring)
+	for probe := 0; probe < n && len(stripe) < width; probe++ {
+		id := r.ring[(r.cursor+probe)%n]
+		st := r.nodes[id]
+		if !st.info.Online {
+			continue
+		}
+		if avail := st.info.Free - st.reserved; avail < perNodeBytes {
+			continue
+		}
+		stripe = append(stripe, proto.Stripe{ID: id, Addr: st.info.Addr})
+		chosen = append(chosen, st)
+	}
+	if len(stripe) == 0 {
+		return nil, fmt.Errorf("allocate stripe width %d: %w", width, core.ErrNoBenefactors)
+	}
+	r.cursor = (r.cursor + 1) % n
+	for _, st := range chosen {
+		st.reserved += perNodeBytes
+	}
+	return stripe, nil
+}
+
+// reserve adds bytes to existing per-node reservations (MExtend).
+func (r *registry) reserve(ids []core.NodeID, perNodeBytes int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, id := range ids {
+		if st, ok := r.nodes[id]; ok {
+			st.reserved += perNodeBytes
+		}
+	}
+}
+
+// release returns reserved bytes to the pool (commit, abort, session
+// expiry).
+func (r *registry) release(ids []core.NodeID, perNodeBytes int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, id := range ids {
+		st, ok := r.nodes[id]
+		if !ok {
+			continue
+		}
+		st.reserved -= perNodeBytes
+		if st.reserved < 0 {
+			st.reserved = 0
+		}
+	}
+}
+
+// pickTargets selects up to n online nodes, excluding `exclude`, with the
+// most available space first (replication destinations).
+func (r *registry) pickTargets(n int, exclude map[core.NodeID]struct{}) []proto.Stripe {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	type cand struct {
+		id    core.NodeID
+		addr  string
+		avail int64
+	}
+	var cands []cand
+	for id, st := range r.nodes {
+		if !st.info.Online {
+			continue
+		}
+		if _, skip := exclude[id]; skip {
+			continue
+		}
+		cands = append(cands, cand{id: id, addr: st.info.Addr, avail: st.info.Free - st.reserved})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].avail != cands[j].avail {
+			return cands[i].avail > cands[j].avail
+		}
+		return cands[i].id < cands[j].id
+	})
+	if n > len(cands) {
+		n = len(cands)
+	}
+	out := make([]proto.Stripe, 0, n)
+	for _, c := range cands[:n] {
+		out = append(out, proto.Stripe{ID: c.id, Addr: c.addr})
+	}
+	return out
+}

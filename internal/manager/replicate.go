@@ -1,0 +1,167 @@
+package manager
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"stdchk/internal/core"
+	"stdchk/internal/proto"
+)
+
+// replJob is one under-replicated chunk: who holds it and how many more
+// replicas it needs to meet its dataset's target.
+type replJob struct {
+	id      core.ChunkID
+	size    int64
+	sources []core.NodeID
+	needed  int
+}
+
+// maxJobsPerRound bounds the work the scheduler picks up in one pass.
+const maxJobsPerRound = 256
+
+// underReplicated scans the catalog for chunks whose live replica count is
+// below their dataset's target. The manager builds the shadow-chunk-map
+// from these (paper §IV.A "Data replication").
+func (c *catalog) underReplicated(online func(core.NodeID) bool) []replJob {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	seen := make(map[core.ChunkID]struct{})
+	var jobs []replJob
+	for _, ds := range c.byID {
+		target := ds.replication
+		if target <= 1 {
+			continue
+		}
+		for _, v := range ds.versions {
+			for _, ref := range v.chunks {
+				if _, dup := seen[ref.ID]; dup {
+					continue
+				}
+				e, ok := c.chunks[ref.ID]
+				if !ok {
+					continue
+				}
+				var live []core.NodeID
+				for node := range e.locations {
+					if online == nil || online(node) {
+						live = append(live, node)
+					}
+				}
+				if len(live) == 0 || len(live) >= target {
+					continue
+				}
+				seen[ref.ID] = struct{}{}
+				sort.Slice(live, func(i, j int) bool { return live[i] < live[j] })
+				jobs = append(jobs, replJob{
+					id:      ref.ID,
+					size:    ref.Size,
+					sources: live,
+					needed:  target - len(live),
+				})
+				if len(jobs) >= maxJobsPerRound {
+					return jobs
+				}
+			}
+		}
+	}
+	return jobs
+}
+
+// replicationLoop runs the background replication scheduler. Foreground
+// writes have priority: while write sessions are active the scheduler
+// throttles itself to one copy per round (paper §IV.A).
+func (m *Manager) replicationLoop() {
+	defer m.wg.Done()
+	ticker := time.NewTicker(m.cfg.ReplicationInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-m.stop:
+			return
+		case <-ticker.C:
+			m.replicateOnce()
+		}
+	}
+}
+
+// replicateOnce performs one scheduler round and returns the number of
+// replicas successfully created. Exposed for tests and the ablation bench.
+func (m *Manager) replicateOnce() int {
+	jobs := m.cat.underReplicated(m.reg.online)
+	if len(jobs) == 0 {
+		return 0
+	}
+	budget := m.cfg.ReplicationParallel
+	if m.cfg.WritePriority && m.sess.active() > 0 {
+		budget = 1
+	}
+	if budget > len(jobs) {
+		budget = len(jobs)
+	}
+
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	copied := 0
+	sem := make(chan struct{}, budget)
+	for _, job := range jobs {
+		select {
+		case <-m.stop:
+			wg.Wait()
+			return copied
+		default:
+		}
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(job replJob) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			n := m.replicateChunk(job)
+			mu.Lock()
+			copied += n
+			mu.Unlock()
+		}(job)
+	}
+	wg.Wait()
+	return copied
+}
+
+// replicateChunk copies one chunk to `needed` new benefactors by
+// instructing a live holder to push it (source-driven copy, as in the
+// paper's shadow-map protocol: "The shadow-map is then sent to the source
+// benefactors to initiate a copy to the new set of benefactors").
+func (m *Manager) replicateChunk(job replJob) int {
+	exclude := make(map[core.NodeID]struct{}, len(job.sources))
+	for _, s := range job.sources {
+		exclude[s] = struct{}{}
+	}
+	targets := m.reg.pickTargets(job.needed, exclude)
+	if len(targets) == 0 {
+		return 0
+	}
+	var srcAddr string
+	for _, s := range job.sources {
+		if addr, ok := m.reg.addr(s); ok && m.reg.online(s) {
+			srcAddr = addr
+			break
+		}
+	}
+	if srcAddr == "" {
+		return 0
+	}
+	copied := 0
+	for _, tgt := range targets {
+		req := proto.ReplicateReq{ID: job.id, Target: tgt.Addr}
+		if _, err := m.pool.Call(srcAddr, proto.BReplicate, req, nil, nil); err != nil {
+			m.logf("replicate %s -> %s: %v", job.id.Short(), tgt.ID, err)
+			continue
+		}
+		// Shadow-map commit: the new location becomes part of the
+		// authoritative chunk-map only after the copy succeeded.
+		m.cat.addLocation(job.id, tgt.ID)
+		m.stats.replicasCopied.Add(1)
+		copied++
+	}
+	return copied
+}

@@ -1,0 +1,119 @@
+package manager
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"stdchk/internal/core"
+	"stdchk/internal/proto"
+)
+
+// sessionTable tracks open write sessions: the stripe handed to the
+// client, the space eagerly reserved for it (paper §IV.A: "Clients eagerly
+// reserve space with the manager for future writes. If this space is not
+// used, it is asynchronously garbage collected.") and enough metadata to
+// commit the chunk-map atomically at close time.
+type sessionTable struct {
+	ttl time.Duration
+
+	mu       sync.Mutex
+	next     uint64
+	sessions map[uint64]*session
+}
+
+type session struct {
+	id          uint64
+	name        string
+	stripe      []proto.Stripe
+	stripeIDs   []core.NodeID
+	chunkSize   int64
+	replication int
+	perNode     int64 // cumulative reservation per stripe node
+	lastActive  time.Time
+}
+
+func newSessionTable(ttl time.Duration) *sessionTable {
+	return &sessionTable{ttl: ttl, sessions: make(map[uint64]*session)}
+}
+
+func (t *sessionTable) open(name string, stripe []proto.Stripe, chunkSize int64, replication int, perNode int64) *session {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.next++
+	s := &session{
+		id:          t.next,
+		name:        name,
+		stripe:      stripe,
+		chunkSize:   chunkSize,
+		replication: replication,
+		perNode:     perNode,
+		lastActive:  time.Now(),
+	}
+	for _, st := range stripe {
+		s.stripeIDs = append(s.stripeIDs, st.ID)
+	}
+	t.sessions[s.id] = s
+	return s
+}
+
+// get returns the session and refreshes its activity clock.
+func (t *sessionTable) get(id uint64) (*session, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s, ok := t.sessions[id]
+	if !ok {
+		return nil, fmt.Errorf("write session %d: %w", id, core.ErrNotFound)
+	}
+	s.lastActive = time.Now()
+	return s, nil
+}
+
+// extend grows the session's per-node reservation and returns the stripe
+// node IDs so the caller can charge the registry.
+func (t *sessionTable) extend(id uint64, perNode int64) ([]core.NodeID, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s, ok := t.sessions[id]
+	if !ok {
+		return nil, fmt.Errorf("write session %d: %w", id, core.ErrNotFound)
+	}
+	s.perNode += perNode
+	s.lastActive = time.Now()
+	return s.stripeIDs, nil
+}
+
+// close removes the session, returning it for reservation release.
+func (t *sessionTable) close(id uint64) (*session, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s, ok := t.sessions[id]
+	if !ok {
+		return nil, fmt.Errorf("write session %d: %w", id, core.ErrAlreadyCommitted)
+	}
+	delete(t.sessions, id)
+	return s, nil
+}
+
+// expire removes sessions idle past the TTL (the asynchronous reservation
+// GC) and returns them for reservation release.
+func (t *sessionTable) expire(now time.Time) []*session {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var dead []*session
+	for id, s := range t.sessions {
+		if now.Sub(s.lastActive) > t.ttl {
+			dead = append(dead, s)
+			delete(t.sessions, id)
+		}
+	}
+	return dead
+}
+
+// active returns the number of open sessions (replication gives way to
+// active foreground writes).
+func (t *sessionTable) active() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.sessions)
+}

@@ -1,0 +1,179 @@
+// Package metrics provides the measurements the paper's evaluation
+// reports: observed application bandwidth (OAB), achieved storage
+// bandwidth (ASB), and time-bucketed aggregate throughput (the §V.F
+// scalability timeseries).
+package metrics
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// MBps converts (bytes, duration) to decimal megabytes per second, the
+// paper's unit.
+func MBps(bytes int64, d time.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(bytes) / 1e6 / d.Seconds()
+}
+
+// Throughput accumulates transferred bytes into fixed-width time buckets,
+// producing the aggregate-throughput-over-time series of Figure 8.
+type Throughput struct {
+	bucket time.Duration
+
+	mu      sync.Mutex
+	start   time.Time
+	buckets []int64
+}
+
+// NewThroughput returns a collector with the given bucket width.
+func NewThroughput(bucket time.Duration) *Throughput {
+	if bucket <= 0 {
+		bucket = time.Second
+	}
+	return &Throughput{bucket: bucket, start: time.Now()}
+}
+
+// Add records n bytes transferred now.
+func (t *Throughput) Add(n int64) {
+	now := time.Now()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	idx := int(now.Sub(t.start) / t.bucket)
+	for len(t.buckets) <= idx {
+		t.buckets = append(t.buckets, 0)
+	}
+	t.buckets[idx] += n
+}
+
+// Point is one bucket of the throughput series.
+type Point struct {
+	// T is the bucket's start offset from collection start.
+	T time.Duration
+	// MBps is the bucket's average throughput.
+	MBps float64
+}
+
+// Series snapshots the buckets as (time, MB/s) points.
+func (t *Throughput) Series() []Point {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Point, len(t.buckets))
+	for i, b := range t.buckets {
+		out[i] = Point{
+			T:    time.Duration(i) * t.bucket,
+			MBps: MBps(b, t.bucket),
+		}
+	}
+	return out
+}
+
+// Peak returns the maximum bucket throughput.
+func (t *Throughput) Peak() float64 {
+	peak := 0.0
+	for _, p := range t.Series() {
+		if p.MBps > peak {
+			peak = p.MBps
+		}
+	}
+	return peak
+}
+
+// SustainedPeak returns the maximum throughput sustained over `window`
+// consecutive buckets (a fairer "sustained peak" than a single bucket).
+func (t *Throughput) SustainedPeak(window int) float64 {
+	if window <= 1 {
+		return t.Peak()
+	}
+	series := t.Series()
+	if len(series) < window {
+		window = len(series)
+	}
+	if window == 0 {
+		return 0
+	}
+	best := 0.0
+	sum := 0.0
+	for i, p := range series {
+		sum += p.MBps
+		if i >= window {
+			sum -= series[i-window].MBps
+		}
+		if i >= window-1 {
+			if avg := sum / float64(window); avg > best {
+				best = avg
+			}
+		}
+	}
+	return best
+}
+
+// Total returns the total bytes recorded.
+func (t *Throughput) Total() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var total int64
+	for _, b := range t.buckets {
+		total += b
+	}
+	return total
+}
+
+// Summary aggregates repeated scalar measurements (the paper reports
+// averages and standard deviations over 20 runs).
+type Summary struct {
+	mu     sync.Mutex
+	values []float64
+}
+
+// Add records one measurement.
+func (s *Summary) Add(v float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.values = append(s.values, v)
+}
+
+// N returns the number of measurements.
+func (s *Summary) N() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.values)
+}
+
+// Mean returns the average.
+func (s *Summary) Mean() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.values) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range s.values {
+		sum += v
+	}
+	return sum / float64(len(s.values))
+}
+
+// StdDev returns the sample standard deviation.
+func (s *Summary) StdDev() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := len(s.values)
+	if n < 2 {
+		return 0
+	}
+	mean := 0.0
+	for _, v := range s.values {
+		mean += v
+	}
+	mean /= float64(n)
+	var ss float64
+	for _, v := range s.values {
+		d := v - mean
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n-1))
+}

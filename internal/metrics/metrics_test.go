@@ -1,0 +1,96 @@
+package metrics
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestMBps(t *testing.T) {
+	if got := MBps(1e6, time.Second); got != 1.0 {
+		t.Fatalf("MBps(1MB, 1s) = %v", got)
+	}
+	if got := MBps(5e6, 2*time.Second); got != 2.5 {
+		t.Fatalf("MBps(5MB, 2s) = %v", got)
+	}
+	if got := MBps(100, 0); got != 0 {
+		t.Fatalf("MBps zero duration = %v", got)
+	}
+}
+
+func TestThroughputSeries(t *testing.T) {
+	tp := NewThroughput(20 * time.Millisecond)
+	tp.Add(1000)
+	time.Sleep(25 * time.Millisecond)
+	tp.Add(2000)
+	series := tp.Series()
+	if len(series) < 2 {
+		t.Fatalf("series has %d buckets, want >= 2", len(series))
+	}
+	if tp.Total() != 3000 {
+		t.Fatalf("Total = %d", tp.Total())
+	}
+	if series[0].T != 0 || series[1].T != 20*time.Millisecond {
+		t.Fatalf("bucket offsets: %v %v", series[0].T, series[1].T)
+	}
+}
+
+func TestThroughputPeakAndSustained(t *testing.T) {
+	tp := NewThroughput(10 * time.Millisecond)
+	tp.Add(10e6) // one hot bucket
+	if tp.Peak() <= 0 {
+		t.Fatal("no peak recorded")
+	}
+	// Sustained over 3 buckets is smaller than the single-bucket peak
+	// when only one bucket is hot.
+	time.Sleep(35 * time.Millisecond)
+	tp.Add(1)
+	if s := tp.SustainedPeak(3); s > tp.Peak() {
+		t.Fatalf("sustained %v > peak %v", s, tp.Peak())
+	}
+	if s := tp.SustainedPeak(1); s != tp.Peak() {
+		t.Fatalf("window 1 sustained %v != peak %v", s, tp.Peak())
+	}
+	if s := NewThroughput(time.Second).SustainedPeak(5); s != 0 {
+		t.Fatalf("empty sustained = %v", s)
+	}
+}
+
+func TestThroughputConcurrent(t *testing.T) {
+	tp := NewThroughput(time.Millisecond)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				tp.Add(10)
+			}
+		}()
+	}
+	wg.Wait()
+	if tp.Total() != 8000 {
+		t.Fatalf("Total = %d, want 8000", tp.Total())
+	}
+}
+
+func TestSummary(t *testing.T) {
+	var s Summary
+	if s.Mean() != 0 || s.StdDev() != 0 || s.N() != 0 {
+		t.Fatal("empty summary not zero")
+	}
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(v)
+	}
+	if s.N() != 8 {
+		t.Fatalf("N = %d", s.N())
+	}
+	if got := s.Mean(); got != 5 {
+		t.Fatalf("Mean = %v, want 5", got)
+	}
+	// Sample stddev of this classic set is ~2.138.
+	if got := s.StdDev(); math.Abs(got-2.138) > 0.01 {
+		t.Fatalf("StdDev = %v, want ~2.138", got)
+	}
+}

@@ -1,0 +1,115 @@
+// Package namespace implements stdchk's checkpoint naming convention and
+// folder layout (paper §IV.D): a file named A.Ni.Tj is application A,
+// running on node Ni, checkpointing at timestep Tj. All timesteps of the
+// same (application, node) pair are versions of one dataset, and all
+// datasets of an application live in one folder whose metadata carries the
+// data-lifetime policy.
+package namespace
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Name is a parsed checkpoint file name following the A.Ni.Tj convention.
+type Name struct {
+	// App is the application identifier (the folder).
+	App string
+	// Node is the compute node / process identifier.
+	Node string
+	// Timestep is the checkpoint timestep Tj.
+	Timestep int
+}
+
+// Parse parses "A.Ni.Tj". The application part may itself contain dots;
+// the final two dot-separated fields are the node and the timestep.
+func Parse(s string) (Name, error) {
+	parts := strings.Split(s, ".")
+	if len(parts) < 3 {
+		return Name{}, fmt.Errorf("namespace: %q does not follow A.Ni.Tj", s)
+	}
+	tsPart := parts[len(parts)-1]
+	node := parts[len(parts)-2]
+	app := strings.Join(parts[:len(parts)-2], ".")
+	if app == "" || node == "" {
+		return Name{}, fmt.Errorf("namespace: %q has empty application or node field", s)
+	}
+	ts, err := parseTimestep(tsPart)
+	if err != nil {
+		return Name{}, fmt.Errorf("namespace: %q: %w", s, err)
+	}
+	return Name{App: app, Node: node, Timestep: ts}, nil
+}
+
+func parseTimestep(s string) (int, error) {
+	trimmed := strings.TrimPrefix(strings.TrimPrefix(s, "t"), "T")
+	if trimmed == "" {
+		return 0, fmt.Errorf("empty timestep field %q", s)
+	}
+	ts, err := strconv.Atoi(trimmed)
+	if err != nil {
+		return 0, fmt.Errorf("timestep field %q: %w", s, err)
+	}
+	if ts < 0 {
+		return 0, fmt.Errorf("negative timestep %d", ts)
+	}
+	return ts, nil
+}
+
+// String formats the name back to its A.Ni.Tj form.
+func (n Name) String() string {
+	return fmt.Sprintf("%s.%s.t%d", n.App, n.Node, n.Timestep)
+}
+
+// Dataset is the version-chain key: all timesteps of one (application,
+// node) pair are versions of the same dataset.
+func (n Name) Dataset() string {
+	return n.App + "." + n.Node
+}
+
+// Folder is the per-application folder carrying policy metadata.
+func (n Name) Folder() string {
+	return n.App
+}
+
+// DatasetOf returns the dataset key for an arbitrary file name: A.Ni.Tj
+// names collapse to their (application, node) chain; other names are their
+// own dataset (stdchk accepts non-checkpoint files, they just get no
+// timestep semantics).
+func DatasetOf(file string) string {
+	n, err := Parse(file)
+	if err != nil {
+		return file
+	}
+	return n.Dataset()
+}
+
+// FolderOf returns the policy folder for an arbitrary file name. Names that
+// do not follow the convention fall into the root folder "".
+func FolderOf(file string) string {
+	n, err := Parse(file)
+	if err != nil {
+		return ""
+	}
+	return n.Folder()
+}
+
+// SplitPath splits a "/stdchk/<folder>/<file>"-style mount path into folder
+// and file. Accepted forms: "<file>", "<folder>/<file>", and absolute
+// variants with the mount prefix already stripped.
+func SplitPath(path string) (folder, file string) {
+	path = strings.Trim(path, "/")
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[:i], path[i+1:]
+	}
+	return "", path
+}
+
+// JoinPath reassembles a folder and file into a mount-relative path.
+func JoinPath(folder, file string) string {
+	if folder == "" {
+		return file
+	}
+	return folder + "/" + file
+}

@@ -1,0 +1,114 @@
+package namespace
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestParseValid(t *testing.T) {
+	tests := []struct {
+		in   string
+		want Name
+	}{
+		{"blast.n1.t0", Name{App: "blast", Node: "n1", Timestep: 0}},
+		{"blast.n1.t17", Name{App: "blast", Node: "n1", Timestep: 17}},
+		{"bms.node-04.t3", Name{App: "bms", Node: "node-04", Timestep: 3}},
+		{"sim.v2.n9.t12", Name{App: "sim.v2", Node: "n9", Timestep: 12}},
+		{"app.n1.42", Name{App: "app", Node: "n1", Timestep: 42}},
+		{"app.n1.T8", Name{App: "app", Node: "n1", Timestep: 8}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.in, func(t *testing.T) {
+			got, err := Parse(tt.in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != tt.want {
+				t.Fatalf("Parse(%q) = %+v, want %+v", tt.in, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestParseInvalid(t *testing.T) {
+	for _, in := range []string{
+		"", "noversion", "two.parts", "app.n1.txyz", "app.n1.t-3",
+		"app.n1.t", ".n1.t3", "app..t3",
+	} {
+		t.Run(in, func(t *testing.T) {
+			if _, err := Parse(in); err == nil {
+				t.Fatalf("Parse(%q) succeeded", in)
+			}
+		})
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	f := func(app, node string, ts uint16) bool {
+		if app == "" || node == "" {
+			return true
+		}
+		// Dots inside node would be re-split into the app; the convention
+		// reserves dots as separators for the last two fields.
+		for _, r := range app + node {
+			if r == '.' || r == '/' {
+				return true
+			}
+		}
+		n := Name{App: app, Node: node, Timestep: int(ts)}
+		got, err := Parse(n.String())
+		return err == nil && got == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDatasetAndFolder(t *testing.T) {
+	n := Name{App: "blast", Node: "n3", Timestep: 9}
+	if n.Dataset() != "blast.n3" {
+		t.Fatalf("Dataset() = %q", n.Dataset())
+	}
+	if n.Folder() != "blast" {
+		t.Fatalf("Folder() = %q", n.Folder())
+	}
+}
+
+func TestDatasetOfFallback(t *testing.T) {
+	if got := DatasetOf("blast.n1.t5"); got != "blast.n1" {
+		t.Fatalf("DatasetOf convention name = %q", got)
+	}
+	if got := DatasetOf("random-file.dat"); got != "random-file.dat" {
+		t.Fatalf("DatasetOf plain name = %q", got)
+	}
+	if got := FolderOf("blast.n1.t5"); got != "blast" {
+		t.Fatalf("FolderOf = %q", got)
+	}
+	if got := FolderOf("plain"); got != "" {
+		t.Fatalf("FolderOf plain = %q", got)
+	}
+}
+
+func TestSplitJoinPath(t *testing.T) {
+	tests := []struct {
+		in         string
+		folder, fn string
+	}{
+		{"blast/blast.n1.t3", "blast", "blast.n1.t3"},
+		{"/blast/blast.n1.t3/", "blast", "blast.n1.t3"},
+		{"file.only", "", "file.only"},
+		{"a/b/c", "a/b", "c"},
+	}
+	for _, tt := range tests {
+		folder, fn := SplitPath(tt.in)
+		if folder != tt.folder || fn != tt.fn {
+			t.Errorf("SplitPath(%q) = (%q,%q), want (%q,%q)", tt.in, folder, fn, tt.folder, tt.fn)
+		}
+	}
+	if got := JoinPath("blast", "f"); got != "blast/f" {
+		t.Fatalf("JoinPath = %q", got)
+	}
+	if got := JoinPath("", "f"); got != "f" {
+		t.Fatalf("JoinPath root = %q", got)
+	}
+}

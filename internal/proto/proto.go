@@ -1,0 +1,330 @@
+// Package proto defines the RPC surface of stdchk: operation names and
+// request/response payloads for the manager service and the benefactor
+// service. Both services speak the framed protocol of package wire; this
+// package is pure data so every component can import it without cycles.
+package proto
+
+import (
+	"time"
+
+	"stdchk/internal/core"
+)
+
+// Benefactor service operations (served by internal/benefactor).
+const (
+	// BPut stores one chunk: meta PutReq, body = chunk bytes.
+	BPut = "b.put"
+	// BGet fetches one chunk: meta GetReq, response body = chunk bytes.
+	BGet = "b.get"
+	// BHas asks which of a set of chunks the benefactor holds.
+	BHas = "b.has"
+	// BDel deletes chunks (GC executor).
+	BDel = "b.del"
+	// BReplicate instructs the benefactor to push one of its chunks to
+	// another benefactor (manager-driven background replication).
+	BReplicate = "b.replicate"
+	// BMapPut stores a chunk-map replica for manager-failure recovery.
+	BMapPut = "b.mapput"
+	// BMapList returns the stored chunk-map replicas.
+	BMapList = "b.maplist"
+	// BPing is a liveness probe.
+	BPing = "b.ping"
+	// BStats returns storage statistics.
+	BStats = "b.stats"
+)
+
+// Manager service operations (served by internal/manager).
+const (
+	// MRegister announces a benefactor to the manager.
+	MRegister = "m.register"
+	// MHeartbeat refreshes a benefactor's soft state.
+	MHeartbeat = "m.heartbeat"
+	// MAlloc opens a write session: reserves space and allocates a stripe.
+	MAlloc = "m.alloc"
+	// MExtend grows a session's space reservation.
+	MExtend = "m.extend"
+	// MCommit atomically commits a session's chunk-map (session semantics).
+	MCommit = "m.commit"
+	// MAbort abandons a session, releasing reservations.
+	MAbort = "m.abort"
+	// MHasChunks asks which chunk hashes the system already stores
+	// (incremental checkpointing dedup query).
+	MHasChunks = "m.haschunks"
+	// MGetMap fetches the chunk-map of a committed version.
+	MGetMap = "m.getmap"
+	// MList lists datasets, optionally restricted to a folder.
+	MList = "m.list"
+	// MStat describes one dataset.
+	MStat = "m.stat"
+	// MDelete removes a version or a whole dataset.
+	MDelete = "m.delete"
+	// MPolicySet sets a folder's data-lifetime policy.
+	MPolicySet = "m.policyset"
+	// MPolicyGet reads a folder's policy.
+	MPolicyGet = "m.policyget"
+	// MGCReport reconciles a benefactor's chunk inventory; the response
+	// lists chunks the benefactor may delete.
+	MGCReport = "m.gcreport"
+	// MBenefactors lists registered benefactors.
+	MBenefactors = "m.benefactors"
+	// MReplStatus reports the replication level of a dataset's latest
+	// version (pessimistic writes poll it).
+	MReplStatus = "m.replstatus"
+	// MStats returns manager-wide statistics.
+	MStats = "m.stats"
+)
+
+// PutReq accompanies a BPut body.
+type PutReq struct {
+	ID core.ChunkID `json:"id"`
+}
+
+// GetReq names the chunk for BGet.
+type GetReq struct {
+	ID core.ChunkID `json:"id"`
+}
+
+// HasReq asks about a batch of chunks (BHas / MHasChunks).
+type HasReq struct {
+	IDs []core.ChunkID `json:"ids"`
+}
+
+// HasResp answers HasReq; Present is parallel to IDs.
+type HasResp struct {
+	Present []bool `json:"present"`
+}
+
+// DelReq lists chunks to delete.
+type DelReq struct {
+	IDs []core.ChunkID `json:"ids"`
+}
+
+// ReplicateReq instructs a benefactor to copy a chunk to Target.
+type ReplicateReq struct {
+	ID     core.ChunkID `json:"id"`
+	Target string       `json:"target"` // benefactor address
+}
+
+// MapPutReq stores a chunk-map replica on a benefactor keyed by file name.
+type MapPutReq struct {
+	Name string         `json:"name"`
+	Map  *core.ChunkMap `json:"map"`
+}
+
+// NamedMap is one recovered chunk-map replica.
+type NamedMap struct {
+	Name string         `json:"name"`
+	Map  *core.ChunkMap `json:"map"`
+}
+
+// MapListResp returns a benefactor's chunk-map replicas.
+type MapListResp struct {
+	Maps []NamedMap `json:"maps"`
+}
+
+// StatsResp reports a benefactor's storage statistics.
+type StatsResp struct {
+	Used     int64 `json:"used"`
+	Capacity int64 `json:"capacity"`
+	Chunks   int   `json:"chunks"`
+}
+
+// RegisterReq announces a benefactor.
+type RegisterReq struct {
+	ID       core.NodeID `json:"id"`
+	Addr     string      `json:"addr"`
+	Capacity int64       `json:"capacity"`
+	Free     int64       `json:"free"`
+}
+
+// RegisterResp configures the benefactor's soft-state refresh.
+type RegisterResp struct {
+	HeartbeatInterval time.Duration `json:"heartbeatInterval"`
+	// Recovering signals that the manager restarted with empty metadata
+	// and wants the benefactor's chunk-map replicas (paper §IV.A manager
+	// failure handling).
+	Recovering bool `json:"recovering,omitempty"`
+}
+
+// HeartbeatReq refreshes soft state.
+type HeartbeatReq struct {
+	ID     core.NodeID `json:"id"`
+	Free   int64       `json:"free"`
+	Used   int64       `json:"used"`
+	Chunks int         `json:"chunks"`
+}
+
+// HeartbeatResp may carry manager commands back to the benefactor.
+type HeartbeatResp struct {
+	OK bool `json:"ok"`
+	// Recovering mirrors RegisterResp.Recovering for already-registered
+	// benefactors.
+	Recovering bool `json:"recovering,omitempty"`
+}
+
+// AllocReq opens a write session.
+type AllocReq struct {
+	// Name is the full file name (A.Ni.Tj convention when applicable).
+	Name string `json:"name"`
+	// StripeWidth is the number of benefactors to stripe across.
+	StripeWidth int `json:"stripeWidth"`
+	// ChunkSize is the striping chunk size.
+	ChunkSize int64 `json:"chunkSize"`
+	// ReserveBytes is the initial eager space reservation.
+	ReserveBytes int64 `json:"reserveBytes"`
+	// Replication is the user-defined replication target.
+	Replication int `json:"replication"`
+}
+
+// AllocResp returns the session handle and the stripe.
+type AllocResp struct {
+	WriteID uint64   `json:"writeId"`
+	Stripe  []Stripe `json:"stripe"`
+}
+
+// Stripe names one benefactor of a write stripe.
+type Stripe struct {
+	ID   core.NodeID `json:"id"`
+	Addr string      `json:"addr"`
+}
+
+// ExtendReq grows a session's reservation.
+type ExtendReq struct {
+	WriteID uint64 `json:"writeId"`
+	Bytes   int64  `json:"bytes"`
+}
+
+// ExtendResp acknowledges the reservation.
+type ExtendResp struct {
+	Reserved int64 `json:"reserved"`
+}
+
+// CommitChunk is one chunk of a commit: location-less chunks are resolved
+// from the manager's content index (copy-on-write sharing with earlier
+// versions).
+type CommitChunk struct {
+	ID        core.ChunkID  `json:"id"`
+	Size      int64         `json:"size"`
+	Locations []core.NodeID `json:"locations,omitempty"`
+}
+
+// CommitReq atomically publishes a session's chunk-map.
+type CommitReq struct {
+	WriteID  uint64        `json:"writeId"`
+	FileSize int64         `json:"fileSize"`
+	Chunks   []CommitChunk `json:"chunks"`
+}
+
+// CommitResp reports the committed version.
+type CommitResp struct {
+	Dataset core.DatasetID `json:"dataset"`
+	Version core.VersionID `json:"version"`
+	// NewBytes is the number of bytes this version actually added to the
+	// store (smaller than FileSize when chunks were shared).
+	NewBytes int64 `json:"newBytes"`
+}
+
+// AbortReq abandons a session.
+type AbortReq struct {
+	WriteID uint64 `json:"writeId"`
+}
+
+// GetMapReq fetches a committed chunk-map. Version 0 means latest.
+type GetMapReq struct {
+	Name    string         `json:"name"`
+	Version core.VersionID `json:"version,omitempty"`
+}
+
+// GetMapResp carries the chunk-map.
+type GetMapResp struct {
+	Name string         `json:"name"`
+	Map  *core.ChunkMap `json:"map"`
+}
+
+// ListReq lists datasets under a folder ("" = all).
+type ListReq struct {
+	Folder string `json:"folder,omitempty"`
+}
+
+// ListResp returns dataset summaries.
+type ListResp struct {
+	Datasets []core.DatasetInfo `json:"datasets"`
+}
+
+// StatReq describes one dataset by name (dataset key or full file name).
+type StatReq struct {
+	Name string `json:"name"`
+}
+
+// StatResp carries the dataset summary.
+type StatResp struct {
+	Dataset core.DatasetInfo `json:"dataset"`
+}
+
+// DeleteReq removes one version (Version != 0) or the whole dataset.
+type DeleteReq struct {
+	Name    string         `json:"name"`
+	Version core.VersionID `json:"version,omitempty"`
+}
+
+// PolicySetReq attaches a policy to a folder.
+type PolicySetReq struct {
+	Folder string      `json:"folder"`
+	Policy core.Policy `json:"policy"`
+}
+
+// PolicyGetReq reads a folder policy.
+type PolicyGetReq struct {
+	Folder string `json:"folder"`
+}
+
+// PolicyGetResp returns the folder policy.
+type PolicyGetResp struct {
+	Policy core.Policy `json:"policy"`
+}
+
+// GCReportReq carries a benefactor's inventory of chunks old enough to be
+// GC candidates.
+type GCReportReq struct {
+	ID  core.NodeID    `json:"id"`
+	IDs []core.ChunkID `json:"ids"`
+}
+
+// GCReportResp lists the chunks the benefactor may delete.
+type GCReportResp struct {
+	Deletable []core.ChunkID `json:"deletable"`
+}
+
+// BenefactorsResp lists registered benefactors.
+type BenefactorsResp struct {
+	Benefactors []core.BenefactorInfo `json:"benefactors"`
+}
+
+// ReplStatusReq asks for the replication level of a dataset's latest
+// version.
+type ReplStatusReq struct {
+	Name string `json:"name"`
+}
+
+// ReplStatusResp reports the level.
+type ReplStatusResp struct {
+	Version core.VersionID `json:"version"`
+	Level   int            `json:"level"`
+	Target  int            `json:"target"`
+}
+
+// ManagerStats aggregates manager-side counters (MStats).
+type ManagerStats struct {
+	Benefactors       int   `json:"benefactors"`
+	OnlineBenefactors int   `json:"onlineBenefactors"`
+	Datasets          int   `json:"datasets"`
+	Versions          int   `json:"versions"`
+	UniqueChunks      int   `json:"uniqueChunks"`
+	LogicalBytes      int64 `json:"logicalBytes"`
+	StoredBytes       int64 `json:"storedBytes"`
+	ActiveSessions    int   `json:"activeSessions"`
+	Transactions      int64 `json:"transactions"`
+	ReplicasCopied    int64 `json:"replicasCopied"`
+	ChunksCollected   int64 `json:"chunksCollected"`
+	VersionsPruned    int64 `json:"versionsPruned"`
+}

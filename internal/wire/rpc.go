@@ -1,0 +1,306 @@
+package wire
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+
+	"stdchk/internal/core"
+)
+
+// Shaper optionally wraps an accepted or dialed connection with traffic
+// shaping (device models). A nil Shaper leaves connections unshaped.
+type Shaper func(net.Conn) net.Conn
+
+// Handler processes one request and returns the response metadata and body.
+// Returning an error sends it to the peer as a string; sentinel errors from
+// package core survive the round trip (see WrapRemoteError).
+type Handler func(op string, meta json.RawMessage, body []byte) (interface{}, []byte, error)
+
+// Server accepts framed-RPC connections and dispatches requests to a
+// Handler. Each connection is served by one goroutine; requests on a
+// connection are processed in order (the protocol is synchronous per
+// connection, clients use pools for parallelism).
+type Server struct {
+	ln      net.Listener
+	handler Handler
+	shaper  Shaper
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewServer starts serving on ln. It returns immediately; the accept loop
+// runs until Close.
+func NewServer(ln net.Listener, handler Handler, shaper Shaper) *Server {
+	s := &Server{
+		ln:      ln,
+		handler: handler,
+		shaper:  shaper,
+		conns:   make(map[net.Conn]struct{}),
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s
+}
+
+// Addr returns the listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops accepting, closes all connections and waits for the serving
+// goroutines to exit.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(raw net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, raw)
+		s.mu.Unlock()
+		raw.Close()
+	}()
+	conn := raw
+	if s.shaper != nil {
+		conn = s.shaper(raw)
+	}
+	for {
+		req, err := Read(conn)
+		if err != nil {
+			return // peer gone or protocol error; drop the connection
+		}
+		meta, body, herr := s.handler(req.Op, req.Meta, req.Body)
+		resp := &Msg{Op: req.Op, Body: body}
+		if herr != nil {
+			resp.Err = herr.Error()
+		} else if meta != nil {
+			raw, merr := MarshalMeta(meta)
+			if merr != nil {
+				resp.Err = merr.Error()
+			} else {
+				resp.Meta = raw
+			}
+		}
+		if err := Write(conn, resp); err != nil {
+			return
+		}
+	}
+}
+
+// RemoteError is an error reported by a peer over the wire.
+type RemoteError struct {
+	Op  string
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *RemoteError) Error() string { return fmt.Sprintf("remote %s: %s", e.Op, e.Msg) }
+
+// Unwrap maps well-known remote error strings back to the core sentinel
+// errors so errors.Is works across the wire.
+func (e *RemoteError) Unwrap() error {
+	for _, sentinel := range []error{
+		core.ErrNotFound, core.ErrNoSpace, core.ErrNoBenefactors,
+		core.ErrNotCommitted, core.ErrAlreadyCommitted, core.ErrIntegrity,
+		core.ErrBenefactorDown, core.ErrClosed, core.ErrQuorum,
+	} {
+		if strings.Contains(e.Msg, sentinel.Error()) {
+			return sentinel
+		}
+	}
+	return nil
+}
+
+// Conn is a client connection carrying synchronous request/response calls.
+// It is safe for concurrent use; calls serialize on the connection.
+type Conn struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+// Dial connects to addr and applies the optional shaper.
+func Dial(addr string, shaper Shaper) (*Conn, error) {
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("wire: dial %s: %w", addr, err)
+	}
+	conn := raw
+	if shaper != nil {
+		conn = shaper(raw)
+	}
+	return &Conn{conn: conn}, nil
+}
+
+// Call sends one request and waits for its response. respMeta, when
+// non-nil, receives the decoded response metadata. The returned bytes are
+// the response body.
+func (c *Conn) Call(op string, reqMeta interface{}, reqBody []byte, respMeta interface{}) ([]byte, error) {
+	meta, err := MarshalMeta(reqMeta)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return nil, core.ErrClosed
+	}
+	if err := Write(c.conn, &Msg{Op: op, Meta: meta, Body: reqBody}); err != nil {
+		return nil, err
+	}
+	resp, err := Read(c.conn)
+	if err != nil {
+		return nil, err
+	}
+	if resp.Err != "" {
+		return nil, &RemoteError{Op: op, Msg: resp.Err}
+	}
+	if respMeta != nil {
+		if err := UnmarshalMeta(resp.Meta, respMeta); err != nil {
+			return nil, err
+		}
+	}
+	return resp.Body, nil
+}
+
+// Close closes the underlying connection.
+func (c *Conn) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return nil
+	}
+	err := c.conn.Close()
+	c.conn = nil
+	return err
+}
+
+// Pool maintains reusable connections per remote address. Broken
+// connections are discarded on error; callers just retry the Call.
+type Pool struct {
+	shaper Shaper
+
+	mu    sync.Mutex
+	idle  map[string][]*Conn
+	total int
+	limit int
+}
+
+// NewPool returns a pool applying shaper to every dialed connection.
+// perAddrLimit caps idle connections kept per address (not total
+// concurrency).
+func NewPool(shaper Shaper, perAddrLimit int) *Pool {
+	if perAddrLimit <= 0 {
+		perAddrLimit = 8
+	}
+	return &Pool{shaper: shaper, idle: make(map[string][]*Conn), limit: perAddrLimit}
+}
+
+// Call performs one RPC against addr using a pooled connection. On
+// transport errors the connection is discarded and the call retried once on
+// a fresh connection.
+func (p *Pool) Call(addr, op string, reqMeta interface{}, reqBody []byte, respMeta interface{}) ([]byte, error) {
+	for attempt := 0; ; attempt++ {
+		conn, fresh, err := p.get(addr)
+		if err != nil {
+			return nil, err
+		}
+		body, err := conn.Call(op, reqMeta, reqBody, respMeta)
+		if err == nil {
+			p.put(addr, conn)
+			return body, nil
+		}
+		var remote *RemoteError
+		if errors.As(err, &remote) {
+			// Remote errors are application-level; the transport
+			// completed the exchange, so the connection is reusable.
+			p.put(addr, conn)
+			return nil, err
+		}
+		conn.Close()
+		if fresh || attempt >= 1 {
+			return nil, err
+		}
+		// A stale pooled connection may have been closed by the peer;
+		// retry once on a fresh dial.
+	}
+}
+
+func (p *Pool) get(addr string) (conn *Conn, fresh bool, err error) {
+	p.mu.Lock()
+	conns := p.idle[addr]
+	if len(conns) > 0 {
+		conn = conns[len(conns)-1]
+		p.idle[addr] = conns[:len(conns)-1]
+		p.mu.Unlock()
+		return conn, false, nil
+	}
+	p.mu.Unlock()
+	conn, err = Dial(addr, p.shaper)
+	if err != nil {
+		return nil, true, err
+	}
+	return conn, true, nil
+}
+
+func (p *Pool) put(addr string, conn *Conn) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.idle[addr]) >= p.limit {
+		conn.Close()
+		return
+	}
+	p.idle[addr] = append(p.idle[addr], conn)
+}
+
+// Close closes all idle connections.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, conns := range p.idle {
+		for _, c := range conns {
+			c.Close()
+		}
+	}
+	p.idle = make(map[string][]*Conn)
+}
+
+// keep RemoteError usable with errors.As in this package's own retry logic.
+var _ error = (*RemoteError)(nil)

@@ -1,0 +1,139 @@
+// Package wire implements the framed message protocol spoken between
+// stdchk components (client ↔ manager, client ↔ benefactor, benefactor ↔
+// manager, benefactor ↔ benefactor for replication).
+//
+// A message is a small JSON control header plus an optional raw body for
+// bulk chunk data:
+//
+//	[4-byte big-endian header length][header JSON]
+//	[8-byte big-endian body length][body bytes]
+//
+// Control metadata stays human-debuggable while chunk payloads move as raw
+// bytes without re-encoding.
+package wire
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+const (
+	// MaxHeaderLen bounds the JSON control header.
+	MaxHeaderLen = 1 << 20
+	// MaxBodyLen bounds a bulk body (a chunk plus slack).
+	MaxBodyLen = 256 << 20
+)
+
+// Errors returned by the codec.
+var (
+	ErrHeaderTooLarge = errors.New("wire: header exceeds limit")
+	ErrBodyTooLarge   = errors.New("wire: body exceeds limit")
+)
+
+// Msg is one framed message. For requests, Op names the operation and Meta
+// carries its parameters; for responses, Op is echoed, Err carries a
+// remote error (empty on success) and Meta carries the result.
+type Msg struct {
+	Op   string          `json:"op"`
+	Err  string          `json:"err,omitempty"`
+	Meta json.RawMessage `json:"meta,omitempty"`
+	Body []byte          `json:"-"`
+}
+
+// header is the wire form of the JSON control portion.
+type header struct {
+	Op   string          `json:"op"`
+	Err  string          `json:"err,omitempty"`
+	Meta json.RawMessage `json:"meta,omitempty"`
+}
+
+// Write frames and writes m to w.
+func Write(w io.Writer, m *Msg) error {
+	hb, err := json.Marshal(header{Op: m.Op, Err: m.Err, Meta: m.Meta})
+	if err != nil {
+		return fmt.Errorf("wire: marshal header: %w", err)
+	}
+	if len(hb) > MaxHeaderLen {
+		return ErrHeaderTooLarge
+	}
+	if int64(len(m.Body)) > MaxBodyLen {
+		return ErrBodyTooLarge
+	}
+	var pre [12]byte
+	binary.BigEndian.PutUint32(pre[0:4], uint32(len(hb)))
+	binary.BigEndian.PutUint64(pre[4:12], uint64(len(m.Body)))
+	if _, err := w.Write(pre[:]); err != nil {
+		return fmt.Errorf("wire: write frame prefix: %w", err)
+	}
+	if _, err := w.Write(hb); err != nil {
+		return fmt.Errorf("wire: write header: %w", err)
+	}
+	if len(m.Body) > 0 {
+		if _, err := w.Write(m.Body); err != nil {
+			return fmt.Errorf("wire: write body: %w", err)
+		}
+	}
+	return nil
+}
+
+// Read reads one framed message from r.
+func Read(r io.Reader) (*Msg, error) {
+	var pre [12]byte
+	if _, err := io.ReadFull(r, pre[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("wire: read frame prefix: %w", err)
+	}
+	hlen := binary.BigEndian.Uint32(pre[0:4])
+	blen := binary.BigEndian.Uint64(pre[4:12])
+	if hlen > MaxHeaderLen {
+		return nil, ErrHeaderTooLarge
+	}
+	if blen > MaxBodyLen {
+		return nil, ErrBodyTooLarge
+	}
+	hb := make([]byte, hlen)
+	if _, err := io.ReadFull(r, hb); err != nil {
+		return nil, fmt.Errorf("wire: read header: %w", err)
+	}
+	var h header
+	if err := json.Unmarshal(hb, &h); err != nil {
+		return nil, fmt.Errorf("wire: decode header: %w", err)
+	}
+	m := &Msg{Op: h.Op, Err: h.Err, Meta: h.Meta}
+	if blen > 0 {
+		m.Body = make([]byte, blen)
+		if _, err := io.ReadFull(r, m.Body); err != nil {
+			return nil, fmt.Errorf("wire: read body: %w", err)
+		}
+	}
+	return m, nil
+}
+
+// MarshalMeta encodes v as a message's Meta field.
+func MarshalMeta(v interface{}) (json.RawMessage, error) {
+	if v == nil {
+		return nil, nil
+	}
+	b, err := json.Marshal(v)
+	if err != nil {
+		return nil, fmt.Errorf("wire: marshal meta: %w", err)
+	}
+	return b, nil
+}
+
+// UnmarshalMeta decodes a message's Meta field into v. A nil Meta leaves v
+// untouched.
+func UnmarshalMeta(raw json.RawMessage, v interface{}) error {
+	if len(raw) == 0 {
+		return nil
+	}
+	if err := json.Unmarshal(raw, v); err != nil {
+		return fmt.Errorf("wire: decode meta: %w", err)
+	}
+	return nil
+}

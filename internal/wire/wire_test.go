@@ -1,0 +1,280 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"stdchk/internal/core"
+)
+
+func TestMsgRoundTrip(t *testing.T) {
+	tests := []struct {
+		name string
+		msg  Msg
+	}{
+		{"op only", Msg{Op: "ping"}},
+		{"with meta", Msg{Op: "put", Meta: json.RawMessage(`{"x":1}`)}},
+		{"with body", Msg{Op: "put", Body: []byte("chunk data")}},
+		{"error response", Msg{Op: "get", Err: "not found"}},
+		{"everything", Msg{Op: "x", Err: "e", Meta: json.RawMessage(`[1,2]`), Body: []byte{0, 1, 2}}},
+		{"empty body slice", Msg{Op: "x", Body: []byte{}}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := Write(&buf, &tt.msg); err != nil {
+				t.Fatal(err)
+			}
+			got, err := Read(&buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Op != tt.msg.Op || got.Err != tt.msg.Err {
+				t.Fatalf("got %+v, want %+v", got, tt.msg)
+			}
+			if string(got.Meta) != string(tt.msg.Meta) {
+				t.Fatalf("meta %q, want %q", got.Meta, tt.msg.Meta)
+			}
+			if len(tt.msg.Body) > 0 && !bytes.Equal(got.Body, tt.msg.Body) {
+				t.Fatalf("body %q, want %q", got.Body, tt.msg.Body)
+			}
+		})
+	}
+}
+
+func TestMsgRoundTripQuick(t *testing.T) {
+	f := func(op string, body []byte) bool {
+		var buf bytes.Buffer
+		if err := Write(&buf, &Msg{Op: op, Body: body}); err != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		if err != nil || got.Op != op {
+			return false
+		}
+		return bytes.Equal(got.Body, body) || (len(body) == 0 && len(got.Body) == 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadRejectsOversizedFrames(t *testing.T) {
+	var buf bytes.Buffer
+	// Forge a prefix claiming a huge header.
+	buf.Write([]byte{0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0, 0, 0, 0, 0})
+	if _, err := Read(&buf); !errors.Is(err, ErrHeaderTooLarge) {
+		t.Fatalf("got %v, want ErrHeaderTooLarge", err)
+	}
+	buf.Reset()
+	// Tiny header, huge body.
+	buf.Write([]byte{0, 0, 0, 2})
+	buf.Write([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
+	buf.WriteString("{}")
+	if _, err := Read(&buf); !errors.Is(err, ErrBodyTooLarge) {
+		t.Fatalf("got %v, want ErrBodyTooLarge", err)
+	}
+}
+
+func TestReadTruncatedStream(t *testing.T) {
+	var full bytes.Buffer
+	if err := Write(&full, &Msg{Op: "op", Body: []byte("payload")}); err != nil {
+		t.Fatal(err)
+	}
+	raw := full.Bytes()
+	for cut := 1; cut < len(raw); cut += 3 {
+		if _, err := Read(bytes.NewReader(raw[:cut])); err == nil {
+			t.Fatalf("truncation at %d bytes went unnoticed", cut)
+		}
+	}
+}
+
+func TestMetaHelpers(t *testing.T) {
+	type payload struct {
+		A int    `json:"a"`
+		B string `json:"b"`
+	}
+	raw, err := MarshalMeta(payload{A: 7, B: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got payload
+	if err := UnmarshalMeta(raw, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.A != 7 || got.B != "x" {
+		t.Fatalf("round trip got %+v", got)
+	}
+	if raw, err := MarshalMeta(nil); err != nil || raw != nil {
+		t.Fatal("MarshalMeta(nil) should be nil,nil")
+	}
+	if err := UnmarshalMeta(nil, &got); err != nil {
+		t.Fatal("UnmarshalMeta(nil) should be a no-op")
+	}
+}
+
+func echoServer(t *testing.T) (*Server, string) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(ln, func(op string, meta json.RawMessage, body []byte) (interface{}, []byte, error) {
+		switch op {
+		case "echo":
+			return json.RawMessage(meta), body, nil
+		case "fail":
+			return nil, nil, fmt.Errorf("boom: %w", core.ErrNotFound)
+		default:
+			return nil, nil, fmt.Errorf("unknown op %q", op)
+		}
+	}, nil)
+	t.Cleanup(func() { srv.Close() })
+	return srv, srv.Addr()
+}
+
+func TestRPCEcho(t *testing.T) {
+	_, addr := echoServer(t)
+	conn, err := Dial(addr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	var respMeta map[string]int
+	body, err := conn.Call("echo", map[string]int{"n": 42}, []byte("bulk"), &respMeta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if respMeta["n"] != 42 {
+		t.Fatalf("meta round trip got %v", respMeta)
+	}
+	if string(body) != "bulk" {
+		t.Fatalf("body round trip got %q", body)
+	}
+}
+
+func TestRPCRemoteErrorSentinel(t *testing.T) {
+	_, addr := echoServer(t)
+	conn, err := Dial(addr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	_, err = conn.Call("fail", nil, nil, nil)
+	if err == nil {
+		t.Fatal("expected remote error")
+	}
+	if !errors.Is(err, core.ErrNotFound) {
+		t.Fatalf("sentinel lost across the wire: %v", err)
+	}
+	var remote *RemoteError
+	if !errors.As(err, &remote) || remote.Op != "fail" {
+		t.Fatalf("want RemoteError for op fail, got %#v", err)
+	}
+}
+
+func TestRPCConcurrentCallsOneConn(t *testing.T) {
+	_, addr := echoServer(t)
+	conn, err := Dial(addr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			payload := []byte(fmt.Sprintf("payload-%d", i))
+			body, err := conn.Call("echo", nil, payload, nil)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if !bytes.Equal(body, payload) {
+				errs <- fmt.Errorf("mismatched response %q for %q", body, payload)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestPoolReusesAndRetries(t *testing.T) {
+	_, addr := echoServer(t)
+	pool := NewPool(nil, 4)
+	defer pool.Close()
+
+	for i := 0; i < 10; i++ {
+		body, err := pool.Call(addr, "echo", nil, []byte("x"), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(body) != "x" {
+			t.Fatalf("bad body %q", body)
+		}
+	}
+	// Remote errors must keep the connection pooled and not be retried.
+	if _, err := pool.Call(addr, "fail", nil, nil, nil); !errors.Is(err, core.ErrNotFound) {
+		t.Fatalf("want ErrNotFound, got %v", err)
+	}
+}
+
+func TestPoolRetriesStaleConnection(t *testing.T) {
+	srv, addr := echoServer(t)
+	pool := NewPool(nil, 4)
+	defer pool.Close()
+
+	if _, err := pool.Call(addr, "echo", nil, []byte("a"), nil); err != nil {
+		t.Fatal(err)
+	}
+	// Restart the server on the same address so the pooled conn is stale.
+	srv.Close()
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Skipf("cannot rebind %s: %v", addr, err)
+	}
+	srv2 := NewServer(ln, func(op string, meta json.RawMessage, body []byte) (interface{}, []byte, error) {
+		return nil, body, nil
+	}, nil)
+	defer srv2.Close()
+
+	if _, err := pool.Call(addr, "echo", nil, []byte("b"), nil); err != nil {
+		t.Fatalf("pool did not recover from stale connection: %v", err)
+	}
+}
+
+func TestServerCloseIdempotent(t *testing.T) {
+	srv, _ := echoServer(t)
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConnCallAfterClose(t *testing.T) {
+	_, addr := echoServer(t)
+	conn, err := Dial(addr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+	if _, err := conn.Call("echo", nil, nil, nil); !errors.Is(err, core.ErrClosed) {
+		t.Fatalf("want ErrClosed, got %v", err)
+	}
+}

@@ -1,0 +1,83 @@
+package workload
+
+import (
+	"fmt"
+	"time"
+)
+
+// CheckpointSink is where a simulated application run stores its images.
+// WriteImage returns the wall-clock duration the application was blocked
+// by the checkpoint and the number of bytes that actually had to be stored
+// (after any dedup).
+type CheckpointSink interface {
+	WriteImage(name string, img []byte) (blocked time.Duration, stored int64, err error)
+}
+
+// RunParams configure an end-to-end application run (the Table 5
+// experiment: BLAST checkpointing periodically to local disk vs stdchk).
+type RunParams struct {
+	// Trace supplies the checkpoint images in order.
+	Trace *Trace
+	// ComputePerPhase is the virtual compute time between checkpoints.
+	// It is accounted, not slept: Table 5's total-time comparison needs
+	// the compute:checkpoint ratio, not a week of wall clock.
+	ComputePerPhase time.Duration
+	// NamePattern formats the checkpoint file name for timestep i.
+	NamePattern string
+}
+
+// RunResult aggregates the Table 5 row quantities.
+type RunResult struct {
+	// TotalTime is virtual compute plus measured checkpoint time.
+	TotalTime time.Duration
+	// CheckpointTime is the time the application spent blocked on
+	// checkpoints.
+	CheckpointTime time.Duration
+	// DataBytes is the logical volume of checkpoint data produced.
+	DataBytes int64
+	// StoredBytes is the volume actually stored (post-dedup).
+	StoredBytes int64
+	// Checkpoints is the number of images written.
+	Checkpoints int
+}
+
+// Improvement returns the percentage improvement of this result over a
+// baseline for the three Table 5 rows: total time, checkpoint time, data
+// size.
+func (r RunResult) Improvement(base RunResult) (totalPct, ckptPct, dataPct float64) {
+	pct := func(baseV, v float64) float64 {
+		if baseV == 0 {
+			return 0
+		}
+		return 100 * (baseV - v) / baseV
+	}
+	return pct(base.TotalTime.Seconds(), r.TotalTime.Seconds()),
+		pct(base.CheckpointTime.Seconds(), r.CheckpointTime.Seconds()),
+		pct(float64(base.StoredBytes), float64(r.StoredBytes))
+}
+
+// SimulateRun drives the trace through a sink, modelling an application
+// with distinct compute and checkpoint phases (paper §III.A).
+func SimulateRun(p RunParams, sink CheckpointSink) (RunResult, error) {
+	if p.Trace == nil || sink == nil {
+		return RunResult{}, fmt.Errorf("workload: trace and sink are required")
+	}
+	if p.NamePattern == "" {
+		p.NamePattern = "blast.n1.t%d"
+	}
+	var res RunResult
+	for i, img := range p.Trace.Images {
+		res.TotalTime += p.ComputePerPhase // compute phase (virtual)
+		name := fmt.Sprintf(p.NamePattern, i)
+		blocked, stored, err := sink.WriteImage(name, img)
+		if err != nil {
+			return res, fmt.Errorf("workload: checkpoint %d: %w", i, err)
+		}
+		res.TotalTime += blocked
+		res.CheckpointTime += blocked
+		res.DataBytes += int64(len(img))
+		res.StoredBytes += stored
+		res.Checkpoints++
+	}
+	return res, nil
+}

@@ -1,0 +1,286 @@
+// Package workload generates synthetic checkpoint-image traces with the
+// statistical structure of the paper's three real workloads (§V.E,
+// Table 2):
+//
+//   - BMS, application-level checkpointing: the application writes its own
+//     ideally-compressed state, so successive images share nothing a
+//     compare-by-hash heuristic can find.
+//   - BLAST under BLCR, library-level checkpointing: a process address
+//     space. Much of the image is identical between checkpoints, but
+//     dynamic regions grow and shrink, shifting the byte offsets of the
+//     stable content that follows them. Offset-sensitive heuristics
+//     (FsCH) therefore find only the aligned prefix fraction, while
+//     content-anchored CbCH finds nearly all of it — the paper's central
+//     Table 3 contrast.
+//   - BLAST under Xen, VM-level checkpointing: Xen dumps memory pages in
+//     essentially random order and prepends per-page metadata, destroying
+//     detectable similarity for every heuristic (the paper's "surprising
+//     result").
+//
+// Images are deterministic functions of (seed, version), so traces are
+// reproducible without storing multi-GB fixtures.
+package workload
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"time"
+)
+
+// Trace is a sequence of checkpoint images of one application.
+type Trace struct {
+	// Application is the workload label, e.g. "BMS" or "BLAST".
+	Application string
+	// Type is the checkpointing technique ("application", "library
+	// (BLCR)", "VM (Xen)").
+	Type string
+	// Interval is the checkpoint interval the trace models.
+	Interval time.Duration
+	// Images are the successive checkpoint images.
+	Images [][]byte
+}
+
+// Count returns the number of checkpoints.
+func (t *Trace) Count() int { return len(t.Images) }
+
+// AvgSizeMB returns the average image size in decimal MB (Table 2 column).
+func (t *Trace) AvgSizeMB() float64 {
+	if len(t.Images) == 0 {
+		return 0
+	}
+	var total int64
+	for _, img := range t.Images {
+		total += int64(len(img))
+	}
+	return float64(total) / 1e6 / float64(len(t.Images))
+}
+
+// TotalBytes returns the cumulative trace size.
+func (t *Trace) TotalBytes() int64 {
+	var total int64
+	for _, img := range t.Images {
+		total += int64(len(img))
+	}
+	return total
+}
+
+// fill writes deterministic high-entropy bytes.
+func fill(rng *rand.Rand, b []byte) {
+	// rand.Read never fails for math/rand.
+	rng.Read(b)
+}
+
+// AppLevel generates a BMS-style application-level trace: every image is
+// freshly "compressed" state with no inter-version similarity.
+func AppLevel(seed int64, images int, size int64) *Trace {
+	t := &Trace{
+		Application: "BMS",
+		Type:        "application",
+		Interval:    time.Minute,
+		Images:      make([][]byte, 0, images),
+	}
+	for v := 0; v < images; v++ {
+		rng := rand.New(rand.NewSource(seed*1_000_003 + int64(v)))
+		img := make([]byte, size)
+		fill(rng, img)
+		t.Images = append(t.Images, img)
+	}
+	return t
+}
+
+// BLCRParams shape a library-level (process address space) trace.
+type BLCRParams struct {
+	// Seed selects the dataset.
+	Seed int64
+	// Images is the number of checkpoints.
+	Images int
+	// Size is the approximate image size in bytes.
+	Size int64
+	// AlignedFrac is the fraction of bytes that stay identical at
+	// identical offsets across versions: stable mmapped regions ahead of
+	// any size-changing region. Only this fraction is visible to FsCH.
+	AlignedFrac float64
+	// StableFrac is the fraction of bytes whose content survives between
+	// versions but whose offsets shift because dynamic regions before
+	// them changed size. Content-anchored (overlap) CbCH sees
+	// AlignedFrac+StableFrac.
+	StableFrac float64
+	// Interval annotates the trace.
+	Interval time.Duration
+}
+
+// BLCR5Min is the paper's BLAST+BLCR 5-minute-interval calibration:
+// FsCH detects ≈25%, overlap CbCH ≈84% (Table 3).
+func BLCR5Min(seed int64, images int, size int64) *Trace {
+	return BLCR(BLCRParams{
+		Seed: seed, Images: images, Size: size,
+		AlignedFrac: 0.25, StableFrac: 0.60,
+		Interval: 5 * time.Minute,
+	})
+}
+
+// BLCR15Min is the 15-minute-interval calibration: more drift between
+// checkpoints; FsCH ≈8%, overlap CbCH ≈70% (Table 3).
+func BLCR15Min(seed int64, images int, size int64) *Trace {
+	return BLCR(BLCRParams{
+		Seed: seed, Images: images, Size: size,
+		AlignedFrac: 0.08, StableFrac: 0.63,
+		Interval: 15 * time.Minute,
+	})
+}
+
+// BLCRShortInterval models high-frequency checkpointing (the Table 5
+// end-to-end run, checkpointing every 30 time units): most of the image is
+// untouched and unshifted, so even FsCH dedups ≈70% of the data.
+func BLCRShortInterval(seed int64, images int, size int64) *Trace {
+	return BLCR(BLCRParams{
+		Seed: seed, Images: images, Size: size,
+		AlignedFrac: 0.72, StableFrac: 0.18,
+		Interval: 30 * time.Second,
+	})
+}
+
+// BLCR generates a library-level trace from explicit parameters.
+//
+// Image layout: [aligned zone][dynamic pad | stable zone]... The aligned
+// zone and the stable zones keep their content across versions; the pads
+// are rewritten fresh each version and vary in size, shifting every stable
+// zone behind them by a few bytes.
+func BLCR(p BLCRParams) *Trace {
+	if p.Images <= 0 || p.Size <= 0 {
+		return &Trace{Application: "BLAST", Type: "library (BLCR)", Interval: p.Interval}
+	}
+	base := rand.New(rand.NewSource(p.Seed))
+
+	alignedLen := int64(float64(p.Size) * p.AlignedFrac)
+	stableTotal := int64(float64(p.Size) * p.StableFrac)
+	padTotal := p.Size - alignedLen - stableTotal
+
+	// Persistent content for the aligned zone and stable zones. The zone
+	// count scales with the image so stable regions stay large relative
+	// to any reasonable chunk size (a real address space's stable
+	// mappings are MBs, not KBs).
+	aligned := make([]byte, alignedLen)
+	fill(base, aligned)
+	zones := int(p.Size / (1536 << 10))
+	if zones < 4 {
+		zones = 4
+	}
+	if zones > 64 {
+		zones = 64
+	}
+	stableZones := make([][]byte, zones)
+	for i := range stableZones {
+		z := make([]byte, stableTotal/int64(zones))
+		fill(base, z)
+		stableZones[i] = z
+	}
+	padBase := padTotal / int64(zones)
+
+	t := &Trace{
+		Application: "BLAST",
+		Type:        "library (BLCR)",
+		Interval:    p.Interval,
+		Images:      make([][]byte, 0, p.Images),
+	}
+	for v := 0; v < p.Images; v++ {
+		rng := rand.New(rand.NewSource(p.Seed*2_000_003 + int64(v)))
+		img := make([]byte, 0, int(p.Size)+zones*64)
+		img = append(img, aligned...)
+		for i := 0; i < zones; i++ {
+			// Dynamic pad: fresh content, size jittered by a few
+			// bytes so the following stable zone shifts.
+			padLen := padBase + int64(rng.Intn(129)) - 64
+			if padLen < 1 {
+				padLen = 1
+			}
+			pad := make([]byte, padLen)
+			fill(rng, pad)
+			img = append(img, pad...)
+			img = append(img, stableZones[i]...)
+		}
+		t.Images = append(t.Images, img)
+	}
+	return t
+}
+
+// XenParams shape a VM-level trace.
+type XenParams struct {
+	Seed     int64
+	Images   int
+	Size     int64
+	Interval time.Duration
+	// PreserveOrder emits pages in index order without shuffling — the
+	// "Xen fix" the paper says it is exploring; similarity is restored.
+	PreserveOrder bool
+}
+
+// Xen generates a VM-level trace: the same underlying memory as a BLCR
+// trace, but dumped page-by-page in a per-version random order with a
+// per-page metadata header, which is how Xen defeats similarity detection
+// (paper §V.E).
+func Xen(p XenParams) *Trace {
+	const pageSize = 4096
+	const headerSize = 16
+	if p.Interval == 0 {
+		p.Interval = 5 * time.Minute
+	}
+	pages := int(p.Size / pageSize)
+	if pages == 0 {
+		pages = 1
+	}
+	base := rand.New(rand.NewSource(p.Seed))
+
+	// Underlying memory: mostly stable pages, some dirtied per version.
+	memory := make([][]byte, pages)
+	for i := range memory {
+		pg := make([]byte, pageSize)
+		fill(base, pg)
+		memory[i] = pg
+	}
+
+	typ := "VM (Xen)"
+	if p.PreserveOrder {
+		typ = "VM (Xen, ordered)"
+	}
+	t := &Trace{
+		Application: "BLAST",
+		Type:        typ,
+		Interval:    p.Interval,
+		Images:      make([][]byte, 0, p.Images),
+	}
+	for v := 0; v < p.Images; v++ {
+		rng := rand.New(rand.NewSource(p.Seed*3_000_017 + int64(v)))
+		// Dirty ~10% of pages in place.
+		for d := 0; d < pages/10; d++ {
+			fill(rng, memory[rng.Intn(pages)])
+		}
+		order := make([]int, pages)
+		for i := range order {
+			order[i] = i
+		}
+		if !p.PreserveOrder {
+			rng.Shuffle(pages, func(i, j int) { order[i], order[j] = order[j], order[i] })
+		}
+		img := make([]byte, 0, pages*(pageSize+headerSize))
+		var hdr [headerSize]byte
+		for seq, idx := range order {
+			// Per-page metadata Xen adds to recreate correct images:
+			// page frame number, sequence, version counter. The
+			// PreserveOrder fix also stabilizes the metadata (ordering
+			// alone is not enough: a changing version counter in every
+			// page header would still defeat chunk hashing).
+			binary.BigEndian.PutUint32(hdr[0:4], uint32(idx))
+			binary.BigEndian.PutUint32(hdr[4:8], uint32(seq))
+			if p.PreserveOrder {
+				binary.BigEndian.PutUint64(hdr[8:16], 0)
+			} else {
+				binary.BigEndian.PutUint64(hdr[8:16], uint64(v))
+			}
+			img = append(img, hdr[:]...)
+			img = append(img, memory[idx]...)
+		}
+		t.Images = append(t.Images, img)
+	}
+	return t
+}
