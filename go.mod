@@ -1,0 +1,3 @@
+module stdchk
+
+go 1.24.0

@@ -6,7 +6,6 @@
 package benefactor
 
 import (
-	"encoding/json"
 	"errors"
 	"fmt"
 	"log"
@@ -154,107 +153,144 @@ func (b *Benefactor) logf(format string, args ...interface{}) {
 }
 
 // handle dispatches one RPC.
-func (b *Benefactor) handle(op string, meta json.RawMessage, body []byte) (interface{}, []byte, error) {
-	switch op {
+func (b *Benefactor) handle(req *wire.Req) (wire.Resp, error) {
+	switch req.Op {
 	case proto.BPut:
-		var req proto.PutReq
-		if err := wire.UnmarshalMeta(meta, &req); err != nil {
-			return nil, nil, err
+		var put proto.PutReq
+		if err := wire.UnmarshalMeta(req.Meta, &put); err != nil {
+			return wire.Resp{}, err
 		}
-		if err := b.putChunk(req.ID, body); err != nil {
-			return nil, nil, err
+		retained, err := b.putChunk(put.ID, req.Body)
+		if retained {
+			// The store kept the request buffer as the chunk bytes;
+			// keep the server from recycling it under the store.
+			req.DisownBody()
 		}
-		return proto.HeartbeatResp{OK: true}, nil, nil
-	case proto.BGet:
-		var req proto.GetReq
-		if err := wire.UnmarshalMeta(meta, &req); err != nil {
-			return nil, nil, err
-		}
-		data, err := b.chunks.Get(req.ID)
 		if err != nil {
-			return nil, nil, err
+			return wire.Resp{}, err
 		}
-		return nil, data, nil
+		return wire.Resp{Meta: proto.HeartbeatResp{OK: true}}, nil
+	case proto.BGet:
+		var get proto.GetReq
+		if err := wire.UnmarshalMeta(req.Meta, &get); err != nil {
+			return wire.Resp{}, err
+		}
+		data, err := b.fetchChunk(get.ID)
+		if err != nil {
+			return wire.Resp{}, err
+		}
+		return wire.Resp{Body: data, Recycle: true}, nil
 	case proto.BHas:
-		var req proto.HasReq
-		if err := wire.UnmarshalMeta(meta, &req); err != nil {
-			return nil, nil, err
+		var has proto.HasReq
+		if err := wire.UnmarshalMeta(req.Meta, &has); err != nil {
+			return wire.Resp{}, err
 		}
-		present := make([]bool, len(req.IDs))
-		for i, id := range req.IDs {
+		present := make([]bool, len(has.IDs))
+		for i, id := range has.IDs {
 			present[i] = b.chunks.Has(id)
 		}
-		return proto.HasResp{Present: present}, nil, nil
+		return wire.Resp{Meta: proto.HasResp{Present: present}}, nil
 	case proto.BDel:
-		var req proto.DelReq
-		if err := wire.UnmarshalMeta(meta, &req); err != nil {
-			return nil, nil, err
+		var del proto.DelReq
+		if err := wire.UnmarshalMeta(req.Meta, &del); err != nil {
+			return wire.Resp{}, err
 		}
-		for _, id := range req.IDs {
+		for _, id := range del.IDs {
 			if err := b.chunks.Delete(id); err != nil {
-				return nil, nil, err
+				return wire.Resp{}, err
 			}
 			b.mu.Lock()
 			delete(b.births, id)
 			b.mu.Unlock()
 		}
-		return proto.HeartbeatResp{OK: true}, nil, nil
+		return wire.Resp{Meta: proto.HeartbeatResp{OK: true}}, nil
 	case proto.BReplicate:
-		var req proto.ReplicateReq
-		if err := wire.UnmarshalMeta(meta, &req); err != nil {
-			return nil, nil, err
+		var rep proto.ReplicateReq
+		if err := wire.UnmarshalMeta(req.Meta, &rep); err != nil {
+			return wire.Resp{}, err
 		}
-		if err := b.replicateTo(req.ID, req.Target); err != nil {
-			return nil, nil, err
+		if err := b.replicateTo(rep.ID, rep.Target); err != nil {
+			return wire.Resp{}, err
 		}
-		return proto.HeartbeatResp{OK: true}, nil, nil
+		return wire.Resp{Meta: proto.HeartbeatResp{OK: true}}, nil
 	case proto.BMapPut:
-		var req proto.MapPutReq
-		if err := wire.UnmarshalMeta(meta, &req); err != nil {
-			return nil, nil, err
+		var mp proto.MapPutReq
+		if err := wire.UnmarshalMeta(req.Meta, &mp); err != nil {
+			return wire.Resp{}, err
 		}
-		if req.Name == "" || req.Map == nil {
-			return nil, nil, errors.New("benefactor: mapput requires name and map")
+		if mp.Name == "" || mp.Map == nil {
+			return wire.Resp{}, errors.New("benefactor: mapput requires name and map")
 		}
 		b.mu.Lock()
-		b.maps[req.Name+"#"+fmt.Sprint(req.Map.Version)] = req.Map.Clone()
+		b.maps[mp.Name+"#"+fmt.Sprint(mp.Map.Version)] = mp.Map.Clone()
 		b.mu.Unlock()
-		return proto.HeartbeatResp{OK: true}, nil, nil
+		return wire.Resp{Meta: proto.HeartbeatResp{OK: true}}, nil
 	case proto.BMapList:
-		return b.mapList(), nil, nil
+		return wire.Resp{Meta: b.mapList()}, nil
 	case proto.BPing:
-		return proto.HeartbeatResp{OK: true}, nil, nil
+		return wire.Resp{Meta: proto.HeartbeatResp{OK: true}}, nil
 	case proto.BStats:
-		return proto.StatsResp{
+		return wire.Resp{Meta: proto.StatsResp{
 			Used:     b.chunks.Used(),
 			Capacity: b.chunks.Capacity(),
 			Chunks:   b.chunks.Len(),
-		}, nil, nil
+		}}, nil
 	default:
-		return nil, nil, fmt.Errorf("benefactor: unknown op %q", op)
+		return wire.Resp{}, fmt.Errorf("benefactor: unknown op %q", req.Op)
 	}
 }
 
-func (b *Benefactor) putChunk(id core.ChunkID, data []byte) error {
-	if err := b.chunks.Put(id, data); err != nil {
-		return err
+func (b *Benefactor) putChunk(id core.ChunkID, data []byte) (bool, error) {
+	retained, err := b.chunks.Put(id, data)
+	if err != nil {
+		return retained, err
 	}
 	b.mu.Lock()
 	if _, ok := b.births[id]; !ok {
 		b.births[id] = time.Now()
 	}
 	b.mu.Unlock()
-	return nil
+	return retained, nil
+}
+
+// fetchChunk reads one chunk into a pooled buffer sized to the chunk, so
+// the serve path allocates nothing in steady state. The returned slice is
+// always caller-owned and safe to hand to wire.PutBuf exactly once.
+func (b *Benefactor) fetchChunk(id core.ChunkID) ([]byte, error) {
+	size, ok := b.chunks.Size(id)
+	if !ok {
+		size = core.DefaultChunkSize
+	}
+	buf := wire.GetBuf(int(size))
+	data, err := b.chunks.GetInto(id, buf[:0])
+	if err != nil {
+		wire.PutBuf(buf)
+		return nil, err
+	}
+	if len(data) == 0 {
+		// Zero-length chunk: hand back the pooled buffer itself (empty)
+		// so the caller's single PutBuf recycles it exactly once.
+		return buf[:0], nil
+	}
+	if &data[0] != &buf[:1][0] {
+		// The store grew past the pooled buffer (e.g. the chunk was
+		// replaced under us); the result is a fresh allocation, so the
+		// pooled buffer goes straight back.
+		wire.PutBuf(buf)
+	}
+	return data, nil
 }
 
 // replicateTo pushes one of this node's chunks to another benefactor
 // (the manager-driven shadow-map copy).
 func (b *Benefactor) replicateTo(id core.ChunkID, target string) error {
-	data, err := b.chunks.Get(id)
+	data, err := b.fetchChunk(id)
 	if err != nil {
 		return err
 	}
-	if _, err := b.pool.Call(target, proto.BPut, proto.PutReq{ID: id}, data, nil); err != nil {
+	_, err = b.pool.Call(target, proto.BPut, proto.PutReq{ID: id}, data, nil)
+	wire.PutBuf(data)
+	if err != nil {
 		return fmt.Errorf("replicate %s to %s: %w", id.Short(), target, err)
 	}
 	return nil

@@ -198,3 +198,34 @@ func TestCloseIdempotent(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestZeroLengthChunkRoundTrip pins the empty-chunk corner of the pooled
+// serve path: fetchChunk must hand the pooled buffer back exactly once
+// (a double PutBuf here corrupts the shared wire buffer pool).
+func TestZeroLengthChunkRoundTrip(t *testing.T) {
+	b := startNode(t, Config{})
+	id := core.HashChunk(nil) // SHA-1 of the empty payload
+
+	call(t, b.Addr(), proto.BPut, proto.PutReq{ID: id}, nil, nil)
+	for i := 0; i < 4; i++ {
+		got := call(t, b.Addr(), proto.BGet, proto.GetReq{ID: id}, nil, nil)
+		if len(got) != 0 {
+			t.Fatalf("empty chunk read back %d bytes", len(got))
+		}
+	}
+	// Interleave a normal chunk to catch pool aliasing: a double-put of
+	// the empty chunk's buffer would hand the same backing array to two
+	// concurrent frames and corrupt one of them.
+	data := bytes.Repeat([]byte("x"), 3000)
+	did := core.HashChunk(data)
+	call(t, b.Addr(), proto.BPut, proto.PutReq{ID: did}, data, nil)
+	for i := 0; i < 4; i++ {
+		if len(call(t, b.Addr(), proto.BGet, proto.GetReq{ID: id}, nil, nil)) != 0 {
+			t.Fatal("empty chunk grew")
+		}
+		got := call(t, b.Addr(), proto.BGet, proto.GetReq{ID: did}, nil, nil)
+		if core.HashChunk(got) != did {
+			t.Fatal("payload corrupted by pooled-buffer aliasing")
+		}
+	}
+}

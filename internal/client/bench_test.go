@@ -1,0 +1,64 @@
+package client_test
+
+import (
+	"testing"
+
+	"stdchk/internal/benefactor"
+	"stdchk/internal/client"
+	"stdchk/internal/manager"
+)
+
+// BenchmarkEmitChunkPipeline measures the full sliding-window write path —
+// chunking, hashing, framing, upload, commit — against an unshaped in-process
+// manager and a 4-wide stripe, 8 MB per op. Allocation count is the metric
+// of interest: the steady-state path should recycle chunk buffers instead of
+// allocating per chunk.
+func BenchmarkEmitChunkPipeline(b *testing.B) {
+	mgr, err := manager.New(manager.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer mgr.Close()
+	var benefs []*benefactor.Benefactor
+	for i := 0; i < 4; i++ {
+		bf, err := benefactor.New(benefactor.Config{ManagerAddr: mgr.Addr()})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer bf.Close()
+		benefs = append(benefs, bf)
+	}
+	_ = benefs
+	cl, err := client.New(client.Config{ManagerAddr: mgr.Addr(), StripeWidth: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cl.Close()
+
+	data := make([]byte, 1<<20)
+	for i := range data {
+		data[i] = byte(i * 13)
+	}
+	const chunks = 8
+	b.SetBytes(chunks << 20)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w, err := cl.Create("bench.n1.t0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j := 0; j < chunks; j++ {
+			data[0] = byte(i + j) // distinct chunks per op
+			if _, err := w.Write(data); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := w.Close(); err != nil {
+			b.Fatal(err)
+		}
+		if err := w.Wait(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -130,8 +130,51 @@ type Client struct {
 	cfg  Config
 	pool *wire.Pool
 
+	// chunkPool recycles write-path chunk buffers: filled → hashed →
+	// uploaded (or dedup-hit) → returned. Buffers are handled as *[]byte
+	// so the steady-state pipeline allocates nothing per chunk.
+	chunkPool sync.Pool
+
+	// onChunkGet / onChunkPut observe pool traffic; nil outside tests.
+	onChunkGet func(*[]byte)
+	onChunkPut func(*[]byte)
+
 	benefMu    sync.Mutex
 	benefAddrs map[core.NodeID]string // node id -> service address cache
+}
+
+// getChunkBuf returns an empty chunk buffer with at least size capacity.
+func (c *Client) getChunkBuf(size int64) *[]byte {
+	if v := c.chunkPool.Get(); v != nil {
+		bp := v.(*[]byte)
+		if int64(cap(*bp)) >= size {
+			*bp = (*bp)[:0]
+			if c.onChunkGet != nil {
+				c.onChunkGet(bp)
+			}
+			return bp
+		}
+	}
+	b := make([]byte, 0, size)
+	bp := &b
+	if c.onChunkGet != nil {
+		c.onChunkGet(bp)
+	}
+	return bp
+}
+
+// putChunkBuf returns a chunk buffer to the pool. Each buffer handed out
+// by getChunkBuf must come back exactly once, and never after its bytes
+// have been handed to anyone else.
+func (c *Client) putChunkBuf(bp *[]byte) {
+	if bp == nil {
+		return
+	}
+	if c.onChunkPut != nil {
+		c.onChunkPut(bp)
+	}
+	*bp = (*bp)[:0]
+	c.chunkPool.Put(bp)
 }
 
 // New returns a client for the given configuration.

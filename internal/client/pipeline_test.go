@@ -1,0 +1,367 @@
+package client
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"testing"
+	"time"
+
+	"stdchk/internal/benefactor"
+	"stdchk/internal/core"
+	"stdchk/internal/manager"
+	"stdchk/internal/store"
+)
+
+// startCluster spins a real manager plus width benefactors for pipeline
+// tests, each with the given per-node capacity (0 = unlimited).
+func startCluster(t *testing.T, width int, capacity int64) (*manager.Manager, []*benefactor.Benefactor) {
+	t.Helper()
+	mgr, err := manager.New(manager.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { mgr.Close() })
+	var benefs []*benefactor.Benefactor
+	for i := 0; i < width; i++ {
+		bf, err := benefactor.New(benefactor.Config{ManagerAddr: mgr.Addr(), Capacity: capacity})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { bf.Close() })
+		benefs = append(benefs, bf)
+	}
+	waitForBenefactors(t, mgr, width)
+	return mgr, benefs
+}
+
+// waitForBenefactors blocks until the asynchronous registrations land.
+func waitForBenefactors(t *testing.T, mgr *manager.Manager, want int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for mgr.Stats().OnlineBenefactors < want {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d of %d benefactors registered", mgr.Stats().OnlineBenefactors, want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func fill(n int, seed byte) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(i)*3 + seed
+	}
+	return b
+}
+
+// TestSingleExtendSpansMultipleQuanta verifies the reservation accounting
+// fix: one Write that jumps several quanta past the reservation costs one
+// MExtend RPC covering the whole gap, not one RPC per quantum.
+func TestSingleExtendSpansMultipleQuanta(t *testing.T) {
+	mgr, _ := startCluster(t, 1, 0)
+	cl, err := New(Config{
+		ManagerAddr:    mgr.Addr(),
+		StripeWidth:    1,
+		ChunkSize:      64 << 10,
+		ReserveQuantum: 128 << 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	w, err := cl.Create("extend.n1.t0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 MB in one call: 15 quanta past the initial 128 KB reservation.
+	if _, err := w.Write(fill(2<<20, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if got := mgr.Stats().Extends; got != 1 {
+		t.Fatalf("first multi-quantum Write cost %d MExtend RPCs, want 1", got)
+	}
+	if w.reserved < 2<<20 {
+		t.Fatalf("reserved %d bytes, want at least the written 2 MB", w.reserved)
+	}
+	// A second jump costs exactly one more.
+	if _, err := w.Write(fill(1<<20, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if got := mgr.Stats().Extends; got != 2 {
+		t.Fatalf("after second jump: %d MExtend RPCs, want 2", got)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBatchedDedupProbes verifies that the hashing stage coalesces
+// per-chunk content-index lookups: a whole application Write becomes a
+// handful of MHasChunks RPCs (at most one per in-flight batch), not one
+// per chunk.
+func TestBatchedDedupProbes(t *testing.T) {
+	mgr, _ := startCluster(t, 2, 0)
+	cl, err := New(Config{
+		ManagerAddr: mgr.Addr(),
+		StripeWidth: 2,
+		ChunkSize:   64 << 10,
+		Incremental: true,
+		BufferBytes: 64 << 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	const chunks = 32
+	data := fill(chunks*64<<10, 3)
+	w, err := cl.Create("dedup.n1.t0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write(data); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Wait(); err != nil {
+		t.Fatal(err)
+	}
+
+	st := mgr.Stats()
+	if st.DedupChunks != chunks {
+		t.Fatalf("dedup probes covered %d chunks, want %d", st.DedupChunks, chunks)
+	}
+	if st.DedupBatches < 1 || st.DedupBatches > chunks/4 {
+		t.Fatalf("%d chunks took %d MHasChunks RPCs; batching is broken (want <= %d)",
+			chunks, st.DedupBatches, chunks/4)
+	}
+
+	// Same content again: every chunk is a dedup hit, still batched.
+	w2, err := cl.Create("dedup.n1.t1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w2.Write(data); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if m := w2.Metrics(); m.Deduped != int64(len(data)) || m.Uploaded != 0 {
+		t.Fatalf("second version: deduped %d uploaded %d, want all %d deduped", m.Deduped, m.Uploaded, len(data))
+	}
+
+	// The dedup'd version must still read back correctly.
+	r, err := cl.Open("dedup.n1.t1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Close()
+	if !bytes.Equal(got, data) {
+		t.Fatal("readback mismatch after dedup")
+	}
+}
+
+// bufTracker asserts the chunk-buffer pool discipline: every buffer handed
+// out comes back exactly once, and nothing is returned that was not handed
+// out.
+type bufTracker struct {
+	t *testing.T
+
+	mu          sync.Mutex
+	outstanding map[*[]byte]bool
+	gets, puts  int
+	violations  []string
+}
+
+func trackChunkBufs(t *testing.T, c *Client) *bufTracker {
+	tr := &bufTracker{t: t, outstanding: make(map[*[]byte]bool)}
+	c.onChunkGet = func(bp *[]byte) {
+		tr.mu.Lock()
+		defer tr.mu.Unlock()
+		tr.gets++
+		if tr.outstanding[bp] {
+			tr.violations = append(tr.violations, fmt.Sprintf("buffer %p handed out twice", bp))
+		}
+		tr.outstanding[bp] = true
+	}
+	c.onChunkPut = func(bp *[]byte) {
+		tr.mu.Lock()
+		defer tr.mu.Unlock()
+		tr.puts++
+		if !tr.outstanding[bp] {
+			tr.violations = append(tr.violations, fmt.Sprintf("buffer %p double-returned to the pool", bp))
+		}
+		delete(tr.outstanding, bp)
+	}
+	return tr
+}
+
+func (tr *bufTracker) check() {
+	tr.t.Helper()
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	for _, v := range tr.violations {
+		tr.t.Error(v)
+	}
+	if len(tr.outstanding) != 0 {
+		tr.t.Errorf("%d chunk buffers never returned to the pool (%d gets, %d puts)",
+			len(tr.outstanding), tr.gets, tr.puts)
+	}
+	if tr.gets != tr.puts {
+		tr.t.Errorf("pool imbalance: %d gets, %d puts", tr.gets, tr.puts)
+	}
+}
+
+// TestChunkBufferLifecycleDedupHit covers the write → dedup-hit path under
+// the race detector: buffers released by the dedup short-circuit must come
+// back exactly once.
+func TestChunkBufferLifecycleDedupHit(t *testing.T) {
+	mgr, _ := startCluster(t, 2, 0)
+	_ = mgr
+	cl, err := New(Config{
+		ManagerAddr: mgr.Addr(),
+		StripeWidth: 2,
+		ChunkSize:   64 << 10,
+		Incremental: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	tr := trackChunkBufs(t, cl)
+
+	data := fill(16*64<<10, 5)
+	for i := 0; i < 3; i++ { // v0 uploads; v1, v2 dedup every chunk
+		w, err := cl.Create("life.n1.t" + fmt.Sprint(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := w.Write(data); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tr.check()
+}
+
+// rejectingStore fails every Put, simulating a benefactor that ran out of
+// space after stripe allocation.
+type rejectingStore struct{ store.Store }
+
+func (r rejectingStore) Put(id core.ChunkID, data []byte) (bool, error) {
+	return false, core.ErrNoSpace
+}
+
+// TestChunkBufferLifecycleUploadError covers the write → upload-error
+// path: when a benefactor rejects chunks, the writer fails but every
+// buffer still comes back exactly once.
+func TestChunkBufferLifecycleUploadError(t *testing.T) {
+	mgr, err := manager.New(manager.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { mgr.Close() })
+	for i := 0; i < 2; i++ {
+		bf, err := benefactor.New(benefactor.Config{
+			ManagerAddr: mgr.Addr(),
+			Store:       rejectingStore{store.NewMemory(0, nil)},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { bf.Close() })
+	}
+	waitForBenefactors(t, mgr, 2)
+	cl, err := New(Config{
+		ManagerAddr: mgr.Addr(),
+		StripeWidth: 2,
+		ChunkSize:   64 << 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	tr := trackChunkBufs(t, cl)
+
+	w, err := cl.Create("fail.n1.t0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var writeErr error
+	for i := 0; i < 8 && writeErr == nil; i++ {
+		_, writeErr = w.Write(fill(2*64<<10, byte(i)))
+	}
+	closeErr := w.Close()
+	waitErr := w.Wait()
+	if writeErr == nil && closeErr == nil && waitErr == nil {
+		t.Fatal("writer succeeded against full benefactors")
+	}
+	if !errors.Is(waitErr, core.ErrNoSpace) && !errors.Is(closeErr, core.ErrNoSpace) && !errors.Is(writeErr, core.ErrNoSpace) {
+		t.Fatalf("expected ErrNoSpace somewhere; write=%v close=%v wait=%v", writeErr, closeErr, waitErr)
+	}
+	tr.check()
+}
+
+// TestPartialFinalChunkRoundTrip pins the final-short-chunk path of the
+// pooled pipeline.
+func TestPartialFinalChunkRoundTrip(t *testing.T) {
+	mgr, _ := startCluster(t, 2, 0)
+	_ = mgr
+	cl, err := New(Config{ManagerAddr: mgr.Addr(), StripeWidth: 2, ChunkSize: 64 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	tr := trackChunkBufs(t, cl)
+
+	data := fill(3*64<<10+1234, 9)
+	w, err := cl.Create("short.n1.t0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.Copy(w, bytes.NewReader(data)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	tr.check()
+
+	r, err := cl.Open("short.n1.t0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	got, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("readback mismatch")
+	}
+}

@@ -8,6 +8,7 @@ import (
 
 	"stdchk/internal/core"
 	"stdchk/internal/proto"
+	"stdchk/internal/wire"
 )
 
 // Reader streams one committed version of a checkpoint image. Chunks are
@@ -101,6 +102,11 @@ func (r *Reader) advanceLocked() error {
 	if res.err != nil {
 		return res.err
 	}
+	// The previous chunk has been fully copied out to the application;
+	// its pool-backed fetch buffer can go back to the wire pool.
+	if r.cur != nil {
+		wire.PutBuf(r.cur)
+	}
 	r.cur = res.data
 	r.off = 0
 	r.next++
@@ -126,6 +132,7 @@ func (r *Reader) fetch(idx int, ch chan<- fetchResult) {
 		}
 		if core.HashChunk(body) != ref.ID {
 			lastErr = fmt.Errorf("chunk %d from %s: %w", idx, node, core.ErrIntegrity)
+			wire.PutBuf(body)
 			continue
 		}
 		ch <- fetchResult{data: body}
@@ -190,6 +197,9 @@ func (r *Reader) Close() error {
 	defer r.mu.Unlock()
 	r.closed = true
 	r.pending = map[int]chan fetchResult{}
-	r.cur = nil
+	if r.cur != nil {
+		wire.PutBuf(r.cur)
+		r.cur = nil
+	}
 	return nil
 }

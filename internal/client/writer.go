@@ -25,6 +25,14 @@ import (
 //     with remote propagation.
 //   - complete-local: Write stages the whole image on the local disk
 //     (paced by its model); the push to stdchk happens only after Close.
+//
+// The remote data path is a pipeline of recycled chunk buffers: the
+// application (or pusher) thread fills pooled buffers, a hashing stage
+// computes SHA-1 off the application thread and batches dedup probes into
+// one MHasChunks RPC per in-flight window, and per-stripe-node uploaders
+// stream the chunks out and return the buffers to the pool. The
+// application thread therefore pays only the memcpy into the buffer — no
+// hashing, no allocation, no per-chunk manager RPCs.
 type Writer struct {
 	c        *Client
 	name     string
@@ -34,8 +42,9 @@ type Writer struct {
 
 	mu           sync.Mutex
 	cond         *sync.Cond
-	err          error // sticky first failure
-	inflight     int64 // bytes accepted but not yet stored remotely
+	err          error         // sticky first failure
+	failed       chan struct{} // closed when err is first set
+	inflight     int64         // bytes accepted but not yet stored remotely
 	commitChunks []proto.CommitChunk
 	closedAt     time.Time
 	storedAt     time.Time
@@ -49,10 +58,15 @@ type Writer struct {
 	chunkSize int64
 	reserved  int64
 
-	cur      []byte
+	cur      *[]byte // pooled buffer being filled; nil between chunks
 	chunkIdx int
 
-	workers []*uploadWorker
+	workers  []*uploadWorker
+	workerWg sync.WaitGroup
+
+	// hashing stage between the filling thread and the uploaders
+	hashCh chan chunkItem
+	hashWg sync.WaitGroup
 
 	// incremental-write staging
 	temp      []byte
@@ -69,11 +83,34 @@ type uploadWorker struct {
 	conn *wire.Conn
 }
 
-type uploadItem struct {
-	idx  int
-	id   core.ChunkID
-	data []byte
+// chunkItem is a filled, not-yet-hashed chunk travelling from the filling
+// thread to the hashing stage. flush asks the hasher to probe/dispatch its
+// current batch once this chunk is folded in (set at the end of a Write
+// call and at end of file, so a whole application write becomes one dedup
+// probe).
+type chunkItem struct {
+	idx   int
+	buf   *[]byte
+	flush bool
 }
+
+// hashedChunk is a chunk with its content name, staged for one batched
+// dedup probe and then dispatch to its round-robin stripe worker.
+type hashedChunk struct {
+	idx int
+	id  core.ChunkID
+	buf *[]byte
+}
+
+type uploadItem struct {
+	idx int
+	id  core.ChunkID
+	buf *[]byte
+}
+
+// maxProbeBatch caps how many chunk IDs one MHasChunks dedup probe
+// carries.
+const maxProbeBatch = 32
 
 func newWriter(c *Client, name string) (*Writer, error) {
 	w := &Writer{
@@ -81,6 +118,7 @@ func newWriter(c *Client, name string) (*Writer, error) {
 		name:     name,
 		protocol: c.cfg.Protocol,
 		openedAt: time.Now(),
+		failed:   make(chan struct{}),
 		done:     make(chan struct{}),
 	}
 	w.cond = sync.NewCond(&w.mu)
@@ -106,12 +144,22 @@ func newWriter(c *Client, name string) (*Writer, error) {
 		conn, err := wire.Dial(st.Addr, c.cfg.Shaper)
 		if err != nil {
 			w.abort()
+			for _, worker := range w.workers {
+				worker.conn.Close()
+			}
 			return nil, fmt.Errorf("client: create %s: dial stripe node %s: %w", name, st.Addr, err)
 		}
 		worker := &uploadWorker{addr: st.Addr, ch: make(chan uploadItem, 4), conn: conn}
 		w.workers = append(w.workers, worker)
+	}
+	for _, worker := range w.workers {
+		w.workerWg.Add(1)
 		go w.runUploader(worker)
 	}
+
+	w.hashCh = make(chan chunkItem, 2*maxProbeBatch)
+	w.hashWg.Add(1)
+	go w.runHasher()
 
 	if w.protocol == IncrementalWrite {
 		// Capacity one bounds outstanding temp files to: one being
@@ -169,43 +217,50 @@ func (w *Writer) Write(p []byte) (int, error) {
 }
 
 // ensureReservation extends the eager space reservation as the file grows.
+// However many quanta a Write jumps past the current reservation, the gap
+// is covered with a single MExtend RPC (rounded up to whole quanta).
 func (w *Writer) ensureReservation() error {
 	w.mu.Lock()
-	need := w.written > w.reserved
+	need := w.written - w.reserved
 	w.mu.Unlock()
-	if !need {
+	if need <= 0 {
 		return nil
 	}
 	quantum := w.c.cfg.ReserveQuantum
+	ext := (need + quantum - 1) / quantum * quantum
 	if _, err := w.c.pool.Call(w.c.cfg.ManagerAddr, proto.MExtend,
-		proto.ExtendReq{WriteID: w.sess.WriteID, Bytes: quantum}, nil, nil); err != nil {
+		proto.ExtendReq{WriteID: w.sess.WriteID, Bytes: ext}, nil, nil); err != nil {
 		w.fail(fmt.Errorf("extend reservation: %w", err))
 		return err
 	}
 	w.mu.Lock()
-	w.reserved += quantum
+	w.reserved += ext
 	w.mu.Unlock()
 	return nil
 }
 
-// appendChunked accumulates bytes into striping chunks and emits full ones.
+// appendChunked accumulates bytes into pooled striping chunks and emits
+// full ones to the hashing stage. The chunk completing when p runs out is
+// flagged to flush the hasher's dedup batch, so one application Write maps
+// to at most one dedup probe.
 func (w *Writer) appendChunked(p []byte) error {
 	for len(p) > 0 {
 		if w.cur == nil {
-			w.cur = make([]byte, 0, w.chunkSize)
+			w.cur = w.c.getChunkBuf(w.chunkSize)
 		}
-		room := int(w.chunkSize) - len(w.cur)
+		room := int(w.chunkSize) - len(*w.cur)
 		take := room
 		if take > len(p) {
 			take = len(p)
 		}
-		w.cur = append(w.cur, p[:take]...)
+		*w.cur = append(*w.cur, p[:take]...)
 		p = p[take:]
-		if int64(len(w.cur)) == w.chunkSize {
-			if err := w.emitChunk(w.cur); err != nil {
+		if int64(len(*w.cur)) == w.chunkSize {
+			buf := w.cur
+			w.cur = nil
+			if err := w.emitChunk(buf, len(p) == 0); err != nil {
 				return err
 			}
-			w.cur = nil
 		}
 	}
 	return nil
@@ -234,6 +289,8 @@ func (w *Writer) appendTemp(p []byte) error {
 // flushTemp hands the current temp file to the background pusher. Blocks
 // when too many temps are outstanding, which is what bounds local space
 // usage (the point of incremental writes over complete-local writes).
+// Backpressure is a plain channel send raced against the failure signal,
+// so waiting costs no wakeups.
 func (w *Writer) flushTemp() error {
 	if len(w.temp) == 0 {
 		return nil
@@ -243,21 +300,11 @@ func (w *Writer) flushTemp() error {
 	select {
 	case w.tempQueue <- t:
 		return nil
-	default:
-	}
-	// Queue full: wait, unless the pipeline already failed.
-	for {
+	case <-w.failed:
 		w.mu.Lock()
 		err := w.err
 		w.mu.Unlock()
-		if err != nil {
-			return err
-		}
-		select {
-		case w.tempQueue <- t:
-			return nil
-		case <-time.After(time.Millisecond):
-		}
+		return err
 	}
 }
 
@@ -280,33 +327,32 @@ func (w *Writer) runTempPusher() {
 // path shared by incremental and complete-local writes).
 func (w *Writer) appendChunkedRemote(data []byte) error {
 	for off := 0; off < len(data); {
-		take := int(w.chunkSize) - len(w.cur)
 		if w.cur == nil {
-			w.cur = make([]byte, 0, w.chunkSize)
-			take = int(w.chunkSize)
+			w.cur = w.c.getChunkBuf(w.chunkSize)
 		}
+		take := int(w.chunkSize) - len(*w.cur)
 		if take > len(data)-off {
 			take = len(data) - off
 		}
-		w.cur = append(w.cur, data[off:off+take]...)
+		*w.cur = append(*w.cur, data[off:off+take]...)
 		off += take
-		if int64(len(w.cur)) == w.chunkSize {
-			if err := w.emitChunk(w.cur); err != nil {
+		if int64(len(*w.cur)) == w.chunkSize {
+			buf := w.cur
+			w.cur = nil
+			if err := w.emitChunk(buf, off == len(data)); err != nil {
 				return err
 			}
-			w.cur = nil
 		}
 	}
 	return nil
 }
 
-// emitChunk hashes a full (or final short) chunk and either dedups it
-// against the manager's content index or dispatches it to its round-robin
-// stripe worker. Blocks while the in-memory window is full.
-func (w *Writer) emitChunk(data []byte) error {
-	n := int64(len(data))
-	id := core.HashChunk(data)
-
+// emitChunk hands a full (or final short) chunk to the hashing stage,
+// taking ownership of the pooled buffer. It blocks while the in-memory
+// window is full; hashing, dedup and upload all happen downstream, off
+// this thread.
+func (w *Writer) emitChunk(buf *[]byte, flush bool) error {
+	n := int64(len(*buf))
 	w.mu.Lock()
 	for w.err == nil && w.inflight+n > w.c.cfg.BufferBytes && w.inflight > 0 {
 		w.cond.Wait()
@@ -314,42 +360,17 @@ func (w *Writer) emitChunk(data []byte) error {
 	if w.err != nil {
 		err := w.err
 		w.mu.Unlock()
+		w.c.putChunkBuf(buf)
 		return err
 	}
 	idx := w.chunkIdx
 	w.chunkIdx++
 	w.inflight += n
 	w.growCommitChunks(idx + 1)
-	w.commitChunks[idx] = proto.CommitChunk{ID: id, Size: n}
+	w.commitChunks[idx].Size = n
 	w.mu.Unlock()
 
-	if w.c.cfg.Incremental {
-		var resp proto.HasResp
-		_, err := w.c.pool.Call(w.c.cfg.ManagerAddr, proto.MHasChunks,
-			proto.HasReq{IDs: []core.ChunkID{id}}, nil, &resp)
-		if err == nil && len(resp.Present) == 1 && resp.Present[0] {
-			// Chunk already stored: copy-on-write reuse, no upload.
-			w.mu.Lock()
-			w.deduped += n
-			w.inflight -= n
-			w.cond.Broadcast()
-			w.mu.Unlock()
-			return nil
-		}
-		if err != nil {
-			w.fail(fmt.Errorf("dedup query: %w", err))
-			return err
-		}
-	}
-
-	w.mu.Lock()
-	workers := w.workers
-	w.mu.Unlock()
-	if len(workers) == 0 {
-		return core.ErrClosed
-	}
-	worker := workers[idx%len(workers)]
-	worker.ch <- uploadItem{idx: idx, id: id, data: data}
+	w.hashCh <- chunkItem{idx: idx, buf: buf, flush: flush}
 	return nil
 }
 
@@ -359,32 +380,154 @@ func (w *Writer) growCommitChunks(n int) {
 	}
 }
 
+// runHasher is the hashing stage: it names chunks (SHA-1) off the
+// application thread and gathers them into batches that cost one MHasChunks
+// dedup probe each. A batch closes on a flush marker (end of an application
+// Write), on reaching maxProbeBatch, or when the queue momentarily runs dry
+// — whichever comes first — so chunks are never held back waiting for more.
+func (w *Writer) runHasher() {
+	defer w.hashWg.Done()
+	batch := make([]hashedChunk, 0, maxProbeBatch)
+	ids := make([]core.ChunkID, 0, maxProbeBatch)
+	for item := range w.hashCh {
+		flush := w.hashInto(&batch, item)
+		for !flush {
+			select {
+			case next, ok := <-w.hashCh:
+				if !ok {
+					w.flushBatch(batch, ids)
+					return
+				}
+				flush = w.hashInto(&batch, next)
+			default:
+				flush = true // queue dry: probe what we have
+			}
+		}
+		w.flushBatch(batch, ids)
+		batch = batch[:0]
+	}
+	w.flushBatch(batch, ids)
+}
+
+// hashInto names one chunk, records it in the commit map, and folds it
+// into the pending batch. It reports whether the batch should flush now.
+func (w *Writer) hashInto(batch *[]hashedChunk, item chunkItem) bool {
+	id := core.HashChunk(*item.buf)
+	w.mu.Lock()
+	w.commitChunks[item.idx].ID = id
+	w.mu.Unlock()
+	*batch = append(*batch, hashedChunk{idx: item.idx, id: id, buf: item.buf})
+	return item.flush || len(*batch) >= maxProbeBatch
+}
+
+// flushBatch resolves one batch: a single dedup probe (when incremental
+// checkpointing is on), then dispatch of the misses to their round-robin
+// stripe workers and release of the hits.
+func (w *Writer) flushBatch(batch []hashedChunk, ids []core.ChunkID) {
+	if len(batch) == 0 {
+		return
+	}
+	w.mu.Lock()
+	err := w.err
+	w.mu.Unlock()
+	if err != nil {
+		w.releaseChunks(batch)
+		return
+	}
+	if !w.c.cfg.Incremental {
+		for _, hc := range batch {
+			w.dispatch(hc)
+		}
+		return
+	}
+	ids = ids[:0]
+	for _, hc := range batch {
+		ids = append(ids, hc.id)
+	}
+	var resp proto.HasResp
+	if _, err := w.c.pool.Call(w.c.cfg.ManagerAddr, proto.MHasChunks,
+		proto.HasReq{IDs: ids}, nil, &resp); err != nil {
+		w.fail(fmt.Errorf("dedup query: %w", err))
+		w.releaseChunks(batch)
+		return
+	}
+	for i, hc := range batch {
+		if i < len(resp.Present) && resp.Present[i] {
+			// Chunk already stored: copy-on-write reuse, no upload.
+			n := int64(len(*hc.buf))
+			w.mu.Lock()
+			w.deduped += n
+			w.inflight -= n
+			w.cond.Broadcast()
+			w.mu.Unlock()
+			w.c.putChunkBuf(hc.buf)
+			continue
+		}
+		w.dispatch(hc)
+	}
+}
+
+// dispatch routes one named chunk to its round-robin stripe worker.
+func (w *Writer) dispatch(hc hashedChunk) {
+	w.mu.Lock()
+	workers := w.workers
+	w.mu.Unlock()
+	if len(workers) == 0 {
+		// Torn down under us: record the failure so the chunk is not
+		// silently dropped from the committed map.
+		w.fail(core.ErrClosed)
+		w.releaseChunks([]hashedChunk{hc})
+		return
+	}
+	workers[hc.idx%len(workers)].ch <- uploadItem{idx: hc.idx, id: hc.id, buf: hc.buf}
+}
+
+// releaseChunks drops a batch on the failure path: window accounting is
+// unwound and every buffer goes back to the pool exactly once.
+func (w *Writer) releaseChunks(batch []hashedChunk) {
+	var n int64
+	for _, hc := range batch {
+		n += int64(len(*hc.buf))
+	}
+	w.mu.Lock()
+	w.inflight -= n
+	w.cond.Broadcast()
+	w.mu.Unlock()
+	for _, hc := range batch {
+		w.c.putChunkBuf(hc.buf)
+	}
+}
+
 // runUploader is one stripe node's upload goroutine: chunks bound to this
-// node by round-robin stream through a dedicated connection.
+// node by round-robin stream through a dedicated connection, and their
+// buffers return to the pool once the frame is on the wire.
 func (w *Writer) runUploader(worker *uploadWorker) {
+	defer w.workerWg.Done()
 	for item := range worker.ch {
+		n := int64(len(*item.buf))
 		w.mu.Lock()
 		failed := w.err != nil
 		w.mu.Unlock()
 		if !failed {
-			_, err := worker.conn.Call(proto.BPut, proto.PutReq{ID: item.id}, item.data, nil)
+			_, err := worker.conn.Call(proto.BPut, proto.PutReq{ID: item.id}, *item.buf, nil)
 			if err != nil {
 				w.fail(fmt.Errorf("upload chunk %d to %s: %w", item.idx, worker.addr, err))
 			} else {
-				w.recordUpload(item, worker)
+				w.recordUpload(item, worker, n)
 			}
 		}
 		w.mu.Lock()
-		w.inflight -= int64(len(item.data))
+		w.inflight -= n
 		w.cond.Broadcast()
 		w.mu.Unlock()
+		w.c.putChunkBuf(item.buf)
 	}
 }
 
-func (w *Writer) recordUpload(item uploadItem, worker *uploadWorker) {
+func (w *Writer) recordUpload(item uploadItem, worker *uploadWorker, n int64) {
 	nodeID := w.nodeIDFor(worker.addr)
 	w.mu.Lock()
-	w.uploaded += int64(len(item.data))
+	w.uploaded += n
 	w.commitChunks[item.idx].Locations = append(w.commitChunks[item.idx].Locations, nodeID)
 	w.mu.Unlock()
 }
@@ -404,6 +547,7 @@ func (w *Writer) fail(err error) {
 	defer w.mu.Unlock()
 	if w.err == nil {
 		w.err = err
+		close(w.failed)
 	}
 	w.cond.Broadcast()
 }
@@ -423,22 +567,24 @@ func (w *Writer) Close() error {
 	w.closed = true
 	firstErr := w.err
 	w.mu.Unlock()
-	if firstErr != nil {
-		w.teardown()
-		return firstErr
-	}
 
 	var closeErr error
-	switch w.protocol {
-	case SlidingWindow:
-		if w.cur != nil {
-			closeErr = w.emitChunk(w.cur)
-			w.cur = nil
+	if firstErr == nil {
+		switch w.protocol {
+		case SlidingWindow:
+			if w.cur != nil {
+				buf := w.cur
+				w.cur = nil
+				closeErr = w.emitChunk(buf, true)
+			}
+		case IncrementalWrite:
+			closeErr = w.flushTemp()
+		case CompleteLocalWrite:
+			// Local staging already complete; push happens in background.
 		}
-	case IncrementalWrite:
-		closeErr = w.flushTemp()
-	case CompleteLocalWrite:
-		// Local staging already complete; push happens in background.
+	} else if w.cur != nil && w.protocol == SlidingWindow {
+		w.c.putChunkBuf(w.cur)
+		w.cur = nil
 	}
 
 	w.mu.Lock()
@@ -450,6 +596,9 @@ func (w *Writer) Close() error {
 	go w.finish()
 	if closeErr != nil {
 		return closeErr
+	}
+	if firstErr != nil {
+		return firstErr
 	}
 
 	if w.c.cfg.Semantics == core.WritePessimistic {
@@ -470,10 +619,11 @@ func (w *Writer) finish() {
 		close(w.tempQueue)
 		w.pushWg.Wait()
 		if w.cur != nil {
-			if err := w.emitChunk(w.cur); err != nil {
+			buf := w.cur
+			w.cur = nil
+			if err := w.emitChunk(buf, true); err != nil {
 				w.waitErr = err
 			}
-			w.cur = nil
 		}
 	}
 	if w.protocol == CompleteLocalWrite {
@@ -489,14 +639,17 @@ func (w *Writer) finish() {
 			w.waitErr = err
 		}
 		if w.cur != nil {
-			if err := w.emitChunk(w.cur); err != nil && w.waitErr == nil {
+			buf := w.cur
+			w.cur = nil
+			if err := w.emitChunk(buf, true); err != nil && w.waitErr == nil {
 				w.waitErr = err
 			}
-			w.cur = nil
 		}
 	}
 
-	// Wait for the uploaders to drain, then stop them.
+	// All producers are done: drain the hashing stage, then the uploaders.
+	close(w.hashCh)
+	w.hashWg.Wait()
 	w.mu.Lock()
 	for w.err == nil && w.inflight > 0 {
 		w.cond.Wait()
@@ -521,7 +674,8 @@ func (w *Writer) finish() {
 	w.mu.Unlock()
 }
 
-// teardown closes worker channels and connections exactly once.
+// teardown closes worker channels, waits for the uploaders to drain, and
+// closes their connections, exactly once.
 func (w *Writer) teardown() {
 	w.mu.Lock()
 	workers := w.workers
@@ -530,8 +684,7 @@ func (w *Writer) teardown() {
 	for _, worker := range workers {
 		close(worker.ch)
 	}
-	// Draining goroutines hold the conns; closing here races benignly
-	// because uploads have completed or failed by the time teardown runs.
+	w.workerWg.Wait()
 	for _, worker := range workers {
 		worker.conn.Close()
 	}

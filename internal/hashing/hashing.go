@@ -54,15 +54,26 @@ func NewRolling(window int) *Rolling {
 	if window <= 0 {
 		window = 1
 	}
-	pow := uint64(1)
-	for i := 0; i < window-1; i++ {
-		pow *= rollingPrime
-	}
 	return &Rolling{
 		window: window,
-		pow:    pow,
+		pow:    powMod64(rollingPrime, uint64(window-1)),
 		buf:    make([]byte, window),
 	}
+}
+
+// powMod64 computes base^exp mod 2^64 by binary exponentiation, so
+// constructing a Rolling costs O(log window) multiplies instead of
+// O(window).
+func powMod64(base, exp uint64) uint64 {
+	result := uint64(1)
+	for exp > 0 {
+		if exp&1 == 1 {
+			result *= base
+		}
+		base *= base
+		exp >>= 1
+	}
+	return result
 }
 
 // Window returns the configured window size.
@@ -73,9 +84,7 @@ func (r *Rolling) Reset() {
 	r.hash = 0
 	r.head = 0
 	r.primed = false
-	for i := range r.buf {
-		r.buf[i] = 0
-	}
+	clear(r.buf)
 }
 
 // Prime initializes the window with the first r.window bytes of data and

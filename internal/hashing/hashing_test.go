@@ -149,3 +149,37 @@ func BenchmarkRollingRoll(b *testing.B) {
 		r.Roll(data[i&(1<<16-1)])
 	}
 }
+
+func TestPowMod64MatchesNaive(t *testing.T) {
+	for _, window := range []int{1, 2, 3, 16, 48, 100, 1024} {
+		naive := uint64(1)
+		for i := 0; i < window-1; i++ {
+			naive *= rollingPrime
+		}
+		if got := powMod64(rollingPrime, uint64(window-1)); got != naive {
+			t.Fatalf("powMod64(window=%d) = %d, want %d", window, got, naive)
+		}
+	}
+}
+
+func TestResetClearsState(t *testing.T) {
+	r := NewRolling(8)
+	data := []byte("abcdefghijklmnop")
+	first := r.Prime(data)
+	for _, b := range data[8:] {
+		r.Roll(b)
+	}
+	r.Reset()
+	if r.Sum() != 0 {
+		t.Fatalf("Sum after Reset = %d", r.Sum())
+	}
+	if got := r.Prime(data); got != first {
+		t.Fatalf("Prime after Reset = %d, want %d", got, first)
+	}
+}
+
+func BenchmarkNewRolling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = NewRolling(4096)
+	}
+}

@@ -8,7 +8,6 @@
 package manager
 
 import (
-	"encoding/json"
 	"errors"
 	"fmt"
 	"log"
@@ -118,10 +117,13 @@ type Manager struct {
 	recovery   *recoveryState
 
 	stats struct {
-		transactions    atomic.Int64
-		replicasCopied  atomic.Int64
-		chunksCollected atomic.Int64
-		versionsPruned  atomic.Int64
+		transactions       atomic.Int64
+		extends            atomic.Int64
+		dedupBatches       atomic.Int64
+		dedupChunksQueried atomic.Int64
+		replicasCopied     atomic.Int64
+		chunksCollected    atomic.Int64
+		versionsPruned     atomic.Int64
 	}
 
 	stop chan struct{}
@@ -195,131 +197,133 @@ func (m *Manager) logf(format string, args ...interface{}) {
 }
 
 // handle dispatches one RPC.
-func (m *Manager) handle(op string, meta json.RawMessage, body []byte) (interface{}, []byte, error) {
-	switch op {
+func (m *Manager) handle(r *wire.Req) (wire.Resp, error) {
+	switch r.Op {
 	case proto.MRegister:
 		var req proto.RegisterReq
-		if err := wire.UnmarshalMeta(meta, &req); err != nil {
-			return nil, nil, err
+		if err := wire.UnmarshalMeta(r.Meta, &req); err != nil {
+			return wire.Resp{}, err
 		}
 		return m.handleRegister(req)
 	case proto.MHeartbeat:
 		var req proto.HeartbeatReq
-		if err := wire.UnmarshalMeta(meta, &req); err != nil {
-			return nil, nil, err
+		if err := wire.UnmarshalMeta(r.Meta, &req); err != nil {
+			return wire.Resp{}, err
 		}
 		if err := m.reg.heartbeat(req); err != nil {
-			return nil, nil, err
+			return wire.Resp{}, err
 		}
-		return proto.HeartbeatResp{OK: true, Recovering: m.recovering.Load()}, nil, nil
+		return wire.Resp{Meta: proto.HeartbeatResp{OK: true, Recovering: m.recovering.Load()}}, nil
 	case proto.MAlloc:
 		var req proto.AllocReq
-		if err := wire.UnmarshalMeta(meta, &req); err != nil {
-			return nil, nil, err
+		if err := wire.UnmarshalMeta(r.Meta, &req); err != nil {
+			return wire.Resp{}, err
 		}
 		return m.handleAlloc(req)
 	case proto.MExtend:
 		var req proto.ExtendReq
-		if err := wire.UnmarshalMeta(meta, &req); err != nil {
-			return nil, nil, err
+		if err := wire.UnmarshalMeta(r.Meta, &req); err != nil {
+			return wire.Resp{}, err
 		}
 		return m.handleExtend(req)
 	case proto.MCommit:
 		var req proto.CommitReq
-		if err := wire.UnmarshalMeta(meta, &req); err != nil {
-			return nil, nil, err
+		if err := wire.UnmarshalMeta(r.Meta, &req); err != nil {
+			return wire.Resp{}, err
 		}
 		return m.handleCommit(req)
 	case proto.MAbort:
 		var req proto.AbortReq
-		if err := wire.UnmarshalMeta(meta, &req); err != nil {
-			return nil, nil, err
+		if err := wire.UnmarshalMeta(r.Meta, &req); err != nil {
+			return wire.Resp{}, err
 		}
 		return m.handleAbort(req)
 	case proto.MHasChunks:
 		var req proto.HasReq
-		if err := wire.UnmarshalMeta(meta, &req); err != nil {
-			return nil, nil, err
+		if err := wire.UnmarshalMeta(r.Meta, &req); err != nil {
+			return wire.Resp{}, err
 		}
-		return proto.HasResp{Present: m.cat.hasChunks(req.IDs)}, nil, nil
+		m.stats.dedupBatches.Add(1)
+		m.stats.dedupChunksQueried.Add(int64(len(req.IDs)))
+		return wire.Resp{Meta: proto.HasResp{Present: m.cat.hasChunks(req.IDs)}}, nil
 	case proto.MGetMap:
 		var req proto.GetMapReq
-		if err := wire.UnmarshalMeta(meta, &req); err != nil {
-			return nil, nil, err
+		if err := wire.UnmarshalMeta(r.Meta, &req); err != nil {
+			return wire.Resp{}, err
 		}
 		m.stats.transactions.Add(1)
 		name, cm, err := m.cat.getMap(req.Name, req.Version)
 		if err != nil {
-			return nil, nil, err
+			return wire.Resp{}, err
 		}
-		return proto.GetMapResp{Name: name, Map: cm}, nil, nil
+		return wire.Resp{Meta: proto.GetMapResp{Name: name, Map: cm}}, nil
 	case proto.MList:
 		var req proto.ListReq
-		if err := wire.UnmarshalMeta(meta, &req); err != nil {
-			return nil, nil, err
+		if err := wire.UnmarshalMeta(r.Meta, &req); err != nil {
+			return wire.Resp{}, err
 		}
-		return proto.ListResp{Datasets: m.cat.list(req.Folder, m.reg.online)}, nil, nil
+		return wire.Resp{Meta: proto.ListResp{Datasets: m.cat.list(req.Folder, m.reg.online)}}, nil
 	case proto.MStat:
 		var req proto.StatReq
-		if err := wire.UnmarshalMeta(meta, &req); err != nil {
-			return nil, nil, err
+		if err := wire.UnmarshalMeta(r.Meta, &req); err != nil {
+			return wire.Resp{}, err
 		}
 		info, err := m.cat.stat(req.Name, m.reg.online)
 		if err != nil {
-			return nil, nil, err
+			return wire.Resp{}, err
 		}
-		return proto.StatResp{Dataset: info}, nil, nil
+		return wire.Resp{Meta: proto.StatResp{Dataset: info}}, nil
 	case proto.MDelete:
 		var req proto.DeleteReq
-		if err := wire.UnmarshalMeta(meta, &req); err != nil {
-			return nil, nil, err
+		if err := wire.UnmarshalMeta(r.Meta, &req); err != nil {
+			return wire.Resp{}, err
 		}
 		return m.handleDelete(req)
 	case proto.MPolicySet:
 		var req proto.PolicySetReq
-		if err := wire.UnmarshalMeta(meta, &req); err != nil {
-			return nil, nil, err
+		if err := wire.UnmarshalMeta(r.Meta, &req); err != nil {
+			return wire.Resp{}, err
 		}
 		if err := req.Policy.Validate(); err != nil {
-			return nil, nil, err
+			return wire.Resp{}, err
 		}
 		m.policies.set(req.Folder, req.Policy)
 		m.journalRecord(journalEntry{Op: "policy", Name: req.Folder, Policy: &req.Policy})
-		return proto.HeartbeatResp{OK: true}, nil, nil
+		return wire.Resp{Meta: proto.HeartbeatResp{OK: true}}, nil
 	case proto.MPolicyGet:
 		var req proto.PolicyGetReq
-		if err := wire.UnmarshalMeta(meta, &req); err != nil {
-			return nil, nil, err
+		if err := wire.UnmarshalMeta(r.Meta, &req); err != nil {
+			return wire.Resp{}, err
 		}
-		return proto.PolicyGetResp{Policy: m.policies.get(req.Folder)}, nil, nil
+		return wire.Resp{Meta: proto.PolicyGetResp{Policy: m.policies.get(req.Folder)}}, nil
 	case proto.MGCReport:
 		var req proto.GCReportReq
-		if err := wire.UnmarshalMeta(meta, &req); err != nil {
-			return nil, nil, err
+		if err := wire.UnmarshalMeta(r.Meta, &req); err != nil {
+			return wire.Resp{}, err
 		}
 		return m.handleGCReport(req)
 	case proto.MBenefactors:
-		return proto.BenefactorsResp{Benefactors: m.reg.list()}, nil, nil
+		return wire.Resp{Meta: proto.BenefactorsResp{Benefactors: m.reg.list()}}, nil
 	case proto.MReplStatus:
 		var req proto.ReplStatusReq
-		if err := wire.UnmarshalMeta(meta, &req); err != nil {
-			return nil, nil, err
+		if err := wire.UnmarshalMeta(r.Meta, &req); err != nil {
+			return wire.Resp{}, err
 		}
 		resp, err := m.cat.replStatus(req.Name, m.reg.online)
 		if err != nil {
-			return nil, nil, err
+			return wire.Resp{}, err
 		}
-		return resp, nil, nil
+		return wire.Resp{Meta: resp}, nil
 	case proto.MStats:
-		return m.statsSnapshot(), nil, nil
+		return wire.Resp{Meta: m.statsSnapshot()}, nil
 	default:
-		return nil, nil, fmt.Errorf("manager: unknown op %q", op)
+		return wire.Resp{}, fmt.Errorf("manager: unknown op %q", r.Op)
 	}
 }
 
-func (m *Manager) handleRegister(req proto.RegisterReq) (interface{}, []byte, error) {
+func (m *Manager) handleRegister(req proto.RegisterReq) (wire.Resp, error) {
 	if req.ID == "" || req.Addr == "" {
-		return nil, nil, errors.New("manager: register requires id and addr")
+		return wire.Resp{}, errors.New("manager: register requires id and addr")
 	}
 	m.reg.register(req)
 	m.logf("registered benefactor %s at %s (capacity %d)", req.ID, req.Addr, req.Capacity)
@@ -331,16 +335,16 @@ func (m *Manager) handleRegister(req proto.RegisterReq) (interface{}, []byte, er
 			m.pullRecoveryMaps(addr)
 		}(req.Addr)
 	}
-	return proto.RegisterResp{
+	return wire.Resp{Meta: proto.RegisterResp{
 		HeartbeatInterval: m.cfg.HeartbeatInterval,
 		Recovering:        recovering,
-	}, nil, nil
+	}}, nil
 }
 
-func (m *Manager) handleAlloc(req proto.AllocReq) (interface{}, []byte, error) {
+func (m *Manager) handleAlloc(req proto.AllocReq) (wire.Resp, error) {
 	m.stats.transactions.Add(1)
 	if req.Name == "" {
-		return nil, nil, errors.New("manager: alloc requires a file name")
+		return wire.Resp{}, errors.New("manager: alloc requires a file name")
 	}
 	width := req.StripeWidth
 	if width <= 0 {
@@ -357,37 +361,38 @@ func (m *Manager) handleAlloc(req proto.AllocReq) (interface{}, []byte, error) {
 	perNode := perNodeShare(req.ReserveBytes, width)
 	stripe, err := m.reg.allocateStripe(width, perNode)
 	if err != nil {
-		return nil, nil, err
+		return wire.Resp{}, err
 	}
 	s := m.sess.open(req.Name, stripe, chunkSize, repl, perNode)
-	return proto.AllocResp{WriteID: s.id, Stripe: stripe}, nil, nil
+	return wire.Resp{Meta: proto.AllocResp{WriteID: s.id, Stripe: stripe}}, nil
 }
 
-func (m *Manager) handleExtend(req proto.ExtendReq) (interface{}, []byte, error) {
+func (m *Manager) handleExtend(req proto.ExtendReq) (wire.Resp, error) {
 	m.stats.transactions.Add(1)
+	m.stats.extends.Add(1)
 	s, err := m.sess.get(req.WriteID)
 	if err != nil {
-		return nil, nil, err
+		return wire.Resp{}, err
 	}
 	perNode := perNodeShare(req.Bytes, len(s.stripe))
 	ids, err := m.sess.extend(req.WriteID, perNode)
 	if err != nil {
-		return nil, nil, err
+		return wire.Resp{}, err
 	}
 	m.reg.reserve(ids, perNode)
-	return proto.ExtendResp{Reserved: req.Bytes}, nil, nil
+	return wire.Resp{Meta: proto.ExtendResp{Reserved: req.Bytes}}, nil
 }
 
-func (m *Manager) handleCommit(req proto.CommitReq) (interface{}, []byte, error) {
+func (m *Manager) handleCommit(req proto.CommitReq) (wire.Resp, error) {
 	m.stats.transactions.Add(1)
 	s, err := m.sess.close(req.WriteID)
 	if err != nil {
-		return nil, nil, err
+		return wire.Resp{}, err
 	}
 	m.reg.release(s.stripeIDs, s.perNode)
 	cm, newBytes, err := m.cat.commit(s.name, namespace.FolderOf(s.name), s.replication, s.chunkSize, req.FileSize, req.Chunks)
 	if err != nil {
-		return nil, nil, err
+		return wire.Resp{}, err
 	}
 	m.journalRecord(journalEntry{
 		Op: "commit", Name: s.name, Replication: s.replication,
@@ -396,36 +401,36 @@ func (m *Manager) handleCommit(req proto.CommitReq) (interface{}, []byte, error)
 	// Apply the folder's replace policy synchronously: a new image makes
 	// old ones obsolete at commit time (paper §IV.D "Automated replace").
 	m.applyReplacePolicy(s.name)
-	return proto.CommitResp{Dataset: cm.Dataset, Version: cm.Version, NewBytes: newBytes}, nil, nil
+	return wire.Resp{Meta: proto.CommitResp{Dataset: cm.Dataset, Version: cm.Version, NewBytes: newBytes}}, nil
 }
 
-func (m *Manager) handleAbort(req proto.AbortReq) (interface{}, []byte, error) {
+func (m *Manager) handleAbort(req proto.AbortReq) (wire.Resp, error) {
 	m.stats.transactions.Add(1)
 	s, err := m.sess.close(req.WriteID)
 	if err != nil {
-		return nil, nil, err
+		return wire.Resp{}, err
 	}
 	m.reg.release(s.stripeIDs, s.perNode)
-	return proto.HeartbeatResp{OK: true}, nil, nil
+	return wire.Resp{Meta: proto.HeartbeatResp{OK: true}}, nil
 }
 
-func (m *Manager) handleDelete(req proto.DeleteReq) (interface{}, []byte, error) {
+func (m *Manager) handleDelete(req proto.DeleteReq) (wire.Resp, error) {
 	m.stats.transactions.Add(1)
 	orphans, err := m.cat.deleteVersion(req.Name, req.Version)
 	if err != nil {
-		return nil, nil, err
+		return wire.Resp{}, err
 	}
 	m.journalRecord(journalEntry{Op: "delete", Name: req.Name, Version: req.Version})
 	m.logf("deleted %s (version %d): %d chunks orphaned", req.Name, req.Version, len(orphans))
-	return proto.HeartbeatResp{OK: true}, nil, nil
+	return wire.Resp{Meta: proto.HeartbeatResp{OK: true}}, nil
 }
 
-func (m *Manager) handleGCReport(req proto.GCReportReq) (interface{}, []byte, error) {
+func (m *Manager) handleGCReport(req proto.GCReportReq) (wire.Resp, error) {
 	// While recovering, the catalog is incomplete: every chunk would look
 	// unreferenced. Answer conservatively until recovery finishes, or
 	// benefactors would garbage-collect live data.
 	if m.recovering.Load() {
-		return proto.GCReportResp{}, nil, nil
+		return wire.Resp{Meta: proto.GCReportResp{}}, nil
 	}
 	var deletable []core.ChunkID
 	for _, id := range req.IDs {
@@ -434,7 +439,7 @@ func (m *Manager) handleGCReport(req proto.GCReportReq) (interface{}, []byte, er
 		}
 	}
 	m.stats.chunksCollected.Add(int64(len(deletable)))
-	return proto.GCReportResp{Deletable: deletable}, nil, nil
+	return wire.Resp{Meta: proto.GCReportResp{Deletable: deletable}}, nil
 }
 
 func (m *Manager) statsSnapshot() proto.ManagerStats {
@@ -450,6 +455,9 @@ func (m *Manager) statsSnapshot() proto.ManagerStats {
 		StoredBytes:       stored,
 		ActiveSessions:    m.sess.active(),
 		Transactions:      m.stats.transactions.Load(),
+		Extends:           m.stats.extends.Load(),
+		DedupBatches:      m.stats.dedupBatches.Load(),
+		DedupChunks:       m.stats.dedupChunksQueried.Load(),
 		ReplicasCopied:    m.stats.replicasCopied.Load(),
 		ChunksCollected:   m.stats.chunksCollected.Load(),
 		VersionsPruned:    m.stats.versionsPruned.Load(),

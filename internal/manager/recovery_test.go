@@ -79,13 +79,13 @@ func TestManagerJournalRestartRestoresCatalog(t *testing.T) {
 	}
 	// Simulate a full write cycle directly against the handlers.
 	m1.reg.register(regReq("n1", 1<<30))
-	alloc, _, err := m1.handleAlloc(proto.AllocReq{Name: "jr.n1.t0", StripeWidth: 1, ChunkSize: 10, ReserveBytes: 100})
+	alloc, err := m1.handleAlloc(proto.AllocReq{Name: "jr.n1.t0", StripeWidth: 1, ChunkSize: 10, ReserveBytes: 100})
 	if err != nil {
 		t.Fatal(err)
 	}
 	chunks, total := commitChunks(60, 3, 10)
-	if _, _, err := m1.handleCommit(proto.CommitReq{
-		WriteID:  alloc.(proto.AllocResp).WriteID,
+	if _, err := m1.handleCommit(proto.CommitReq{
+		WriteID:  alloc.Meta.(proto.AllocResp).WriteID,
 		FileSize: total,
 		Chunks:   chunks,
 	}); err != nil {

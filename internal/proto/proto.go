@@ -324,7 +324,16 @@ type ManagerStats struct {
 	StoredBytes       int64 `json:"storedBytes"`
 	ActiveSessions    int   `json:"activeSessions"`
 	Transactions      int64 `json:"transactions"`
-	ReplicasCopied    int64 `json:"replicasCopied"`
-	ChunksCollected   int64 `json:"chunksCollected"`
-	VersionsPruned    int64 `json:"versionsPruned"`
+	// Extends counts MExtend RPCs: the writer extends its reservation by
+	// as many quanta as a Write requires in one call, so this stays at
+	// one per reservation jump regardless of how many quanta it spans.
+	Extends int64 `json:"extends"`
+	// DedupBatches counts MHasChunks RPCs and DedupChunks the chunk IDs
+	// they carried; their ratio is the writer's dedup-probe batching
+	// factor (one RPC per in-flight window of emitted chunks).
+	DedupBatches    int64 `json:"dedupBatches"`
+	DedupChunks     int64 `json:"dedupChunks"`
+	ReplicasCopied  int64 `json:"replicasCopied"`
+	ChunksCollected int64 `json:"chunksCollected"`
+	VersionsPruned  int64 `json:"versionsPruned"`
 }

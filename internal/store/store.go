@@ -7,10 +7,16 @@
 // and a disk-backed store (daemon deployments). Both verify that chunk
 // bytes match their content-based name, which is stdchk's defence against
 // faulty or malicious benefactors (paper §IV.C).
+//
+// The interface is zero-copy friendly: Put may take ownership of the
+// caller's buffer instead of copying it (reported via its retained
+// result), and GetInto serves reads into a caller-provided buffer so the
+// steady-state read path allocates nothing.
 package store
 
 import (
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -23,12 +29,22 @@ import (
 // Store is the benefactor-side chunk repository.
 type Store interface {
 	// Put stores a chunk under its content-based name, verifying
-	// integrity. Storing an already-present chunk is a no-op.
-	Put(id core.ChunkID, data []byte) error
-	// Get returns the chunk bytes. core.ErrNotFound if absent.
+	// integrity. Storing an already-present chunk is a no-op. The store
+	// may take ownership of data instead of copying it; retained reports
+	// that, and a caller recycling buffers must not reuse data once it
+	// has been retained.
+	Put(id core.ChunkID, data []byte) (retained bool, err error)
+	// Get returns a copy of the chunk bytes. core.ErrNotFound if absent.
 	Get(id core.ChunkID) ([]byte, error)
+	// GetInto returns the chunk bytes, served into dst when cap(dst) is
+	// large enough (the result then aliases dst); otherwise a fresh
+	// buffer is allocated. core.ErrNotFound if absent.
+	GetInto(id core.ChunkID, dst []byte) ([]byte, error)
 	// Has reports presence without transferring data.
 	Has(id core.ChunkID) bool
+	// Size returns the stored size of a chunk without transferring data,
+	// so callers can size read buffers exactly. ok is false if absent.
+	Size(id core.ChunkID) (size int64, ok bool)
 	// Delete removes a chunk. Deleting an absent chunk is a no-op.
 	Delete(id core.ChunkID) error
 	// Inventory lists all stored chunk IDs (sorted, for determinism).
@@ -68,35 +84,42 @@ func NewMemory(capacity int64, disk *device.Disk) *Memory {
 	}
 }
 
-// Put implements Store.
-func (m *Memory) Put(id core.ChunkID, data []byte) error {
+// Put implements Store. The memory store takes ownership of data (it keeps
+// the slice as the stored chunk, saving a 1 MB copy per chunk on the write
+// path); callers must not mutate the buffer after a retained Put.
+func (m *Memory) Put(id core.ChunkID, data []byte) (bool, error) {
 	if core.HashChunk(data) != id {
-		return fmt.Errorf("put %s: %w", id.Short(), core.ErrIntegrity)
+		return false, fmt.Errorf("put %s: %w", id.Short(), core.ErrIntegrity)
 	}
 	m.mu.Lock()
 	if m.closed {
 		m.mu.Unlock()
-		return core.ErrClosed
+		return false, core.ErrClosed
 	}
 	if _, ok := m.chunks[id]; ok {
 		m.mu.Unlock()
-		return nil
+		return false, nil
 	}
 	if m.capacity > 0 && m.used+int64(len(data)) > m.capacity {
 		m.mu.Unlock()
-		return fmt.Errorf("put %s (%d bytes): %w", id.Short(), len(data), core.ErrNoSpace)
+		return false, fmt.Errorf("put %s (%d bytes): %w", id.Short(), len(data), core.ErrNoSpace)
 	}
-	cp := append([]byte(nil), data...)
-	m.chunks[id] = cp
-	m.used += int64(len(cp))
+	m.chunks[id] = data
+	m.used += int64(len(data))
 	m.mu.Unlock()
 
 	m.disk.Write(len(data)) // pace outside the lock: the spindle queue serializes
-	return nil
+	return true, nil
 }
 
 // Get implements Store.
 func (m *Memory) Get(id core.ChunkID) ([]byte, error) {
+	return m.GetInto(id, nil)
+}
+
+// GetInto implements Store: the chunk is copied into dst when it fits
+// (stored bytes are never aliased out, so callers can mutate the result).
+func (m *Memory) GetInto(id core.ChunkID, dst []byte) ([]byte, error) {
 	m.mu.RLock()
 	data, ok := m.chunks[id]
 	closed := m.closed
@@ -108,6 +131,11 @@ func (m *Memory) Get(id core.ChunkID) ([]byte, error) {
 		return nil, fmt.Errorf("get %s: %w", id.Short(), core.ErrNotFound)
 	}
 	m.disk.Read(len(data))
+	if cap(dst) >= len(data) {
+		dst = dst[:len(data)]
+		copy(dst, data)
+		return dst, nil
+	}
 	return append([]byte(nil), data...), nil
 }
 
@@ -117,6 +145,14 @@ func (m *Memory) Has(id core.ChunkID) bool {
 	defer m.mu.RUnlock()
 	_, ok := m.chunks[id]
 	return ok
+}
+
+// Size implements Store.
+func (m *Memory) Size(id core.ChunkID) (int64, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	data, ok := m.chunks[id]
+	return int64(len(data)), ok
 }
 
 // Delete implements Store.
@@ -224,23 +260,24 @@ func (d *Disk) path(id core.ChunkID) string {
 	return filepath.Join(d.dir, name[:2], name)
 }
 
-// Put implements Store.
-func (d *Disk) Put(id core.ChunkID, data []byte) error {
+// Put implements Store. The disk store writes data out and never retains
+// the slice, so it always reports retained=false.
+func (d *Disk) Put(id core.ChunkID, data []byte) (bool, error) {
 	if core.HashChunk(data) != id {
-		return fmt.Errorf("put %s: %w", id.Short(), core.ErrIntegrity)
+		return false, fmt.Errorf("put %s: %w", id.Short(), core.ErrIntegrity)
 	}
 	d.mu.Lock()
 	if d.closed {
 		d.mu.Unlock()
-		return core.ErrClosed
+		return false, core.ErrClosed
 	}
 	if _, ok := d.index[id]; ok {
 		d.mu.Unlock()
-		return nil
+		return false, nil
 	}
 	if d.capacity > 0 && d.used+int64(len(data)) > d.capacity {
 		d.mu.Unlock()
-		return fmt.Errorf("put %s (%d bytes): %w", id.Short(), len(data), core.ErrNoSpace)
+		return false, fmt.Errorf("put %s (%d bytes): %w", id.Short(), len(data), core.ErrNoSpace)
 	}
 	// Reserve the space under the lock; write the file outside it.
 	d.index[id] = int64(len(data))
@@ -250,20 +287,20 @@ func (d *Disk) Put(id core.ChunkID, data []byte) error {
 	path := d.path(id)
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		d.unindex(id, int64(len(data)))
-		return fmt.Errorf("put %s: %w", id.Short(), err)
+		return false, fmt.Errorf("put %s: %w", id.Short(), err)
 	}
 	tmp := path + ".tmp"
 	if err := os.WriteFile(tmp, data, 0o644); err != nil {
 		d.unindex(id, int64(len(data)))
-		return fmt.Errorf("put %s: %w", id.Short(), err)
+		return false, fmt.Errorf("put %s: %w", id.Short(), err)
 	}
 	if err := os.Rename(tmp, path); err != nil {
 		os.Remove(tmp)
 		d.unindex(id, int64(len(data)))
-		return fmt.Errorf("put %s: %w", id.Short(), err)
+		return false, fmt.Errorf("put %s: %w", id.Short(), err)
 	}
 	d.model.Write(len(data))
-	return nil
+	return false, nil
 }
 
 func (d *Disk) unindex(id core.ChunkID, size int64) {
@@ -277,25 +314,40 @@ func (d *Disk) unindex(id core.ChunkID, size int64) {
 
 // Get implements Store.
 func (d *Disk) Get(id core.ChunkID) ([]byte, error) {
+	return d.GetInto(id, nil)
+}
+
+// GetInto implements Store: the chunk file is read directly into dst when
+// it fits, so pooled read buffers make the serve path allocation-free.
+func (d *Disk) GetInto(id core.ChunkID, dst []byte) ([]byte, error) {
 	d.mu.Lock()
 	if d.closed {
 		d.mu.Unlock()
 		return nil, core.ErrClosed
 	}
-	_, ok := d.index[id]
+	size, ok := d.index[id]
 	d.mu.Unlock()
 	if !ok {
 		return nil, fmt.Errorf("get %s: %w", id.Short(), core.ErrNotFound)
 	}
-	data, err := os.ReadFile(d.path(id))
+	f, err := os.Open(d.path(id))
 	if err != nil {
 		return nil, fmt.Errorf("get %s: %w", id.Short(), err)
 	}
-	if core.HashChunk(data) != id {
+	defer f.Close()
+	if int64(cap(dst)) >= size {
+		dst = dst[:size]
+	} else {
+		dst = make([]byte, size)
+	}
+	if _, err := io.ReadFull(f, dst); err != nil {
+		return nil, fmt.Errorf("get %s: %w", id.Short(), err)
+	}
+	if core.HashChunk(dst) != id {
 		return nil, fmt.Errorf("get %s: %w", id.Short(), core.ErrIntegrity)
 	}
-	d.model.Read(len(data))
-	return data, nil
+	d.model.Read(len(dst))
+	return dst, nil
 }
 
 // Has implements Store.
@@ -304,6 +356,14 @@ func (d *Disk) Has(id core.ChunkID) bool {
 	defer d.mu.Unlock()
 	_, ok := d.index[id]
 	return ok
+}
+
+// Size implements Store.
+func (d *Disk) Size(id core.ChunkID) (int64, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	size, ok := d.index[id]
+	return size, ok
 }
 
 // Delete implements Store.

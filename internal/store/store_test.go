@@ -36,7 +36,7 @@ func TestPutGetRoundTrip(t *testing.T) {
 		t.Run(name, func(t *testing.T) {
 			defer s.Close()
 			id, data := chunk(1, 4096)
-			if err := s.Put(id, data); err != nil {
+			if _, err := s.Put(id, data); err != nil {
 				t.Fatal(err)
 			}
 			got, err := s.Get(id)
@@ -63,7 +63,7 @@ func TestPutRejectsCorruptChunk(t *testing.T) {
 			_, data := chunk(2, 128)
 			var bogus core.ChunkID
 			bogus[0] = 0xde
-			if err := s.Put(bogus, data); !errors.Is(err, core.ErrIntegrity) {
+			if _, err := s.Put(bogus, data); !errors.Is(err, core.ErrIntegrity) {
 				t.Fatalf("want ErrIntegrity, got %v", err)
 			}
 			if s.Len() != 0 {
@@ -79,7 +79,7 @@ func TestPutIdempotent(t *testing.T) {
 			defer s.Close()
 			id, data := chunk(3, 1024)
 			for i := 0; i < 3; i++ {
-				if err := s.Put(id, data); err != nil {
+				if _, err := s.Put(id, data); err != nil {
 					t.Fatal(err)
 				}
 			}
@@ -107,7 +107,7 @@ func TestDelete(t *testing.T) {
 		t.Run(name, func(t *testing.T) {
 			defer s.Close()
 			id, data := chunk(5, 512)
-			if err := s.Put(id, data); err != nil {
+			if _, err := s.Put(id, data); err != nil {
 				t.Fatal(err)
 			}
 			if err := s.Delete(id); err != nil {
@@ -135,11 +135,11 @@ func TestCapacityEnforced(t *testing.T) {
 	for name, s := range map[string]Store{"memory": mem, "disk": disk} {
 		t.Run(name, func(t *testing.T) {
 			id1, d1 := chunk(6, 600)
-			if err := s.Put(id1, d1); err != nil {
+			if _, err := s.Put(id1, d1); err != nil {
 				t.Fatal(err)
 			}
 			id2, d2 := chunk(7, 600)
-			if err := s.Put(id2, d2); !errors.Is(err, core.ErrNoSpace) {
+			if _, err := s.Put(id2, d2); !errors.Is(err, core.ErrNoSpace) {
 				t.Fatalf("want ErrNoSpace, got %v", err)
 			}
 			if s.Capacity() != 1000 {
@@ -149,7 +149,7 @@ func TestCapacityEnforced(t *testing.T) {
 			if err := s.Delete(id1); err != nil {
 				t.Fatal(err)
 			}
-			if err := s.Put(id2, d2); err != nil {
+			if _, err := s.Put(id2, d2); err != nil {
 				t.Fatal(err)
 			}
 		})
@@ -163,7 +163,7 @@ func TestInventorySorted(t *testing.T) {
 			want := 20
 			for i := 0; i < want; i++ {
 				id, data := chunk(int64(100+i), 64)
-				if err := s.Put(id, data); err != nil {
+				if _, err := s.Put(id, data); err != nil {
 					t.Fatal(err)
 				}
 			}
@@ -184,11 +184,11 @@ func TestClosedStoreRejectsOps(t *testing.T) {
 	for name, s := range stores(t) {
 		t.Run(name, func(t *testing.T) {
 			id, data := chunk(8, 64)
-			if err := s.Put(id, data); err != nil {
+			if _, err := s.Put(id, data); err != nil {
 				t.Fatal(err)
 			}
 			s.Close()
-			if err := s.Put(id, data); !errors.Is(err, core.ErrClosed) {
+			if _, err := s.Put(id, data); !errors.Is(err, core.ErrClosed) {
 				t.Fatalf("Put after close: %v", err)
 			}
 			if _, err := s.Get(id); !errors.Is(err, core.ErrClosed) {
@@ -211,7 +211,7 @@ func TestDiskStoreReopenRebuildsIndex(t *testing.T) {
 	var payloads [][]byte
 	for i := 0; i < 5; i++ {
 		id, data := chunk(int64(200+i), 256)
-		if err := d1.Put(id, data); err != nil {
+		if _, err := d1.Put(id, data); err != nil {
 			t.Fatal(err)
 		}
 		ids = append(ids, id)
@@ -238,28 +238,71 @@ func TestDiskStoreReopenRebuildsIndex(t *testing.T) {
 	}
 }
 
-func TestMemoryCopiesAtBoundaries(t *testing.T) {
+func TestMemoryOwnershipAndReadIsolation(t *testing.T) {
 	s := NewMemory(0, nil)
 	defer s.Close()
 	id, data := chunk(9, 64)
-	if err := s.Put(id, data); err != nil {
+	retained, err := s.Put(id, data)
+	if err != nil {
 		t.Fatal(err)
 	}
-	data[0] ^= 0xff // caller mutates its buffer after Put
+	if !retained {
+		t.Fatal("memory store should take ownership of a new chunk's buffer")
+	}
+	// A duplicate put must not be retained (the caller keeps the buffer).
+	dup := append([]byte(nil), data...)
+	retained, err = s.Put(id, dup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if retained {
+		t.Fatal("duplicate Put retained the caller's buffer")
+	}
+	// Reads never alias the stored bytes: mutating the result is safe.
 	got, err := s.Get(id)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if core.HashChunk(got) != id {
-		t.Fatal("store shares the caller's buffer")
-	}
-	got[1] ^= 0xff // caller mutates the returned buffer
+	got[1] ^= 0xff
 	again, err := s.Get(id)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if core.HashChunk(again) != id {
 		t.Fatal("store returned its internal buffer")
+	}
+}
+
+func TestGetIntoServesCallerBuffer(t *testing.T) {
+	for name, s := range stores(t) {
+		t.Run(name, func(t *testing.T) {
+			defer s.Close()
+			id, data := chunk(11, 4096)
+			if _, err := s.Put(id, append([]byte(nil), data...)); err != nil {
+				t.Fatal(err)
+			}
+			// Large enough: the result must alias dst (no allocation).
+			dst := make([]byte, 0, 8192)
+			got, err := s.GetInto(id, dst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, data) {
+				t.Fatal("payload mismatch")
+			}
+			if &got[0] != &dst[:1][0] {
+				t.Fatal("GetInto did not serve into the caller's buffer")
+			}
+			// Too small: the store allocates a fresh buffer.
+			small := make([]byte, 0, 16)
+			got, err = s.GetInto(id, small)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, data) {
+				t.Fatal("payload mismatch after grow")
+			}
+		})
 	}
 }
 
@@ -276,7 +319,7 @@ func TestStorePropertyRandomOps(t *testing.T) {
 			id, data := chunk(seed, size+1)
 			switch uint64(seed) % 3 {
 			case 0, 1:
-				if err := s.Put(id, data); err != nil {
+				if _, err := s.Put(id, data); err != nil {
 					return false
 				}
 				live[id] = data
@@ -316,7 +359,7 @@ func TestConcurrentPutGet(t *testing.T) {
 			defer wg.Done()
 			for j := 0; j < 20; j++ {
 				id, data := chunk(int64(i*1000+j), 512)
-				if err := s.Put(id, data); err != nil {
+				if _, err := s.Put(id, data); err != nil {
 					errs <- err
 					return
 				}

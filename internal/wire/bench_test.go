@@ -1,0 +1,37 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// BenchmarkWireFrame measures one framed request round-trip through the
+// codec (Write then ReadInto) with a 1 MB chunk body — the shape of every
+// BPut on the client→benefactor hot path. The consumer returns the body
+// buffer to the pool, as the server and pooled clients do, so the number
+// reflects the steady state.
+func BenchmarkWireFrame(b *testing.B) {
+	body := make([]byte, 1<<20)
+	for i := range body {
+		body[i] = byte(i)
+	}
+	msg := &Msg{Op: "b.put", Meta: []byte(`{"id":"aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa"}`), Body: body}
+	var buf bytes.Buffer
+	var got Msg
+	b.SetBytes(int64(len(body)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := Write(&buf, msg); err != nil {
+			b.Fatal(err)
+		}
+		if err := ReadInto(&buf, &got); err != nil {
+			b.Fatal(err)
+		}
+		if len(got.Body) != len(body) {
+			b.Fatalf("body length %d", len(got.Body))
+		}
+		PutBuf(got.Body)
+	}
+}

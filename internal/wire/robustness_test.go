@@ -1,7 +1,6 @@
 package wire
 
 import (
-	"encoding/json"
 	"math/rand"
 	"net"
 	"testing"
@@ -16,8 +15,8 @@ func TestServerSurvivesGarbageConnections(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := NewServer(ln, func(op string, meta json.RawMessage, body []byte) (interface{}, []byte, error) {
-		return nil, body, nil
+	srv := NewServer(ln, func(req *Req) (Resp, error) {
+		return Resp{Body: req.Body}, nil
 	}, nil)
 	defer srv.Close()
 

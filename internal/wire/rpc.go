@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"bufio"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -15,10 +16,44 @@ import (
 // shaping (device models). A nil Shaper leaves connections unshaped.
 type Shaper func(net.Conn) net.Conn
 
-// Handler processes one request and returns the response metadata and body.
-// Returning an error sends it to the peer as a string; sentinel errors from
-// package core survive the round trip (see WrapRemoteError).
-type Handler func(op string, meta json.RawMessage, body []byte) (interface{}, []byte, error)
+// connReadBufSize is the bufio read buffer applied to every connection so a
+// frame's prefix+header reads don't each cost a syscall; bulk bodies larger
+// than the buffer bypass it and read straight into their pooled buffer.
+const connReadBufSize = 32 << 10
+
+// Req is one inbound request. Body is backed by a pooled buffer owned by
+// the server: it is valid until the response frame has been written, after
+// which the server recycles it — handlers that retain the body past return
+// (e.g. a store taking ownership of the chunk bytes) must call DisownBody.
+type Req struct {
+	Op   string
+	Meta json.RawMessage
+	Body []byte
+
+	retained bool
+}
+
+// DisownBody transfers ownership of Body to the handler: the server will
+// not return it to the buffer pool.
+func (r *Req) DisownBody() { r.retained = true }
+
+// Resp is a handler's reply.
+type Resp struct {
+	// Meta is marshalled into the response frame's metadata (nil omits it).
+	Meta interface{}
+	// Body is the bulk payload. It may alias the request body (the frame
+	// is written before the request buffer is recycled).
+	Body []byte
+	// Recycle hands Body back to the wire buffer pool once the frame has
+	// been written. Set it only for pool-backed buffers the handler owns —
+	// never for a Body aliasing the request body or a store-internal slice.
+	Recycle bool
+}
+
+// Handler processes one request. Returning an error sends it to the peer
+// as a string; sentinel errors from package core survive the round trip
+// (see RemoteError.Unwrap).
+type Handler func(req *Req) (Resp, error)
 
 // Server accepts framed-RPC connections and dispatches requests to a
 // Handler. Each connection is served by one goroutine; requests on a
@@ -102,24 +137,38 @@ func (s *Server) serveConn(raw net.Conn) {
 	if s.shaper != nil {
 		conn = s.shaper(raw)
 	}
+	br := bufio.NewReaderSize(conn, connReadBufSize)
+	var msg Msg
 	for {
-		req, err := Read(conn)
-		if err != nil {
+		if err := ReadInto(br, &msg); err != nil {
 			return // peer gone or protocol error; drop the connection
 		}
-		meta, body, herr := s.handler(req.Op, req.Meta, req.Body)
-		resp := &Msg{Op: req.Op, Body: body}
+		req := Req{Op: msg.Op, Meta: msg.Meta, Body: msg.Body}
+		hresp, herr := s.handler(&req)
+		out := Msg{Op: msg.Op}
 		if herr != nil {
-			resp.Err = herr.Error()
-		} else if meta != nil {
-			raw, merr := MarshalMeta(meta)
-			if merr != nil {
-				resp.Err = merr.Error()
-			} else {
-				resp.Meta = raw
+			out.Err = herr.Error()
+		} else {
+			if hresp.Meta != nil {
+				raw, merr := MarshalMeta(hresp.Meta)
+				if merr != nil {
+					out.Err = merr.Error()
+				} else {
+					out.Meta = raw
+				}
+			}
+			if out.Err == "" {
+				out.Body = hresp.Body
 			}
 		}
-		if err := Write(conn, resp); err != nil {
+		werr := Write(conn, &out)
+		if msg.Body != nil && !req.retained {
+			PutBuf(msg.Body)
+		}
+		if hresp.Recycle && hresp.Body != nil {
+			PutBuf(hresp.Body)
+		}
+		if werr != nil {
 			return
 		}
 	}
@@ -154,6 +203,8 @@ func (e *RemoteError) Unwrap() error {
 type Conn struct {
 	mu   sync.Mutex
 	conn net.Conn
+	br   *bufio.Reader
+	resp Msg // reused response frame; Body ownership passes to the caller
 }
 
 // Dial connects to addr and applies the optional shaper.
@@ -166,12 +217,14 @@ func Dial(addr string, shaper Shaper) (*Conn, error) {
 	if shaper != nil {
 		conn = shaper(raw)
 	}
-	return &Conn{conn: conn}, nil
+	return &Conn{conn: conn, br: bufio.NewReaderSize(conn, connReadBufSize)}, nil
 }
 
 // Call sends one request and waits for its response. respMeta, when
 // non-nil, receives the decoded response metadata. The returned bytes are
-// the response body.
+// the response body; it is backed by a pooled buffer whose ownership
+// passes to the caller (return it with PutBuf once consumed, or let the GC
+// take it).
 func (c *Conn) Call(op string, reqMeta interface{}, reqBody []byte, respMeta interface{}) ([]byte, error) {
 	meta, err := MarshalMeta(reqMeta)
 	if err != nil {
@@ -185,19 +238,24 @@ func (c *Conn) Call(op string, reqMeta interface{}, reqBody []byte, respMeta int
 	if err := Write(c.conn, &Msg{Op: op, Meta: meta, Body: reqBody}); err != nil {
 		return nil, err
 	}
-	resp, err := Read(c.conn)
-	if err != nil {
+	if err := ReadInto(c.br, &c.resp); err != nil {
 		return nil, err
 	}
-	if resp.Err != "" {
-		return nil, &RemoteError{Op: op, Msg: resp.Err}
+	if c.resp.Err != "" {
+		if c.resp.Body != nil {
+			PutBuf(c.resp.Body)
+		}
+		return nil, &RemoteError{Op: op, Msg: c.resp.Err}
 	}
 	if respMeta != nil {
-		if err := UnmarshalMeta(resp.Meta, respMeta); err != nil {
+		if err := UnmarshalMeta(c.resp.Meta, respMeta); err != nil {
+			if c.resp.Body != nil {
+				PutBuf(c.resp.Body)
+			}
 			return nil, err
 		}
 	}
-	return resp.Body, nil
+	return c.resp.Body, nil
 }
 
 // Close closes the underlying connection.
@@ -235,7 +293,7 @@ func NewPool(shaper Shaper, perAddrLimit int) *Pool {
 
 // Call performs one RPC against addr using a pooled connection. On
 // transport errors the connection is discarded and the call retried once on
-// a fresh connection.
+// a fresh connection. Response-body ownership matches Conn.Call.
 func (p *Pool) Call(addr, op string, reqMeta interface{}, reqBody []byte, respMeta interface{}) ([]byte, error) {
 	for attempt := 0; ; attempt++ {
 		conn, fresh, err := p.get(addr)

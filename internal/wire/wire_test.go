@@ -125,14 +125,14 @@ func echoServer(t *testing.T) (*Server, string) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := NewServer(ln, func(op string, meta json.RawMessage, body []byte) (interface{}, []byte, error) {
-		switch op {
+	srv := NewServer(ln, func(req *Req) (Resp, error) {
+		switch req.Op {
 		case "echo":
-			return json.RawMessage(meta), body, nil
+			return Resp{Meta: json.RawMessage(req.Meta), Body: req.Body}, nil
 		case "fail":
-			return nil, nil, fmt.Errorf("boom: %w", core.ErrNotFound)
+			return Resp{}, fmt.Errorf("boom: %w", core.ErrNotFound)
 		default:
-			return nil, nil, fmt.Errorf("unknown op %q", op)
+			return Resp{}, fmt.Errorf("unknown op %q", req.Op)
 		}
 	}, nil)
 	t.Cleanup(func() { srv.Close() })
@@ -247,8 +247,8 @@ func TestPoolRetriesStaleConnection(t *testing.T) {
 	if err != nil {
 		t.Skipf("cannot rebind %s: %v", addr, err)
 	}
-	srv2 := NewServer(ln, func(op string, meta json.RawMessage, body []byte) (interface{}, []byte, error) {
-		return nil, body, nil
+	srv2 := NewServer(ln, func(req *Req) (Resp, error) {
+		return Resp{Body: req.Body}, nil
 	}, nil)
 	defer srv2.Close()
 
