@@ -39,8 +39,9 @@ func run(args []string) error {
 		width       = fs.Int("stripe", 0, "stripe width (0 = manager default)")
 		replication = fs.Int("replication", 0, "replication target (0 = manager default)")
 		pessimistic = fs.Bool("pessimistic", false, "wait for the replication target before put returns")
-		incremental = fs.Bool("incremental", false, "enable FsCH dedup against stored chunks")
+		incremental = fs.Bool("incremental", false, "enable compare-by-hash dedup against stored chunks")
 		protocol    = fs.String("protocol", "sliding-window", "write protocol: sliding-window | incremental | complete-local")
+		chunking    = fs.String("chunking", "fixed", "chunk boundaries: fixed | cbch (content-based, dedups shifted content)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -65,12 +66,22 @@ func run(args []string) error {
 	default:
 		return fmt.Errorf("unknown protocol %q", *protocol)
 	}
+	var mode client.ChunkingMode
+	switch *chunking {
+	case "fixed":
+		mode = client.ChunkFixed
+	case "cbch":
+		mode = client.ChunkCbCH
+	default:
+		return fmt.Errorf("unknown chunking %q", *chunking)
+	}
 	cl, err := client.New(client.Config{
 		ManagerAddr: *mgr,
 		StripeWidth: *width,
 		Replication: *replication,
 		Semantics:   sem,
 		Protocol:    proto,
+		Chunking:    mode,
 		Incremental: *incremental,
 	})
 	if err != nil {
@@ -242,6 +253,7 @@ func cmdStats(cl *client.Client) error {
 	fmt.Printf("datasets: %d, versions: %d, unique chunks: %d\n", s.Datasets, s.Versions, s.UniqueChunks)
 	fmt.Printf("logical bytes: %d, stored bytes: %d\n", s.LogicalBytes, s.StoredBytes)
 	fmt.Printf("active sessions: %d, transactions: %d\n", s.ActiveSessions, s.Transactions)
+	fmt.Printf("dedup probes: %d rpcs / %d chunks, hits: %d\n", s.DedupBatches, s.DedupChunks, s.DedupHits)
 	fmt.Printf("replicas copied: %d, chunks collected: %d, versions pruned: %d\n",
 		s.ReplicasCopied, s.ChunksCollected, s.VersionsPruned)
 	return nil

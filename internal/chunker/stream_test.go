@@ -1,0 +1,160 @@
+package chunker
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"stdchk/internal/core"
+)
+
+func streamTestParams() StreamParams {
+	return StreamParams{Window: 48, Bits: 12, Min: 2 << 10, Max: 32 << 10}
+}
+
+// TestStreamSpansValid: spans from the streaming boundary finder are
+// contiguous, cover the input exactly, and respect the Min/Max bounds
+// (the final span may be short).
+func TestStreamSpansValid(t *testing.T) {
+	p := streamTestParams()
+	data := make([]byte, 1<<20)
+	rand.New(rand.NewSource(1)).Read(data)
+	spans := p.Split(data)
+	if err := Validate(spans, int64(len(data))); err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) < 8 {
+		t.Fatalf("only %d spans over 1 MB with expected ~6 KB spacing", len(spans))
+	}
+	for i, s := range spans {
+		if s.Len > p.Max {
+			t.Fatalf("span %d has length %d > max %d", i, s.Len, p.Max)
+		}
+		if i < len(spans)-1 && s.Len < p.Min {
+			t.Fatalf("non-final span %d has length %d < min %d", i, s.Len, p.Min)
+		}
+	}
+}
+
+// TestStreamFeedGranularityInvariance: the boundary set must not depend on
+// how the byte stream is sliced into Feed calls — the property that makes
+// all three write protocols (different staging granularities) produce
+// identical chunk sequences.
+func TestStreamFeedGranularityInvariance(t *testing.T) {
+	p := streamTestParams()
+	data := make([]byte, 512<<10)
+	rand.New(rand.NewSource(2)).Read(data)
+	want := p.Split(data)
+
+	for _, block := range []int{1, 7, 4096, 100_000, len(data)} {
+		s := NewStream(p)
+		var got []Span
+		var off, start int64
+		for pos := 0; pos < len(data); {
+			end := pos + block
+			if end > len(data) {
+				end = len(data)
+			}
+			chunk := data[pos:end]
+			for len(chunk) > 0 {
+				n, cut := s.Feed(chunk)
+				off += int64(n)
+				chunk = chunk[n:]
+				if cut {
+					got = append(got, Span{Off: start, Len: off - start})
+					start = off
+				}
+			}
+			pos = end
+		}
+		if tail := s.Flush(); tail > 0 {
+			got = append(got, Span{Off: start, Len: tail})
+		}
+		if len(got) != len(want) {
+			t.Fatalf("block %d: %d spans, want %d", block, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("block %d: span %d = %+v, want %+v", block, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestStreamResynchronizesAfterShift: inserting bytes near the front must
+// leave the boundary set past the insertion point aligned with the
+// original (modulo one resync chunk) — the property fixed-size chunking
+// lacks and the reason CbCH dedups shifted checkpoint content.
+func TestStreamResynchronizesAfterShift(t *testing.T) {
+	p := streamTestParams()
+	base := make([]byte, 512<<10)
+	rand.New(rand.NewSource(3)).Read(base)
+
+	shifted := make([]byte, 0, len(base)+13)
+	shifted = append(shifted, base[:100]...)
+	shifted = append(shifted, []byte("thirteen-byte")...)
+	shifted = append(shifted, base[100:]...)
+
+	hashSet := func(data []byte) map[core.ChunkID]int64 {
+		out := make(map[core.ChunkID]int64)
+		for _, c := range SplitAndHash(p, data) {
+			out[c.ID] = c.Len
+		}
+		return out
+	}
+	prev := hashSet(base)
+	var matched, total int64
+	for id, n := range hashSet(shifted) {
+		total += n
+		if _, ok := prev[id]; ok {
+			matched += n
+		}
+	}
+	if ratio := float64(matched) / float64(total); ratio < 0.90 {
+		t.Fatalf("only %.1f%% of shifted content re-matched; boundaries did not resynchronize", 100*ratio)
+	}
+}
+
+// TestStreamPathologicalInput: constant bytes never produce a hash
+// boundary, so Max must force cuts.
+func TestStreamPathologicalInput(t *testing.T) {
+	p := streamTestParams()
+	data := bytes.Repeat([]byte{0}, 256<<10)
+	spans := p.Split(data)
+	if err := Validate(spans, int64(len(data))); err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range spans {
+		if s.Len > p.Max {
+			t.Fatalf("span %d exceeds max: %d", i, s.Len)
+		}
+	}
+}
+
+// TestStreamDefaults: zero params resolve to sane bounds.
+func TestStreamDefaults(t *testing.T) {
+	p := StreamParams{}.WithDefaults()
+	if p.Window != 48 || p.Bits != 16 {
+		t.Fatalf("defaults: %+v", p)
+	}
+	if p.Min <= 0 || p.Max < p.Min {
+		t.Fatalf("degenerate bounds: %+v", p)
+	}
+	if s := NewStream(StreamParams{}); s.Params().Max != p.Max {
+		t.Fatalf("NewStream defaults mismatch: %+v", s.Params())
+	}
+}
+
+// TestStreamEmptyAndTiny: inputs below Window/Min still produce a single
+// covering span (or none for empty input).
+func TestStreamEmptyAndTiny(t *testing.T) {
+	p := streamTestParams()
+	if spans := p.Split(nil); len(spans) != 0 {
+		t.Fatalf("empty input produced %d spans", len(spans))
+	}
+	tiny := []byte{1, 2, 3}
+	spans := p.Split(tiny)
+	if len(spans) != 1 || spans[0].Len != 3 {
+		t.Fatalf("tiny input spans: %+v", spans)
+	}
+}

@@ -2,8 +2,10 @@ package client_test
 
 import (
 	"testing"
+	"time"
 
 	"stdchk/internal/benefactor"
+	"stdchk/internal/chunker"
 	"stdchk/internal/client"
 	"stdchk/internal/manager"
 )
@@ -14,6 +16,21 @@ import (
 // of interest: the steady-state path should recycle chunk buffers instead of
 // allocating per chunk.
 func BenchmarkEmitChunkPipeline(b *testing.B) {
+	benchEmitChunkPipeline(b, client.Config{StripeWidth: 4})
+}
+
+// BenchmarkEmitChunkPipelineCbCH is the same write with the streaming
+// content-defined boundary finder in the path: the delta against the
+// fixed-size bench is the rolling-hash scan cost on the filling thread.
+func BenchmarkEmitChunkPipelineCbCH(b *testing.B) {
+	benchEmitChunkPipeline(b, client.Config{
+		StripeWidth: 4,
+		Chunking:    client.ChunkCbCH,
+		CbCH:        chunker.StreamParams{Window: 48, Bits: 18, Min: 256 << 10, Max: 1 << 20},
+	})
+}
+
+func benchEmitChunkPipeline(b *testing.B, cfg client.Config) {
 	mgr, err := manager.New(manager.Config{})
 	if err != nil {
 		b.Fatal(err)
@@ -29,7 +46,14 @@ func BenchmarkEmitChunkPipeline(b *testing.B) {
 		benefs = append(benefs, bf)
 	}
 	_ = benefs
-	cl, err := client.New(client.Config{ManagerAddr: mgr.Addr(), StripeWidth: 4})
+	for deadline := time.Now().Add(5 * time.Second); mgr.Stats().OnlineBenefactors < 4; {
+		if time.Now().After(deadline) {
+			b.Fatalf("only %d benefactors registered", mgr.Stats().OnlineBenefactors)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cfg.ManagerAddr = mgr.Addr()
+	cl, err := client.New(cfg)
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -14,6 +14,7 @@ import (
 	"sync"
 	"time"
 
+	"stdchk/internal/chunker"
 	"stdchk/internal/core"
 	"stdchk/internal/device"
 	"stdchk/internal/proto"
@@ -49,6 +50,35 @@ func (p Protocol) String() string {
 	}
 }
 
+// ChunkingMode selects how the write path fragments the checkpoint stream
+// into chunks (paper §IV.C).
+type ChunkingMode int
+
+const (
+	// ChunkFixed cuts equal ChunkSize pieces at fixed offsets (FsCH when
+	// combined with Incremental). The fastest mode, but any byte
+	// insertion/deletion shifts all subsequent chunk contents and defeats
+	// cross-version dedup.
+	ChunkFixed ChunkingMode = iota
+	// ChunkCbCH anchors chunk boundaries to the content itself with a
+	// rolling hash, so shifted-but-identical regions across checkpoint
+	// versions still hash to the same chunks — the paper's Table 3 result,
+	// applied live on the wire path.
+	ChunkCbCH
+)
+
+// String implements fmt.Stringer.
+func (m ChunkingMode) String() string {
+	switch m {
+	case ChunkFixed:
+		return "fixed"
+	case ChunkCbCH:
+		return "cbch"
+	default:
+		return fmt.Sprintf("ChunkingMode(%d)", int(m))
+	}
+}
+
 // Config parameterizes a Client.
 type Config struct {
 	// ManagerAddr is the metadata manager address.
@@ -57,7 +87,15 @@ type Config struct {
 	// (0 = manager default).
 	StripeWidth int
 	// ChunkSize is the striping chunk size (0 = manager default, 1 MB).
+	// In CbCH mode it is ignored in favor of CbCH.Max.
 	ChunkSize int64
+	// Chunking selects fixed-size striping (default) or content-based
+	// variable-size chunking on the write path.
+	Chunking ChunkingMode
+	// CbCH bounds the content-defined spans when Chunking == ChunkCbCH;
+	// zero fields take chunker.StreamParams defaults. Both writers of a
+	// version chain must use the same parameters for dedup to land.
+	CbCH chunker.StreamParams
 	// Replication is the user-defined replication target (0 = manager
 	// default).
 	Replication int
@@ -96,6 +134,12 @@ type Config struct {
 	Shaper wire.Shaper
 	// ReadAhead is the number of chunks fetched ahead during reads.
 	ReadAhead int
+	// ReadAheadBytes bounds the prefetch window in bytes instead of chunk
+	// count, which keeps prefetch memory stable when chunk sizes are
+	// heterogeneous (CbCH maps mix spans from tens of KB to the max
+	// bound). 0 derives the budget as ReadAhead x the map's chunk-size
+	// bound.
+	ReadAheadBytes int64
 	// Logger receives operational messages; nil discards.
 	Logger *log.Logger
 }
@@ -121,6 +165,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ReadAhead <= 0 {
 		c.ReadAhead = 4
+	}
+	if c.Chunking == ChunkCbCH {
+		c.CbCH = c.CbCH.WithDefaults()
 	}
 	return c
 }

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"stdchk/internal/benefactor"
+	"stdchk/internal/chunker"
 	"stdchk/internal/core"
 	"stdchk/internal/manager"
 	"stdchk/internal/store"
@@ -264,6 +265,62 @@ func TestChunkBufferLifecycleDedupHit(t *testing.T) {
 		}
 	}
 	tr.check()
+}
+
+// TestChunkBufferLifecycleCbCH covers the variable-size (CbCH) write path
+// under the race detector: spans cut by the streaming boundary finder are
+// smaller than the pooled buffer capacity, and every buffer — uploaded or
+// dedup-hit — must still come back exactly once.
+func TestChunkBufferLifecycleCbCH(t *testing.T) {
+	mgr, _ := startCluster(t, 2, 0)
+	cl, err := New(Config{
+		ManagerAddr: mgr.Addr(),
+		StripeWidth: 2,
+		Chunking:    ChunkCbCH,
+		CbCH:        chunker.StreamParams{Window: 48, Bits: 12, Min: 4 << 10, Max: 64 << 10},
+		Incremental: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	tr := trackChunkBufs(t, cl)
+
+	data := fill(16*64<<10+777, 6)
+	for i := 0; i < 2; i++ { // v0 uploads; v1 dedups every span
+		w, err := cl.Create("cbchlife.n1.t" + fmt.Sprint(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := w.Write(data); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Wait(); err != nil {
+			t.Fatal(err)
+		}
+		if i == 1 {
+			if m := w.Metrics(); m.Deduped != int64(len(data)) {
+				t.Fatalf("identical rewrite deduped %d of %d bytes", m.Deduped, len(data))
+			}
+		}
+	}
+	tr.check()
+
+	r, err := cl.Open("cbchlife.n1.t1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	got, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("CbCH readback mismatch")
+	}
 }
 
 // rejectingStore fails every Put, simulating a benefactor that ran out of

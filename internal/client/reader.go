@@ -16,19 +16,25 @@ import (
 // chunk-map; a fetch that fails on one replica falls over to the next
 // (paper §IV.E: read performance via read-ahead and caching; §IV.A:
 // replicas provide availability).
+//
+// The prefetch window is bounded in bytes, not chunks, so variable-size
+// (CbCH) maps — whose spans range from tens of KB to the max bound — hold
+// a stable amount of memory in flight regardless of boundary luck.
 type Reader struct {
 	c    *Client
 	name string
 	cm   *core.ChunkMap
 
-	mu      sync.Mutex
-	pending map[int]chan fetchResult
-	next    int // next chunk index to hand to the application
-	off     int // offset within the current chunk
-	cur     []byte
-	started int // chunks dispatched so far
-	closed  bool
-	err     error
+	mu       sync.Mutex
+	pending  map[int]chan fetchResult
+	next     int // next chunk index to hand to the application
+	off      int // offset within the current chunk
+	cur      []byte
+	started  int   // chunks dispatched so far
+	inflight int64 // bytes dispatched but not yet handed to the application
+	budget   int64 // read-ahead window in bytes
+	closed   bool
+	err      error
 }
 
 type fetchResult struct {
@@ -37,10 +43,19 @@ type fetchResult struct {
 }
 
 func newReader(c *Client, name string, cm *core.ChunkMap) *Reader {
+	budget := c.cfg.ReadAheadBytes
+	if budget <= 0 {
+		cs := cm.ChunkSize
+		if cs <= 0 {
+			cs = core.DefaultChunkSize
+		}
+		budget = int64(c.cfg.ReadAhead) * cs
+	}
 	return &Reader{
 		c:       c,
 		name:    name,
 		cm:      cm,
+		budget:  budget,
 		pending: make(map[int]chan fetchResult),
 	}
 }
@@ -81,13 +96,15 @@ func (r *Reader) Read(p []byte) (int, error) {
 }
 
 // advanceLocked ensures the read-ahead window is primed and blocks for the
-// next chunk.
+// next chunk. Dispatch is bounded by the byte budget (always at least the
+// chunk the application is waiting on), so a map of heterogeneous chunk
+// sizes prefetches roughly the same number of bytes as a fixed-size one.
 func (r *Reader) advanceLocked() error {
-	window := r.c.cfg.ReadAhead
-	for r.started < len(r.cm.Chunks) && r.started < r.next+window {
+	for r.started < len(r.cm.Chunks) && (r.started == r.next || r.inflight < r.budget) {
 		idx := r.started
 		ch := make(chan fetchResult, 1)
 		r.pending[idx] = ch
+		r.inflight += r.cm.Chunks[idx].Size
 		r.started++
 		go r.fetch(idx, ch)
 	}
@@ -99,6 +116,13 @@ func (r *Reader) advanceLocked() error {
 	r.mu.Unlock()
 	res := <-ch
 	r.mu.Lock()
+	if r.closed {
+		// Closed while blocked: the result's buffer has no consumer.
+		if res.data != nil {
+			wire.PutBuf(res.data)
+		}
+		return core.ErrClosed
+	}
 	if res.err != nil {
 		return res.err
 	}
@@ -109,6 +133,7 @@ func (r *Reader) advanceLocked() error {
 	}
 	r.cur = res.data
 	r.off = 0
+	r.inflight -= r.cm.Chunks[r.next].Size
 	r.next++
 	return nil
 }
@@ -174,28 +199,44 @@ func (r *Reader) resolve(node core.NodeID) (string, error) {
 	return addr, nil
 }
 
-// ReadAll reads the whole version into memory.
+// ReadAll reads the whole version into memory. Fetched chunks are copied
+// straight from their pool-backed buffers into the sized output slice —
+// no intermediate scratch buffer.
 func (r *Reader) ReadAll() ([]byte, error) {
-	out := make([]byte, 0, r.cm.FileSize)
-	buf := make([]byte, 256<<10)
-	for {
-		n, err := r.Read(buf)
-		out = append(out, buf[:n]...)
+	out := make([]byte, r.cm.FileSize)
+	var n int
+	for int64(n) < r.cm.FileSize {
+		m, err := r.Read(out[n:])
+		n += m
 		if err == io.EOF {
-			return out, nil
+			break
 		}
 		if err != nil {
-			return out, err
+			return out[:n], err
 		}
 	}
+	return out[:n], nil
 }
 
-// Close releases the reader. Outstanding prefetches drain in the
-// background.
+// Close releases the reader. Outstanding prefetches are drained
+// asynchronously so their pool-backed buffers return to the wire pool
+// instead of leaking: each in-flight fetch delivers exactly one result to
+// its (buffered) channel, and an abandoned channel would strand that
+// buffer outside the pool forever.
 func (r *Reader) Close() error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if r.closed {
+		return nil
+	}
 	r.closed = true
+	for _, ch := range r.pending {
+		go func(ch chan fetchResult) {
+			if res := <-ch; res.data != nil {
+				wire.PutBuf(res.data)
+			}
+		}(ch)
+	}
 	r.pending = map[int]chan fetchResult{}
 	if r.cur != nil {
 		wire.PutBuf(r.cur)

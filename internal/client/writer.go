@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"stdchk/internal/chunker"
 	"stdchk/internal/core"
 	"stdchk/internal/proto"
 	"stdchk/internal/wire"
@@ -33,6 +34,11 @@ import (
 // stream the chunks out and return the buffers to the pool. The
 // application thread therefore pays only the memcpy into the buffer — no
 // hashing, no allocation, no per-chunk manager RPCs.
+//
+// With Config.Chunking == ChunkCbCH the filling thread additionally runs a
+// streaming rolling-hash boundary finder, so cuts are content-anchored
+// (variable-size spans) instead of offset-anchored; the downstream stages
+// are size-agnostic and unchanged.
 type Writer struct {
 	c        *Client
 	name     string
@@ -55,8 +61,16 @@ type Writer struct {
 
 	sess      proto.AllocResp
 	stripe    []proto.Stripe
-	chunkSize int64
+	chunkSize int64 // fixed chunk size, or the CbCH max span bound
 	reserved  int64
+
+	// cbch, when non-nil, is the streaming content-defined boundary
+	// finder: instead of cutting at fixed chunkSize offsets, the filling
+	// thread scans each application write with a rolling hash and emits
+	// variable-size spans (cbch.Params().Min..Max). The rest of the
+	// pipeline — hashing stage, dedup batching, round-robin uploaders —
+	// is size-agnostic and unchanged.
+	cbch *chunker.Stream
 
 	cur      *[]byte // pooled buffer being filled; nil between chunks
 	chunkIdx int
@@ -123,10 +137,22 @@ func newWriter(c *Client, name string) (*Writer, error) {
 	}
 	w.cond = sync.NewCond(&w.mu)
 
+	chunkSize := c.cfg.ChunkSize
+	if chunkSize <= 0 {
+		chunkSize = core.DefaultChunkSize
+	}
+	if c.cfg.Chunking == ChunkCbCH {
+		// Variable-size session: the max span bound plays the chunk-size
+		// role everywhere sizes matter — pooled buffer capacity, the
+		// manager's per-chunk validation bound, reservation rounding.
+		w.cbch = chunker.NewStream(c.cfg.CbCH)
+		chunkSize = w.cbch.Params().Max
+	}
 	req := proto.AllocReq{
 		Name:         name,
 		StripeWidth:  c.cfg.StripeWidth,
-		ChunkSize:    c.cfg.ChunkSize,
+		ChunkSize:    chunkSize,
+		Variable:     w.cbch != nil,
 		ReserveBytes: c.cfg.ReserveQuantum,
 		Replication:  c.cfg.Replication,
 	}
@@ -134,10 +160,7 @@ func newWriter(c *Client, name string) (*Writer, error) {
 		return nil, fmt.Errorf("client: create %s: %w", name, err)
 	}
 	w.stripe = w.sess.Stripe
-	w.chunkSize = c.cfg.ChunkSize
-	if w.chunkSize <= 0 {
-		w.chunkSize = core.DefaultChunkSize
-	}
+	w.chunkSize = chunkSize
 	w.reserved = c.cfg.ReserveQuantum
 
 	for _, st := range w.stripe {
@@ -239,23 +262,22 @@ func (w *Writer) ensureReservation() error {
 	return nil
 }
 
-// appendChunked accumulates bytes into pooled striping chunks and emits
-// full ones to the hashing stage. The chunk completing when p runs out is
-// flagged to flush the hasher's dedup batch, so one application Write maps
-// to at most one dedup probe.
+// appendChunked accumulates bytes into pooled chunk buffers and emits
+// completed chunks to the hashing stage. Fixed mode cuts at chunkSize
+// offsets; CbCH mode cuts wherever the streaming boundary finder anchors a
+// span end (at most chunkSize bytes, its max bound, so the pooled buffer
+// never reallocates). The chunk completing when p runs out is flagged to
+// flush the hasher's dedup batch, so one application Write maps to at most
+// one dedup probe.
 func (w *Writer) appendChunked(p []byte) error {
 	for len(p) > 0 {
 		if w.cur == nil {
 			w.cur = w.c.getChunkBuf(w.chunkSize)
 		}
-		room := int(w.chunkSize) - len(*w.cur)
-		take := room
-		if take > len(p) {
-			take = len(p)
-		}
+		take, cut := w.nextCut(p)
 		*w.cur = append(*w.cur, p[:take]...)
 		p = p[take:]
-		if int64(len(*w.cur)) == w.chunkSize {
+		if cut {
 			buf := w.cur
 			w.cur = nil
 			if err := w.emitChunk(buf, len(p) == 0); err != nil {
@@ -264,6 +286,21 @@ func (w *Writer) appendChunked(p []byte) error {
 		}
 	}
 	return nil
+}
+
+// nextCut decides how many of p's bytes extend the current chunk and
+// whether they complete it. The CbCH stream tracks the span length
+// internally and stays in lockstep with w.cur because every byte it
+// accepts is appended there.
+func (w *Writer) nextCut(p []byte) (take int, cut bool) {
+	if w.cbch != nil {
+		return w.cbch.Feed(p)
+	}
+	room := int(w.chunkSize) - len(*w.cur)
+	if room > len(p) {
+		return len(p), false
+	}
+	return room, true
 }
 
 // appendTemp implements the incremental-write staging.
@@ -317,34 +354,10 @@ func (w *Writer) runTempPusher() {
 		// large, does pay the disk read). This extra copy is what keeps
 		// incremental writes slightly behind the sliding window.
 		w.c.cfg.Mem.Acquire(len(t))
-		if err := w.appendChunkedRemote(t); err != nil {
+		if err := w.appendChunked(t); err != nil {
 			w.fail(err)
 		}
 	}
-}
-
-// appendChunkedRemote re-chunks staged bytes and emits them (pusher-side
-// path shared by incremental and complete-local writes).
-func (w *Writer) appendChunkedRemote(data []byte) error {
-	for off := 0; off < len(data); {
-		if w.cur == nil {
-			w.cur = w.c.getChunkBuf(w.chunkSize)
-		}
-		take := int(w.chunkSize) - len(*w.cur)
-		if take > len(data)-off {
-			take = len(data) - off
-		}
-		*w.cur = append(*w.cur, data[off:off+take]...)
-		off += take
-		if int64(len(*w.cur)) == w.chunkSize {
-			buf := w.cur
-			w.cur = nil
-			if err := w.emitChunk(buf, off == len(data)); err != nil {
-				return err
-			}
-		}
-	}
-	return nil
 }
 
 // emitChunk hands a full (or final short) chunk to the hashing stage,
@@ -635,7 +648,7 @@ func (w *Writer) finish() {
 		if w.c.cfg.LocalDisk != nil {
 			w.c.cfg.LocalDisk.Read(len(data))
 		}
-		if err := w.appendChunkedRemote(data); err != nil {
+		if err := w.appendChunked(data); err != nil {
 			w.waitErr = err
 		}
 		if w.cur != nil {
@@ -719,6 +732,7 @@ func (w *Writer) pushMapReplicas(resp proto.CommitResp, chunks []proto.CommitChu
 		Version:   resp.Version,
 		FileSize:  w.written,
 		ChunkSize: w.chunkSize,
+		Variable:  w.cbch != nil,
 		CreatedAt: time.Now(),
 	}
 	for i, ch := range chunks {

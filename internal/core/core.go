@@ -145,17 +145,31 @@ type ChunkRef struct {
 // chunk list and, for each chunk, the benefactors currently holding a
 // replica. The chunk-map is the unit of atomic commit (session semantics,
 // paper §IV.A): a version is visible iff its chunk-map is committed.
+//
+// Two chunking regimes share this type. Fixed-size striping (the paper's
+// default) fragments the file into ChunkSize pieces, so every chunk but the
+// last has exactly that size. Content-defined chunking (CbCH, paper §IV.C)
+// anchors boundaries to the content itself; chunk sizes then vary per chunk
+// and ChunkSize only bounds them from above. Variable selects the regime.
 type ChunkMap struct {
-	Dataset   DatasetID  `json:"dataset"`
-	Version   VersionID  `json:"version"`
-	FileSize  int64      `json:"fileSize"`
-	ChunkSize int64      `json:"chunkSize"`
+	Dataset  DatasetID `json:"dataset"`
+	Version  VersionID `json:"version"`
+	FileSize int64     `json:"fileSize"`
+	// ChunkSize is the striping size in the fixed regime, and the maximum
+	// span bound in the variable (CbCH) regime.
+	ChunkSize int64 `json:"chunkSize"`
+	// Variable marks content-defined (variable-size) chunking: per-chunk
+	// sizes are free within (0, ChunkSize].
+	Variable  bool       `json:"variable,omitempty"`
 	Chunks    []ChunkRef `json:"chunks"`
 	Locations [][]NodeID `json:"locations"` // parallel to Chunks
 	CreatedAt time.Time  `json:"createdAt"`
 }
 
-// Validate checks structural invariants of the chunk map.
+// Validate checks structural invariants of the chunk map. The fixed regime
+// keeps the strict equal-size invariant (non-final chunks are exactly
+// ChunkSize); the variable regime checks each chunk independently against
+// the ChunkSize upper bound.
 func (m *ChunkMap) Validate() error {
 	if len(m.Chunks) != len(m.Locations) {
 		return fmt.Errorf("chunkmap: %d chunks but %d location lists", len(m.Chunks), len(m.Locations))
@@ -168,7 +182,7 @@ func (m *ChunkMap) Validate() error {
 		if c.Size <= 0 || c.Size > m.ChunkSize {
 			return fmt.Errorf("chunkmap: chunk %d has size %d (chunk size %d)", i, c.Size, m.ChunkSize)
 		}
-		if i < len(m.Chunks)-1 && c.Size != m.ChunkSize {
+		if !m.Variable && i < len(m.Chunks)-1 && c.Size != m.ChunkSize {
 			return fmt.Errorf("chunkmap: non-final chunk %d has short size %d", i, c.Size)
 		}
 		total += c.Size

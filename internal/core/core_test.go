@@ -108,6 +108,43 @@ func TestChunkMapValidate(t *testing.T) {
 	}
 }
 
+// TestChunkMapValidateVariable: the variable (CbCH) regime frees per-chunk
+// sizes within (0, ChunkSize] — interior chunks may be short — while the
+// cover/index/bound invariants still hold.
+func TestChunkMapValidateVariable(t *testing.T) {
+	m := validMap()
+	m.Variable = true
+	// Heterogeneous interior sizes: illegal fixed, legal variable.
+	m.Chunks[0].Size = 1
+	m.FileSize -= 3
+	if err := m.Validate(); err != nil {
+		t.Fatalf("variable map with short interior chunk rejected: %v", err)
+	}
+	m.Variable = false
+	if err := m.Validate(); err == nil {
+		t.Fatal("fixed map accepted a short interior chunk")
+	}
+
+	tests := []struct {
+		name string
+		mut  func(*ChunkMap)
+	}{
+		{"oversized span", func(m *ChunkMap) { m.Chunks[1].Size = m.ChunkSize + 1 }},
+		{"zero span", func(m *ChunkMap) { m.Chunks[1].Size = 0 }},
+		{"cover mismatch", func(m *ChunkMap) { m.FileSize++ }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			m := validMap()
+			m.Variable = true
+			tt.mut(m)
+			if err := m.Validate(); err == nil {
+				t.Fatal("corrupted variable map validated")
+			}
+		})
+	}
+}
+
 func TestChunkMapClone(t *testing.T) {
 	m := validMap()
 	c := m.Clone()

@@ -92,6 +92,7 @@ func All() []Runner {
 		{Name: "fig6", Title: "Figure 6: 10 Gbps client OAB/ASB", Run: Fig6},
 		{Name: "table2", Title: "Table 2: checkpoint trace characteristics", Run: Table2},
 		{Name: "table3", Title: "Table 3: similarity heuristics comparison", Run: Table3},
+		{Name: "table3live", Title: "Table 3 (live): similarity re-measured through the wire path", Run: Table3Live},
 		{Name: "table4", Title: "Table 4: CbCH no-overlap parameter sweep", Run: Table4},
 		{Name: "fig7", Title: "Figure 7: sliding window with/without FsCH", Run: Fig7},
 		{Name: "fig8", Title: "Figure 8: aggregate throughput under load", Run: Fig8},

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -9,7 +10,7 @@ import (
 func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"table1", "fig2", "fig3", "fig4", "fig5", "fig6",
-		"table2", "table3", "table4", "fig7", "fig8", "table5",
+		"table2", "table3", "table3live", "table4", "fig7", "fig8", "table5",
 	}
 	runners := All()
 	if len(runners) != len(want) {
@@ -68,6 +69,65 @@ func TestTable1Smoke(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Fatalf("output missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// TestTable3LiveSmoke runs the live similarity experiment at an extreme
+// scale and checks the headline contrast survives the wire path: CbCH's
+// live dedup ratio beats FsCH's on the shift-heavy BLCR trace.
+func TestTable3LiveSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Table3Live(Config{Scale: 256, Runs: 1, Out: &buf}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"FsCH(", "CbCH(stream", "dedup hits", "paper"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestTable3LiveContrast runs the live experiment at the standard 1/64
+// scale and asserts the headline Table 3 result numerically: content-based
+// chunking's live dedup ratio is at least 2x fixed-size chunking's on the
+// shift-heavy BLCR trace. Skipped under -short (the scale-256
+// TestTable3LiveSmoke covers harness health there).
+func TestTable3LiveContrast(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale-64 live run; -short smoke relies on TestTable3LiveSmoke")
+	}
+	var buf bytes.Buffer
+	if err := Table3Live(Config{Scale: 64, Runs: 1, Out: &buf}); err != nil {
+		t.Fatal(err)
+	}
+	// Data rows lead with the technique name (no spaces); the first
+	// percentage column is the live dedup ratio.
+	ratio := func(prefix string) float64 {
+		t.Helper()
+		for _, line := range strings.Split(buf.String(), "\n") {
+			if !strings.HasPrefix(line, prefix) {
+				continue
+			}
+			fields := strings.Fields(line)
+			if len(fields) < 2 {
+				break
+			}
+			v, err := strconv.ParseFloat(strings.TrimSuffix(fields[1], "%"), 64)
+			if err != nil {
+				t.Fatalf("parse %q in line %q: %v", fields[1], line, err)
+			}
+			return v
+		}
+		t.Fatalf("no %q row in output:\n%s", prefix, buf.String())
+		return 0
+	}
+	fsch, cbch := ratio("FsCH("), ratio("CbCH(")
+	if fsch <= 0 {
+		t.Fatalf("FsCH live dedup %.1f%%; the BLCR trace lost its aligned prefix", fsch)
+	}
+	if cbch < 2*fsch {
+		t.Fatalf("CbCH live dedup %.1f%% < 2x FsCH %.1f%%", cbch, fsch)
 	}
 }
 

@@ -1,0 +1,157 @@
+package experiments
+
+import (
+	"fmt"
+
+	"stdchk/internal/chunker"
+	"stdchk/internal/client"
+	"stdchk/internal/core"
+	"stdchk/internal/device"
+	"stdchk/internal/workload"
+)
+
+// liveCbCHParams picks span bounds for the live CbCH write path at the
+// run's scale: expected spans (Min + 2^Bits) a small multiple of the
+// offline sweep's ~330 KB average, shrunk with the images so each stable
+// BLCR zone still spans many chunks.
+func liveCbCHParams(chunk int64) chunker.StreamParams {
+	min := chunk / 8
+	if min < 8<<10 {
+		min = 8 << 10
+	}
+	var bits uint
+	for bits = 10; int64(1)<<(bits+1) < chunk/2; bits++ {
+	}
+	return chunker.StreamParams{Window: 48, Bits: bits, Min: min, Max: chunk}
+}
+
+// Table3Live re-measures the paper's central similarity result (Table 3)
+// through the real wire path instead of the offline chunker harness: the
+// BLCR trace is written version by version into a live cluster with
+// incremental checkpointing on, once with fixed-size chunks (FsCH) and
+// once with content-based variable-size chunks (CbCH), and the detected
+// similarity is read off the writer's byte accounting. The manager's
+// MHasChunks counters (DedupBatches/DedupChunks/DedupHits) provide the
+// server-side ground truth for the same quantity. The offline ratio of
+// the identical boundary parameterization is printed alongside so
+// harness-vs-wire divergence is visible.
+func Table3Live(cfg Config) error {
+	cfg = cfg.withDefaults()
+	images := 4
+	size := cfg.scaled(279_600_000) // BLCR average checkpoint, 279.6 MB
+	if size < 8<<20 {
+		// Chunk statistics need images well above the max span bound.
+		size = 8 << 20
+	}
+	chunk := cfg.chunkSize()
+	cbch := liveCbCHParams(chunk)
+
+	c, err := paperCluster(4, 0)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+
+	fmt.Fprintf(cfg.Out, "Table 3 (live): detected similarity through the wire path, %d BLCR images of %d KB (scaled 1/%d)\n",
+		images, size>>10, cfg.Scale)
+	fmt.Fprintf(cfg.Out, "%-38s %12s %12s %14s %12s %12s\n",
+		"technique", "live dedup", "offline", "uploaded MB", "dedup hits", "probe RPCs")
+
+	type mode struct {
+		name    string
+		offline chunker.Chunker
+		cfg     client.Config
+	}
+	modes := []mode{
+		{
+			name:    fmt.Sprintf("FsCH(%dKB)", chunk>>10),
+			offline: chunker.Fixed{Size: chunk},
+			cfg: client.Config{
+				StripeWidth: 4,
+				ChunkSize:   chunk,
+				Incremental: true,
+				Replication: 1,
+				Semantics:   core.WriteOptimistic,
+			},
+		},
+		{
+			name:    cbch.Name(),
+			offline: cbch,
+			cfg: client.Config{
+				StripeWidth: 4,
+				Chunking:    client.ChunkCbCH,
+				CbCH:        cbch,
+				Incremental: true,
+				Replication: 1,
+				Semantics:   core.WriteOptimistic,
+			},
+		},
+	}
+
+	// runMode writes the trace through one chunking configuration and
+	// prints its row; the client is scoped here so every error path
+	// releases its connections.
+	runMode := func(mi int, m mode) error {
+		tr := workload.BLCR5Min(42, images, size)
+		cl, _, err := c.NewClient(m.cfg, device.PaperNode())
+		if err != nil {
+			return err
+		}
+		defer cl.Close()
+		before, err := cl.ManagerStats()
+		if err != nil {
+			return err
+		}
+		// Live pass: logical/deduped accounting over versions after the
+		// first (the same convention as the offline SimilarityRatio).
+		var logical, deduped, uploaded int64
+		for i, img := range tr.Images {
+			name := fmt.Sprintf("live%d.n1.t%d", mi, i)
+			w, err := cl.Create(name)
+			if err != nil {
+				return err
+			}
+			if _, err := w.Write(img); err != nil {
+				return err
+			}
+			if err := w.Close(); err != nil {
+				return err
+			}
+			if err := w.Wait(); err != nil {
+				return err
+			}
+			wm := w.Metrics()
+			uploaded += wm.Uploaded
+			if i > 0 {
+				logical += wm.Bytes
+				deduped += wm.Deduped
+			}
+		}
+		after, err := cl.ManagerStats()
+		if err != nil {
+			return err
+		}
+
+		offline := chunker.EvalTrace(m.offline, tr.Images)
+		live := 0.0
+		if logical > 0 {
+			live = float64(deduped) / float64(logical)
+		}
+		fmt.Fprintf(cfg.Out, "%-38s %11.1f%% %11.1f%% %14.1f %12d %12d\n",
+			m.name, 100*live, 100*offline.SimilarityRatio(), float64(uploaded)/1e6,
+			after.DedupHits-before.DedupHits, after.DedupBatches-before.DedupBatches)
+
+		cl.Delete(fmt.Sprintf("live%d.n1", mi), 0)
+		return nil
+	}
+	for mi, m := range modes {
+		if err := runMode(mi, m); err != nil {
+			return err
+		}
+		c.CollectAll()
+	}
+	fmt.Fprintf(cfg.Out, "paper: FsCH detects ~25%% on BLCR-5min (offset-aligned prefix only); overlap CbCH ~84%%.\n")
+	fmt.Fprintf(cfg.Out, "       Live dedup tracks the offline ratio of the same boundary set: what the harness\n")
+	fmt.Fprintf(cfg.Out, "       predicts is what the wire path saves (bytes never uploaded, counted by DedupHits).\n\n")
+	return nil
+}

@@ -5,8 +5,10 @@
 // the facade reproduces the same call path in user space: every file
 // operation pays the measured FUSE round-trip cost (~32 µs) before
 // reaching the client proxy, application-sized writes are aggregated into
-// storage-sized chunks by the client, and metadata calls (stat/readdir)
-// are served from a cache so most do not contact the manager.
+// storage-sized chunks by the client (fixed stripes or content-anchored
+// CbCH spans, per the client's ChunkingMode — the facade is agnostic to
+// chunk sizing), and metadata calls (stat/readdir) are served from a
+// cache so most do not contact the manager.
 //
 // The package also implements the evaluation's baselines — local I/O,
 // FUSE-to-local, /stdchk/null and NFS — as calibrated device-model writers

@@ -40,7 +40,8 @@ type version struct {
 	id          core.VersionID
 	fileName    string // as written, e.g. "blast.n1.t7"
 	fileSize    int64
-	chunkSize   int64
+	chunkSize   int64 // striping size, or max span bound when variable
+	variable    bool  // content-defined chunk boundaries
 	chunks      []core.ChunkRef
 	newBytes    int64
 	committedAt time.Time
@@ -78,17 +79,28 @@ func (c *catalog) hasChunks(ids []core.ChunkID) []bool {
 // must already exist in the content index (copy-on-write reuse); chunks
 // with locations are new uploads. Returns the version and the number of
 // newly stored bytes.
-func (c *catalog) commit(fileName string, folder string, replication int, chunkSize int64, fileSize int64, chunks []proto.CommitChunk) (*core.ChunkMap, int64, error) {
+//
+// Copy-on-write sharing is purely content-addressed, so versions committed
+// with different chunking regimes — or different CbCH boundary sets — share
+// whatever chunks happen to hash identically; the per-chunk Size recorded
+// in the content index is the only cross-version size constraint.
+func (c *catalog) commit(fileName string, folder string, replication int, chunkSize int64, variable bool, fileSize int64, chunks []proto.CommitChunk) (*core.ChunkMap, int64, error) {
 	key := namespace.DatasetOf(fileName)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 
-	// Resolve and validate before mutating anything.
+	// Resolve and validate before mutating anything. Variable-size
+	// (content-defined) sessions bound each chunk by the max span; fixed
+	// sessions additionally require non-final chunks to be exactly the
+	// striping size.
 	refs := make([]core.ChunkRef, len(chunks))
 	var total int64
 	for i, ch := range chunks {
 		if ch.Size <= 0 || ch.Size > chunkSize {
 			return nil, 0, fmt.Errorf("commit %s: chunk %d size %d invalid", fileName, i, ch.Size)
+		}
+		if !variable && i < len(chunks)-1 && ch.Size != chunkSize {
+			return nil, 0, fmt.Errorf("commit %s: non-final chunk %d has size %d, fixed chunking wants %d", fileName, i, ch.Size, chunkSize)
 		}
 		if len(ch.Locations) == 0 {
 			e, ok := c.chunks[ch.ID]
@@ -128,6 +140,7 @@ func (c *catalog) commit(fileName string, folder string, replication int, chunkS
 		fileName:    fileName,
 		fileSize:    fileSize,
 		chunkSize:   chunkSize,
+		variable:    variable,
 		chunks:      refs,
 		committedAt: time.Now(),
 	}
@@ -165,6 +178,7 @@ func (c *catalog) buildMapLocked(ds *dataset, v *version) *core.ChunkMap {
 		Version:   v.id,
 		FileSize:  v.fileSize,
 		ChunkSize: v.chunkSize,
+		Variable:  v.variable,
 		Chunks:    append([]core.ChunkRef(nil), v.chunks...),
 		Locations: make([][]core.NodeID, len(v.chunks)),
 		CreatedAt: v.committedAt,

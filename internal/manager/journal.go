@@ -24,6 +24,7 @@ type journalEntry struct {
 	Version     core.VersionID      `json:"version,omitempty"`
 	Replication int                 `json:"replication,omitempty"`
 	ChunkSize   int64               `json:"chunkSize,omitempty"`
+	Variable    bool                `json:"variable,omitempty"`
 	FileSize    int64               `json:"fileSize,omitempty"`
 	Chunks      []proto.CommitChunk `json:"chunks,omitempty"`
 	Policy      *core.Policy        `json:"policy,omitempty"`
@@ -119,7 +120,7 @@ func (m *Manager) replayJournal() error {
 	for i, e := range m.journal.entries {
 		switch e.Op {
 		case "commit":
-			_, _, err := m.cat.commit(e.Name, namespace.FolderOf(e.Name), e.Replication, e.ChunkSize, e.FileSize, e.Chunks)
+			_, _, err := m.cat.commit(e.Name, namespace.FolderOf(e.Name), e.Replication, e.ChunkSize, e.Variable, e.FileSize, e.Chunks)
 			if err != nil {
 				return fmt.Errorf("entry %d (commit %s): %w", i, e.Name, err)
 			}

@@ -121,6 +121,7 @@ type Manager struct {
 		extends            atomic.Int64
 		dedupBatches       atomic.Int64
 		dedupChunksQueried atomic.Int64
+		dedupHits          atomic.Int64
 		replicasCopied     atomic.Int64
 		chunksCollected    atomic.Int64
 		versionsPruned     atomic.Int64
@@ -245,7 +246,15 @@ func (m *Manager) handle(r *wire.Req) (wire.Resp, error) {
 		}
 		m.stats.dedupBatches.Add(1)
 		m.stats.dedupChunksQueried.Add(int64(len(req.IDs)))
-		return wire.Resp{Meta: proto.HasResp{Present: m.cat.hasChunks(req.IDs)}}, nil
+		present := m.cat.hasChunks(req.IDs)
+		var hits int64
+		for _, p := range present {
+			if p {
+				hits++
+			}
+		}
+		m.stats.dedupHits.Add(hits)
+		return wire.Resp{Meta: proto.HasResp{Present: present}}, nil
 	case proto.MGetMap:
 		var req proto.GetMapReq
 		if err := wire.UnmarshalMeta(r.Meta, &req); err != nil {
@@ -363,7 +372,7 @@ func (m *Manager) handleAlloc(req proto.AllocReq) (wire.Resp, error) {
 	if err != nil {
 		return wire.Resp{}, err
 	}
-	s := m.sess.open(req.Name, stripe, chunkSize, repl, perNode)
+	s := m.sess.open(req.Name, stripe, chunkSize, req.Variable, repl, perNode)
 	return wire.Resp{Meta: proto.AllocResp{WriteID: s.id, Stripe: stripe}}, nil
 }
 
@@ -390,13 +399,13 @@ func (m *Manager) handleCommit(req proto.CommitReq) (wire.Resp, error) {
 		return wire.Resp{}, err
 	}
 	m.reg.release(s.stripeIDs, s.perNode)
-	cm, newBytes, err := m.cat.commit(s.name, namespace.FolderOf(s.name), s.replication, s.chunkSize, req.FileSize, req.Chunks)
+	cm, newBytes, err := m.cat.commit(s.name, namespace.FolderOf(s.name), s.replication, s.chunkSize, s.variable, req.FileSize, req.Chunks)
 	if err != nil {
 		return wire.Resp{}, err
 	}
 	m.journalRecord(journalEntry{
 		Op: "commit", Name: s.name, Replication: s.replication,
-		ChunkSize: s.chunkSize, FileSize: req.FileSize, Chunks: req.Chunks,
+		ChunkSize: s.chunkSize, Variable: s.variable, FileSize: req.FileSize, Chunks: req.Chunks,
 	})
 	// Apply the folder's replace policy synchronously: a new image makes
 	// old ones obsolete at commit time (paper §IV.D "Automated replace").
@@ -458,6 +467,7 @@ func (m *Manager) statsSnapshot() proto.ManagerStats {
 		Extends:           m.stats.extends.Load(),
 		DedupBatches:      m.stats.dedupBatches.Load(),
 		DedupChunks:       m.stats.dedupChunksQueried.Load(),
+		DedupHits:         m.stats.dedupHits.Load(),
 		ReplicasCopied:    m.stats.replicasCopied.Load(),
 		ChunksCollected:   m.stats.chunksCollected.Load(),
 		VersionsPruned:    m.stats.versionsPruned.Load(),

@@ -173,6 +173,7 @@ func (c *catalog) restore(fileName string, cm *core.ChunkMap) error {
 		fileName:    fileName,
 		fileSize:    cm.FileSize,
 		chunkSize:   cm.ChunkSize,
+		variable:    cm.Variable,
 		chunks:      append([]core.ChunkRef(nil), cm.Chunks...),
 		committedAt: cm.CreatedAt,
 	}

@@ -27,7 +27,8 @@ type session struct {
 	name        string
 	stripe      []proto.Stripe
 	stripeIDs   []core.NodeID
-	chunkSize   int64
+	chunkSize   int64 // fixed striping size, or max span bound when variable
+	variable    bool  // content-defined (variable-size) chunking session
 	replication int
 	perNode     int64 // cumulative reservation per stripe node
 	lastActive  time.Time
@@ -37,7 +38,7 @@ func newSessionTable(ttl time.Duration) *sessionTable {
 	return &sessionTable{ttl: ttl, sessions: make(map[uint64]*session)}
 }
 
-func (t *sessionTable) open(name string, stripe []proto.Stripe, chunkSize int64, replication int, perNode int64) *session {
+func (t *sessionTable) open(name string, stripe []proto.Stripe, chunkSize int64, variable bool, replication int, perNode int64) *session {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.next++
@@ -46,6 +47,7 @@ func (t *sessionTable) open(name string, stripe []proto.Stripe, chunkSize int64,
 		name:        name,
 		stripe:      stripe,
 		chunkSize:   chunkSize,
+		variable:    variable,
 		replication: replication,
 		perNode:     perNode,
 		lastActive:  time.Now(),

@@ -168,8 +168,13 @@ type AllocReq struct {
 	Name string `json:"name"`
 	// StripeWidth is the number of benefactors to stripe across.
 	StripeWidth int `json:"stripeWidth"`
-	// ChunkSize is the striping chunk size.
+	// ChunkSize is the striping chunk size — in the variable (CbCH)
+	// regime, the maximum span bound.
 	ChunkSize int64 `json:"chunkSize"`
+	// Variable marks a content-defined (variable-size) chunking session:
+	// committed chunk sizes are free within (0, ChunkSize] and the
+	// resulting chunk-map is flagged Variable.
+	Variable bool `json:"variable,omitempty"`
 	// ReserveBytes is the initial eager space reservation.
 	ReserveBytes int64 `json:"reserveBytes"`
 	// Replication is the user-defined replication target.
@@ -330,9 +335,13 @@ type ManagerStats struct {
 	Extends int64 `json:"extends"`
 	// DedupBatches counts MHasChunks RPCs and DedupChunks the chunk IDs
 	// they carried; their ratio is the writer's dedup-probe batching
-	// factor (one RPC per in-flight window of emitted chunks).
+	// factor (one RPC per in-flight window of emitted chunks). DedupHits
+	// counts the probes answered "already stored" — the manager-side
+	// ground truth for chunks that incremental checkpointing kept off the
+	// wire.
 	DedupBatches    int64 `json:"dedupBatches"`
 	DedupChunks     int64 `json:"dedupChunks"`
+	DedupHits       int64 `json:"dedupHits"`
 	ReplicasCopied  int64 `json:"replicasCopied"`
 	ChunksCollected int64 `json:"chunksCollected"`
 	VersionsPruned  int64 `json:"versionsPruned"`
