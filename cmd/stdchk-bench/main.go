@@ -38,6 +38,7 @@ func run(args []string) error {
 		runs      = fs.Int("runs", 3, "repetitions per configuration")
 		list      = fs.Bool("list", false, "list experiments and exit")
 		ablations = fs.Bool("ablations", false, "run the design-choice ablation benches instead")
+		jsonPath  = fs.String("json", "", "write machine-readable result records (JSON lines) to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -52,6 +53,14 @@ func run(args []string) error {
 		return nil
 	}
 	cfg := experiments.Config{Scale: *scale, Runs: *runs, Out: os.Stdout}
+	if *jsonPath != "" {
+		jf, err := os.Create(*jsonPath)
+		if err != nil {
+			return fmt.Errorf("create %s: %w", *jsonPath, err)
+		}
+		defer jf.Close()
+		cfg.JSON = jf
+	}
 
 	runAll := func(runners []experiments.Runner) error {
 		for _, r := range runners {

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseLine(t *testing.T) {
+	tests := []struct {
+		line   string
+		name   string
+		allocs float64
+		ok     bool
+	}{
+		{"BenchmarkWireFrame/meta=128-4  100  1234 ns/op  56 B/op  7 allocs/op", "BenchmarkWireFrame/meta=128", 7, true},
+		{"BenchmarkManagerOps 	 200	 78246 ns/op	 11550 B/op	 195 allocs/op", "BenchmarkManagerOps", 195, true},
+		{"BenchmarkNoSuffix  100  99 ns/op", "BenchmarkNoSuffix", 0, true},
+		{"PASS", "", 0, false},
+		{"ok  	stdchk/internal/wire	0.5s", "", 0, false},
+		{"goos: linux", "", 0, false},
+	}
+	for _, tt := range tests {
+		name, r, ok := parseLine(tt.line)
+		if ok != tt.ok {
+			t.Fatalf("parseLine(%q) ok = %v, want %v", tt.line, ok, tt.ok)
+		}
+		if !ok {
+			continue
+		}
+		if name != tt.name {
+			t.Fatalf("parseLine(%q) name = %q, want %q", tt.line, name, tt.name)
+		}
+		if r.AllocsPerOp != tt.allocs {
+			t.Fatalf("parseLine(%q) allocs = %v, want %v", tt.line, r.AllocsPerOp, tt.allocs)
+		}
+	}
+}
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunGatesAllocRegression(t *testing.T) {
+	base := writeTemp(t, "base.txt", `
+BenchmarkWireFrame-4  100  1000 ns/op  56 B/op  10 allocs/op
+BenchmarkManagerOps-4  100  5000 ns/op  100 B/op  100 allocs/op
+`)
+	// WireFrame regresses 10 -> 20 allocs/op (+100%): must fail.
+	headBad := writeTemp(t, "head-bad.txt", `
+BenchmarkWireFrame-4  100  1000 ns/op  56 B/op  20 allocs/op
+BenchmarkManagerOps-4  100  5000 ns/op  100 B/op  100 allocs/op
+`)
+	err := run([]string{"-base", base, "-head", headBad}, os.Stdout)
+	if err == nil || !strings.Contains(err.Error(), "BenchmarkWireFrame") {
+		t.Fatalf("regression not gated: %v", err)
+	}
+
+	// Within threshold (+20%) and a brand-new benchmark: must pass.
+	headOK := writeTemp(t, "head-ok.txt", `
+BenchmarkWireFrame-4  100  1000 ns/op  56 B/op  12 allocs/op
+BenchmarkManagerOps-4  100  5000 ns/op  100 B/op  100 allocs/op
+BenchmarkBrandNew-4  100  10 ns/op  0 B/op  0 allocs/op
+`)
+	if err := run([]string{"-base", base, "-head", headOK}, os.Stdout); err != nil {
+		t.Fatal(err)
+	}
+
+	// Averaging across repetitions: two runs of 10 and 14 average to 12,
+	// within the 30% default against base 10.
+	headAvg := writeTemp(t, "head-avg.txt", `
+BenchmarkWireFrame-4  100  1000 ns/op  56 B/op  10 allocs/op
+BenchmarkWireFrame-4  100  1000 ns/op  56 B/op  14 allocs/op
+`)
+	if err := run([]string{"-base", base, "-head", headAvg}, os.Stdout); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -256,5 +256,11 @@ func cmdStats(cl *client.Client) error {
 	fmt.Printf("dedup probes: %d rpcs / %d chunks, hits: %d\n", s.DedupBatches, s.DedupChunks, s.DedupHits)
 	fmt.Printf("replicas copied: %d, chunks collected: %d, versions pruned: %d\n",
 		s.ReplicasCopied, s.ChunksCollected, s.VersionsPruned)
+	contended := 0.0
+	if s.StripeOps > 0 {
+		contended = 100 * float64(s.StripeContention) / float64(s.StripeOps)
+	}
+	fmt.Printf("metadata stripes: %d catalog / %d chunk / %d session, lock ops: %d (%.1f%% contended)\n",
+		len(s.CatalogStripes), len(s.ChunkStripes), len(s.SessionStripes), s.StripeOps, contended)
 	return nil
 }

@@ -33,6 +33,10 @@ type Config struct {
 	Runs int
 	// Out receives the formatted tables.
 	Out io.Writer
+	// JSON, when non-nil, receives machine-readable result records
+	// (JSON lines) from experiments that emit them (managerload). The
+	// nightly CI job archives this stream.
+	JSON io.Writer
 }
 
 func (c Config) withDefaults() Config {
@@ -97,6 +101,7 @@ func All() []Runner {
 		{Name: "fig7", Title: "Figure 7: sliding window with/without FsCH", Run: Fig7},
 		{Name: "fig8", Title: "Figure 8: aggregate throughput under load", Run: Fig8},
 		{Name: "table5", Title: "Table 5: BLAST end-to-end (local disk vs stdchk)", Run: Table5},
+		{Name: "managerload", Title: "Manager load (§V.E): metadata tps vs concurrent writers, striped vs single-lock catalog", Run: ManagerLoad},
 	}
 }
 

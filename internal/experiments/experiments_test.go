@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"encoding/json"
 	"strconv"
 	"strings"
 	"testing"
@@ -11,6 +12,7 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"table1", "fig2", "fig3", "fig4", "fig5", "fig6",
 		"table2", "table3", "table3live", "table4", "fig7", "fig8", "table5",
+		"managerload",
 	}
 	runners := All()
 	if len(runners) != len(want) {
@@ -128,6 +130,45 @@ func TestTable3LiveContrast(t *testing.T) {
 	}
 	if cbch < 2*fsch {
 		t.Fatalf("CbCH live dedup %.1f%% < 2x FsCH %.1f%%", cbch, fsch)
+	}
+}
+
+// TestManagerLoadSmoke runs the §V.E manager load sweep briefly and checks
+// that both variants produce sane throughput rows and that the JSON record
+// stream round-trips. The sweep's writer counts are fixed (1..256); only
+// the per-cell duration scales with Runs.
+func TestManagerLoadSmoke(t *testing.T) {
+	var buf, js bytes.Buffer
+	if err := ManagerLoad(Config{Scale: 256, Runs: 1, Out: &buf, JSON: &js}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"single-mutex", "striped", "64", "256", "paper"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Ten JSON lines: 2 variants x 5 writer counts, each with a positive tps.
+	lines := 0
+	for _, line := range strings.Split(strings.TrimSpace(js.String()), "\n") {
+		if line == "" {
+			continue
+		}
+		lines++
+		var rec struct {
+			Variant string  `json:"variant"`
+			Writers int     `json:"writers"`
+			TPS     float64 `json:"tps"`
+		}
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("bad JSON record %q: %v", line, err)
+		}
+		if rec.TPS <= 0 || rec.Writers <= 0 || rec.Variant == "" {
+			t.Fatalf("implausible record: %+v", rec)
+		}
+	}
+	if lines != 10 {
+		t.Fatalf("%d JSON records, want 10", lines)
 	}
 }
 

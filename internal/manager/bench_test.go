@@ -1,0 +1,53 @@
+package manager
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"stdchk/internal/core"
+	"stdchk/internal/proto"
+)
+
+// BenchmarkManagerOps measures the metadata plane end to end through the
+// handler path: per iteration one full checkpoint's metadata traffic
+// (DriveCheckpoint — alloc, extend, batched dedup probe, commit with
+// copy-on-write reuse, chunk-map fetch). RunParallel puts concurrent
+// writers on distinct datasets, the stripe-friendly §V.E shape. The
+// bench-compare CI job gates allocs/op regressions on this path, and the
+// managerload experiment runs the identical driver.
+func BenchmarkManagerOps(b *testing.B) {
+	m, err := New(Config{
+		HeartbeatInterval:   time.Hour,
+		ReplicationInterval: time.Hour,
+		PruneInterval:       time.Hour,
+		SessionTTL:          time.Hour,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer m.Close()
+	for i := 0; i < 8; i++ {
+		req := proto.RegisterReq{
+			ID:   core.NodeID(fmt.Sprintf("bb%d:1", i)),
+			Addr: fmt.Sprintf("bb%d:1", i), Capacity: 1 << 40, Free: 1 << 40,
+		}
+		if err := m.Invoke(proto.MRegister, req, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	var writerSeq atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		w := writerSeq.Add(1)
+		for t := 0; pb.Next(); t++ {
+			name := fmt.Sprintf("bench.n%d.t%d", w, t)
+			if _, err := DriveCheckpoint(m, name, w, t, 8, 8<<10, false); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,10 +1,12 @@
 package manager
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"stdchk/internal/core"
@@ -16,16 +18,109 @@ import (
 // chains, plus the global content-addressed chunk index that implements
 // copy-on-write sharing between incremental checkpoint versions
 // (paper §IV.C "Architectural support").
+//
+// The paper argues the manager is off the critical path because it
+// "sustains well over 1,000 transactions per second" (§V.E). To keep that
+// true under client scale-out, the catalog is lock-striped: datasets hash
+// onto independent dataset shards and the content index hashes onto
+// independent chunk shards, so alloc/commit/dedup traffic on different
+// datasets never contends on a global lock, and read-mostly paths
+// (getMap, stat, hasChunks) take per-stripe RLocks. Global scalars
+// (ID allocators, byte counters) are atomics.
+//
+// Lock ordering: a dataset-shard lock may be held while chunk-shard locks
+// are acquired (commit publish, map building, deletes), never the
+// reverse, and no two shards of the same kind are ever held together.
+// The dataset-ID index mutex is a leaf lock.
 type catalog struct {
-	mu          sync.Mutex
-	byName      map[string]*dataset // dataset key (namespace.DatasetOf) -> chain
-	byID        map[core.DatasetID]*dataset
-	chunks      map[core.ChunkID]*chunkEntry
-	nextDataset core.DatasetID
-	nextVersion core.VersionID
+	ds []*datasetShard // len is a power of two
+	ck []*chunkShard   // len is a power of two
 
-	logicalBytes int64 // sum of committed file sizes
-	storedBytes  int64 // bytes of unique chunks actually stored
+	nextDataset  atomic.Uint64
+	nextVersion  atomic.Uint64
+	logicalBytes atomic.Int64 // sum of committed file sizes
+	storedBytes  atomic.Int64 // bytes of unique chunks actually stored
+
+	// ids guards dataset-ID uniqueness across shards. It is touched only
+	// when a dataset is created, restored, or fully deleted — never on
+	// the per-version hot path.
+	ids struct {
+		mu   sync.Mutex
+		used map[core.DatasetID]struct{}
+	}
+
+	// journalHook, when set, is invoked inside the dataset stripe's
+	// critical section for every commit and delete, BEFORE the mutation
+	// becomes visible to other stripes' clients. That placement is what
+	// keeps the journal globally ordered with respect to causality: a
+	// copy-on-write commit can only reference a chunk whose publishing
+	// commit already ran its hook, so replay never meets a reference to a
+	// chunk it has not seen uploaded. The manager sets the hook after
+	// journal replay (nil during replay, so replayed entries are not
+	// re-journaled). The journal's own mutex is a leaf lock.
+	//
+	// Cost, accepted deliberately: with journaling on, the buffered
+	// journal write (microseconds, no fsync) runs under the stripe lock
+	// and all journaled mutations serialize on the journal mutex. Only
+	// commits/deletes pay it, reads on other stripes never do, and at
+	// the measured ~15k tps the journal is far from the bottleneck; an
+	// ordered async journal writer is a ROADMAP follow-on.
+	journalHook func(journalEntry)
+
+	// replaying is set during single-threaded journal replay. A replayed
+	// copy-on-write reference may name a chunk the journal has already
+	// deleted: live, the committing client's pending reference kept the
+	// chunk alive across a concurrent delete on another stripe, but the
+	// sequential journal cannot express that overlap. Replay therefore
+	// re-creates the entry (with no locations — they died with the
+	// delete; benefactor GC inventory or quorum recovery re-learns them)
+	// instead of refusing to start.
+	replaying bool
+}
+
+// stripedMu is one instrumented lock stripe: an RWMutex that counts
+// acquisitions and how many of them found the stripe already held
+// (TryLock failed). The contended/ops ratio is the direct measure of
+// metadata-plane serialization. Every shard type embeds it so the
+// accounting lives in exactly one place.
+type stripedMu struct {
+	mu        sync.RWMutex
+	ops       atomic.Int64
+	contended atomic.Int64
+}
+
+func (s *stripedMu) lock() {
+	if !s.mu.TryLock() {
+		s.contended.Add(1)
+		s.mu.Lock()
+	}
+	s.ops.Add(1)
+}
+
+func (s *stripedMu) unlock() { s.mu.Unlock() }
+
+func (s *stripedMu) rlock() {
+	if !s.mu.TryRLock() {
+		s.contended.Add(1)
+		s.mu.RLock()
+	}
+	s.ops.Add(1)
+}
+
+func (s *stripedMu) runlock() { s.mu.RUnlock() }
+
+func (s *stripedMu) snapshot() proto.StripeStats {
+	return proto.StripeStats{Ops: s.ops.Load(), Contended: s.contended.Load()}
+}
+
+type datasetShard struct {
+	stripedMu
+	byName map[string]*dataset // dataset key (namespace.DatasetOf) -> chain
+}
+
+type chunkShard struct {
+	stripedMu
+	chunks map[core.ChunkID]*chunkEntry
 }
 
 type dataset struct {
@@ -48,31 +143,383 @@ type version struct {
 }
 
 type chunkEntry struct {
-	size      int64
-	refs      int
+	size int64
+	refs int
+	// pending counts references held by in-flight (not yet published)
+	// commits. refs-pending is the published reference count: dedup
+	// probes and copy-on-write validation only trust published chunks,
+	// so a commit that later fails validation and rolls back can never
+	// have been observed — the same visibility the single-lock catalog
+	// gave by validating and publishing under one critical section. GC
+	// membership (referenced) deliberately includes pending references,
+	// keeping in-flight uploads safe from collection.
+	pending   int
 	locations map[core.NodeID]struct{}
 }
 
-func newCatalog() *catalog {
-	return &catalog{
-		byName: make(map[string]*dataset),
-		byID:   make(map[core.DatasetID]*dataset),
-		chunks: make(map[core.ChunkID]*chunkEntry),
+// published is the publicly visible reference count.
+func (e *chunkEntry) published() int { return e.refs - e.pending }
+
+// defaultStripes is the stripe count used when the manager config does not
+// specify one. 16 stripes keep the per-stripe collision probability low for
+// dozens of concurrent writers while the per-shard maps stay cache-friendly.
+const defaultStripes = 16
+
+// maxStripes bounds configured stripe counts.
+const maxStripes = 256
+
+// normalizeStripes rounds n up to a power of two in [1, maxStripes].
+func normalizeStripes(n int) int {
+	if n <= 0 {
+		n = defaultStripes
 	}
+	if n > maxStripes {
+		n = maxStripes
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// newCatalog builds a catalog with the default stripe count.
+func newCatalog() *catalog { return newCatalogStripes(defaultStripes) }
+
+// newCatalogStripes builds a catalog with `stripes` dataset stripes and the
+// same number of chunk-index stripes. stripes is rounded up to a power of
+// two; 1 reproduces the historical single-lock behaviour (the managerload
+// baseline).
+func newCatalogStripes(stripes int) *catalog {
+	n := normalizeStripes(stripes)
+	c := &catalog{
+		ds: make([]*datasetShard, n),
+		ck: make([]*chunkShard, n),
+	}
+	for i := range c.ds {
+		c.ds[i] = &datasetShard{byName: make(map[string]*dataset)}
+	}
+	for i := range c.ck {
+		c.ck[i] = &chunkShard{chunks: make(map[core.ChunkID]*chunkEntry)}
+	}
+	c.ids.used = make(map[core.DatasetID]struct{})
+	return c
+}
+
+// dsShardOf hashes a dataset key onto its shard (FNV-1a).
+func (c *catalog) dsShardOf(key string) *datasetShard {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
+	}
+	return c.ds[h&uint64(len(c.ds)-1)]
+}
+
+// ckIndexOf maps a chunk ID onto a chunk-shard index. Chunk IDs are SHA-1
+// hashes, so the leading bytes are uniform.
+func (c *catalog) ckIndexOf(id core.ChunkID) uint32 {
+	return uint32(binary.BigEndian.Uint64(id[:8]) & uint64(len(c.ck)-1))
+}
+
+// raiseFloor lifts an atomic ID allocator to at least v, so subsequent
+// Add(1) allocations can never collide with an externally supplied ID.
+func raiseFloor(a *atomic.Uint64, v uint64) {
+	for {
+		cur := a.Load()
+		if cur >= v || a.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// claimDatasetID reserves a dataset ID. want is tried first (0 means
+// "allocate fresh"); if it is taken, a fresh ID is allocated.
+func (c *catalog) claimDatasetID(want core.DatasetID) core.DatasetID {
+	c.ids.mu.Lock()
+	defer c.ids.mu.Unlock()
+	if want != 0 {
+		raiseFloor(&c.nextDataset, uint64(want))
+		if _, taken := c.ids.used[want]; !taken {
+			c.ids.used[want] = struct{}{}
+			return want
+		}
+	}
+	id := core.DatasetID(c.nextDataset.Add(1))
+	for {
+		if _, taken := c.ids.used[id]; !taken {
+			break
+		}
+		id = core.DatasetID(c.nextDataset.Add(1))
+	}
+	c.ids.used[id] = struct{}{}
+	return id
+}
+
+// releaseDatasetID forgets a fully deleted dataset's ID.
+func (c *catalog) releaseDatasetID(id core.DatasetID) {
+	c.ids.mu.Lock()
+	delete(c.ids.used, id)
+	c.ids.mu.Unlock()
 }
 
 // hasChunks answers the incremental-checkpointing dedup query: which of
 // the given hashes are already stored (referenced by at least one
-// committed version).
+// committed version). The probe takes only per-stripe read locks, one
+// acquisition per touched stripe.
 func (c *catalog) hasChunks(ids []core.ChunkID) []bool {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	out := make([]bool, len(ids))
+	if len(ids) == 0 {
+		return out
+	}
+	shardOf := make([]uint32, len(ids))
+	var touched [maxStripes / 64]uint64 // bitmap over stripes
 	for i, id := range ids {
-		e, ok := c.chunks[id]
-		out[i] = ok && e.refs > 0 && len(e.locations) > 0
+		si := c.ckIndexOf(id)
+		shardOf[i] = si
+		touched[si>>6] |= 1 << (si & 63)
+	}
+	for si := range c.ck {
+		if touched[si>>6]&(1<<(uint(si)&63)) == 0 {
+			continue
+		}
+		sh := c.ck[si]
+		sh.rlock()
+		for i, s := range shardOf {
+			if int(s) != si {
+				continue
+			}
+			e, ok := sh.chunks[ids[i]]
+			out[i] = ok && e.published() > 0 && len(e.locations) > 0
+		}
+		sh.runlock()
 	}
 	return out
+}
+
+// chunkCharge is one unique chunk of a commit or restore: how to reference
+// it in the content index.
+type chunkCharge struct {
+	id   core.ChunkID
+	size int64
+	locs []core.NodeID
+	// requireExisting marks a copy-on-write reference: the chunk must
+	// already be stored (commit validation).
+	requireExisting bool
+	// countNew credits newBytes/storedBytes when this charge creates the
+	// first reference.
+	countNew bool
+}
+
+// chargeChunks takes one pending reference per charge, creating entries
+// as needed, atomically per chunk (validate-and-increment under the
+// stripe lock, so a concurrent delete cannot orphan a chunk between check
+// and use). References stay pending — invisible to dedup probes and
+// copy-on-write validation — until confirmChunks publishes them; on error
+// every reference taken so far is rolled back as if it never existed.
+func (c *catalog) chargeChunks(fileName string, charges []chunkCharge) (int64, error) {
+	byShard := make(map[uint32][]int)
+	for i := range charges {
+		si := c.ckIndexOf(charges[i].id)
+		byShard[si] = append(byShard[si], i)
+	}
+	var newBytes int64
+	applied := make([]int, 0, len(charges))
+	var chargeErr error
+	for si, idx := range byShard {
+		sh := c.ck[si]
+		sh.lock()
+		for _, i := range idx {
+			ch := &charges[i]
+			e, ok := sh.chunks[ch.id]
+			if ch.requireExisting {
+				// Copy-on-write references only trust published chunks,
+				// as the single-lock catalog did: an in-flight commit's
+				// uploads may yet roll back. During journal replay the
+				// reference is taken on faith instead (see the replaying
+				// field): the live run already validated it under
+				// interleavings the sequential journal cannot reproduce.
+				if (!ok || e.published() <= 0 || len(e.locations) == 0) && !c.replaying {
+					chargeErr = fmt.Errorf("commit %s: shared chunk %s unknown: %w", fileName, ch.id.Short(), core.ErrNotFound)
+					break
+				}
+				if ok && e.size != ch.size {
+					chargeErr = fmt.Errorf("commit %s: shared chunk %s size %d, index says %d: %w",
+						fileName, ch.id.Short(), ch.size, e.size, core.ErrIntegrity)
+					break
+				}
+			}
+			if !ok {
+				e = &chunkEntry{size: ch.size, locations: make(map[core.NodeID]struct{})}
+				sh.chunks[ch.id] = e
+				if ch.requireExisting && c.replaying {
+					// Lenient replay re-created an entry the journal's
+					// delete order removed. The bytes are stored as far
+					// as the system knows, so credit the global counter
+					// (a later delete will debit it) — but not this
+					// version's newBytes: it did not upload them.
+					c.storedBytes.Add(ch.size)
+				}
+			}
+			// First-reference crediting. If two commits race to upload
+			// the same new chunk and the one that took the first
+			// reference later rolls back, the survivor's per-version
+			// newBytes undercounts that chunk (the global storedBytes
+			// stays balanced) — a stats nuance accepted in exchange for
+			// not coordinating accounting across in-flight commits.
+			if e.refs == 0 && ch.countNew {
+				newBytes += ch.size
+				c.storedBytes.Add(ch.size)
+			}
+			e.refs++
+			e.pending++
+			for _, loc := range ch.locs {
+				e.locations[loc] = struct{}{}
+			}
+			applied = append(applied, i)
+		}
+		sh.unlock()
+		if chargeErr != nil {
+			sub := make([]chunkCharge, len(applied))
+			for j, i := range applied {
+				sub[j] = charges[i]
+			}
+			c.unchargeChunks(sub)
+			return 0, chargeErr
+		}
+	}
+	return newBytes, nil
+}
+
+// forEachIDShard groups chunk IDs by stripe and runs fn once per touched
+// stripe under its write lock — one acquisition per stripe instead of one
+// per chunk for the batch mutation paths below.
+func (c *catalog) forEachIDShard(ids []core.ChunkID, fn func(sh *chunkShard, idx []int)) {
+	if len(ids) == 0 {
+		return
+	}
+	byShard := make(map[uint32][]int)
+	for i, id := range ids {
+		si := c.ckIndexOf(id)
+		byShard[si] = append(byShard[si], i)
+	}
+	for si, idx := range byShard {
+		sh := c.ck[si]
+		sh.lock()
+		fn(sh, idx)
+		sh.unlock()
+	}
+}
+
+func chargeIDs(charges []chunkCharge) []core.ChunkID {
+	ids := make([]core.ChunkID, len(charges))
+	for i := range charges {
+		ids[i] = charges[i].id
+	}
+	return ids
+}
+
+// confirmChunks publishes references taken by chargeChunks once their
+// version is visible in a dataset shard.
+func (c *catalog) confirmChunks(charges []chunkCharge) {
+	c.forEachIDShard(chargeIDs(charges), func(sh *chunkShard, idx []int) {
+		for _, i := range idx {
+			if e, ok := sh.chunks[charges[i].id]; ok {
+				e.pending--
+			}
+		}
+	})
+}
+
+// unchargeChunks rolls back pending references taken by a failed
+// chargeChunks. Entries whose last reference this was disappear; chunk
+// bytes already uploaded for them become unreferenced and the benefactor
+// GC reclaims them.
+func (c *catalog) unchargeChunks(charges []chunkCharge) {
+	c.forEachIDShard(chargeIDs(charges), func(sh *chunkShard, idx []int) {
+		for _, i := range idx {
+			if e, ok := sh.chunks[charges[i].id]; ok {
+				e.pending--
+				e.refs--
+				if e.refs <= 0 {
+					c.storedBytes.Add(-e.size)
+					delete(sh.chunks, charges[i].id)
+				}
+			}
+		}
+	})
+}
+
+// dropChunkRefs removes one reference per chunk ID and returns the chunks
+// whose reference count dropped to zero (now orphaned; benefactor GC reaps
+// them). IDs must be unique.
+func (c *catalog) dropChunkRefs(ids []core.ChunkID) []core.ChunkID {
+	var orphans []core.ChunkID
+	c.forEachIDShard(ids, func(sh *chunkShard, idx []int) {
+		for _, i := range idx {
+			e, ok := sh.chunks[ids[i]]
+			if !ok {
+				continue
+			}
+			e.refs--
+			if e.refs <= 0 {
+				c.storedBytes.Add(-e.size)
+				delete(sh.chunks, ids[i])
+				orphans = append(orphans, ids[i])
+			}
+		}
+	})
+	return orphans
+}
+
+// chargePlan builds the unique-chunk charge list for a chunk sequence:
+// the first occurrence takes the reference, later occurrences only merge
+// locations. trusted marks chunks from an already-validated source (a
+// recovered chunk-map): location-less chunks are then created rather than
+// required to exist, and first references always count as stored bytes.
+func chargePlan(chunks []proto.CommitChunk, trusted bool) []chunkCharge {
+	charges := make([]chunkCharge, 0, len(chunks))
+	seen := make(map[core.ChunkID]int, len(chunks))
+	for _, ch := range chunks {
+		if at, dup := seen[ch.ID]; dup {
+			cg := &charges[at]
+			cg.locs = append(cg.locs, ch.Locations...)
+			if len(ch.Locations) == 0 && !trusted {
+				cg.requireExisting = true
+			}
+			continue
+		}
+		seen[ch.ID] = len(charges)
+		charges = append(charges, chunkCharge{
+			id:              ch.ID,
+			size:            ch.Size,
+			locs:            append([]core.NodeID(nil), ch.Locations...),
+			requireExisting: len(ch.Locations) == 0 && !trusted,
+			countNew:        len(ch.Locations) > 0 || trusted,
+		})
+	}
+	return charges
+}
+
+// commitPlan turns a commit's chunk list into validated refs plus the
+// unique-chunk charge plan.
+func commitPlan(fileName string, chunkSize int64, variable bool, fileSize int64, chunks []proto.CommitChunk) ([]core.ChunkRef, []chunkCharge, error) {
+	refs := make([]core.ChunkRef, len(chunks))
+	var total int64
+	for i, ch := range chunks {
+		if ch.Size <= 0 || ch.Size > chunkSize {
+			return nil, nil, fmt.Errorf("commit %s: chunk %d size %d invalid", fileName, i, ch.Size)
+		}
+		if !variable && i < len(chunks)-1 && ch.Size != chunkSize {
+			return nil, nil, fmt.Errorf("commit %s: non-final chunk %d has size %d, fixed chunking wants %d", fileName, i, ch.Size, chunkSize)
+		}
+		refs[i] = core.ChunkRef{Index: i, ID: ch.ID, Size: ch.Size}
+		total += ch.Size
+	}
+	if total != fileSize {
+		return nil, nil, fmt.Errorf("commit %s: chunks sum to %d, file size %d", fileName, total, fileSize)
+	}
+	return refs, chargePlan(chunks, false), nil
 }
 
 // commit atomically publishes a version. Chunks without explicit locations
@@ -84,95 +531,72 @@ func (c *catalog) hasChunks(ids []core.ChunkID) []bool {
 // with different chunking regimes — or different CbCH boundary sets — share
 // whatever chunks happen to hash identically; the per-chunk Size recorded
 // in the content index is the only cross-version size constraint.
+//
+// Concurrency: chunk references are taken first as pending (each
+// atomically under its stripe lock, with rollback on validation failure),
+// then the version is published under the dataset's stripe lock, then the
+// references are confirmed. A version is therefore never visible with
+// unreferenced chunks, a concurrent delete can never orphan a chunk this
+// commit already holds a reference to, and a commit that fails validation
+// was never observable by dedup probes or copy-on-write validation — the
+// same all-or-nothing visibility the single-lock catalog gave.
 func (c *catalog) commit(fileName string, folder string, replication int, chunkSize int64, variable bool, fileSize int64, chunks []proto.CommitChunk) (*core.ChunkMap, int64, error) {
 	key := namespace.DatasetOf(fileName)
-	c.mu.Lock()
-	defer c.mu.Unlock()
-
-	// Resolve and validate before mutating anything. Variable-size
-	// (content-defined) sessions bound each chunk by the max span; fixed
-	// sessions additionally require non-final chunks to be exactly the
-	// striping size.
-	refs := make([]core.ChunkRef, len(chunks))
-	var total int64
-	for i, ch := range chunks {
-		if ch.Size <= 0 || ch.Size > chunkSize {
-			return nil, 0, fmt.Errorf("commit %s: chunk %d size %d invalid", fileName, i, ch.Size)
-		}
-		if !variable && i < len(chunks)-1 && ch.Size != chunkSize {
-			return nil, 0, fmt.Errorf("commit %s: non-final chunk %d has size %d, fixed chunking wants %d", fileName, i, ch.Size, chunkSize)
-		}
-		if len(ch.Locations) == 0 {
-			e, ok := c.chunks[ch.ID]
-			if !ok || len(e.locations) == 0 {
-				return nil, 0, fmt.Errorf("commit %s: shared chunk %s unknown: %w", fileName, ch.ID.Short(), core.ErrNotFound)
-			}
-			if e.size != ch.Size {
-				return nil, 0, fmt.Errorf("commit %s: shared chunk %s size %d, index says %d: %w",
-					fileName, ch.ID.Short(), ch.Size, e.size, core.ErrIntegrity)
-			}
-		}
-		refs[i] = core.ChunkRef{Index: i, ID: ch.ID, Size: ch.Size}
-		total += ch.Size
+	refs, charges, err := commitPlan(fileName, chunkSize, variable, fileSize, chunks)
+	if err != nil {
+		return nil, 0, err
 	}
-	if total != fileSize {
-		return nil, 0, fmt.Errorf("commit %s: chunks sum to %d, file size %d", fileName, total, fileSize)
+	newBytes, err := c.chargeChunks(fileName, charges)
+	if err != nil {
+		return nil, 0, err
 	}
 
-	ds, ok := c.byName[key]
+	sh := c.dsShardOf(key)
+	sh.lock()
+	ds, ok := sh.byName[key]
 	if !ok {
-		c.nextDataset++
 		ds = &dataset{
-			id:     c.nextDataset,
+			id:     c.claimDatasetID(0),
 			name:   key,
 			folder: namespace.FolderOf(fileName),
 		}
-		c.byName[key] = ds
-		c.byID[ds.id] = ds
+		sh.byName[key] = ds
 	}
 	if replication > 0 {
 		ds.replication = replication
 	}
-
-	c.nextVersion++
 	v := &version{
-		id:          c.nextVersion,
+		id:          core.VersionID(c.nextVersion.Add(1)),
 		fileName:    fileName,
 		fileSize:    fileSize,
 		chunkSize:   chunkSize,
 		variable:    variable,
 		chunks:      refs,
+		newBytes:    newBytes,
 		committedAt: time.Now(),
 	}
-
-	seenThisCommit := make(map[core.ChunkID]struct{}, len(chunks))
-	for _, ch := range chunks {
-		e, ok := c.chunks[ch.ID]
-		if !ok {
-			e = &chunkEntry{size: ch.Size, locations: make(map[core.NodeID]struct{})}
-			c.chunks[ch.ID] = e
-		}
-		if _, dup := seenThisCommit[ch.ID]; !dup {
-			seenThisCommit[ch.ID] = struct{}{}
-			if e.refs == 0 && len(ch.Locations) > 0 {
-				v.newBytes += ch.Size
-				c.storedBytes += ch.Size
-			}
-			e.refs++
-		}
-		for _, loc := range ch.Locations {
-			e.locations[loc] = struct{}{}
-		}
-	}
 	ds.versions = append(ds.versions, v)
-	c.logicalBytes += fileSize
-
-	return c.buildMapLocked(ds, v), v.newBytes, nil
+	c.logicalBytes.Add(fileSize)
+	m := c.buildMap(ds, v)
+	if c.journalHook != nil {
+		c.journalHook(journalEntry{
+			Op: "commit", Name: fileName, Replication: replication,
+			ChunkSize: chunkSize, Variable: variable, FileSize: fileSize, Chunks: chunks,
+		})
+	}
+	// Confirm inside the dataset critical section: the instant the version
+	// becomes visible (lock release) its chunks are published, and no
+	// delete of this version can interleave between publish and confirm
+	// (which could otherwise decrement a re-created entry's pending count).
+	c.confirmChunks(charges)
+	sh.unlock()
+	return m, newBytes, nil
 }
 
-// buildMapLocked materializes a core.ChunkMap for a version, with current
-// locations from the content index. Callers hold c.mu.
-func (c *catalog) buildMapLocked(ds *dataset, v *version) *core.ChunkMap {
+// buildMap materializes a core.ChunkMap for a version, with current
+// locations from the content index. Callers hold the dataset's shard lock
+// (read or write); chunk stripes are read-locked per touched stripe.
+func (c *catalog) buildMap(ds *dataset, v *version) *core.ChunkMap {
 	m := &core.ChunkMap{
 		Dataset:   ds.id,
 		Version:   v.id,
@@ -183,38 +607,68 @@ func (c *catalog) buildMapLocked(ds *dataset, v *version) *core.ChunkMap {
 		Locations: make([][]core.NodeID, len(v.chunks)),
 		CreatedAt: v.committedAt,
 	}
-	for i, ref := range v.chunks {
-		e := c.chunks[ref.ID]
-		if e == nil {
-			continue
+	c.forEachRefShard(v.chunks, true, func(sh *chunkShard, idx []int) {
+		for _, i := range idx {
+			e := sh.chunks[v.chunks[i].ID]
+			if e == nil {
+				continue
+			}
+			locs := make([]core.NodeID, 0, len(e.locations))
+			for id := range e.locations {
+				locs = append(locs, id)
+			}
+			sort.Slice(locs, func(a, b int) bool { return locs[a] < locs[b] })
+			m.Locations[i] = locs
 		}
-		locs := make([]core.NodeID, 0, len(e.locations))
-		for id := range e.locations {
-			locs = append(locs, id)
-		}
-		sort.Slice(locs, func(a, b int) bool { return locs[a] < locs[b] })
-		m.Locations[i] = locs
-	}
+	})
 	return m
+}
+
+// forEachRefShard groups refs by chunk stripe and runs fn once per
+// touched stripe under its read lock. instrumented selects whether the
+// acquisitions count toward the stripe ops/contention metrics: foreground
+// client paths do, background maintenance scans (replication) do not, so
+// the reported contention ratio measures client-driven serialization.
+func (c *catalog) forEachRefShard(refs []core.ChunkRef, instrumented bool, fn func(sh *chunkShard, idx []int)) {
+	if len(refs) == 0 {
+		return
+	}
+	byShard := make(map[uint32][]int)
+	for i, ref := range refs {
+		si := c.ckIndexOf(ref.ID)
+		byShard[si] = append(byShard[si], i)
+	}
+	for si, idx := range byShard {
+		sh := c.ck[si]
+		if instrumented {
+			sh.rlock()
+		} else {
+			sh.mu.RLock()
+		}
+		fn(sh, idx)
+		sh.runlock()
+	}
 }
 
 // getMap returns the chunk-map for a file name or dataset key. Version 0
 // means the latest version; a full A.Ni.Tj name selects that timestep's
 // version if present.
 func (c *catalog) getMap(name string, ver core.VersionID) (string, *core.ChunkMap, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	ds, v, err := c.lookupLocked(name, ver)
+	sh := c.dsShardOf(namespace.DatasetOf(name))
+	sh.rlock()
+	defer sh.runlock()
+	ds, v, err := c.lookupLocked(sh, name, ver)
 	if err != nil {
 		return "", nil, err
 	}
-	return v.fileName, c.buildMapLocked(ds, v), nil
+	return v.fileName, c.buildMap(ds, v), nil
 }
 
 // lookupLocked resolves a name (+ optional explicit version) to a version.
-func (c *catalog) lookupLocked(name string, ver core.VersionID) (*dataset, *version, error) {
+// Callers hold the dataset shard's lock.
+func (c *catalog) lookupLocked(sh *datasetShard, name string, ver core.VersionID) (*dataset, *version, error) {
 	key := namespace.DatasetOf(name)
-	ds, ok := c.byName[key]
+	ds, ok := sh.byName[key]
 	if !ok {
 		return nil, nil, fmt.Errorf("dataset %q: %w", name, core.ErrNotFound)
 	}
@@ -245,10 +699,11 @@ func (c *catalog) lookupLocked(name string, ver core.VersionID) (*dataset, *vers
 // dataset). It returns the chunk IDs whose reference count dropped to zero
 // (now orphaned; benefactor GC reaps them).
 func (c *catalog) deleteVersion(name string, ver core.VersionID) ([]core.ChunkID, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	key := namespace.DatasetOf(name)
-	ds, ok := c.byName[key]
+	sh := c.dsShardOf(key)
+	sh.lock()
+	defer sh.unlock()
+	ds, ok := sh.byName[key]
 	if !ok {
 		return nil, fmt.Errorf("dataset %q: %w", name, core.ErrNotFound)
 	}
@@ -281,38 +736,36 @@ func (c *catalog) deleteVersion(name string, ver core.VersionID) ([]core.ChunkID
 		victims = ds.versions
 		kept = nil
 	}
-	orphans := c.dropVersionsLocked(victims)
+	// Journal before the first cross-stripe-visible effect (chunk
+	// dereferencing), mirroring commit's ordering.
+	if c.journalHook != nil {
+		c.journalHook(journalEntry{Op: "delete", Name: name, Version: ver})
+	}
+	orphans := c.dropVersions(victims)
 	ds.versions = kept
 	if len(ds.versions) == 0 {
-		delete(c.byName, key)
-		delete(c.byID, ds.id)
+		delete(sh.byName, key)
+		c.releaseDatasetID(ds.id)
 	}
 	return orphans, nil
 }
 
-// dropVersionsLocked decrements refcounts for the victims' chunks and
-// returns newly orphaned chunk IDs.
-func (c *catalog) dropVersionsLocked(victims []*version) []core.ChunkID {
+// dropVersions decrements refcounts for the victims' chunks and returns
+// newly orphaned chunk IDs. Callers hold the owning dataset's shard lock.
+func (c *catalog) dropVersions(victims []*version) []core.ChunkID {
 	var orphans []core.ChunkID
 	for _, v := range victims {
-		c.logicalBytes -= v.fileSize
+		c.logicalBytes.Add(-v.fileSize)
 		seen := make(map[core.ChunkID]struct{}, len(v.chunks))
+		unique := make([]core.ChunkID, 0, len(v.chunks))
 		for _, ref := range v.chunks {
 			if _, dup := seen[ref.ID]; dup {
 				continue
 			}
 			seen[ref.ID] = struct{}{}
-			e, ok := c.chunks[ref.ID]
-			if !ok {
-				continue
-			}
-			e.refs--
-			if e.refs <= 0 {
-				c.storedBytes -= e.size
-				delete(c.chunks, ref.ID)
-				orphans = append(orphans, ref.ID)
-			}
+			unique = append(unique, ref.ID)
 		}
+		orphans = append(orphans, c.dropChunkRefs(unique)...)
 	}
 	return orphans
 }
@@ -320,18 +773,20 @@ func (c *catalog) dropVersionsLocked(victims []*version) []core.ChunkID {
 // referenced reports whether a chunk is referenced by any committed
 // version (the GC keep-set membership test).
 func (c *catalog) referenced(id core.ChunkID) bool {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	e, ok := c.chunks[id]
+	sh := c.ck[c.ckIndexOf(id)]
+	sh.rlock()
+	defer sh.runlock()
+	e, ok := sh.chunks[id]
 	return ok && e.refs > 0
 }
 
 // addLocation records a new replica of a chunk (background replication
 // commit of a shadow-map entry).
 func (c *catalog) addLocation(id core.ChunkID, node core.NodeID) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if e, ok := c.chunks[id]; ok {
+	sh := c.ck[c.ckIndexOf(id)]
+	sh.lock()
+	defer sh.unlock()
+	if e, ok := sh.chunks[id]; ok {
 		e.locations[node] = struct{}{}
 	}
 }
@@ -340,23 +795,27 @@ func (c *catalog) addLocation(id core.ChunkID, node core.NodeID) {
 // (permanent decommission; not used for mere offline transitions, where
 // the node may come back with its chunks intact).
 func (c *catalog) dropLocationEverywhere(node core.NodeID) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	for _, e := range c.chunks {
-		delete(e.locations, node)
+	for _, sh := range c.ck {
+		sh.lock()
+		for _, e := range sh.chunks {
+			delete(e.locations, node)
+		}
+		sh.unlock()
 	}
 }
 
 // list summarizes datasets, optionally restricted to a folder.
 func (c *catalog) list(folder string, online func(core.NodeID) bool) []core.DatasetInfo {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	var out []core.DatasetInfo
-	for _, ds := range c.byID {
-		if folder != "" && !strings.EqualFold(ds.folder, folder) {
-			continue
+	for _, sh := range c.ds {
+		sh.rlock()
+		for _, ds := range sh.byName {
+			if folder != "" && !strings.EqualFold(ds.folder, folder) {
+				continue
+			}
+			out = append(out, c.datasetInfo(ds, online))
 		}
-		out = append(out, c.datasetInfoLocked(ds, online))
+		sh.runlock()
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
@@ -364,16 +823,19 @@ func (c *catalog) list(folder string, online func(core.NodeID) bool) []core.Data
 
 // stat summarizes one dataset.
 func (c *catalog) stat(name string, online func(core.NodeID) bool) (core.DatasetInfo, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	ds, ok := c.byName[namespace.DatasetOf(name)]
+	key := namespace.DatasetOf(name)
+	sh := c.dsShardOf(key)
+	sh.rlock()
+	defer sh.runlock()
+	ds, ok := sh.byName[key]
 	if !ok {
 		return core.DatasetInfo{}, fmt.Errorf("dataset %q: %w", name, core.ErrNotFound)
 	}
-	return c.datasetInfoLocked(ds, online), nil
+	return c.datasetInfo(ds, online), nil
 }
 
-func (c *catalog) datasetInfoLocked(ds *dataset, online func(core.NodeID) bool) core.DatasetInfo {
+// datasetInfo summarizes one dataset. Callers hold its shard lock.
+func (c *catalog) datasetInfo(ds *dataset, online func(core.NodeID) bool) core.DatasetInfo {
 	info := core.DatasetInfo{ID: ds.id, Name: ds.name, Folder: ds.folder}
 	for _, v := range ds.versions {
 		info.Versions = append(info.Versions, core.VersionInfo{
@@ -382,32 +844,35 @@ func (c *catalog) datasetInfoLocked(ds *dataset, online func(core.NodeID) bool) 
 			Name:        v.fileName,
 			FileSize:    v.fileSize,
 			StoredBytes: v.newBytes,
-			Replication: c.liveReplicationLocked(v, online),
+			Replication: c.liveReplication(v, online),
 			CreatedAt:   v.committedAt,
 		})
 	}
 	return info
 }
 
-// liveReplicationLocked computes the minimum number of live replicas
-// across a version's chunks.
-func (c *catalog) liveReplicationLocked(v *version, online func(core.NodeID) bool) int {
+// liveReplication computes the minimum number of live replicas across a
+// version's chunks. Callers hold the version's dataset shard lock.
+func (c *catalog) liveReplication(v *version, online func(core.NodeID) bool) int {
 	min := -1
-	for _, ref := range v.chunks {
-		e, ok := c.chunks[ref.ID]
-		if !ok {
-			return 0
-		}
-		live := 0
-		for node := range e.locations {
-			if online == nil || online(node) {
-				live++
+	c.forEachRefShard(v.chunks, true, func(sh *chunkShard, idx []int) {
+		for _, i := range idx {
+			e, ok := sh.chunks[v.chunks[i].ID]
+			if !ok {
+				min = 0
+				continue
+			}
+			live := 0
+			for node := range e.locations {
+				if online == nil || online(node) {
+					live++
+				}
+			}
+			if min < 0 || live < min {
+				min = live
 			}
 		}
-		if min < 0 || live < min {
-			min = live
-		}
-	}
+	})
 	if min < 0 {
 		return 0
 	}
@@ -417,25 +882,47 @@ func (c *catalog) liveReplicationLocked(v *version, online func(core.NodeID) boo
 // replStatus reports the live replication of a dataset's latest version and
 // its target.
 func (c *catalog) replStatus(name string, online func(core.NodeID) bool) (proto.ReplStatusResp, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	ds, v, err := c.lookupLocked(name, 0)
+	sh := c.dsShardOf(namespace.DatasetOf(name))
+	sh.rlock()
+	defer sh.runlock()
+	ds, v, err := c.lookupLocked(sh, name, 0)
 	if err != nil {
 		return proto.ReplStatusResp{}, err
 	}
 	return proto.ReplStatusResp{
 		Version: v.id,
-		Level:   c.liveReplicationLocked(v, online),
+		Level:   c.liveReplication(v, online),
 		Target:  ds.replication,
 	}, nil
 }
 
 // counters snapshots catalog-level statistics.
 func (c *catalog) counters() (datasets, versions, uniqueChunks int, logical, stored int64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	for _, ds := range c.byID {
-		versions += len(ds.versions)
+	for _, sh := range c.ds {
+		sh.rlock()
+		datasets += len(sh.byName)
+		for _, ds := range sh.byName {
+			versions += len(ds.versions)
+		}
+		sh.runlock()
 	}
-	return len(c.byID), versions, len(c.chunks), c.logicalBytes, c.storedBytes
+	for _, sh := range c.ck {
+		sh.rlock()
+		uniqueChunks += len(sh.chunks)
+		sh.runlock()
+	}
+	return datasets, versions, uniqueChunks, c.logicalBytes.Load(), c.storedBytes.Load()
+}
+
+// stripeSnapshot copies the per-stripe acquisition counters.
+func (c *catalog) stripeSnapshot() (ds, ck []proto.StripeStats) {
+	ds = make([]proto.StripeStats, len(c.ds))
+	for i, sh := range c.ds {
+		ds[i] = sh.snapshot()
+	}
+	ck = make([]proto.StripeStats, len(c.ck))
+	for i, sh := range c.ck {
+		ck[i] = sh.snapshot()
+	}
+	return ds, ck
 }

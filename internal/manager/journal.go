@@ -116,7 +116,12 @@ func (m *Manager) journalRecord(e journalEntry) {
 }
 
 // replayJournal reconstructs the catalog from the journal read at open.
+// Replay runs single-threaded before the manager serves, with the
+// catalog in replaying mode (lenient copy-on-write validation; see
+// catalog.replaying).
 func (m *Manager) replayJournal() error {
+	m.cat.replaying = true
+	defer func() { m.cat.replaying = false }()
 	for i, e := range m.journal.entries {
 		switch e.Op {
 		case "commit":

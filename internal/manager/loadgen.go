@@ -1,0 +1,94 @@
+package manager
+
+import (
+	"encoding/binary"
+
+	"stdchk/internal/core"
+	"stdchk/internal/proto"
+)
+
+// DriveCheckpoint pushes one synthetic writer checkpoint through the
+// manager's metadata plane in-process (Invoke): alloc, extend, a batched
+// dedup probe, commit, and a chunk-map fetch — the §V.E transaction mix.
+// The first half of the chunks is "stable" content identical across the
+// writer's versions (uploaded at t=0, copy-on-write references after);
+// the rest is fresh per version. Variable (CbCH-style) checkpoints commit
+// a shorter final span to exercise variable-size validation.
+//
+// BenchmarkManagerOps and the managerload experiment share this driver so
+// the CI-gated benchmark and the experiment always measure the same
+// workload. Returns the number of RPCs issued (also on error, for tps
+// accounting).
+func DriveCheckpoint(m *Manager, name string, seed int64, t, chunksPer int, chunkSize int64, variable bool) (int64, error) {
+	var ops int64
+	reserve := int64(chunksPer) * chunkSize / 2
+
+	var alloc proto.AllocResp
+	err := m.Invoke(proto.MAlloc, proto.AllocReq{
+		Name: name, StripeWidth: 4, ChunkSize: chunkSize,
+		Variable: variable, ReserveBytes: reserve, Replication: 1,
+	}, &alloc)
+	ops++
+	if err != nil {
+		return ops, err
+	}
+	locs := make([]core.NodeID, 0, len(alloc.Stripe))
+	for _, st := range alloc.Stripe {
+		locs = append(locs, st.ID)
+	}
+
+	if err := m.Invoke(proto.MExtend, proto.ExtendReq{WriteID: alloc.WriteID, Bytes: reserve}, nil); err != nil {
+		return ops + 1, err
+	}
+	ops++
+
+	ids := make([]core.ChunkID, chunksPer)
+	chunks := make([]proto.CommitChunk, chunksPer)
+	var fileSize int64
+	for j := range ids {
+		stable := j < chunksPer/2
+		ids[j] = loadChunkID(seed, t, j, stable)
+		size := chunkSize
+		if variable && j == chunksPer-1 {
+			size = chunkSize / 2
+		}
+		chunks[j] = proto.CommitChunk{ID: ids[j], Size: size}
+		if !stable || t == 0 {
+			chunks[j].Locations = locs
+		}
+		fileSize += size
+	}
+
+	if err := m.Invoke(proto.MHasChunks, proto.HasReq{IDs: ids}, nil); err != nil {
+		return ops + 1, err
+	}
+	ops++
+
+	if err := m.Invoke(proto.MCommit, proto.CommitReq{WriteID: alloc.WriteID, FileSize: fileSize, Chunks: chunks}, nil); err != nil {
+		return ops + 1, err
+	}
+	ops++
+
+	if err := m.Invoke(proto.MGetMap, proto.GetMapReq{Name: name}, nil); err != nil {
+		return ops + 1, err
+	}
+	ops++
+	return ops, nil
+}
+
+// DriveCheckpointOps is the number of RPCs one successful DriveCheckpoint
+// issues.
+const DriveCheckpointOps = 5
+
+// loadChunkID derives a deterministic content hash for one synthetic
+// chunk. Stable chunks keep the same ID across versions (the dedup /
+// copy-on-write population); fresh chunks are unique per (version, index).
+func loadChunkID(seed int64, t, j int, stable bool) core.ChunkID {
+	var b [24]byte
+	binary.BigEndian.PutUint64(b[0:8], uint64(seed))
+	binary.BigEndian.PutUint64(b[8:16], uint64(j))
+	if !stable {
+		binary.BigEndian.PutUint64(b[16:24], uint64(t)+1)
+	}
+	return core.HashChunk(b[:])
+}

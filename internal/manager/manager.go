@@ -8,6 +8,7 @@
 package manager
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"log"
@@ -50,6 +51,12 @@ type Config struct {
 	// SessionTTL expires abandoned write sessions, garbage collecting
 	// their space reservations.
 	SessionTTL time.Duration
+	// MetadataStripes is the lock-stripe count for the metadata plane
+	// (dataset catalog, content-addressed chunk index, session table).
+	// Rounded up to a power of two, capped at 256. 0 selects the default
+	// (16); 1 degenerates to the historical single-lock catalog and
+	// exists for the managerload before/after baseline.
+	MetadataStripes int
 	// PruneInterval paces the folder-policy pruner.
 	PruneInterval time.Duration
 	// JournalPath, when set, persists commits/deletes/policies to an
@@ -139,8 +146,8 @@ func New(cfg Config) (*Manager, error) {
 	m := &Manager{
 		cfg:      cfg,
 		reg:      newRegistry(cfg.NodeTTL),
-		cat:      newCatalog(),
-		sess:     newSessionTable(cfg.SessionTTL),
+		cat:      newCatalogStripes(cfg.MetadataStripes),
+		sess:     newSessionTableStripes(cfg.SessionTTL, cfg.MetadataStripes),
 		pool:     wire.NewPool(cfg.DialShaper, 8),
 		logger:   cfg.Logger,
 		policies: newPolicyTable(),
@@ -155,6 +162,11 @@ func New(cfg Config) (*Manager, error) {
 		if err := m.replayJournal(); err != nil {
 			return nil, fmt.Errorf("manager: replay journal: %w", err)
 		}
+		// Installed only after replay (replayed entries must not be
+		// re-journaled). The catalog invokes it inside the dataset
+		// stripe's critical section so the journal's global order always
+		// respects copy-on-write causality across stripes.
+		m.cat.journalHook = m.journalRecord
 	}
 	if cfg.Recover {
 		m.recovering.Store(true)
@@ -399,14 +411,13 @@ func (m *Manager) handleCommit(req proto.CommitReq) (wire.Resp, error) {
 		return wire.Resp{}, err
 	}
 	m.reg.release(s.stripeIDs, s.perNode)
+	// The catalog journals the commit itself (via the journal hook, inside
+	// the dataset stripe's critical section) so journal order matches
+	// publication order.
 	cm, newBytes, err := m.cat.commit(s.name, namespace.FolderOf(s.name), s.replication, s.chunkSize, s.variable, req.FileSize, req.Chunks)
 	if err != nil {
 		return wire.Resp{}, err
 	}
-	m.journalRecord(journalEntry{
-		Op: "commit", Name: s.name, Replication: s.replication,
-		ChunkSize: s.chunkSize, Variable: s.variable, FileSize: req.FileSize, Chunks: req.Chunks,
-	})
 	// Apply the folder's replace policy synchronously: a new image makes
 	// old ones obsolete at commit time (paper §IV.D "Automated replace").
 	m.applyReplacePolicy(s.name)
@@ -429,7 +440,6 @@ func (m *Manager) handleDelete(req proto.DeleteReq) (wire.Resp, error) {
 	if err != nil {
 		return wire.Resp{}, err
 	}
-	m.journalRecord(journalEntry{Op: "delete", Name: req.Name, Version: req.Version})
 	m.logf("deleted %s (version %d): %d chunks orphaned", req.Name, req.Version, len(orphans))
 	return wire.Resp{Meta: proto.HeartbeatResp{OK: true}}, nil
 }
@@ -454,7 +464,21 @@ func (m *Manager) handleGCReport(req proto.GCReportReq) (wire.Resp, error) {
 func (m *Manager) statsSnapshot() proto.ManagerStats {
 	total, online := m.reg.counts()
 	datasets, versions, chunks, logical, stored := m.cat.counters()
+	dsStripes, ckStripes := m.cat.stripeSnapshot()
+	sessStripes := m.sess.stripeSnapshot()
+	var stripeOps, stripeContended int64
+	for _, s := range [][]proto.StripeStats{dsStripes, ckStripes, sessStripes} {
+		for _, st := range s {
+			stripeOps += st.Ops
+			stripeContended += st.Contended
+		}
+	}
 	return proto.ManagerStats{
+		CatalogStripes:    dsStripes,
+		ChunkStripes:      ckStripes,
+		SessionStripes:    sessStripes,
+		StripeOps:         stripeOps,
+		StripeContention:  stripeContended,
 		Benefactors:       total,
 		OnlineBenefactors: online,
 		Datasets:          datasets,
@@ -476,6 +500,38 @@ func (m *Manager) statsSnapshot() proto.ManagerStats {
 
 // Stats returns a snapshot of manager counters (in-process callers).
 func (m *Manager) Stats() proto.ManagerStats { return m.statsSnapshot() }
+
+// Invoke dispatches one manager RPC in-process, bypassing the TCP framing
+// but exercising the exact handler path (request decode, counters, catalog,
+// journal). req is marshalled like a wire metadata header; resp, when
+// non-nil, receives the handler's response metadata. Load harnesses
+// (BenchmarkManagerOps, the managerload experiment) use it to measure the
+// metadata plane without the socket stack in front.
+func (m *Manager) Invoke(op string, req, resp interface{}) error {
+	var meta json.RawMessage
+	if req != nil {
+		b, err := json.Marshal(req)
+		if err != nil {
+			return fmt.Errorf("manager: invoke %s: marshal: %w", op, err)
+		}
+		meta = b
+	}
+	out, err := m.handle(&wire.Req{Op: op, Meta: meta})
+	if err != nil {
+		return err
+	}
+	if resp == nil || out.Meta == nil {
+		return nil
+	}
+	b, err := json.Marshal(out.Meta)
+	if err != nil {
+		return fmt.Errorf("manager: invoke %s: marshal response: %w", op, err)
+	}
+	if err := json.Unmarshal(b, resp); err != nil {
+		return fmt.Errorf("manager: invoke %s: unmarshal response: %w", op, err)
+	}
+	return nil
+}
 
 // sweepLoop expires dead benefactors and abandoned sessions.
 func (m *Manager) sweepLoop() {

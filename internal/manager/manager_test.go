@@ -362,6 +362,30 @@ func TestCatalogUnderReplicated(t *testing.T) {
 	}
 }
 
+func TestCatalogUnderReplicatedSharedChunkMaxTarget(t *testing.T) {
+	c := newCatalog()
+	// One chunk, already on two nodes, referenced by dataset A (target 2)
+	// and dataset B (target 3): B's higher target must still produce a
+	// job with needed=1 regardless of which dataset the scan meets first.
+	data := payloadBytes(900, 10)
+	shared := []proto.CommitChunk{{
+		ID: core.HashChunk(data), Size: 10, Locations: []core.NodeID{"n1", "n2"},
+	}}
+	if _, _, err := c.commit("ua.n1.t0", "ua", 2, 10, false, 10, shared); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.commit("ub.n1.t0", "ub", 3, 10, false, 10, shared); err != nil {
+		t.Fatal(err)
+	}
+	jobs := c.underReplicated(nil)
+	if len(jobs) != 1 {
+		t.Fatalf("%d jobs, want 1 (shared chunk under B's target 3)", len(jobs))
+	}
+	if jobs[0].needed != 1 || len(jobs[0].sources) != 2 {
+		t.Fatalf("job = %+v, want needed=1 from 2 sources", jobs[0])
+	}
+}
+
 func TestSessionTableLifecycle(t *testing.T) {
 	st := newSessionTable(time.Minute)
 	s := st.open("a.n1.t0", []proto.Stripe{{ID: "n1", Addr: "x"}}, 100, false, 2, 50)

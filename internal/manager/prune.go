@@ -97,48 +97,52 @@ func (c *catalog) trimVersions(datasetKey string, keep int) (int, []core.ChunkID
 	if keep < 1 {
 		keep = 1
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	ds, ok := c.byName[datasetKey]
+	sh := c.dsShardOf(datasetKey)
+	sh.lock()
+	defer sh.unlock()
+	ds, ok := sh.byName[datasetKey]
 	if !ok || len(ds.versions) <= keep {
 		return 0, nil
 	}
 	victims := ds.versions[:len(ds.versions)-keep]
 	kept := append([]*version(nil), ds.versions[len(ds.versions)-keep:]...)
-	orphans := c.dropVersionsLocked(victims)
+	orphans := c.dropVersions(victims)
 	ds.versions = kept
 	return len(victims), orphans
 }
 
 // purgeOlderThan removes all versions in a folder committed before the
-// cutoff. Datasets left empty are removed entirely.
+// cutoff. Datasets left empty are removed entirely. Shards are swept one
+// at a time, so a long purge never stalls commits on other stripes.
 func (c *catalog) purgeOlderThan(folder string, cutoff time.Time) (int, []core.ChunkID) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	removed := 0
 	var orphans []core.ChunkID
-	for key, ds := range c.byName {
-		if ds.folder != folder {
-			continue
-		}
-		var victims, kept []*version
-		for _, v := range ds.versions {
-			if v.committedAt.Before(cutoff) {
-				victims = append(victims, v)
-			} else {
-				kept = append(kept, v)
+	for _, sh := range c.ds {
+		sh.lock()
+		for key, ds := range sh.byName {
+			if ds.folder != folder {
+				continue
+			}
+			var victims, kept []*version
+			for _, v := range ds.versions {
+				if v.committedAt.Before(cutoff) {
+					victims = append(victims, v)
+				} else {
+					kept = append(kept, v)
+				}
+			}
+			if len(victims) == 0 {
+				continue
+			}
+			orphans = append(orphans, c.dropVersions(victims)...)
+			ds.versions = kept
+			removed += len(victims)
+			if len(ds.versions) == 0 {
+				delete(sh.byName, key)
+				c.releaseDatasetID(ds.id)
 			}
 		}
-		if len(victims) == 0 {
-			continue
-		}
-		orphans = append(orphans, c.dropVersionsLocked(victims)...)
-		ds.versions = kept
-		removed += len(victims)
-		if len(ds.versions) == 0 {
-			delete(c.byName, key)
-			delete(c.byID, ds.id)
-		}
+		sh.unlock()
 	}
 	return removed, orphans
 }

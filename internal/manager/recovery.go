@@ -130,31 +130,29 @@ func (m *Manager) Recovering() bool { return m.recovering.Load() }
 
 // restore re-inserts a recovered version into the catalog. It is
 // idempotent per (file name, version).
+//
+// Under the striped catalog, the dataset's stripe lock serializes restores
+// of the same dataset; the dataset-ID index keeps recovered IDs unique
+// across stripes, and ID-allocator floors are raised so later commits
+// never collide with recovered identifiers.
 func (c *catalog) restore(fileName string, cm *core.ChunkMap) error {
 	if err := cm.Validate(); err != nil {
 		return fmt.Errorf("restore %s: %w", fileName, err)
 	}
 	key := namespace.DatasetOf(fileName)
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	sh := c.dsShardOf(key)
+	sh.lock()
+	defer sh.unlock()
 
-	ds, ok := c.byName[key]
+	ds, ok := sh.byName[key]
 	if !ok {
-		id := cm.Dataset
-		if _, taken := c.byID[id]; taken || id == 0 {
-			c.nextDataset++
-			id = c.nextDataset
-		} else if id > c.nextDataset {
-			c.nextDataset = id
-		}
 		ds = &dataset{
-			id:          id,
+			id:          c.claimDatasetID(cm.Dataset),
 			name:        key,
 			folder:      namespace.FolderOf(fileName),
 			replication: cm.MinReplication(),
 		}
-		c.byName[key] = ds
-		c.byID[ds.id] = ds
+		sh.byName[key] = ds
 	}
 	for _, v := range ds.versions {
 		if v.id == cm.Version || v.fileName == fileName && v.fileSize == cm.FileSize {
@@ -162,12 +160,28 @@ func (c *catalog) restore(fileName string, cm *core.ChunkMap) error {
 		}
 	}
 	verID := cm.Version
-	if verID == 0 || verID <= c.nextVersion && c.versionIDTakenLocked(ds, verID) {
-		c.nextVersion++
-		verID = c.nextVersion
-	} else if verID > c.nextVersion {
-		c.nextVersion = verID
+	if verID == 0 || versionIDTaken(ds, verID) {
+		verID = core.VersionID(c.nextVersion.Add(1))
+	} else {
+		raiseFloor(&c.nextVersion, uint64(verID))
 	}
+
+	// A recovered map's chunks are stored by definition, so the charges
+	// are trusted: first references count as stored bytes even without
+	// locations (chargePlan merges locations across occurrences).
+	asCommit := make([]proto.CommitChunk, len(cm.Chunks))
+	for i, ref := range cm.Chunks {
+		asCommit[i] = proto.CommitChunk{ID: ref.ID, Size: ref.Size}
+		if i < len(cm.Locations) {
+			asCommit[i].Locations = cm.Locations[i]
+		}
+	}
+	charges := chargePlan(asCommit, true)
+	newBytes, err := c.chargeChunks(fileName, charges)
+	if err != nil {
+		return fmt.Errorf("restore %s: %w", fileName, err)
+	}
+
 	v := &version{
 		id:          verID,
 		fileName:    fileName,
@@ -175,39 +189,20 @@ func (c *catalog) restore(fileName string, cm *core.ChunkMap) error {
 		chunkSize:   cm.ChunkSize,
 		variable:    cm.Variable,
 		chunks:      append([]core.ChunkRef(nil), cm.Chunks...),
+		newBytes:    newBytes,
 		committedAt: cm.CreatedAt,
 	}
 	if v.committedAt.IsZero() {
 		v.committedAt = time.Now()
 	}
-	seen := make(map[core.ChunkID]struct{}, len(cm.Chunks))
-	for i, ref := range cm.Chunks {
-		e, ok := c.chunks[ref.ID]
-		if !ok {
-			e = &chunkEntry{size: ref.Size, locations: make(map[core.NodeID]struct{})}
-			c.chunks[ref.ID] = e
-		}
-		if _, dup := seen[ref.ID]; !dup {
-			seen[ref.ID] = struct{}{}
-			if e.refs == 0 {
-				v.newBytes += ref.Size
-				c.storedBytes += ref.Size
-			}
-			e.refs++
-		}
-		if i < len(cm.Locations) {
-			for _, loc := range cm.Locations[i] {
-				e.locations[loc] = struct{}{}
-			}
-		}
-	}
 	ds.versions = append(ds.versions, v)
 	sort.Slice(ds.versions, func(i, j int) bool { return ds.versions[i].id < ds.versions[j].id })
-	c.logicalBytes += cm.FileSize
+	c.logicalBytes.Add(cm.FileSize)
+	c.confirmChunks(charges)
 	return nil
 }
 
-func (c *catalog) versionIDTakenLocked(ds *dataset, id core.VersionID) bool {
+func versionIDTaken(ds *dataset, id core.VersionID) bool {
 	for _, v := range ds.versions {
 		if v.id == id {
 			return true

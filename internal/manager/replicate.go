@@ -24,47 +24,65 @@ const maxJobsPerRound = 256
 // underReplicated scans the catalog for chunks whose live replica count is
 // below their dataset's target. The manager builds the shadow-chunk-map
 // from these (paper §IV.A "Data replication").
+//
+// The scan streams one dataset stripe at a time under its read lock,
+// consulting the content index per version with one grouped acquisition
+// per touched chunk stripe (forEachRefShard; chunk stripes nest under
+// dataset stripes in the lock order). Like the single-lock scan it
+// replaces, it deduplicates only *emitted* jobs — a chunk that satisfies
+// one dataset's target is still re-examined against a later dataset's
+// higher target — scans to completion unless the per-round job cap stops
+// it, and so can never starve a chunk behind fully-replicated ones.
+// Memory is O(jobs), bounded by maxJobsPerRound. All locking here is
+// uninstrumented: this background pass must not pollute the stripe
+// ops/contention metrics that measure client-driven serialization.
 func (c *catalog) underReplicated(online func(core.NodeID) bool) []replJob {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	seen := make(map[core.ChunkID]struct{})
+	emitted := make(map[core.ChunkID]struct{}, maxJobsPerRound)
 	var jobs []replJob
-	for _, ds := range c.byID {
-		target := ds.replication
-		if target <= 1 {
-			continue
-		}
-		for _, v := range ds.versions {
-			for _, ref := range v.chunks {
-				if _, dup := seen[ref.ID]; dup {
-					continue
-				}
-				e, ok := c.chunks[ref.ID]
-				if !ok {
-					continue
-				}
-				var live []core.NodeID
-				for node := range e.locations {
-					if online == nil || online(node) {
-						live = append(live, node)
+	for _, sh := range c.ds {
+		sh.mu.RLock()
+		for _, ds := range sh.byName {
+			target := ds.replication
+			if target <= 1 {
+				continue
+			}
+			for _, v := range ds.versions {
+				c.forEachRefShard(v.chunks, false, func(cs *chunkShard, idx []int) {
+					for _, i := range idx {
+						ref := v.chunks[i]
+						if _, dup := emitted[ref.ID]; dup {
+							continue
+						}
+						e, ok := cs.chunks[ref.ID]
+						if !ok {
+							continue
+						}
+						var live []core.NodeID
+						for node := range e.locations {
+							if online == nil || online(node) {
+								live = append(live, node)
+							}
+						}
+						if len(live) == 0 || len(live) >= target {
+							continue
+						}
+						emitted[ref.ID] = struct{}{}
+						sort.Slice(live, func(a, b int) bool { return live[a] < live[b] })
+						jobs = append(jobs, replJob{
+							id:      ref.ID,
+							size:    ref.Size,
+							sources: live,
+							needed:  target - len(live),
+						})
 					}
-				}
-				if len(live) == 0 || len(live) >= target {
-					continue
-				}
-				seen[ref.ID] = struct{}{}
-				sort.Slice(live, func(i, j int) bool { return live[i] < live[j] })
-				jobs = append(jobs, replJob{
-					id:      ref.ID,
-					size:    ref.Size,
-					sources: live,
-					needed:  target - len(live),
 				})
 				if len(jobs) >= maxJobsPerRound {
-					return jobs
+					sh.mu.RUnlock()
+					return jobs[:maxJobsPerRound]
 				}
 			}
 		}
+		sh.mu.RUnlock()
 	}
 	return jobs
 }

@@ -2,7 +2,7 @@ package manager
 
 import (
 	"fmt"
-	"sync"
+	"sync/atomic"
 	"time"
 
 	"stdchk/internal/core"
@@ -14,11 +14,18 @@ import (
 // reserve space with the manager for future writes. If this space is not
 // used, it is asynchronously garbage collected.") and enough metadata to
 // commit the chunk-map atomically at close time.
+//
+// Like the catalog, the table is lock-striped by session ID so concurrent
+// writers' alloc/extend/commit traffic on different sessions never
+// contends on one mutex.
 type sessionTable struct {
-	ttl time.Duration
+	ttl    time.Duration
+	next   atomic.Uint64
+	shards []*sessionShard // len is a power of two
+}
 
-	mu       sync.Mutex
-	next     uint64
+type sessionShard struct {
+	stripedMu
 	sessions map[uint64]*session
 }
 
@@ -35,15 +42,26 @@ type session struct {
 }
 
 func newSessionTable(ttl time.Duration) *sessionTable {
-	return &sessionTable{ttl: ttl, sessions: make(map[uint64]*session)}
+	return newSessionTableStripes(ttl, defaultStripes)
+}
+
+func newSessionTableStripes(ttl time.Duration, stripes int) *sessionTable {
+	n := normalizeStripes(stripes)
+	t := &sessionTable{ttl: ttl, shards: make([]*sessionShard, n)}
+	for i := range t.shards {
+		t.shards[i] = &sessionShard{sessions: make(map[uint64]*session)}
+	}
+	return t
+}
+
+func (t *sessionTable) shardOf(id uint64) *sessionShard {
+	// Session IDs are sequential, so the low bits alone spread them evenly.
+	return t.shards[id&uint64(len(t.shards)-1)]
 }
 
 func (t *sessionTable) open(name string, stripe []proto.Stripe, chunkSize int64, variable bool, replication int, perNode int64) *session {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	t.next++
 	s := &session{
-		id:          t.next,
+		id:          t.next.Add(1),
 		name:        name,
 		stripe:      stripe,
 		chunkSize:   chunkSize,
@@ -55,15 +73,19 @@ func (t *sessionTable) open(name string, stripe []proto.Stripe, chunkSize int64,
 	for _, st := range stripe {
 		s.stripeIDs = append(s.stripeIDs, st.ID)
 	}
-	t.sessions[s.id] = s
+	sh := t.shardOf(s.id)
+	sh.lock()
+	sh.sessions[s.id] = s
+	sh.unlock()
 	return s
 }
 
 // get returns the session and refreshes its activity clock.
 func (t *sessionTable) get(id uint64) (*session, error) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	s, ok := t.sessions[id]
+	sh := t.shardOf(id)
+	sh.lock()
+	defer sh.unlock()
+	s, ok := sh.sessions[id]
 	if !ok {
 		return nil, fmt.Errorf("write session %d: %w", id, core.ErrNotFound)
 	}
@@ -74,9 +96,10 @@ func (t *sessionTable) get(id uint64) (*session, error) {
 // extend grows the session's per-node reservation and returns the stripe
 // node IDs so the caller can charge the registry.
 func (t *sessionTable) extend(id uint64, perNode int64) ([]core.NodeID, error) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	s, ok := t.sessions[id]
+	sh := t.shardOf(id)
+	sh.lock()
+	defer sh.unlock()
+	s, ok := sh.sessions[id]
 	if !ok {
 		return nil, fmt.Errorf("write session %d: %w", id, core.ErrNotFound)
 	}
@@ -87,27 +110,30 @@ func (t *sessionTable) extend(id uint64, perNode int64) ([]core.NodeID, error) {
 
 // close removes the session, returning it for reservation release.
 func (t *sessionTable) close(id uint64) (*session, error) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	s, ok := t.sessions[id]
+	sh := t.shardOf(id)
+	sh.lock()
+	defer sh.unlock()
+	s, ok := sh.sessions[id]
 	if !ok {
 		return nil, fmt.Errorf("write session %d: %w", id, core.ErrAlreadyCommitted)
 	}
-	delete(t.sessions, id)
+	delete(sh.sessions, id)
 	return s, nil
 }
 
 // expire removes sessions idle past the TTL (the asynchronous reservation
 // GC) and returns them for reservation release.
 func (t *sessionTable) expire(now time.Time) []*session {
-	t.mu.Lock()
-	defer t.mu.Unlock()
 	var dead []*session
-	for id, s := range t.sessions {
-		if now.Sub(s.lastActive) > t.ttl {
-			dead = append(dead, s)
-			delete(t.sessions, id)
+	for _, sh := range t.shards {
+		sh.lock()
+		for id, s := range sh.sessions {
+			if now.Sub(s.lastActive) > t.ttl {
+				dead = append(dead, s)
+				delete(sh.sessions, id)
+			}
 		}
+		sh.unlock()
 	}
 	return dead
 }
@@ -115,7 +141,20 @@ func (t *sessionTable) expire(now time.Time) []*session {
 // active returns the number of open sessions (replication gives way to
 // active foreground writes).
 func (t *sessionTable) active() int {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return len(t.sessions)
+	n := 0
+	for _, sh := range t.shards {
+		sh.rlock()
+		n += len(sh.sessions)
+		sh.runlock()
+	}
+	return n
+}
+
+// stripeSnapshot copies the per-stripe acquisition counters.
+func (t *sessionTable) stripeSnapshot() []proto.StripeStats {
+	out := make([]proto.StripeStats, len(t.shards))
+	for i, sh := range t.shards {
+		out[i] = sh.snapshot()
+	}
+	return out
 }

@@ -345,4 +345,23 @@ type ManagerStats struct {
 	ReplicasCopied  int64 `json:"replicasCopied"`
 	ChunksCollected int64 `json:"chunksCollected"`
 	VersionsPruned  int64 `json:"versionsPruned"`
+	// CatalogStripes, ChunkStripes and SessionStripes report per-stripe
+	// lock-acquisition counters for the manager's striped metadata plane
+	// (dataset catalog, content-addressed chunk index, session table).
+	// StripeOps and StripeContention aggregate them: their ratio is the
+	// fraction of metadata lock acquisitions that found the stripe held —
+	// the direct measure of §V.E metadata-plane serialization.
+	CatalogStripes   []StripeStats `json:"catalogStripes,omitempty"`
+	ChunkStripes     []StripeStats `json:"chunkStripes,omitempty"`
+	SessionStripes   []StripeStats `json:"sessionStripes,omitempty"`
+	StripeOps        int64         `json:"stripeOps"`
+	StripeContention int64         `json:"stripeContention"`
+}
+
+// StripeStats reports one metadata lock stripe's acquisition counts.
+type StripeStats struct {
+	// Ops counts lock acquisitions (read or write) on the stripe.
+	Ops int64 `json:"ops"`
+	// Contended counts acquisitions that found the stripe already held.
+	Contended int64 `json:"contended"`
 }

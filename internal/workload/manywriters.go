@@ -1,0 +1,66 @@
+package workload
+
+import (
+	"fmt"
+	"time"
+)
+
+// ManyWriters models the manager-saturation workload shape of §V.E: many
+// concurrent grid clients, each checkpointing a small application image at
+// a short interval. Individually every writer is cheap; collectively they
+// hammer the manager's metadata plane with alloc/extend/dedup/commit
+// traffic — the regime where a single catalog lock serializes the site
+// (and where adaptive P2P checkpointing systems place their workloads).
+//
+// Writers alternate chunking regimes: even writers use fixed-size striping
+// (FsCH-style dedup probes), odd writers content-based chunking (CbCH), so
+// a saturation run exercises both commit validation paths at once.
+type WriterSpec struct {
+	// Name is the writer's dataset key, e.g. "mw.n17"; checkpoint t of
+	// this writer is the file name Name + ".t<t>".
+	Name string
+	// CbCH selects content-based (variable-size) chunking for this
+	// writer; false means fixed-size striping.
+	CbCH bool
+	// Checkpoints is the number of images the writer commits.
+	Checkpoints int
+	// Size is the approximate image size in bytes.
+	Size int64
+	// Seed derives the writer's deterministic image content.
+	Seed int64
+}
+
+// FileName returns the full checkpoint file name for timestep t.
+func (w WriterSpec) FileName(t int) string { return fmt.Sprintf("%s.t%d", w.Name, t) }
+
+// Trace materializes the writer's checkpoint images lazily (hundreds of
+// writers would otherwise hold every image in memory at once). Images are
+// BLCR-shaped: mostly stable content with shifting offsets, so CbCH
+// writers dedup across versions while fixed writers mostly re-upload.
+func (w WriterSpec) Trace() *Trace {
+	return BLCR(BLCRParams{
+		Seed: w.Seed, Images: w.Checkpoints, Size: w.Size,
+		AlignedFrac: 0.25, StableFrac: 0.60,
+		Interval: 30 * time.Second,
+	})
+}
+
+// ManyWriters builds the spec list for a saturation run: `writers`
+// concurrent clients each committing `checkpoints` images of roughly
+// `size` bytes. Deterministic in seed.
+func ManyWriters(seed int64, writers, checkpoints int, size int64) []WriterSpec {
+	if writers <= 0 {
+		return nil
+	}
+	out := make([]WriterSpec, writers)
+	for i := range out {
+		out[i] = WriterSpec{
+			Name:        fmt.Sprintf("mw.n%d", i),
+			CbCH:        i%2 == 1,
+			Checkpoints: checkpoints,
+			Size:        size,
+			Seed:        seed*5_000_011 + int64(i),
+		}
+	}
+	return out
+}

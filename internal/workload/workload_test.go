@@ -197,3 +197,39 @@ func TestImprovement(t *testing.T) {
 		t.Fatalf("data improvement = %.1f", data)
 	}
 }
+
+func TestManyWritersSpecs(t *testing.T) {
+	specs := ManyWriters(3, 10, 2, 32<<10)
+	if len(specs) != 10 {
+		t.Fatalf("%d specs, want 10", len(specs))
+	}
+	names := make(map[string]struct{})
+	cbch := 0
+	for i, s := range specs {
+		if _, dup := names[s.Name]; dup {
+			t.Fatalf("duplicate writer name %q", s.Name)
+		}
+		names[s.Name] = struct{}{}
+		if s.CbCH {
+			cbch++
+		}
+		if s.FileName(1) != s.Name+".t1" {
+			t.Fatalf("writer %d file name %q", i, s.FileName(1))
+		}
+	}
+	if cbch != 5 {
+		t.Fatalf("%d CbCH writers of 10, want an even fixed/CbCH mix", cbch)
+	}
+	// Traces are deterministic in seed and per-writer distinct.
+	a := specs[0].Trace()
+	b := ManyWriters(3, 10, 2, 32<<10)[0].Trace()
+	if a.Count() != 2 || b.Count() != 2 {
+		t.Fatalf("trace counts %d/%d, want 2", a.Count(), b.Count())
+	}
+	if !bytes.Equal(a.Images[0], b.Images[0]) {
+		t.Fatal("same spec produced different images")
+	}
+	if bytes.Equal(a.Images[0], specs[1].Trace().Images[0]) {
+		t.Fatal("distinct writers produced identical images")
+	}
+}
