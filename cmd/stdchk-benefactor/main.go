@@ -6,6 +6,7 @@
 // Usage:
 //
 //	stdchk-benefactor -manager host:9400 -dir /scratch/stdchk -capacity 10737418240
+//	stdchk-benefactor -manager host0:9400,host1:9400   # federated plane: register with every member
 package main
 
 import (
@@ -19,6 +20,7 @@ import (
 
 	"stdchk/internal/benefactor"
 	"stdchk/internal/core"
+	"stdchk/internal/federation"
 	"stdchk/internal/store"
 )
 
@@ -33,7 +35,7 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("stdchk-benefactor", flag.ContinueOnError)
 	var (
 		listen   = fs.String("listen", "127.0.0.1:0", "chunk service address")
-		mgr      = fs.String("manager", "127.0.0.1:9400", "manager address")
+		mgr      = fs.String("manager", "127.0.0.1:9400", "manager address, or comma-separated federation member list")
 		dir      = fs.String("dir", "", "chunk directory (empty = in-memory)")
 		capacity = fs.Int64("capacity", 0, "contributed bytes (0 = unlimited)")
 		id       = fs.String("id", "", "node identity (default: listen address)")
@@ -49,13 +51,13 @@ func run(args []string) error {
 		logger = log.New(os.Stderr, "", log.LstdFlags)
 	}
 	cfg := benefactor.Config{
-		ID:          core.NodeID(*id),
-		ListenAddr:  *listen,
-		ManagerAddr: *mgr,
-		Capacity:    *capacity,
-		GCInterval:  *gcEvery,
-		GCGrace:     *gcGrace,
-		Logger:      logger,
+		ID:           core.NodeID(*id),
+		ListenAddr:   *listen,
+		ManagerAddrs: federation.SplitMembers(*mgr),
+		Capacity:     *capacity,
+		GCInterval:   *gcEvery,
+		GCGrace:      *gcGrace,
+		Logger:       logger,
 	}
 	if *dir != "" {
 		st, err := store.OpenDisk(*dir, *capacity, nil)

@@ -7,6 +7,12 @@
 //	stdchk-manager -listen :9400
 //	stdchk-manager -listen :9400 -journal /var/lib/stdchk/journal
 //	stdchk-manager -listen :9400 -recover        # rebuild from benefactors
+//
+// Federated metadata plane (one process per member, identical member
+// lists, each with its own index):
+//
+//	stdchk-manager -listen host0:9400 -federation host0:9400,host1:9400 -member-index 0
+//	stdchk-manager -listen host1:9400 -federation host0:9400,host1:9400 -member-index 1
 package main
 
 import (
@@ -18,6 +24,7 @@ import (
 	"syscall"
 	"time"
 
+	"stdchk/internal/federation"
 	"stdchk/internal/manager"
 )
 
@@ -35,6 +42,9 @@ func run(args []string) error {
 		heartbeat   = fs.Duration("heartbeat", 5*time.Second, "benefactor heartbeat interval")
 		stripe      = fs.Int("stripe", 4, "default stripe width")
 		replication = fs.Int("replication", 2, "default replication target")
+		stripes     = fs.Int("metadata-stripes", 0, "metadata lock-stripe count (0 = default 16, 1 = single-lock baseline for ablations)")
+		fed         = fs.String("federation", "", "comma-separated federation member addresses; this process serves the -member-index'th partition")
+		memberIdx   = fs.Int("member-index", 0, "this manager's index in the -federation member list")
 		journal     = fs.String("journal", "", "metadata journal path (optional)")
 		recover     = fs.Bool("recover", false, "start in recovery mode: rebuild metadata from benefactor-held chunk-map replicas")
 		quiet       = fs.Bool("quiet", false, "suppress operational logging")
@@ -42,6 +52,7 @@ func run(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	members := federation.SplitMembers(*fed)
 	var logger *log.Logger
 	if !*quiet {
 		logger = log.New(os.Stderr, "", log.LstdFlags)
@@ -51,6 +62,9 @@ func run(args []string) error {
 		HeartbeatInterval:  *heartbeat,
 		DefaultStripeWidth: *stripe,
 		DefaultReplication: *replication,
+		MetadataStripes:    *stripes,
+		FederationMembers:  members,
+		MemberIndex:        *memberIdx,
 		JournalPath:        *journal,
 		Recover:            *recover,
 		WritePriority:      true,
@@ -59,7 +73,11 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("stdchk manager serving on %s\n", m.Addr())
+	if len(members) > 1 {
+		fmt.Printf("stdchk manager serving on %s (federation member %d of %d)\n", m.Addr(), *memberIdx, len(members))
+	} else {
+		fmt.Printf("stdchk manager serving on %s\n", m.Addr())
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -5,6 +5,7 @@
 //
 //	stdchk -manager host:9400 put app.n1.t0 < image.ckpt
 //	stdchk -manager host:9400 get app.n1.t0 > image.ckpt
+//	stdchk -manager host0:9400,host1:9400 put app.n1.t0 < image.ckpt  # federated plane
 //	stdchk -manager host:9400 ls [folder]
 //	stdchk -manager host:9400 stat app.n1
 //	stdchk -manager host:9400 rm app.n1
@@ -23,6 +24,7 @@ import (
 
 	"stdchk/internal/client"
 	"stdchk/internal/core"
+	"stdchk/internal/federation"
 )
 
 func main() {
@@ -35,7 +37,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("stdchk", flag.ContinueOnError)
 	var (
-		mgr         = fs.String("manager", "127.0.0.1:9400", "manager address")
+		mgr         = fs.String("manager", "127.0.0.1:9400", "manager address, or comma-separated federation member list")
 		width       = fs.Int("stripe", 0, "stripe width (0 = manager default)")
 		replication = fs.Int("replication", 0, "replication target (0 = manager default)")
 		pessimistic = fs.Bool("pessimistic", false, "wait for the replication target before put returns")
@@ -75,15 +77,26 @@ func run(args []string) error {
 	default:
 		return fmt.Errorf("unknown chunking %q", *chunking)
 	}
-	cl, err := client.New(client.Config{
-		ManagerAddr: *mgr,
+	cfg := client.Config{
 		StripeWidth: *width,
 		Replication: *replication,
 		Semantics:   sem,
 		Protocol:    proto,
 		Chunking:    mode,
 		Incremental: *incremental,
-	})
+	}
+	if members := federation.SplitMembers(*mgr); len(members) > 1 {
+		// A member list makes this client federation-aware: dataset-scoped
+		// calls route to the partition owner, the rest fan out.
+		r, err := federation.NewRouter(federation.RouterConfig{Members: members})
+		if err != nil {
+			return err
+		}
+		cfg.Endpoint = r // the client owns and closes it
+	} else {
+		cfg.ManagerAddr = *mgr
+	}
+	cl, err := client.New(cfg)
 	if err != nil {
 		return err
 	}

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"stdchk/internal/core"
+	"stdchk/internal/federation"
 	"stdchk/internal/proto"
 	"stdchk/internal/store"
 	"stdchk/internal/wire"
@@ -29,8 +30,14 @@ type Config struct {
 	// ephemeral).
 	ListenAddr string
 	// ManagerAddr is the metadata manager to register with. Empty runs
-	// the node unmanaged (unit tests).
+	// the node unmanaged (unit tests). Ignored when ManagerAddrs is set.
 	ManagerAddr string
+	// ManagerAddrs lists a federated metadata plane's members. The node
+	// registers and heartbeats with every member (each manager allocates
+	// stripes from its own registry), and garbage collection intersects
+	// the members' answers so a chunk is deleted only when no member
+	// references it.
+	ManagerAddrs []string
 	// Capacity is the contributed space in bytes (0 = unlimited). Used
 	// when Store is nil.
 	Capacity int64
@@ -72,6 +79,9 @@ type Benefactor struct {
 	chunks store.Store
 	srv    *wire.Server
 	pool   *wire.Pool
+	// mgrs fronts the metadata plane (one manager or a federation); nil
+	// when the node runs unmanaged.
+	mgrs   *federation.Router
 	logger *log.Logger
 
 	mu     sync.Mutex
@@ -116,12 +126,36 @@ func New(cfg Config) (*Benefactor, error) {
 	}
 	b.srv = wire.NewServer(ln, b.handle, cfg.Shaper)
 
-	if cfg.ManagerAddr != "" {
+	if members := cfg.managerMembers(); len(members) > 0 {
+		r, err := federation.NewRouter(federation.RouterConfig{
+			Members: members,
+			Shaper:  cfg.DialShaper,
+			Logger:  cfg.Logger,
+		})
+		if err != nil {
+			b.srv.Close()
+			b.pool.Close()
+			b.chunks.Close()
+			return nil, fmt.Errorf("benefactor: %w", err)
+		}
+		b.mgrs = r
 		b.wg.Add(2)
 		go b.managerLoop()
 		go b.gcLoop()
 	}
 	return b, nil
+}
+
+// managerMembers resolves the metadata-plane member list: the federation
+// list when configured, else the single manager address, else none.
+func (c Config) managerMembers() []string {
+	if len(c.ManagerAddrs) > 0 {
+		return c.ManagerAddrs
+	}
+	if c.ManagerAddr != "" {
+		return []string{c.ManagerAddr}
+	}
+	return nil
 }
 
 // ID returns the node's identity.
@@ -141,6 +175,9 @@ func (b *Benefactor) Close() error {
 		err = b.srv.Close()
 		b.wg.Wait()
 		b.pool.Close()
+		if b.mgrs != nil {
+			b.mgrs.Close()
+		}
 		b.chunks.Close()
 	})
 	return err
@@ -325,28 +362,24 @@ func lastIndexByte(s string, c byte) int {
 	return -1
 }
 
-// managerLoop registers with the manager and heartbeats; on manager
-// restart (heartbeat rejected) it re-registers, which also feeds the
-// manager's recovery pull.
+// managerLoop keeps the node's soft state fresh across the metadata
+// plane: each round announces to every member through the router, which
+// registers with members that do not know the node yet (first contact, or
+// a restarted member whose heartbeat rejection proves it forgot us) and
+// heartbeats the rest. A member being merely unreachable does not trigger
+// re-registration anywhere — re-registering clears the node's live
+// reservations, so it is reserved for members that explicitly lost state.
 func (b *Benefactor) managerLoop() {
 	defer b.wg.Done()
 	interval := time.Second
-	registered := false
+	registered := make([]bool, b.mgrs.Membership().Len())
 	for {
-		if !registered {
-			resp, err := b.register()
-			if err != nil {
-				b.logf("register: %v", err)
-			} else {
-				registered = true
-				if resp.HeartbeatInterval > 0 {
-					interval = resp.HeartbeatInterval
-				}
-			}
-		} else if err := b.heartbeat(); err != nil {
-			b.logf("heartbeat: %v (re-registering)", err)
-			registered = false
-			continue // re-register immediately
+		resp, err := b.mgrs.Announce(b.registerReq(), b.heartbeatReq(), registered)
+		if err != nil {
+			b.logf("announce: %v", err)
+		}
+		if resp.HeartbeatInterval > 0 {
+			interval = resp.HeartbeatInterval
 		}
 		select {
 		case <-b.stop:
@@ -356,42 +389,31 @@ func (b *Benefactor) managerLoop() {
 	}
 }
 
-func (b *Benefactor) register() (proto.RegisterResp, error) {
-	free := int64(0)
+// free reports the node's advertised free space ("unlimited" contributions
+// advertise 1 TB).
+func (b *Benefactor) free() int64 {
 	if cap := b.chunks.Capacity(); cap > 0 {
-		free = cap - b.chunks.Used()
-	} else {
-		free = 1 << 40 // "unlimited" contribution advertised as 1 TB
+		return cap - b.chunks.Used()
 	}
-	req := proto.RegisterReq{
+	return 1 << 40
+}
+
+func (b *Benefactor) registerReq() proto.RegisterReq {
+	return proto.RegisterReq{
 		ID:       b.id,
 		Addr:     b.Addr(),
 		Capacity: b.chunks.Capacity(),
-		Free:     free,
+		Free:     b.free(),
 	}
-	var resp proto.RegisterResp
-	if _, err := b.pool.Call(b.cfg.ManagerAddr, proto.MRegister, req, nil, &resp); err != nil {
-		return proto.RegisterResp{}, err
-	}
-	return resp, nil
 }
 
-func (b *Benefactor) heartbeat() error {
-	free := int64(0)
-	if cap := b.chunks.Capacity(); cap > 0 {
-		free = cap - b.chunks.Used()
-	} else {
-		free = 1 << 40
-	}
-	req := proto.HeartbeatReq{
+func (b *Benefactor) heartbeatReq() proto.HeartbeatReq {
+	return proto.HeartbeatReq{
 		ID:     b.id,
-		Free:   free,
+		Free:   b.free(),
 		Used:   b.chunks.Used(),
 		Chunks: b.chunks.Len(),
 	}
-	var resp proto.HeartbeatResp
-	_, err := b.pool.Call(b.cfg.ManagerAddr, proto.MHeartbeat, req, nil, &resp)
-	return err
 }
 
 // gcLoop periodically reconciles the chunk inventory with the manager and
@@ -419,7 +441,7 @@ func (b *Benefactor) gcLoop() {
 // manager no longer references. Returns the number deleted. Exposed for
 // tests and tooling.
 func (b *Benefactor) CollectGarbage() (int, error) {
-	if b.cfg.ManagerAddr == "" {
+	if b.mgrs == nil {
 		return 0, nil
 	}
 	cutoff := time.Now().Add(-b.cfg.GCGrace)
@@ -434,9 +456,8 @@ func (b *Benefactor) CollectGarbage() (int, error) {
 	if len(aged) == 0 {
 		return 0, nil
 	}
-	var resp proto.GCReportResp
-	req := proto.GCReportReq{ID: b.id, IDs: aged}
-	if _, err := b.pool.Call(b.cfg.ManagerAddr, proto.MGCReport, req, nil, &resp); err != nil {
+	resp, err := b.mgrs.GCReport(proto.GCReportReq{ID: b.id, IDs: aged})
+	if err != nil {
 		return 0, err
 	}
 	deleted := 0

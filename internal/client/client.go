@@ -81,8 +81,13 @@ func (m ChunkingMode) String() string {
 
 // Config parameterizes a Client.
 type Config struct {
-	// ManagerAddr is the metadata manager address.
+	// ManagerAddr is the metadata manager address. Ignored when Endpoint
+	// is set.
 	ManagerAddr string
+	// Endpoint overrides the default single-manager metadata endpoint —
+	// a federation router, for instance. The Client takes ownership and
+	// closes it.
+	Endpoint ManagerEndpoint
 	// StripeWidth is the number of benefactors to stripe writes across
 	// (0 = manager default).
 	StripeWidth int
@@ -176,6 +181,9 @@ func (c Config) withDefaults() Config {
 type Client struct {
 	cfg  Config
 	pool *wire.Pool
+	// mgr is the metadata service seam: a single manager or a federated
+	// router, resolved once at construction.
+	mgr ManagerEndpoint
 
 	// chunkPool recycles write-path chunk buffers: filled → hashed →
 	// uploaded (or dedup-hit) → returned. Buffers are handled as *[]byte
@@ -226,21 +234,28 @@ func (c *Client) putChunkBuf(bp *[]byte) {
 
 // New returns a client for the given configuration.
 func New(cfg Config) (*Client, error) {
-	if cfg.ManagerAddr == "" {
-		return nil, errors.New("client: ManagerAddr is required")
+	if cfg.ManagerAddr == "" && cfg.Endpoint == nil {
+		return nil, errors.New("client: ManagerAddr or Endpoint is required")
 	}
 	cfg = cfg.withDefaults()
-	return &Client{
+	c := &Client{
 		cfg:        cfg,
 		pool:       wire.NewPool(cfg.Shaper, 8),
 		benefAddrs: make(map[core.NodeID]string),
-	}, nil
+	}
+	if cfg.Endpoint != nil {
+		c.mgr = cfg.Endpoint
+	} else {
+		c.mgr = &singleManager{pool: c.pool, addr: cfg.ManagerAddr}
+	}
+	return c, nil
 }
 
-// Close releases pooled connections.
+// Close releases the metadata endpoint and pooled connections.
 func (c *Client) Close() error {
+	err := c.mgr.Close()
 	c.pool.Close()
-	return nil
+	return err
 }
 
 func (c *Client) logf(format string, args ...interface{}) {
@@ -264,8 +279,8 @@ func (c *Client) Open(name string) (*Reader, error) {
 
 // OpenVersion opens a specific committed version (0 = latest).
 func (c *Client) OpenVersion(name string, ver core.VersionID) (*Reader, error) {
-	var resp proto.GetMapResp
-	if _, err := c.pool.Call(c.cfg.ManagerAddr, proto.MGetMap, proto.GetMapReq{Name: name, Version: ver}, nil, &resp); err != nil {
+	resp, err := c.mgr.GetMap(proto.GetMapReq{Name: name, Version: ver})
+	if err != nil {
 		return nil, fmt.Errorf("client: open %s: %w", name, err)
 	}
 	return newReader(c, resp.Name, resp.Map), nil
@@ -273,8 +288,7 @@ func (c *Client) OpenVersion(name string, ver core.VersionID) (*Reader, error) {
 
 // Delete removes one version, or the whole dataset when ver is 0.
 func (c *Client) Delete(name string, ver core.VersionID) error {
-	_, err := c.pool.Call(c.cfg.ManagerAddr, proto.MDelete, proto.DeleteReq{Name: name, Version: ver}, nil, nil)
-	if err != nil {
+	if err := c.mgr.Delete(proto.DeleteReq{Name: name, Version: ver}); err != nil {
 		return fmt.Errorf("client: delete %s: %w", name, err)
 	}
 	return nil
@@ -282,20 +296,20 @@ func (c *Client) Delete(name string, ver core.VersionID) error {
 
 // List lists datasets, optionally restricted to a folder.
 func (c *Client) List(folder string) ([]core.DatasetInfo, error) {
-	var resp proto.ListResp
-	if _, err := c.pool.Call(c.cfg.ManagerAddr, proto.MList, proto.ListReq{Folder: folder}, nil, &resp); err != nil {
+	datasets, err := c.mgr.List(folder)
+	if err != nil {
 		return nil, fmt.Errorf("client: list: %w", err)
 	}
-	return resp.Datasets, nil
+	return datasets, nil
 }
 
 // Stat summarizes one dataset.
 func (c *Client) Stat(name string) (core.DatasetInfo, error) {
-	var resp proto.StatResp
-	if _, err := c.pool.Call(c.cfg.ManagerAddr, proto.MStat, proto.StatReq{Name: name}, nil, &resp); err != nil {
+	info, err := c.mgr.Stat(name)
+	if err != nil {
 		return core.DatasetInfo{}, fmt.Errorf("client: stat %s: %w", name, err)
 	}
-	return resp.Dataset, nil
+	return info, nil
 }
 
 // SetPolicy attaches a data-lifetime policy to a folder.
@@ -303,8 +317,7 @@ func (c *Client) SetPolicy(folder string, p core.Policy) error {
 	if err := p.Validate(); err != nil {
 		return fmt.Errorf("client: set policy: %w", err)
 	}
-	_, err := c.pool.Call(c.cfg.ManagerAddr, proto.MPolicySet, proto.PolicySetReq{Folder: folder, Policy: p}, nil, nil)
-	if err != nil {
+	if err := c.mgr.SetPolicy(folder, p); err != nil {
 		return fmt.Errorf("client: set policy on %q: %w", folder, err)
 	}
 	return nil
@@ -312,17 +325,18 @@ func (c *Client) SetPolicy(folder string, p core.Policy) error {
 
 // GetPolicy reads a folder's policy.
 func (c *Client) GetPolicy(folder string) (core.Policy, error) {
-	var resp proto.PolicyGetResp
-	if _, err := c.pool.Call(c.cfg.ManagerAddr, proto.MPolicyGet, proto.PolicyGetReq{Folder: folder}, nil, &resp); err != nil {
+	p, err := c.mgr.GetPolicy(folder)
+	if err != nil {
 		return core.Policy{}, fmt.Errorf("client: get policy of %q: %w", folder, err)
 	}
-	return resp.Policy, nil
+	return p, nil
 }
 
-// ManagerStats snapshots manager counters.
+// ManagerStats snapshots metadata-service counters (merged across members
+// when the endpoint is federated).
 func (c *Client) ManagerStats() (proto.ManagerStats, error) {
-	var resp proto.ManagerStats
-	if _, err := c.pool.Call(c.cfg.ManagerAddr, proto.MStats, nil, nil, &resp); err != nil {
+	resp, err := c.mgr.ManagerStats()
+	if err != nil {
 		return proto.ManagerStats{}, fmt.Errorf("client: manager stats: %w", err)
 	}
 	return resp, nil
@@ -330,19 +344,15 @@ func (c *Client) ManagerStats() (proto.ManagerStats, error) {
 
 // Benefactors lists registered benefactors.
 func (c *Client) Benefactors() ([]core.BenefactorInfo, error) {
-	var resp proto.BenefactorsResp
-	if _, err := c.pool.Call(c.cfg.ManagerAddr, proto.MBenefactors, nil, nil, &resp); err != nil {
+	benefs, err := c.mgr.Benefactors()
+	if err != nil {
 		return nil, fmt.Errorf("client: benefactors: %w", err)
 	}
-	return resp.Benefactors, nil
+	return benefs, nil
 }
 
 // replicationLevel polls the live replication of a dataset's latest
 // version (pessimistic writes).
 func (c *Client) replicationLevel(name string) (proto.ReplStatusResp, error) {
-	var resp proto.ReplStatusResp
-	if _, err := c.pool.Call(c.cfg.ManagerAddr, proto.MReplStatus, proto.ReplStatusReq{Name: name}, nil, &resp); err != nil {
-		return proto.ReplStatusResp{}, err
-	}
-	return resp, nil
+	return c.mgr.ReplStatus(name)
 }

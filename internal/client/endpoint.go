@@ -1,0 +1,151 @@
+package client
+
+import (
+	"stdchk/internal/core"
+	"stdchk/internal/proto"
+	"stdchk/internal/wire"
+)
+
+// ManagerEndpoint is the client's seam to the metadata service. A single
+// manager and a federated metadata plane (internal/federation's Router)
+// both satisfy it, so everything above this interface — the writer
+// pipeline, the reader, the facade — is agnostic about whether "the
+// manager" is one process or N partitioned ones.
+//
+// Dataset-scoped calls carry the dataset-owning file name even when the
+// wire request is keyed by something else (a WriteID): write sessions are
+// member-local in a federation, so the name is what routes the call to
+// the member that allocated the session.
+type ManagerEndpoint interface {
+	// Alloc opens a write session for req.Name.
+	Alloc(req proto.AllocReq) (proto.AllocResp, error)
+	// Extend grows the named session's space reservation.
+	Extend(name string, req proto.ExtendReq) (proto.ExtendResp, error)
+	// Commit atomically publishes the named session's chunk-map.
+	Commit(name string, req proto.CommitReq) (proto.CommitResp, error)
+	// Abort abandons the named session.
+	Abort(name string, req proto.AbortReq) error
+	// HasChunks answers the incremental-checkpointing dedup probe for a
+	// write session on name.
+	HasChunks(name string, ids []core.ChunkID) ([]bool, error)
+	// GetMap fetches a committed chunk-map.
+	GetMap(req proto.GetMapReq) (proto.GetMapResp, error)
+	// List summarizes datasets, optionally restricted to a folder.
+	List(folder string) ([]core.DatasetInfo, error)
+	// Stat summarizes one dataset.
+	Stat(name string) (core.DatasetInfo, error)
+	// Delete removes a version or a whole dataset.
+	Delete(req proto.DeleteReq) error
+	// SetPolicy attaches a data-lifetime policy to a folder.
+	SetPolicy(folder string, p core.Policy) error
+	// GetPolicy reads a folder's policy.
+	GetPolicy(folder string) (core.Policy, error)
+	// ReplStatus reports the replication level of a dataset's latest
+	// version.
+	ReplStatus(name string) (proto.ReplStatusResp, error)
+	// ManagerStats snapshots service-wide counters.
+	ManagerStats() (proto.ManagerStats, error)
+	// Benefactors lists registered benefactors.
+	Benefactors() ([]core.BenefactorInfo, error)
+	// Close releases endpoint resources. The owning Client calls it once.
+	Close() error
+}
+
+// singleManager is the historical endpoint: every call goes to one
+// manager address over the client's shared connection pool. Its Close is
+// a no-op because the pool belongs to the Client.
+type singleManager struct {
+	pool *wire.Pool
+	addr string
+}
+
+func (s *singleManager) call(op string, req, resp interface{}) error {
+	_, err := s.pool.Call(s.addr, op, req, nil, resp)
+	return err
+}
+
+func (s *singleManager) Alloc(req proto.AllocReq) (proto.AllocResp, error) {
+	var resp proto.AllocResp
+	err := s.call(proto.MAlloc, req, &resp)
+	return resp, err
+}
+
+func (s *singleManager) Extend(_ string, req proto.ExtendReq) (proto.ExtendResp, error) {
+	var resp proto.ExtendResp
+	err := s.call(proto.MExtend, req, &resp)
+	return resp, err
+}
+
+func (s *singleManager) Commit(_ string, req proto.CommitReq) (proto.CommitResp, error) {
+	var resp proto.CommitResp
+	err := s.call(proto.MCommit, req, &resp)
+	return resp, err
+}
+
+func (s *singleManager) Abort(_ string, req proto.AbortReq) error {
+	return s.call(proto.MAbort, req, nil)
+}
+
+func (s *singleManager) HasChunks(_ string, ids []core.ChunkID) ([]bool, error) {
+	var resp proto.HasResp
+	if err := s.call(proto.MHasChunks, proto.HasReq{IDs: ids}, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Present, nil
+}
+
+func (s *singleManager) GetMap(req proto.GetMapReq) (proto.GetMapResp, error) {
+	var resp proto.GetMapResp
+	err := s.call(proto.MGetMap, req, &resp)
+	return resp, err
+}
+
+func (s *singleManager) List(folder string) ([]core.DatasetInfo, error) {
+	var resp proto.ListResp
+	if err := s.call(proto.MList, proto.ListReq{Folder: folder}, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Datasets, nil
+}
+
+func (s *singleManager) Stat(name string) (core.DatasetInfo, error) {
+	var resp proto.StatResp
+	err := s.call(proto.MStat, proto.StatReq{Name: name}, &resp)
+	return resp.Dataset, err
+}
+
+func (s *singleManager) Delete(req proto.DeleteReq) error {
+	return s.call(proto.MDelete, req, nil)
+}
+
+func (s *singleManager) SetPolicy(folder string, p core.Policy) error {
+	return s.call(proto.MPolicySet, proto.PolicySetReq{Folder: folder, Policy: p}, nil)
+}
+
+func (s *singleManager) GetPolicy(folder string) (core.Policy, error) {
+	var resp proto.PolicyGetResp
+	err := s.call(proto.MPolicyGet, proto.PolicyGetReq{Folder: folder}, &resp)
+	return resp.Policy, err
+}
+
+func (s *singleManager) ReplStatus(name string) (proto.ReplStatusResp, error) {
+	var resp proto.ReplStatusResp
+	err := s.call(proto.MReplStatus, proto.ReplStatusReq{Name: name}, &resp)
+	return resp, err
+}
+
+func (s *singleManager) ManagerStats() (proto.ManagerStats, error) {
+	var resp proto.ManagerStats
+	err := s.call(proto.MStats, nil, &resp)
+	return resp, err
+}
+
+func (s *singleManager) Benefactors() ([]core.BenefactorInfo, error) {
+	var resp proto.BenefactorsResp
+	if err := s.call(proto.MBenefactors, nil, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Benefactors, nil
+}
+
+func (s *singleManager) Close() error { return nil }

@@ -156,9 +156,11 @@ func newWriter(c *Client, name string) (*Writer, error) {
 		ReserveBytes: c.cfg.ReserveQuantum,
 		Replication:  c.cfg.Replication,
 	}
-	if _, err := c.pool.Call(c.cfg.ManagerAddr, proto.MAlloc, req, nil, &w.sess); err != nil {
+	sess, err := c.mgr.Alloc(req)
+	if err != nil {
 		return nil, fmt.Errorf("client: create %s: %w", name, err)
 	}
+	w.sess = sess
 	w.stripe = w.sess.Stripe
 	w.chunkSize = chunkSize
 	w.reserved = c.cfg.ReserveQuantum
@@ -251,8 +253,7 @@ func (w *Writer) ensureReservation() error {
 	}
 	quantum := w.c.cfg.ReserveQuantum
 	ext := (need + quantum - 1) / quantum * quantum
-	if _, err := w.c.pool.Call(w.c.cfg.ManagerAddr, proto.MExtend,
-		proto.ExtendReq{WriteID: w.sess.WriteID, Bytes: ext}, nil, nil); err != nil {
+	if _, err := w.c.mgr.Extend(w.name, proto.ExtendReq{WriteID: w.sess.WriteID, Bytes: ext}); err != nil {
 		w.fail(fmt.Errorf("extend reservation: %w", err))
 		return err
 	}
@@ -457,15 +458,14 @@ func (w *Writer) flushBatch(batch []hashedChunk, ids []core.ChunkID) {
 	for _, hc := range batch {
 		ids = append(ids, hc.id)
 	}
-	var resp proto.HasResp
-	if _, err := w.c.pool.Call(w.c.cfg.ManagerAddr, proto.MHasChunks,
-		proto.HasReq{IDs: ids}, nil, &resp); err != nil {
+	present, err := w.c.mgr.HasChunks(w.name, ids)
+	if err != nil {
 		w.fail(fmt.Errorf("dedup query: %w", err))
 		w.releaseChunks(batch)
 		return
 	}
 	for i, hc := range batch {
-		if i < len(resp.Present) && resp.Present[i] {
+		if i < len(present) && present[i] {
 			// Chunk already stored: copy-on-write reuse, no upload.
 			n := int64(len(*hc.buf))
 			w.mu.Lock()
@@ -712,8 +712,8 @@ func (w *Writer) commit() error {
 	w.mu.Unlock()
 
 	req := proto.CommitReq{WriteID: w.sess.WriteID, FileSize: written, Chunks: chunks}
-	var resp proto.CommitResp
-	if _, err := w.c.pool.Call(w.c.cfg.ManagerAddr, proto.MCommit, req, nil, &resp); err != nil {
+	resp, err := w.c.mgr.Commit(w.name, req)
+	if err != nil {
 		return fmt.Errorf("commit %s: %w", w.name, err)
 	}
 
@@ -775,7 +775,7 @@ func (w *Writer) Wait() error {
 
 // abort releases the manager-side session after a failure.
 func (w *Writer) abort() {
-	_, _ = w.c.pool.Call(w.c.cfg.ManagerAddr, proto.MAbort, proto.AbortReq{WriteID: w.sess.WriteID}, nil, nil)
+	_ = w.c.mgr.Abort(w.name, proto.AbortReq{WriteID: w.sess.WriteID})
 }
 
 // Metrics exposes the timing and byte counters the evaluation uses.

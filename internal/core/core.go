@@ -131,6 +131,15 @@ var (
 	// ErrQuorum indicates manager recovery could not assemble the
 	// two-thirds benefactor concurrence required to restore a dataset.
 	ErrQuorum = errors.New("insufficient recovery quorum")
+	// ErrNotOwner indicates a dataset-scoped request reached a federation
+	// member that does not own the dataset's partition (the client-side
+	// router misrouted, or a non-federated client dialed a member
+	// directly).
+	ErrNotOwner = errors.New("dataset not owned by this federation member")
+	// ErrEpochMismatch indicates a request carried a partition epoch that
+	// does not match the member's federation configuration: the caller's
+	// member list and the member's disagree, so routing cannot be trusted.
+	ErrEpochMismatch = errors.New("federation partition epoch mismatch")
 )
 
 // ChunkRef names one chunk of a version: its position in the file, its

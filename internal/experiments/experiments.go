@@ -102,6 +102,7 @@ func All() []Runner {
 		{Name: "fig8", Title: "Figure 8: aggregate throughput under load", Run: Fig8},
 		{Name: "table5", Title: "Table 5: BLAST end-to-end (local disk vs stdchk)", Run: Table5},
 		{Name: "managerload", Title: "Manager load (§V.E): metadata tps vs concurrent writers, striped vs single-lock catalog", Run: ManagerLoad},
+		{Name: "fedload", Title: "Federated manager load (§V.E extension): aggregate metadata tps at 1/2/4 partitioned managers over sockets", Run: FedLoad},
 	}
 }
 

@@ -12,7 +12,7 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"table1", "fig2", "fig3", "fig4", "fig5", "fig6",
 		"table2", "table3", "table3live", "table4", "fig7", "fig8", "table5",
-		"managerload",
+		"managerload", "fedload",
 	}
 	runners := All()
 	if len(runners) != len(want) {
@@ -169,6 +169,60 @@ func TestManagerLoadSmoke(t *testing.T) {
 	}
 	if lines != 10 {
 		t.Fatalf("%d JSON records, want 10", lines)
+	}
+}
+
+// TestFedLoadSmoke runs the federated manager-load sweep briefly over
+// real sockets and checks every (managers, writers) cell lands with a
+// positive aggregate tps, that the member transaction counters show the
+// partitioned traffic, and that the JSON record stream round-trips. This
+// is the CI gate that keeps the federation wiring (router, partition
+// filter, epoch checks, multi-member registration) from rotting.
+func TestFedLoadSmoke(t *testing.T) {
+	var buf, js bytes.Buffer
+	// Runs is the only knob fedload scales by (sizes are fixed, see its doc).
+	if err := FedLoad(Config{Runs: 1, Out: &buf, JSON: &js}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"managers", "aggregate tps", "paper"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Six JSON lines: 3 manager counts x 2 writer counts.
+	lines := 0
+	for _, line := range strings.Split(strings.TrimSpace(js.String()), "\n") {
+		if line == "" {
+			continue
+		}
+		lines++
+		var rec struct {
+			Experiment string  `json:"experiment"`
+			Managers   int     `json:"managers"`
+			Writers    int     `json:"writers"`
+			TPS        float64 `json:"tps"`
+			MemberTxns []int64 `json:"memberTransactions"`
+		}
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("bad JSON record %q: %v", line, err)
+		}
+		if rec.Experiment != "fedload" || rec.TPS <= 0 || rec.Managers <= 0 || rec.Writers <= 0 {
+			t.Fatalf("implausible record: %+v", rec)
+		}
+		if len(rec.MemberTxns) != rec.Managers {
+			t.Fatalf("record has %d member counters for %d managers", len(rec.MemberTxns), rec.Managers)
+		}
+		// With 16+ writers over <=4 members, every member must have seen
+		// transactions: the partition function spreads dataset keys.
+		for i, txns := range rec.MemberTxns {
+			if txns <= 0 {
+				t.Fatalf("member %d idle in %d-manager cell: %v", i, rec.Managers, rec.MemberTxns)
+			}
+		}
+	}
+	if lines != 6 {
+		t.Fatalf("%d JSON records, want 6", lines)
 	}
 }
 

@@ -1,0 +1,131 @@
+package federation
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// TestOwnerExactlyOne is the partition-mapping property test: for any key
+// and any federation size, exactly one member owns the key, the owner is
+// in range, and recomputing through a freshly built Membership (a
+// "restarted" router or member) yields the same owner.
+func TestOwnerExactlyOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for members := 1; members <= 8; members++ {
+		addrs := make([]string, members)
+		for i := range addrs {
+			addrs[i] = fmt.Sprintf("host%d:9400", i)
+		}
+		ms, err := NewMembership(addrs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 500; trial++ {
+			key := fmt.Sprintf("app%d.n%d", rng.Intn(50), rng.Intn(100))
+			owner := OwnerIndex(key, members)
+			if owner < 0 || owner >= members {
+				t.Fatalf("members=%d key=%q: owner %d out of range", members, key, owner)
+			}
+			// Exactly one member considers itself the owner.
+			owners := 0
+			for idx := 0; idx < members; idx++ {
+				if OwnerIndex(key, members) == idx {
+					owners++
+				}
+			}
+			if owners != 1 {
+				t.Fatalf("members=%d key=%q: %d owners", members, key, owners)
+			}
+			// Stable across restarts: a fresh Membership from the same
+			// list maps the key identically.
+			fresh, err := NewMembership(addrs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotIdx, gotAddr := fresh.OwnerOf(key)
+			if gotIdx != owner || gotAddr != addrs[owner] {
+				t.Fatalf("members=%d key=%q: restart moved owner %d->%d", members, key, owner, gotIdx)
+			}
+			if ms.Epoch() != fresh.Epoch() {
+				t.Fatalf("members=%d: epoch changed across restart: %#x vs %#x", members, ms.Epoch(), fresh.Epoch())
+			}
+		}
+	}
+}
+
+// TestOwnerOfCollapsesTimesteps checks the routing invariant that keeps a
+// version chain member-local: every timestep of one (app, node) pair
+// routes to the dataset key's owner.
+func TestOwnerOfCollapsesTimesteps(t *testing.T) {
+	ms, err := NewMembership([]string{"a:1", "b:1", "c:1", "d:1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keyIdx, _ := ms.OwnerOf("blast.n7")
+	for ts := 0; ts < 32; ts++ {
+		idx, _ := ms.OwnerOf(fmt.Sprintf("blast.n7.t%d", ts))
+		if idx != keyIdx {
+			t.Fatalf("timestep %d routed to member %d, dataset key to %d", ts, idx, keyIdx)
+		}
+	}
+}
+
+// TestOwnerDistribution guards against a degenerate partition function:
+// over many keys every member of a 4-way federation must own a
+// non-trivial share.
+func TestOwnerDistribution(t *testing.T) {
+	const members, keys = 4, 4000
+	counts := make([]int, members)
+	for i := 0; i < keys; i++ {
+		counts[OwnerIndex(fmt.Sprintf("app%d.n%d", i%97, i), members)]++
+	}
+	for i, c := range counts {
+		if c < keys/members/2 {
+			t.Fatalf("member %d owns %d of %d keys; partition badly skewed: %v", i, c, keys, counts)
+		}
+	}
+}
+
+// TestEpoch checks the configuration-drift detector: identical lists
+// agree, and any difference in content, order, or size changes the epoch.
+func TestEpoch(t *testing.T) {
+	base := []string{"a:1", "b:1", "c:1"}
+	if Epoch(base) != Epoch([]string{"a:1", "b:1", "c:1"}) {
+		t.Fatal("identical member lists produced different epochs")
+	}
+	variants := [][]string{
+		{"a:1", "b:1"},
+		{"b:1", "a:1", "c:1"},
+		{"a:1", "b:1", "c:1", "d:1"},
+		{"a:1", "b:1", "x:1"},
+	}
+	for _, v := range variants {
+		if Epoch(v) == Epoch(base) {
+			t.Fatalf("variant %v collides with base epoch", v)
+		}
+	}
+	if Epoch(base) == 0 {
+		t.Fatal("epoch 0 is reserved for non-federated callers")
+	}
+}
+
+// TestNewMembershipValidation rejects empty and duplicate member lists.
+func TestNewMembershipValidation(t *testing.T) {
+	if _, err := NewMembership(nil); err == nil {
+		t.Fatal("empty membership accepted")
+	}
+	if _, err := NewMembership([]string{"a:1", ""}); err == nil {
+		t.Fatal("empty member address accepted")
+	}
+	if _, err := NewMembership([]string{"a:1", "a:1"}); err == nil {
+		t.Fatal("duplicate member accepted")
+	}
+	ms, err := NewMembership([]string{"a:1", "b:1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms.Len() != 2 || ms.Members()[1] != "b:1" {
+		t.Fatalf("membership mangled: %v", ms.Members())
+	}
+}

@@ -1,0 +1,560 @@
+package federation
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"sort"
+	"sync"
+	"time"
+
+	"stdchk/internal/core"
+	"stdchk/internal/proto"
+	"stdchk/internal/wire"
+)
+
+// Router is the thin client-side front of a federated metadata plane. It
+// maps every dataset-scoped RPC (alloc/extend/commit/getMap/stat/delete/
+// replication status) to the member owning the dataset's partition, and
+// fans membership-scoped RPCs (register, heartbeat, GC reconciliation,
+// list, stats) out to all members with merged replies. Each member gets a
+// health-checked connection pool; per-member success/failure counters are
+// kept so operators (and tests) can see a member degrading.
+//
+// A Router is safe for concurrent use. It satisfies the client package's
+// ManagerEndpoint seam structurally, so a *client.Client configured with a
+// Router speaks to "the metadata service" instead of "a manager" without
+// any other change.
+type Router struct {
+	ms     *Membership
+	pool   *wire.Pool
+	logger *log.Logger
+	health []*memberHealth
+}
+
+// RouterConfig parameterizes a Router.
+type RouterConfig struct {
+	// Members is the ordered federation member list; index i must be the
+	// manager started with MemberIndex i.
+	Members []string
+	// Shaper wraps every connection the router dials (the caller's NIC
+	// model); nil leaves connections unshaped.
+	Shaper wire.Shaper
+	// PerMemberConns caps pooled connections per member (0 = 8).
+	PerMemberConns int
+	// Logger receives operational messages; nil discards.
+	Logger *log.Logger
+}
+
+// memberHealth tracks one member's observed liveness.
+type memberHealth struct {
+	mu       sync.Mutex
+	ok       int64
+	failed   int64
+	streak   int64 // consecutive failures
+	lastErr  error
+	lastSeen time.Time
+}
+
+// MemberHealth is a snapshot of one member's health counters.
+type MemberHealth struct {
+	Addr string
+	// OK and Failed count completed calls; Streak is the current run of
+	// consecutive failures (0 = last call succeeded).
+	OK, Failed, Streak int64
+	// LastErr is the most recent failure (nil if none).
+	LastErr error
+	// LastSeen is the time of the last successful call.
+	LastSeen time.Time
+}
+
+// NewRouter builds a router over a static member list.
+func NewRouter(cfg RouterConfig) (*Router, error) {
+	ms, err := NewMembership(cfg.Members)
+	if err != nil {
+		return nil, err
+	}
+	per := cfg.PerMemberConns
+	if per <= 0 {
+		per = 8
+	}
+	r := &Router{
+		ms:     ms,
+		pool:   wire.NewPool(cfg.Shaper, per),
+		logger: cfg.Logger,
+		health: make([]*memberHealth, ms.Len()),
+	}
+	for i := range r.health {
+		r.health[i] = &memberHealth{}
+	}
+	return r, nil
+}
+
+// Membership returns the router's federation configuration.
+func (r *Router) Membership() *Membership { return r.ms }
+
+// Close releases the router's pooled connections.
+func (r *Router) Close() error {
+	r.pool.Close()
+	return nil
+}
+
+func (r *Router) logf(format string, args ...interface{}) {
+	if r.logger != nil {
+		r.logger.Printf("router: "+format, args...)
+	}
+}
+
+// call performs one RPC against member i and records its health. Only
+// transport failures count against the member: a RemoteError reply proves
+// the member answered, so application-level errors (not-found, not-owner,
+// validation) advance lastSeen like a success — a client probing missing
+// datasets must not make a live member look dead.
+func (r *Router) call(i int, op string, req, resp interface{}) error {
+	addr := r.ms.members[i]
+	_, err := r.pool.Call(addr, op, req, nil, resp)
+	var remote *wire.RemoteError
+	h := r.health[i]
+	h.mu.Lock()
+	if err == nil || errors.As(err, &remote) {
+		h.ok++
+		h.streak = 0
+		h.lastSeen = time.Now()
+	} else {
+		h.failed++
+		h.streak++
+		h.lastErr = err
+	}
+	h.mu.Unlock()
+	if err != nil {
+		return fmt.Errorf("member %d (%s): %w", i, addr, err)
+	}
+	return nil
+}
+
+// callOwner routes one dataset-scoped RPC to the member owning name.
+func (r *Router) callOwner(name, op string, req, resp interface{}) error {
+	i, _ := r.ms.OwnerOf(name)
+	return r.call(i, op, req, resp)
+}
+
+// wireEpoch is the partition epoch stamped on dataset-scoped requests.
+// A single-member "federation" routes trivially and is typically fronting
+// a standalone (non-federated) manager, which rejects nonzero epochs —
+// so only genuine multi-member routers assert one.
+func (r *Router) wireEpoch() uint64 {
+	if r.ms.Len() <= 1 {
+		return 0
+	}
+	return r.ms.epoch
+}
+
+// fanOut runs fn once per member, concurrently, and returns the
+// lowest-indexed member's error (every member is attempted, so one dead
+// member can neither shadow another's failure accounting nor stretch the
+// call's latency past the slowest member). fn(i) must only touch state
+// owned by member i — call sites collect into per-member slots and merge
+// after the barrier.
+func (r *Router) fanOut(fn func(i int) error) error {
+	errs := make([]error, len(r.ms.members))
+	var wg sync.WaitGroup
+	for i := range r.ms.members {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = fn(i)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Health snapshots per-member health counters.
+func (r *Router) Health() []MemberHealth {
+	out := make([]MemberHealth, len(r.health))
+	for i, h := range r.health {
+		h.mu.Lock()
+		out[i] = MemberHealth{
+			Addr: r.ms.members[i], OK: h.ok, Failed: h.failed,
+			Streak: h.streak, LastErr: h.lastErr, LastSeen: h.lastSeen,
+		}
+		h.mu.Unlock()
+	}
+	return out
+}
+
+// CheckHealth probes every member with a stats call and returns the first
+// failure (nil when the whole federation answered).
+func (r *Router) CheckHealth() error {
+	return r.fanOut(func(i int) error {
+		var st proto.ManagerStats
+		return r.call(i, proto.MStats, nil, &st)
+	})
+}
+
+// ---- dataset-scoped endpoints (routed to the partition owner) ----
+
+// Alloc opens a write session on the owner of req.Name.
+func (r *Router) Alloc(req proto.AllocReq) (proto.AllocResp, error) {
+	req.PartitionEpoch = r.wireEpoch()
+	var resp proto.AllocResp
+	err := r.callOwner(req.Name, proto.MAlloc, req, &resp)
+	return resp, err
+}
+
+// Extend grows a session's reservation on the owner of name (sessions
+// are member-local: the WriteID only means something to the member that
+// allocated it).
+func (r *Router) Extend(name string, req proto.ExtendReq) (proto.ExtendResp, error) {
+	var resp proto.ExtendResp
+	err := r.callOwner(name, proto.MExtend, req, &resp)
+	return resp, err
+}
+
+// Commit publishes a session's chunk-map on the owner of name.
+func (r *Router) Commit(name string, req proto.CommitReq) (proto.CommitResp, error) {
+	var resp proto.CommitResp
+	err := r.callOwner(name, proto.MCommit, req, &resp)
+	return resp, err
+}
+
+// Abort abandons a session on the owner of name.
+func (r *Router) Abort(name string, req proto.AbortReq) error {
+	return r.callOwner(name, proto.MAbort, req, nil)
+}
+
+// HasChunks answers a write session's dedup probe from the owner of name.
+// The probe deliberately does NOT fan out: a copy-on-write commit is
+// validated against the owner's content index, so only the owner's answer
+// may suppress an upload — a chunk known solely to another member would
+// commit as an unresolvable reference. Cross-partition physical sharing is
+// visible through HasChunksAnywhere instead.
+func (r *Router) HasChunks(name string, ids []core.ChunkID) ([]bool, error) {
+	var resp proto.HasResp
+	if err := r.callOwner(name, proto.MHasChunks, proto.HasReq{IDs: ids}, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Present, nil
+}
+
+// HasChunksAnywhere fans a dedup probe out to every member and ORs the
+// replies: whether any member's content index knows each chunk
+// (diagnostics and cross-partition dedup accounting, not commit
+// validation — see HasChunks).
+func (r *Router) HasChunksAnywhere(ids []core.ChunkID) ([]bool, error) {
+	resps := make([]proto.HasResp, r.ms.Len())
+	err := r.fanOut(func(i int) error {
+		return r.call(i, proto.MHasChunks, proto.HasReq{IDs: ids}, &resps[i])
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]bool, len(ids))
+	for _, resp := range resps {
+		for j, p := range resp.Present {
+			if j < len(out) && p {
+				out[j] = true
+			}
+		}
+	}
+	return out, nil
+}
+
+// GetMap fetches a committed chunk-map from the owner of req.Name.
+func (r *Router) GetMap(req proto.GetMapReq) (proto.GetMapResp, error) {
+	req.PartitionEpoch = r.wireEpoch()
+	var resp proto.GetMapResp
+	err := r.callOwner(req.Name, proto.MGetMap, req, &resp)
+	return resp, err
+}
+
+// Stat summarizes one dataset from its owner.
+func (r *Router) Stat(name string) (core.DatasetInfo, error) {
+	var resp proto.StatResp
+	err := r.callOwner(name, proto.MStat, proto.StatReq{Name: name, PartitionEpoch: r.wireEpoch()}, &resp)
+	return resp.Dataset, err
+}
+
+// Delete removes a version (or dataset) on its owner.
+func (r *Router) Delete(req proto.DeleteReq) error {
+	req.PartitionEpoch = r.wireEpoch()
+	return r.callOwner(req.Name, proto.MDelete, req, nil)
+}
+
+// ReplStatus reports a dataset's replication level from its owner.
+func (r *Router) ReplStatus(name string) (proto.ReplStatusResp, error) {
+	var resp proto.ReplStatusResp
+	err := r.callOwner(name, proto.MReplStatus, proto.ReplStatusReq{Name: name, PartitionEpoch: r.wireEpoch()}, &resp)
+	return resp, err
+}
+
+// ---- membership-scoped endpoints (fanned out, replies merged) ----
+
+// List merges dataset summaries from every member. Dataset and version
+// IDs are member-local identifiers, so the merged list orders by name.
+func (r *Router) List(folder string) ([]core.DatasetInfo, error) {
+	resps := make([]proto.ListResp, r.ms.Len())
+	err := r.fanOut(func(i int) error {
+		return r.call(i, proto.MList, proto.ListReq{Folder: folder}, &resps[i])
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []core.DatasetInfo
+	for _, resp := range resps {
+		out = append(out, resp.Datasets...)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Name < out[b].Name })
+	return out, nil
+}
+
+// SetPolicy attaches a folder policy on every member: a folder's datasets
+// hash across the whole federation, and each member prunes only the
+// datasets it owns, so the policy must exist everywhere to be complete.
+// The fan-out is not atomic: on error some members may hold the new
+// policy and some the old, and nothing reconciles them — the caller must
+// retry until it succeeds (a policy anti-entropy sweep is a recorded
+// ROADMAP follow-on of static membership).
+func (r *Router) SetPolicy(folder string, p core.Policy) error {
+	return r.fanOut(func(i int) error {
+		return r.call(i, proto.MPolicySet, proto.PolicySetReq{Folder: folder, Policy: p}, nil)
+	})
+}
+
+// GetPolicy reads a folder policy from the first healthy member
+// (SetPolicy keeps all members in agreement).
+func (r *Router) GetPolicy(folder string) (core.Policy, error) {
+	var firstErr error
+	for i := range r.ms.members {
+		var resp proto.PolicyGetResp
+		if err := r.call(i, proto.MPolicyGet, proto.PolicyGetReq{Folder: folder}, &resp); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		return resp.Policy, nil
+	}
+	return core.Policy{}, firstErr
+}
+
+// ManagerStats merges every member's counters into a federation-wide
+// snapshot: partitioned quantities (datasets, versions, chunks, bytes,
+// transaction counters) sum; benefactor counts — every member sees the
+// same donor pool — take the maximum. Per-stripe detail stays per member
+// (MemberStats).
+func (r *Router) ManagerStats() (proto.ManagerStats, error) {
+	all, err := r.MemberStats()
+	if err != nil {
+		return proto.ManagerStats{}, err
+	}
+	agg := MergeStats(all)
+	agg.Federation = &proto.FederationInfo{
+		Members: r.ms.Members(), MemberIndex: -1, Epoch: r.ms.epoch,
+	}
+	return agg, nil
+}
+
+// MergeStats folds per-member manager counters into one federation-wide
+// snapshot: partitioned quantities sum, benefactor counts (every member
+// sees the same donor pool) take the maximum, per-stripe detail is
+// dropped. Shared by the Router's remote path and the grid's in-process
+// aggregation.
+func MergeStats(all []proto.ManagerStats) proto.ManagerStats {
+	var agg proto.ManagerStats
+	for _, st := range all {
+		if st.Benefactors > agg.Benefactors {
+			agg.Benefactors = st.Benefactors
+		}
+		if st.OnlineBenefactors > agg.OnlineBenefactors {
+			agg.OnlineBenefactors = st.OnlineBenefactors
+		}
+		agg.Datasets += st.Datasets
+		agg.Versions += st.Versions
+		agg.UniqueChunks += st.UniqueChunks
+		agg.LogicalBytes += st.LogicalBytes
+		agg.StoredBytes += st.StoredBytes
+		agg.ActiveSessions += st.ActiveSessions
+		agg.Transactions += st.Transactions
+		agg.Extends += st.Extends
+		agg.DedupBatches += st.DedupBatches
+		agg.DedupChunks += st.DedupChunks
+		agg.DedupHits += st.DedupHits
+		agg.ReplicasCopied += st.ReplicasCopied
+		agg.ChunksCollected += st.ChunksCollected
+		agg.VersionsPruned += st.VersionsPruned
+		agg.StripeOps += st.StripeOps
+		agg.StripeContention += st.StripeContention
+		agg.Registry.Ops += st.Registry.Ops
+		agg.Registry.Contended += st.Registry.Contended
+		agg.Registry.Allocs += st.Registry.Allocs
+		agg.Registry.Reserves += st.Registry.Reserves
+		agg.Registry.Releases += st.Registry.Releases
+		agg.Registry.Heartbeats += st.Registry.Heartbeats
+	}
+	return agg
+}
+
+// MemberStats snapshots every member's counters, indexed by member.
+func (r *Router) MemberStats() ([]proto.ManagerStats, error) {
+	out := make([]proto.ManagerStats, r.ms.Len())
+	err := r.fanOut(func(i int) error {
+		return r.call(i, proto.MStats, nil, &out[i])
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Benefactors merges the donor listings; every member sees the same pool,
+// so entries deduplicate by node ID (first member's view wins).
+func (r *Router) Benefactors() ([]core.BenefactorInfo, error) {
+	resps := make([]proto.BenefactorsResp, r.ms.Len())
+	err := r.fanOut(func(i int) error {
+		return r.call(i, proto.MBenefactors, nil, &resps[i])
+	})
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[core.NodeID]struct{})
+	var out []core.BenefactorInfo
+	for _, resp := range resps {
+		for _, b := range resp.Benefactors {
+			if _, dup := seen[b.ID]; dup {
+				continue
+			}
+			seen[b.ID] = struct{}{}
+			out = append(out, b)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+	return out, nil
+}
+
+// Register announces a benefactor to every member: each manager allocates
+// stripes from its own registry, so a donor that skipped a member would be
+// invisible to that member's partitions. The merged reply takes the
+// shortest heartbeat interval (refresh fast enough for the most demanding
+// member) and ORs the recovery flags.
+func (r *Router) Register(req proto.RegisterReq) (proto.RegisterResp, error) {
+	resps := make([]proto.RegisterResp, r.ms.Len())
+	err := r.fanOut(func(i int) error {
+		return r.call(i, proto.MRegister, req, &resps[i])
+	})
+	if err != nil {
+		return proto.RegisterResp{}, err
+	}
+	return mergeRegisterResps(resps), nil
+}
+
+// mergeRegisterResps folds per-member registration replies: the shortest
+// heartbeat interval any member asked for (refresh fast enough for the
+// most demanding member) and the OR of the recovery flags. Shared by
+// Register and Announce so the benefactor's two soft-state paths can
+// never diverge.
+func mergeRegisterResps(resps []proto.RegisterResp) proto.RegisterResp {
+	var merged proto.RegisterResp
+	for _, resp := range resps {
+		if merged.HeartbeatInterval == 0 || (resp.HeartbeatInterval > 0 && resp.HeartbeatInterval < merged.HeartbeatInterval) {
+			merged.HeartbeatInterval = resp.HeartbeatInterval
+		}
+		merged.Recovering = merged.Recovering || resp.Recovering
+	}
+	return merged
+}
+
+// Announce performs one soft-state round for a benefactor across the
+// federation: members the node has not registered with yet — and members
+// that reject the heartbeat as coming from an unknown node (they
+// restarted and lost their soft state) — get an MRegister; the rest get
+// an MHeartbeat. registered[i] tracks member i's state across rounds and
+// is updated in place (len must equal the member count).
+//
+// Crucially, an *unreachable* member is merely skipped for the round
+// (health-tracked, retried next round): it must not flip the node into a
+// global re-register, because re-registration clears the node's live
+// reservations on the members that are up. Only a member that explicitly
+// forgot the node is re-registered, and only that member. The merged
+// reply carries the shortest heartbeat interval any member asked for and
+// ORs the recovery flags; the error is the first member's failure, after
+// every member was attempted.
+func (r *Router) Announce(reg proto.RegisterReq, hb proto.HeartbeatReq, registered []bool) (proto.RegisterResp, error) {
+	if len(registered) != r.ms.Len() {
+		return proto.RegisterResp{}, fmt.Errorf("federation: announce with %d member flags, membership has %d", len(registered), r.ms.Len())
+	}
+	resps := make([]proto.RegisterResp, r.ms.Len())
+	err := r.fanOut(func(i int) error {
+		if registered[i] {
+			var hresp proto.HeartbeatResp
+			err := r.call(i, proto.MHeartbeat, hb, &hresp)
+			if err == nil {
+				resps[i] = proto.RegisterResp{Recovering: hresp.Recovering}
+				return nil
+			}
+			if !errors.Is(err, core.ErrNotFound) {
+				return err // unreachable or transient: keep state, retry next round
+			}
+			registered[i] = false // member restarted and forgot the node
+		}
+		var rresp proto.RegisterResp
+		if err := r.call(i, proto.MRegister, reg, &rresp); err != nil {
+			return err
+		}
+		registered[i] = true
+		resps[i] = rresp
+		return nil
+	})
+	return mergeRegisterResps(resps), err
+}
+
+// Heartbeat refreshes a benefactor's soft state on every member.
+func (r *Router) Heartbeat(req proto.HeartbeatReq) (proto.HeartbeatResp, error) {
+	resps := make([]proto.HeartbeatResp, r.ms.Len())
+	err := r.fanOut(func(i int) error {
+		return r.call(i, proto.MHeartbeat, req, &resps[i])
+	})
+	if err != nil {
+		return proto.HeartbeatResp{}, err
+	}
+	merged := proto.HeartbeatResp{OK: true}
+	for _, resp := range resps {
+		merged.Recovering = merged.Recovering || resp.Recovering
+	}
+	return merged, nil
+}
+
+// GCReport reconciles a benefactor's chunk inventory with every member
+// and intersects the replies: a chunk is deletable only when NO member
+// references it. Any member failing makes the round answer "keep
+// everything" — garbage collection must be conservative when the
+// federation's view is incomplete.
+func (r *Router) GCReport(req proto.GCReportReq) (proto.GCReportResp, error) {
+	resps := make([]proto.GCReportResp, r.ms.Len())
+	err := r.fanOut(func(i int) error {
+		return r.call(i, proto.MGCReport, req, &resps[i])
+	})
+	if err != nil {
+		r.logf("gc report incomplete, keeping all %d candidates: %v", len(req.IDs), err)
+		return proto.GCReportResp{}, err
+	}
+	votes := make(map[core.ChunkID]int, len(req.IDs))
+	for _, resp := range resps {
+		for _, id := range resp.Deletable {
+			votes[id]++
+		}
+	}
+	var deletable []core.ChunkID
+	n := r.ms.Len()
+	for _, id := range req.IDs {
+		if votes[id] == n {
+			deletable = append(deletable, id)
+		}
+	}
+	return proto.GCReportResp{Deletable: deletable}, nil
+}

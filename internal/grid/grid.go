@@ -15,13 +15,24 @@ import (
 	"stdchk/internal/client"
 	"stdchk/internal/core"
 	"stdchk/internal/device"
+	"stdchk/internal/federation"
 	"stdchk/internal/manager"
+	"stdchk/internal/proto"
 	"stdchk/internal/store"
 	"stdchk/internal/wire"
 )
 
+// The federation router is the client's metadata endpoint in federated
+// clusters; keep the structural match checked at compile time.
+var _ client.ManagerEndpoint = (*federation.Router)(nil)
+
 // Options configures a cluster.
 type Options struct {
+	// Managers is the number of federated metadata managers (0 or 1 =
+	// one standalone manager). With N > 1 the dataset namespace is
+	// partitioned across the members and every client routes through a
+	// federation router; benefactors register with all members.
+	Managers int
 	// Benefactors is the number of donor nodes to start.
 	Benefactors int
 	// BenefactorCapacity is each node's contributed bytes (0 = unlimited).
@@ -47,12 +58,38 @@ type Options struct {
 
 // Cluster is a running in-process deployment.
 type Cluster struct {
-	Manager     *manager.Manager
+	// Manager is the standalone manager — or federation member 0, kept
+	// for the single-manager API surface most tests use.
+	Manager *manager.Manager
+	// Managers lists every federation member (length 1 when standalone).
+	Managers    []*manager.Manager
 	Benefactors []*benefactor.Benefactor
 	Fabric      *device.Limiter
 
 	opts  Options
 	nodes []*device.Node
+}
+
+// ManagerAddrs lists the metadata-plane member addresses in member order.
+func (c *Cluster) ManagerAddrs() []string {
+	out := make([]string, len(c.Managers))
+	for i, m := range c.Managers {
+		out[i] = m.Addr()
+	}
+	return out
+}
+
+// Federated reports whether the cluster runs more than one manager.
+func (c *Cluster) Federated() bool { return len(c.Managers) > 1 }
+
+// NewRouter builds a federation router over the cluster's metadata plane
+// (also usable with a single manager). The caller owns it — unless it is
+// handed to a client, which closes its endpoint itself.
+func (c *Cluster) NewRouter(shaper wire.Shaper) (*federation.Router, error) {
+	return federation.NewRouter(federation.RouterConfig{
+		Members: c.ManagerAddrs(),
+		Shaper:  shaper,
+	})
 }
 
 // Start launches the manager and benefactors and waits until every
@@ -72,16 +109,19 @@ func Start(opts Options) (*Cluster, error) {
 		c.Fabric = device.NewLimiter(opts.FabricBps)
 	}
 
+	if opts.Managers <= 0 {
+		opts.Managers = 1
+	}
 	mcfg := opts.Manager
-	mcfg.ListenAddr = "127.0.0.1:0"
 	if mcfg.HeartbeatInterval <= 0 {
 		mcfg.HeartbeatInterval = 200 * time.Millisecond
 	}
-	mgr, err := manager.New(mcfg)
+	mgrs, _, err := manager.NewFederation(opts.Managers, mcfg)
 	if err != nil {
-		return nil, fmt.Errorf("grid: start manager: %w", err)
+		return nil, fmt.Errorf("grid: start managers: %w", err)
 	}
-	c.Manager = mgr
+	c.Managers = mgrs
+	c.Manager = c.Managers[0]
 
 	for i := 0; i < opts.Benefactors; i++ {
 		if _, err := c.AddBenefactor(); err != nil {
@@ -116,13 +156,13 @@ func (c *Cluster) AddBenefactor() (*benefactor.Benefactor, error) {
 		st = store.NewMemory(c.opts.BenefactorCapacity, node.Disk)
 	}
 	b, err := benefactor.New(benefactor.Config{
-		ListenAddr:  "127.0.0.1:0",
-		ManagerAddr: c.Manager.Addr(),
-		Store:       st,
-		GCInterval:  c.opts.GCInterval,
-		GCGrace:     c.opts.GCGrace,
-		Shaper:      ShaperFor(node, c.Fabric),
-		DialShaper:  ShaperFor(node, c.Fabric),
+		ListenAddr:   "127.0.0.1:0",
+		ManagerAddrs: c.ManagerAddrs(),
+		Store:        st,
+		GCInterval:   c.opts.GCInterval,
+		GCGrace:      c.opts.GCGrace,
+		Shaper:       ShaperFor(node, c.Fabric),
+		DialShaper:   ShaperFor(node, c.Fabric),
 	})
 	if err != nil {
 		return nil, fmt.Errorf("grid: start benefactor: %w", err)
@@ -141,18 +181,24 @@ func (c *Cluster) StopBenefactor(i int) error {
 	return err
 }
 
-// AwaitOnline blocks until the manager reports at least n online
-// benefactors.
+// AwaitOnline blocks until every manager reports at least n online
+// benefactors (federated clusters require the whole membership to see the
+// donor pool).
 func (c *Cluster) AwaitOnline(n int, timeout time.Duration) error {
 	deadline := time.Now().Add(timeout)
 	for {
-		stats := c.Manager.Stats()
-		if stats.OnlineBenefactors >= n {
+		min := -1
+		for _, m := range c.Managers {
+			stats := m.Stats()
+			if min < 0 || stats.OnlineBenefactors < min {
+				min = stats.OnlineBenefactors
+			}
+		}
+		if min >= n {
 			return nil
 		}
 		if time.Now().After(deadline) {
-			return fmt.Errorf("grid: %d/%d benefactors online after %v",
-				stats.OnlineBenefactors, n, timeout)
+			return fmt.Errorf("grid: %d/%d benefactors online after %v", min, n, timeout)
 		}
 		time.Sleep(10 * time.Millisecond)
 	}
@@ -163,13 +209,17 @@ func (c *Cluster) AwaitOnline(n int, timeout time.Duration) error {
 func (c *Cluster) AwaitOffline(n int, timeout time.Duration) error {
 	deadline := time.Now().Add(timeout)
 	for {
-		stats := c.Manager.Stats()
-		if stats.OnlineBenefactors <= n {
+		max := 0
+		for _, m := range c.Managers {
+			if stats := m.Stats(); stats.OnlineBenefactors > max {
+				max = stats.OnlineBenefactors
+			}
+		}
+		if max <= n {
 			return nil
 		}
 		if time.Now().After(deadline) {
-			return fmt.Errorf("grid: still %d benefactors online after %v",
-				stats.OnlineBenefactors, timeout)
+			return fmt.Errorf("grid: still %d benefactors online after %v", max, timeout)
 		}
 		time.Sleep(10 * time.Millisecond)
 	}
@@ -187,6 +237,17 @@ func (c *Cluster) RestartManager(cfg manager.Config, recover bool) error {
 	}
 	cfg.ListenAddr = addr
 	cfg.Recover = recover
+	if c.Federated() {
+		// The replacement must keep member 0's partition identity, or it
+		// would come back standalone with the partition filter disabled
+		// and accept every member's keys. The address list is unchanged
+		// (the replacement binds the same address), so the epoch holds.
+		cfg.FederationMembers = c.ManagerAddrs()
+		cfg.MemberIndex = 0
+		if cfg.JournalPath != "" {
+			cfg.JournalPath = manager.MemberJournalPath(cfg.JournalPath, 0)
+		}
+	}
 	if cfg.HeartbeatInterval <= 0 {
 		cfg.HeartbeatInterval = 200 * time.Millisecond
 	}
@@ -204,6 +265,7 @@ func (c *Cluster) RestartManager(cfg manager.Config, recover bool) error {
 		time.Sleep(50 * time.Millisecond)
 	}
 	c.Manager = mgr
+	c.Managers[0] = mgr
 	return nil
 }
 
@@ -214,6 +276,13 @@ func (c *Cluster) NewClient(cfg client.Config, profile device.Profile) (*client.
 	node := device.NewNode(profile)
 	cfg.ManagerAddr = c.Manager.Addr()
 	cfg.Shaper = ShaperFor(node, c.Fabric)
+	if c.Federated() {
+		r, err := c.NewRouter(cfg.Shaper)
+		if err != nil {
+			return nil, nil, fmt.Errorf("grid: new client router: %w", err)
+		}
+		cfg.Endpoint = r // the client owns and closes it
+	}
 	if cfg.LocalDisk == nil {
 		cfg.LocalDisk = node.Disk
 	}
@@ -244,9 +313,24 @@ func (c *Cluster) Close() {
 			b.Close()
 		}
 	}
-	if c.Manager != nil {
-		c.Manager.Close()
+	for _, m := range c.Managers {
+		m.Close()
 	}
+}
+
+// Stats merges every member's counters into one metadata-plane snapshot.
+// Standalone clusters get the manager's full snapshot (per-stripe detail
+// included); the merged federated view drops per-stripe slices, which
+// stay available per member via Managers[i].Stats().
+func (c *Cluster) Stats() proto.ManagerStats {
+	if len(c.Managers) == 1 {
+		return c.Managers[0].Stats()
+	}
+	all := make([]proto.ManagerStats, len(c.Managers))
+	for i, m := range c.Managers {
+		all[i] = m.Stats()
+	}
+	return federation.MergeStats(all)
 }
 
 // CollectAll runs one synchronous GC round on every benefactor (bench

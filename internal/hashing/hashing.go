@@ -23,6 +23,23 @@ func WindowHash(window []byte) uint64 {
 	return h
 }
 
+// FNV1aString computes the 64-bit FNV-1a hash of a string. The manager's
+// catalog stripes datasets with it and the federation layer partitions
+// the namespace with it — one implementation, so the stripe hash and the
+// partition function provably stay the same function.
+func FNV1aString(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return h
+}
+
 // Boundary reports whether a window hash marks a content-defined chunk
 // boundary: the lowest k bits of the hash are all zero (paper §IV.C).
 // Statistically this yields one boundary every 2^k window positions.

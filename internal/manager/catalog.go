@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"stdchk/internal/core"
+	"stdchk/internal/hashing"
 	"stdchk/internal/namespace"
 	"stdchk/internal/proto"
 )
@@ -206,14 +207,10 @@ func newCatalogStripes(stripes int) *catalog {
 	return c
 }
 
-// dsShardOf hashes a dataset key onto its shard (FNV-1a).
+// dsShardOf hashes a dataset key onto its shard — the same FNV-1a the
+// federation layer partitions the namespace with (hashing.FNV1aString).
 func (c *catalog) dsShardOf(key string) *datasetShard {
-	h := uint64(14695981039346656037)
-	for i := 0; i < len(key); i++ {
-		h ^= uint64(key[i])
-		h *= 1099511628211
-	}
-	return c.ds[h&uint64(len(c.ds)-1)]
+	return c.ds[hashing.FNV1aString(key)&uint64(len(c.ds)-1)]
 }
 
 // ckIndexOf maps a chunk ID onto a chunk-shard index. Chunk IDs are SHA-1

@@ -42,22 +42,7 @@ func DriveCheckpoint(m *Manager, name string, seed int64, t, chunksPer int, chun
 	}
 	ops++
 
-	ids := make([]core.ChunkID, chunksPer)
-	chunks := make([]proto.CommitChunk, chunksPer)
-	var fileSize int64
-	for j := range ids {
-		stable := j < chunksPer/2
-		ids[j] = loadChunkID(seed, t, j, stable)
-		size := chunkSize
-		if variable && j == chunksPer-1 {
-			size = chunkSize / 2
-		}
-		chunks[j] = proto.CommitChunk{ID: ids[j], Size: size}
-		if !stable || t == 0 {
-			chunks[j].Locations = locs
-		}
-		fileSize += size
-	}
+	ids, chunks, fileSize := BuildCheckpoint(seed, t, chunksPer, chunkSize, variable, locs)
 
 	if err := m.Invoke(proto.MHasChunks, proto.HasReq{IDs: ids}, nil); err != nil {
 		return ops + 1, err
@@ -79,6 +64,33 @@ func DriveCheckpoint(m *Manager, name string, seed int64, t, chunksPer int, chun
 // DriveCheckpointOps is the number of RPCs one successful DriveCheckpoint
 // issues.
 const DriveCheckpointOps = 5
+
+// BuildCheckpoint constructs the synthetic commit payload DriveCheckpoint
+// pushes: the dedup-probe ID list, the commit chunk list, and the file
+// size. The first half of the chunks is stable across the writer's
+// versions (uploaded at t=0, copy-on-write references after); the rest is
+// fresh per version. Shared with the socket-path federation driver
+// (fedload) so the in-process and over-the-wire sweeps measure the same
+// workload.
+func BuildCheckpoint(seed int64, t, chunksPer int, chunkSize int64, variable bool, locs []core.NodeID) ([]core.ChunkID, []proto.CommitChunk, int64) {
+	ids := make([]core.ChunkID, chunksPer)
+	chunks := make([]proto.CommitChunk, chunksPer)
+	var fileSize int64
+	for j := range ids {
+		stable := j < chunksPer/2
+		ids[j] = loadChunkID(seed, t, j, stable)
+		size := chunkSize
+		if variable && j == chunksPer-1 {
+			size = chunkSize / 2
+		}
+		chunks[j] = proto.CommitChunk{ID: ids[j], Size: size}
+		if !stable || t == 0 {
+			chunks[j].Locations = locs
+		}
+		fileSize += size
+	}
+	return ids, chunks, fileSize
+}
 
 // loadChunkID derives a deterministic content hash for one synthetic
 // chunk. Stable chunks keep the same ID across versions (the dedup /

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"stdchk/internal/core"
+	"stdchk/internal/federation"
 	"stdchk/internal/namespace"
 	"stdchk/internal/proto"
 	"stdchk/internal/wire"
@@ -28,6 +29,20 @@ type Config struct {
 	// ListenAddr is the TCP address to serve on ("127.0.0.1:0" for an
 	// ephemeral port).
 	ListenAddr string
+	// Listener, when non-nil, serves on an already-bound listener instead
+	// of ListenAddr. Federated deployments bind all member listeners
+	// first so every member can be configured with the complete address
+	// list; the manager takes ownership and closes it.
+	Listener net.Listener
+	// FederationMembers, when it lists more than one address, makes this
+	// manager member MemberIndex of a static federation: it owns only the
+	// dataset keys that federation.OwnerIndex maps to its index and
+	// rejects the rest (the client-side router routes by the same
+	// function). All members must be configured with the identical list —
+	// the derived partition epoch is checked on routed requests.
+	FederationMembers []string
+	// MemberIndex is this manager's position in FederationMembers.
+	MemberIndex int
 	// HeartbeatInterval is what benefactors are told to use.
 	HeartbeatInterval time.Duration
 	// NodeTTL expires benefactors that stop heartbeating. Defaults to 3x
@@ -123,6 +138,10 @@ type Manager struct {
 	recovering atomic.Bool
 	recovery   *recoveryState
 
+	// fed is nil on a standalone manager; otherwise the member's place in
+	// the federation (partition filter inputs).
+	fed *federation.Membership
+
 	stats struct {
 		transactions       atomic.Int64
 		extends            atomic.Int64
@@ -153,6 +172,16 @@ func New(cfg Config) (*Manager, error) {
 		policies: newPolicyTable(),
 		stop:     make(chan struct{}),
 	}
+	if len(cfg.FederationMembers) > 0 {
+		if cfg.MemberIndex < 0 || cfg.MemberIndex >= len(cfg.FederationMembers) {
+			return nil, fmt.Errorf("manager: member index %d outside federation of %d", cfg.MemberIndex, len(cfg.FederationMembers))
+		}
+		ms, err := federation.NewMembership(cfg.FederationMembers)
+		if err != nil {
+			return nil, fmt.Errorf("manager: %w", err)
+		}
+		m.fed = ms
+	}
 	if cfg.JournalPath != "" {
 		j, err := openJournal(cfg.JournalPath)
 		if err != nil {
@@ -172,9 +201,13 @@ func New(cfg Config) (*Manager, error) {
 		m.recovering.Store(true)
 		m.recovery = newRecoveryState()
 	}
-	ln, err := net.Listen("tcp", cfg.ListenAddr)
-	if err != nil {
-		return nil, fmt.Errorf("manager: listen %s: %w", cfg.ListenAddr, err)
+	ln := cfg.Listener
+	if ln == nil {
+		var err error
+		ln, err = net.Listen("tcp", cfg.ListenAddr)
+		if err != nil {
+			return nil, fmt.Errorf("manager: listen %s: %w", cfg.ListenAddr, err)
+		}
 	}
 	m.srv = wire.NewServer(ln, m.handle, cfg.Shaper)
 
@@ -187,6 +220,69 @@ func New(cfg Config) (*Manager, error) {
 
 // Addr returns the manager's service address.
 func (m *Manager) Addr() string { return m.srv.Addr() }
+
+// MemberJournalPath derives federation member i's journal file from a
+// shared journal-path template. Every caller that maps a template to a
+// member's journal (NewFederation, the grid's federated restart) must go
+// through here: a second copy of the naming scheme would let a restarted
+// member open a fresh journal at the wrong path and silently replay
+// nothing.
+func MemberJournalPath(path string, i int) string {
+	return fmt.Sprintf("%s-member%d", path, i)
+}
+
+// NewFederation starts n managers as one federation on pre-bound loopback
+// listeners, so every member is constructed with the complete (and
+// therefore epoch-stable) member address list. tmpl is the per-member
+// config template; ListenAddr/Listener/FederationMembers/MemberIndex are
+// filled in per member, and a configured JournalPath fans out to one file
+// per member (N processes appending to one journal would interleave
+// records and each replay would resurrect the others' partitions). n == 1
+// starts one standalone manager. The grid test harness and the fedload
+// experiment share this bootstrap.
+func NewFederation(n int, tmpl Config) ([]*Manager, []string, error) {
+	if n <= 0 {
+		n = 1
+	}
+	listeners := make([]net.Listener, n)
+	members := make([]string, n)
+	for i := range listeners {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			for _, l := range listeners[:i] {
+				l.Close()
+			}
+			return nil, nil, fmt.Errorf("manager: bind federation listener: %w", err)
+		}
+		listeners[i] = ln
+		members[i] = ln.Addr().String()
+	}
+	mgrs := make([]*Manager, 0, n)
+	for i, ln := range listeners {
+		cfg := tmpl
+		cfg.ListenAddr = ""
+		cfg.Listener = ln
+		if n > 1 {
+			cfg.FederationMembers = members
+			cfg.MemberIndex = i
+			if cfg.JournalPath != "" {
+				cfg.JournalPath = MemberJournalPath(cfg.JournalPath, i)
+			}
+		}
+		m, err := New(cfg)
+		if err != nil {
+			for _, l := range listeners[i:] {
+				l.Close()
+			}
+			for _, started := range mgrs {
+				started.Close()
+			}
+			return nil, nil, fmt.Errorf("manager: start federation member %d: %w", i, err)
+		}
+		mgrs = append(mgrs, m)
+	}
+	return mgrs, members, nil
+}
 
 // Close stops the manager and its background tasks.
 func (m *Manager) Close() error {
@@ -207,6 +303,46 @@ func (m *Manager) logf(format string, args ...interface{}) {
 	if m.logger != nil {
 		m.logger.Printf("manager: "+format, args...)
 	}
+}
+
+// owns reports whether this manager's partition includes name's dataset
+// key (always true on a standalone manager). Recovery uses it to keep
+// benefactor-quorum restores partition-local.
+func (m *Manager) owns(name string) bool {
+	if m.fed == nil {
+		return true
+	}
+	idx, _ := m.fed.OwnerOf(name)
+	return idx == m.cfg.MemberIndex
+}
+
+// checkPartition enforces the federation partition filter on a
+// dataset-scoped request: the epoch (when the caller supplied one) must
+// match this member's, and the dataset key must hash to this member.
+// Standalone managers accept everything — the filter is what makes a
+// federated member safe against a misconfigured router or a direct-dial
+// client, not a general admission check.
+func (m *Manager) checkPartition(name string, epoch uint64) error {
+	if m.fed == nil {
+		// A nonzero epoch comes only from a multi-member router: its
+		// caller believes this process is a federation member. Accepting
+		// would let a member accidentally restarted without its
+		// -federation flags serve every partition's keys undetected.
+		if epoch != 0 {
+			return fmt.Errorf("manager: request epoch %#x but this manager is not federated: %w",
+				epoch, core.ErrEpochMismatch)
+		}
+		return nil
+	}
+	if epoch != 0 && epoch != m.fed.Epoch() {
+		return fmt.Errorf("manager: request epoch %#x, member epoch %#x: %w",
+			epoch, m.fed.Epoch(), core.ErrEpochMismatch)
+	}
+	if idx, _ := m.fed.OwnerOf(name); idx != m.cfg.MemberIndex {
+		return fmt.Errorf("manager: dataset %q owned by federation member %d, this is member %d: %w",
+			namespace.DatasetOf(name), idx, m.cfg.MemberIndex, core.ErrNotOwner)
+	}
+	return nil
 }
 
 // handle dispatches one RPC.
@@ -273,6 +409,9 @@ func (m *Manager) handle(r *wire.Req) (wire.Resp, error) {
 			return wire.Resp{}, err
 		}
 		m.stats.transactions.Add(1)
+		if err := m.checkPartition(req.Name, req.PartitionEpoch); err != nil {
+			return wire.Resp{}, err
+		}
 		name, cm, err := m.cat.getMap(req.Name, req.Version)
 		if err != nil {
 			return wire.Resp{}, err
@@ -287,6 +426,9 @@ func (m *Manager) handle(r *wire.Req) (wire.Resp, error) {
 	case proto.MStat:
 		var req proto.StatReq
 		if err := wire.UnmarshalMeta(r.Meta, &req); err != nil {
+			return wire.Resp{}, err
+		}
+		if err := m.checkPartition(req.Name, req.PartitionEpoch); err != nil {
 			return wire.Resp{}, err
 		}
 		info, err := m.cat.stat(req.Name, m.reg.online)
@@ -330,6 +472,9 @@ func (m *Manager) handle(r *wire.Req) (wire.Resp, error) {
 		if err := wire.UnmarshalMeta(r.Meta, &req); err != nil {
 			return wire.Resp{}, err
 		}
+		if err := m.checkPartition(req.Name, req.PartitionEpoch); err != nil {
+			return wire.Resp{}, err
+		}
 		resp, err := m.cat.replStatus(req.Name, m.reg.online)
 		if err != nil {
 			return wire.Resp{}, err
@@ -366,6 +511,9 @@ func (m *Manager) handleAlloc(req proto.AllocReq) (wire.Resp, error) {
 	m.stats.transactions.Add(1)
 	if req.Name == "" {
 		return wire.Resp{}, errors.New("manager: alloc requires a file name")
+	}
+	if err := m.checkPartition(req.Name, req.PartitionEpoch); err != nil {
+		return wire.Resp{}, err
 	}
 	width := req.StripeWidth
 	if width <= 0 {
@@ -436,6 +584,9 @@ func (m *Manager) handleAbort(req proto.AbortReq) (wire.Resp, error) {
 
 func (m *Manager) handleDelete(req proto.DeleteReq) (wire.Resp, error) {
 	m.stats.transactions.Add(1)
+	if err := m.checkPartition(req.Name, req.PartitionEpoch); err != nil {
+		return wire.Resp{}, err
+	}
 	orphans, err := m.cat.deleteVersion(req.Name, req.Version)
 	if err != nil {
 		return wire.Resp{}, err
@@ -457,7 +608,15 @@ func (m *Manager) handleGCReport(req proto.GCReportReq) (wire.Resp, error) {
 			deletable = append(deletable, id)
 		}
 	}
-	m.stats.chunksCollected.Add(int64(len(deletable)))
+	// Standalone, the deletable set IS the deleted set, so the counter is
+	// exact. Federated, this reply is only one member's vote — the router
+	// intersects votes and a chunk another member still references is
+	// kept, so counting votes here would inflate ChunksCollected every
+	// round for chunks that never die. Federated members therefore do not
+	// count; the merged stat undercounts (reads 0) rather than lies.
+	if m.fed == nil {
+		m.stats.chunksCollected.Add(int64(len(deletable)))
+	}
 	return wire.Resp{Meta: proto.GCReportResp{Deletable: deletable}}, nil
 }
 
@@ -466,19 +625,30 @@ func (m *Manager) statsSnapshot() proto.ManagerStats {
 	datasets, versions, chunks, logical, stored := m.cat.counters()
 	dsStripes, ckStripes := m.cat.stripeSnapshot()
 	sessStripes := m.sess.stripeSnapshot()
-	var stripeOps, stripeContended int64
+	regStats := m.reg.statsSnapshot()
+	stripeOps, stripeContended := regStats.Ops, regStats.Contended
 	for _, s := range [][]proto.StripeStats{dsStripes, ckStripes, sessStripes} {
 		for _, st := range s {
 			stripeOps += st.Ops
 			stripeContended += st.Contended
 		}
 	}
+	var fedInfo *proto.FederationInfo
+	if m.fed != nil {
+		fedInfo = &proto.FederationInfo{
+			Members:     m.fed.Members(),
+			MemberIndex: m.cfg.MemberIndex,
+			Epoch:       m.fed.Epoch(),
+		}
+	}
 	return proto.ManagerStats{
 		CatalogStripes:    dsStripes,
 		ChunkStripes:      ckStripes,
 		SessionStripes:    sessStripes,
+		Registry:          regStats,
 		StripeOps:         stripeOps,
 		StripeContention:  stripeContended,
+		Federation:        fedInfo,
 		Benefactors:       total,
 		OnlineBenefactors: online,
 		Datasets:          datasets,

@@ -106,6 +106,13 @@ func (m *Manager) pullRecoveryMaps(addr string) {
 		if nm.Map == nil || nm.Name == "" {
 			continue
 		}
+		// Benefactors hold map replicas for the whole federation; a
+		// recovering member restores only its own partition, so recovery
+		// scans stay partition-local and members never resurrect datasets
+		// they would refuse to serve.
+		if !m.owns(nm.Name) {
+			continue
+		}
 		quorum, report := m.recovery.add(nm.Name, nm.Map, addr)
 		if !quorum {
 			continue

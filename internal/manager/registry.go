@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"stdchk/internal/core"
@@ -13,16 +14,36 @@ import (
 // registry is the soft-state benefactor directory (paper §IV.A): nodes
 // publish their status and free space via registration and periodic
 // heartbeats; missing heartbeats expire a node to offline.
+//
+// Once the catalog was striped (PR 3), the registry's single mutex was
+// the next lock every alloc serialized on. The hot paths now avoid write
+// locks entirely: the node table takes its (instrumented) RWMutex in read
+// mode for everything except membership changes (register), round-robin
+// stripe selection advances an atomic cursor, and per-node soft state
+// lives behind a per-node leaf mutex so heartbeats, allocations and
+// releases on different nodes never contend. Admission (free minus
+// reserved) is checked per node under its leaf lock; two allocations
+// racing onto different nodes proceed in parallel, and reservations stay
+// exact because each node's reserved counter only changes under its own
+// lock.
 type registry struct {
 	ttl time.Duration
 
-	mu     sync.Mutex
+	// tbl guards the nodes map and ring slice (membership), read-mostly.
+	tbl    stripedMu
 	nodes  map[core.NodeID]*benefactorState
 	ring   []core.NodeID // registration order, for round-robin allocation
-	cursor int
+	cursor atomic.Uint64 // next ring start for stripe allocation
+
+	// per-op counters, exposed as proto.RegistryStats.
+	allocs     atomic.Int64
+	reserves   atomic.Int64
+	releases   atomic.Int64
+	heartbeats atomic.Int64
 }
 
 type benefactorState struct {
+	mu       sync.Mutex // leaf lock: guards info and reserved
 	info     core.BenefactorInfo
 	reserved int64 // bytes promised to open write sessions
 }
@@ -35,17 +56,12 @@ func newRegistry(ttl time.Duration) *registry {
 }
 
 // register adds or refreshes a node. Re-registration (a restarted
-// benefactor) keeps its identity and clears stale reservations.
+// benefactor) keeps its identity and clears stale reservations. This is
+// the only path that takes the table lock in write mode. A new node's
+// state is fully populated before it is published into the table, so a
+// concurrent reader can never observe a zero-valued registration.
 func (r *registry) register(req proto.RegisterReq) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	st, ok := r.nodes[req.ID]
-	if !ok {
-		st = &benefactorState{}
-		r.nodes[req.ID] = st
-		r.ring = append(r.ring, req.ID)
-	}
-	st.info = core.BenefactorInfo{
+	info := core.BenefactorInfo{
 		ID:       req.ID,
 		Addr:     req.Addr,
 		Capacity: req.Capacity,
@@ -53,68 +69,96 @@ func (r *registry) register(req proto.RegisterReq) {
 		Online:   true,
 		LastSeen: time.Now(),
 	}
+	r.tbl.lock()
+	st, ok := r.nodes[req.ID]
+	if !ok {
+		r.nodes[req.ID] = &benefactorState{info: info}
+		r.ring = append(r.ring, req.ID)
+		r.tbl.unlock()
+		return
+	}
+	r.tbl.unlock()
+	st.mu.Lock()
+	st.info = info
 	st.reserved = 0
+	st.mu.Unlock()
+}
+
+// lookup finds a node under the table read lock.
+func (r *registry) lookup(id core.NodeID) (*benefactorState, bool) {
+	r.tbl.rlock()
+	st, ok := r.nodes[id]
+	r.tbl.runlock()
+	return st, ok
 }
 
 // heartbeat refreshes a node's soft state. Unknown nodes are rejected so a
 // restarted manager forces re-registration (and with it, recovery).
 func (r *registry) heartbeat(req proto.HeartbeatReq) error {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	st, ok := r.nodes[req.ID]
+	r.heartbeats.Add(1)
+	st, ok := r.lookup(req.ID)
 	if !ok {
 		return fmt.Errorf("heartbeat from unregistered node %s: %w", req.ID, core.ErrNotFound)
 	}
+	st.mu.Lock()
 	st.info.Free = req.Free
 	st.info.ChunkHeld = req.Chunks
 	st.info.Online = true
 	st.info.LastSeen = time.Now()
+	st.mu.Unlock()
 	return nil
 }
 
 // sweep expires nodes whose heartbeats stopped. It returns the IDs that
 // transitioned to offline during this sweep.
 func (r *registry) sweep(now time.Time) []core.NodeID {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.tbl.rlock()
+	defer r.tbl.runlock()
 	var expired []core.NodeID
 	for id, st := range r.nodes {
+		st.mu.Lock()
 		if st.info.Online && now.Sub(st.info.LastSeen) > r.ttl {
 			st.info.Online = false
 			expired = append(expired, id)
 		}
+		st.mu.Unlock()
 	}
 	return expired
 }
 
 // online reports whether the node is currently considered alive.
 func (r *registry) online(id core.NodeID) bool {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	st, ok := r.nodes[id]
-	return ok && st.info.Online
+	st, ok := r.lookup(id)
+	if !ok {
+		return false
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.info.Online
 }
 
 // addr returns a node's service address.
 func (r *registry) addr(id core.NodeID) (string, bool) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	st, ok := r.nodes[id]
+	st, ok := r.lookup(id)
 	if !ok {
 		return "", false
 	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	return st.info.Addr, true
 }
 
 // list snapshots all registrations.
 func (r *registry) list() []core.BenefactorInfo {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.tbl.rlock()
+	defer r.tbl.runlock()
 	out := make([]core.BenefactorInfo, 0, len(r.nodes))
 	for _, id := range r.ring {
 		st := r.nodes[id]
+		st.mu.Lock()
 		info := st.info
 		info.Reserved = st.reserved
+		st.mu.Unlock()
 		out = append(out, info)
 	}
 	return out
@@ -122,13 +166,15 @@ func (r *registry) list() []core.BenefactorInfo {
 
 // counts returns (total, online) node counts.
 func (r *registry) counts() (int, int) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.tbl.rlock()
+	defer r.tbl.runlock()
 	online := 0
 	for _, st := range r.nodes {
+		st.mu.Lock()
 		if st.info.Online {
 			online++
 		}
+		st.mu.Unlock()
 	}
 	return len(r.nodes), online
 }
@@ -138,47 +184,49 @@ func (r *registry) counts() (int, int) {
 // perNodeBytes of new reservation, and reserves that space. Fewer than
 // `width` nodes may be returned if the pool is small but non-empty; an
 // empty pool is an error.
+//
+// The table is only read-locked: the rotation point comes from one atomic
+// cursor increment, and each candidate is admitted (and charged) under
+// its own leaf lock, so concurrent allocations on a wide pool proceed in
+// parallel instead of queueing on the registry.
 func (r *registry) allocateStripe(width int, perNodeBytes int64) ([]proto.Stripe, error) {
 	if width <= 0 {
 		width = 1
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if len(r.ring) == 0 {
+	r.allocs.Add(1)
+	r.tbl.rlock()
+	defer r.tbl.runlock()
+	n := len(r.ring)
+	if n == 0 {
 		return nil, core.ErrNoBenefactors
 	}
+	start := int((r.cursor.Add(1) - 1) % uint64(n))
 	var stripe []proto.Stripe
-	var chosen []*benefactorState
-	n := len(r.ring)
 	for probe := 0; probe < n && len(stripe) < width; probe++ {
-		id := r.ring[(r.cursor+probe)%n]
+		id := r.ring[(start+probe)%n]
 		st := r.nodes[id]
-		if !st.info.Online {
-			continue
+		st.mu.Lock()
+		ok := st.info.Online && st.info.Free-st.reserved >= perNodeBytes
+		if ok {
+			st.reserved += perNodeBytes
+			stripe = append(stripe, proto.Stripe{ID: id, Addr: st.info.Addr})
 		}
-		if avail := st.info.Free - st.reserved; avail < perNodeBytes {
-			continue
-		}
-		stripe = append(stripe, proto.Stripe{ID: id, Addr: st.info.Addr})
-		chosen = append(chosen, st)
+		st.mu.Unlock()
 	}
 	if len(stripe) == 0 {
 		return nil, fmt.Errorf("allocate stripe width %d: %w", width, core.ErrNoBenefactors)
-	}
-	r.cursor = (r.cursor + 1) % n
-	for _, st := range chosen {
-		st.reserved += perNodeBytes
 	}
 	return stripe, nil
 }
 
 // reserve adds bytes to existing per-node reservations (MExtend).
 func (r *registry) reserve(ids []core.NodeID, perNodeBytes int64) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.reserves.Add(1)
 	for _, id := range ids {
-		if st, ok := r.nodes[id]; ok {
+		if st, ok := r.lookup(id); ok {
+			st.mu.Lock()
 			st.reserved += perNodeBytes
+			st.mu.Unlock()
 		}
 	}
 }
@@ -186,25 +234,26 @@ func (r *registry) reserve(ids []core.NodeID, perNodeBytes int64) {
 // release returns reserved bytes to the pool (commit, abort, session
 // expiry).
 func (r *registry) release(ids []core.NodeID, perNodeBytes int64) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.releases.Add(1)
 	for _, id := range ids {
-		st, ok := r.nodes[id]
+		st, ok := r.lookup(id)
 		if !ok {
 			continue
 		}
+		st.mu.Lock()
 		st.reserved -= perNodeBytes
 		if st.reserved < 0 {
 			st.reserved = 0
 		}
+		st.mu.Unlock()
 	}
 }
 
 // pickTargets selects up to n online nodes, excluding `exclude`, with the
 // most available space first (replication destinations).
 func (r *registry) pickTargets(n int, exclude map[core.NodeID]struct{}) []proto.Stripe {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.tbl.rlock()
+	defer r.tbl.runlock()
 	type cand struct {
 		id    core.NodeID
 		addr  string
@@ -212,13 +261,18 @@ func (r *registry) pickTargets(n int, exclude map[core.NodeID]struct{}) []proto.
 	}
 	var cands []cand
 	for id, st := range r.nodes {
-		if !st.info.Online {
-			continue
-		}
 		if _, skip := exclude[id]; skip {
 			continue
 		}
-		cands = append(cands, cand{id: id, addr: st.info.Addr, avail: st.info.Free - st.reserved})
+		st.mu.Lock()
+		online := st.info.Online
+		addr := st.info.Addr
+		avail := st.info.Free - st.reserved
+		st.mu.Unlock()
+		if !online {
+			continue
+		}
+		cands = append(cands, cand{id: id, addr: addr, avail: avail})
 	}
 	sort.Slice(cands, func(i, j int) bool {
 		if cands[i].avail != cands[j].avail {
@@ -234,4 +288,17 @@ func (r *registry) pickTargets(n int, exclude map[core.NodeID]struct{}) []proto.
 		out = append(out, proto.Stripe{ID: c.id, Addr: c.addr})
 	}
 	return out
+}
+
+// statsSnapshot copies the registry's lock and per-op counters.
+func (r *registry) statsSnapshot() proto.RegistryStats {
+	lk := r.tbl.snapshot()
+	return proto.RegistryStats{
+		Ops:        lk.Ops,
+		Contended:  lk.Contended,
+		Allocs:     r.allocs.Load(),
+		Reserves:   r.reserves.Load(),
+		Releases:   r.releases.Load(),
+		Heartbeats: r.heartbeats.Load(),
+	}
 }

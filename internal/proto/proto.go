@@ -166,6 +166,10 @@ type HeartbeatResp struct {
 type AllocReq struct {
 	// Name is the full file name (A.Ni.Tj convention when applicable).
 	Name string `json:"name"`
+	// PartitionEpoch is the caller's federation partition epoch (0 when
+	// the caller is not federation-aware; federated members then skip the
+	// epoch check but still enforce partition ownership of Name).
+	PartitionEpoch uint64 `json:"partitionEpoch,omitempty"`
 	// StripeWidth is the number of benefactors to stripe across.
 	StripeWidth int `json:"stripeWidth"`
 	// ChunkSize is the striping chunk size — in the variable (CbCH)
@@ -238,6 +242,8 @@ type AbortReq struct {
 type GetMapReq struct {
 	Name    string         `json:"name"`
 	Version core.VersionID `json:"version,omitempty"`
+	// PartitionEpoch mirrors AllocReq.PartitionEpoch.
+	PartitionEpoch uint64 `json:"partitionEpoch,omitempty"`
 }
 
 // GetMapResp carries the chunk-map.
@@ -259,6 +265,8 @@ type ListResp struct {
 // StatReq describes one dataset by name (dataset key or full file name).
 type StatReq struct {
 	Name string `json:"name"`
+	// PartitionEpoch mirrors AllocReq.PartitionEpoch.
+	PartitionEpoch uint64 `json:"partitionEpoch,omitempty"`
 }
 
 // StatResp carries the dataset summary.
@@ -270,6 +278,8 @@ type StatResp struct {
 type DeleteReq struct {
 	Name    string         `json:"name"`
 	Version core.VersionID `json:"version,omitempty"`
+	// PartitionEpoch mirrors AllocReq.PartitionEpoch.
+	PartitionEpoch uint64 `json:"partitionEpoch,omitempty"`
 }
 
 // PolicySetReq attaches a policy to a folder.
@@ -309,6 +319,8 @@ type BenefactorsResp struct {
 // version.
 type ReplStatusReq struct {
 	Name string `json:"name"`
+	// PartitionEpoch mirrors AllocReq.PartitionEpoch.
+	PartitionEpoch uint64 `json:"partitionEpoch,omitempty"`
 }
 
 // ReplStatusResp reports the level.
@@ -348,14 +360,23 @@ type ManagerStats struct {
 	// CatalogStripes, ChunkStripes and SessionStripes report per-stripe
 	// lock-acquisition counters for the manager's striped metadata plane
 	// (dataset catalog, content-addressed chunk index, session table).
-	// StripeOps and StripeContention aggregate them: their ratio is the
-	// fraction of metadata lock acquisitions that found the stripe held —
-	// the direct measure of §V.E metadata-plane serialization.
-	CatalogStripes   []StripeStats `json:"catalogStripes,omitempty"`
-	ChunkStripes     []StripeStats `json:"chunkStripes,omitempty"`
-	SessionStripes   []StripeStats `json:"sessionStripes,omitempty"`
+	// StripeOps and StripeContention aggregate them plus the registry's
+	// node-table lock: their ratio is the fraction of metadata lock
+	// acquisitions that found the lock held — the direct measure of §V.E
+	// metadata-plane serialization.
+	CatalogStripes []StripeStats `json:"catalogStripes,omitempty"`
+	ChunkStripes   []StripeStats `json:"chunkStripes,omitempty"`
+	SessionStripes []StripeStats `json:"sessionStripes,omitempty"`
+	// Registry reports the benefactor registry's lock-acquisition and
+	// per-op counters: like the stripes above, its Ops/Contended ratio
+	// measures how often registry traffic (alloc round-robin, extends,
+	// releases, heartbeats) found the node table held.
+	Registry         RegistryStats `json:"registry"`
 	StripeOps        int64         `json:"stripeOps"`
 	StripeContention int64         `json:"stripeContention"`
+	// Federation identifies this manager's place in a federated
+	// deployment; nil on a standalone manager.
+	Federation *FederationInfo `json:"federation,omitempty"`
 }
 
 // StripeStats reports one metadata lock stripe's acquisition counts.
@@ -364,4 +385,30 @@ type StripeStats struct {
 	Ops int64 `json:"ops"`
 	// Contended counts acquisitions that found the stripe already held.
 	Contended int64 `json:"contended"`
+}
+
+// RegistryStats reports the benefactor registry's node-table lock
+// acquisition counts plus per-operation counters.
+type RegistryStats struct {
+	// Ops / Contended count node-table lock acquisitions, as StripeStats
+	// does for the metadata stripes.
+	Ops       int64 `json:"ops"`
+	Contended int64 `json:"contended"`
+	// Allocs counts round-robin stripe allocations, Reserves the
+	// reservation growths (MExtend), Releases the reservation returns
+	// (commit/abort/expiry), and Heartbeats the soft-state refreshes.
+	Allocs     int64 `json:"allocs"`
+	Reserves   int64 `json:"reserves"`
+	Releases   int64 `json:"releases"`
+	Heartbeats int64 `json:"heartbeats"`
+}
+
+// FederationInfo describes a manager's membership in a federated
+// metadata plane: the static member list, this member's index, and the
+// partition epoch (a fingerprint of the member list; routers and members
+// must agree on it for partition routing to be trusted).
+type FederationInfo struct {
+	Members     []string `json:"members"`
+	MemberIndex int      `json:"memberIndex"`
+	Epoch       uint64   `json:"epoch"`
 }

@@ -190,6 +190,7 @@ func (e *RemoteError) Unwrap() error {
 		core.ErrNotFound, core.ErrNoSpace, core.ErrNoBenefactors,
 		core.ErrNotCommitted, core.ErrAlreadyCommitted, core.ErrIntegrity,
 		core.ErrBenefactorDown, core.ErrClosed, core.ErrQuorum,
+		core.ErrNotOwner, core.ErrEpochMismatch,
 	} {
 		if strings.Contains(e.Msg, sentinel.Error()) {
 			return sentinel

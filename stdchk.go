@@ -41,12 +41,14 @@
 package stdchk
 
 import (
+	"strings"
 	"time"
 
 	"stdchk/internal/benefactor"
 	"stdchk/internal/client"
 	"stdchk/internal/core"
 	"stdchk/internal/device"
+	"stdchk/internal/federation"
 	"stdchk/internal/fsiface"
 	"stdchk/internal/grid"
 	"stdchk/internal/manager"
@@ -120,8 +122,10 @@ const DefaultChunkSize = core.DefaultChunkSize
 
 // Options configures a client connection.
 type Options struct {
-	// ManagerAddr is the metadata manager's address. Filled automatically
-	// by Cluster.Connect.
+	// ManagerAddr is the metadata manager's address — or a
+	// comma-separated federation member list, which makes the client
+	// route each dataset to its owning member. Filled automatically by
+	// Cluster.Connect.
 	ManagerAddr string
 	// StripeWidth is the number of benefactors writes stripe across
 	// (0 = manager default, 4).
@@ -164,20 +168,38 @@ type FS = fsiface.FS
 // File is an open facade handle.
 type File = fsiface.File
 
-// Connect opens a client against a running manager.
+// clientConfig maps the facade options onto a client config. Both the
+// standalone and the federated Connect paths go through here, so a new
+// option cannot reach one and silently miss the other.
+func (o Options) clientConfig() client.Config {
+	return client.Config{
+		ManagerAddr:     o.ManagerAddr,
+		StripeWidth:     o.StripeWidth,
+		ChunkSize:       o.ChunkSize,
+		Replication:     o.Replication,
+		Semantics:       o.Semantics,
+		Protocol:        o.Protocol,
+		BufferBytes:     o.BufferBytes,
+		TempFileBytes:   o.TempFileBytes,
+		Incremental:     o.Incremental,
+		PushMapReplicas: o.PushMapReplicas,
+	}
+}
+
+// Connect opens a client against a running metadata service: one manager,
+// or a federation when ManagerAddr lists several members (same syntax as
+// the stdchk CLI's -manager flag).
 func Connect(opts Options) (*Client, error) {
-	inner, err := client.New(client.Config{
-		ManagerAddr:     opts.ManagerAddr,
-		StripeWidth:     opts.StripeWidth,
-		ChunkSize:       opts.ChunkSize,
-		Replication:     opts.Replication,
-		Semantics:       opts.Semantics,
-		Protocol:        opts.Protocol,
-		BufferBytes:     opts.BufferBytes,
-		TempFileBytes:   opts.TempFileBytes,
-		Incremental:     opts.Incremental,
-		PushMapReplicas: opts.PushMapReplicas,
-	})
+	cfg := opts.clientConfig()
+	if members := federation.SplitMembers(opts.ManagerAddr); len(members) > 1 {
+		r, err := federation.NewRouter(federation.RouterConfig{Members: members})
+		if err != nil {
+			return nil, err
+		}
+		cfg.ManagerAddr = ""
+		cfg.Endpoint = r // the client owns and closes it
+	}
+	inner, err := client.New(cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -296,6 +318,11 @@ func StartBenefactor(cfg BenefactorConfig) (*Benefactor, error) {
 // ClusterOptions configures an in-process cluster (development, tests,
 // examples — the paper's desktop grid in one process).
 type ClusterOptions struct {
+	// Managers is the number of federated metadata managers (0 or 1 =
+	// one standalone manager). With N > 1 the dataset namespace is
+	// partitioned across the members and clients route through a
+	// federation router transparently.
+	Managers int
 	// Benefactors is the number of donor nodes (default 4).
 	Benefactors int
 	// BenefactorCapacity is each node's contribution (0 = unlimited).
@@ -312,6 +339,7 @@ type Cluster struct {
 // StartCluster launches a manager and N benefactors in-process.
 func StartCluster(opts ClusterOptions) (*Cluster, error) {
 	c, err := grid.Start(grid.Options{
+		Managers:           opts.Managers,
 		Benefactors:        opts.Benefactors,
 		BenefactorCapacity: opts.BenefactorCapacity,
 		BenefactorProfile:  device.Unshaped(),
@@ -328,17 +356,24 @@ func StartCluster(opts ClusterOptions) (*Cluster, error) {
 	return &Cluster{inner: c}, nil
 }
 
-// ManagerAddr returns the cluster manager's address.
+// ManagerAddr returns the cluster manager's address (federation member 0
+// when federated).
 func (c *Cluster) ManagerAddr() string { return c.inner.Manager.Addr() }
 
-// Connect opens a client against this cluster.
+// ManagerAddrs returns every metadata-plane member address.
+func (c *Cluster) ManagerAddrs() []string { return c.inner.ManagerAddrs() }
+
+// Connect opens a client against this cluster. Federated clusters hand
+// the client a partition router (via Connect's member-list handling), so
+// callers see one metadata service either way.
 func (c *Cluster) Connect(opts Options) (*Client, error) {
-	opts.ManagerAddr = c.inner.Manager.Addr()
+	opts.ManagerAddr = strings.Join(c.inner.ManagerAddrs(), ",")
 	return Connect(opts)
 }
 
-// Stats snapshots the cluster manager's counters.
-func (c *Cluster) Stats() ManagerStats { return c.inner.Manager.Stats() }
+// Stats snapshots the metadata plane's counters (merged across members
+// when federated).
+func (c *Cluster) Stats() ManagerStats { return c.inner.Stats() }
 
 // StopBenefactor kills one donor node (failure injection in tests and
 // examples).

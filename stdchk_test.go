@@ -236,3 +236,61 @@ func TestStandaloneManagerAndBenefactor(t *testing.T) {
 		t.Fatalf("disk-backed round trip failed: %v", err)
 	}
 }
+
+// TestPublicAPIFederatedCluster checks the facade's federation passthrough:
+// a multi-manager cluster behaves like one metadata service — writes and
+// reads route transparently, stats merge across members, and the member
+// list is visible.
+func TestPublicAPIFederatedCluster(t *testing.T) {
+	c, err := stdchk.StartCluster(stdchk.ClusterOptions{Managers: 2, Benefactors: 3, Replication: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	if got := len(c.ManagerAddrs()); got != 2 {
+		t.Fatalf("cluster reports %d manager addresses, want 2", got)
+	}
+
+	cl, err := c.Connect(stdchk.Options{ChunkSize: 64 << 10, StripeWidth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	data := make([]byte, 512<<10+99)
+	rand.New(rand.NewSource(11)).Read(data)
+	for _, name := range []string{"fedapi.n1.t0", "fedapi.n2.t0", "fedapi.n3.t0"} {
+		w, err := cl.Create(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := w.Write(data); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r, err := cl.Open("fedapi.n2.t0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.ReadAll()
+	r.Close()
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("federated round trip failed: %v", err)
+	}
+	if st := c.Stats(); st.Datasets != 3 {
+		t.Fatalf("merged cluster stats report %d datasets, want 3", st.Datasets)
+	}
+	list, err := cl.List("fedapi")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 3 {
+		t.Fatalf("merged list has %d datasets, want 3", len(list))
+	}
+}
