@@ -39,6 +39,8 @@ func run(args []string) error {
 		list      = fs.Bool("list", false, "list experiments and exit")
 		ablations = fs.Bool("ablations", false, "run the design-choice ablation benches instead")
 		jsonPath  = fs.String("json", "", "write machine-readable result records (JSON lines) to this file")
+		mapCache  = fs.Bool("map-cache", true, "run cache-sensitive experiments (restartload) with chunk-map caching; false is the every-open-pays-a-getMap baseline")
+		syncJrnl  = fs.Bool("sync-journal", false, "run journaled experiments with the historical synchronous journal writer instead of the ordered async one")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -52,7 +54,10 @@ func run(args []string) error {
 		}
 		return nil
 	}
-	cfg := experiments.Config{Scale: *scale, Runs: *runs, Out: os.Stdout}
+	cfg := experiments.Config{
+		Scale: *scale, Runs: *runs, Out: os.Stdout,
+		DisableMapCache: !*mapCache, SyncJournal: *syncJrnl,
+	}
 	if *jsonPath != "" {
 		jf, err := os.Create(*jsonPath)
 		if err != nil {

@@ -46,6 +46,8 @@ func run(args []string) error {
 		fed         = fs.String("federation", "", "comma-separated federation member addresses; this process serves the -member-index'th partition")
 		memberIdx   = fs.Int("member-index", 0, "this manager's index in the -federation member list")
 		journal     = fs.String("journal", "", "metadata journal path (optional)")
+		syncJournal = fs.Bool("sync-journal", false, "journal synchronously inside the commit critical section (historical mode; default is the ordered async writer, which can lose a small acknowledged-but-unjournaled window on process crash)")
+		mapCache    = fs.Bool("map-cache", true, "serve repeat getMaps from the hot-map cache (false = rebuild and re-sort locations per read, the ablation baseline)")
 		recover     = fs.Bool("recover", false, "start in recovery mode: rebuild metadata from benefactor-held chunk-map replicas")
 		quiet       = fs.Bool("quiet", false, "suppress operational logging")
 	)
@@ -57,15 +59,21 @@ func run(args []string) error {
 	if !*quiet {
 		logger = log.New(os.Stderr, "", log.LstdFlags)
 	}
+	mapCacheEntries := 0 // manager default
+	if !*mapCache {
+		mapCacheEntries = -1
+	}
 	m, err := manager.New(manager.Config{
 		ListenAddr:         *listen,
 		HeartbeatInterval:  *heartbeat,
 		DefaultStripeWidth: *stripe,
 		DefaultReplication: *replication,
 		MetadataStripes:    *stripes,
+		MapCacheEntries:    mapCacheEntries,
 		FederationMembers:  members,
 		MemberIndex:        *memberIdx,
 		JournalPath:        *journal,
+		SyncJournal:        *syncJournal,
 		Recover:            *recover,
 		WritePriority:      true,
 		Logger:             logger,

@@ -44,6 +44,7 @@ func run(args []string) error {
 		incremental = fs.Bool("incremental", false, "enable compare-by-hash dedup against stored chunks")
 		protocol    = fs.String("protocol", "sliding-window", "write protocol: sliding-window | incremental | complete-local")
 		chunking    = fs.String("chunking", "fixed", "chunk boundaries: fixed | cbch (content-based, dedups shifted content)")
+		mapCache    = fs.Bool("map-cache", true, "cache chunk-maps client-side: explicit-version re-opens need zero manager RPCs, latest opens one revalidation probe (false = full getMap per open, the ablation baseline)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -84,6 +85,9 @@ func run(args []string) error {
 		Protocol:    proto,
 		Chunking:    mode,
 		Incremental: *incremental,
+	}
+	if !*mapCache {
+		cfg.MapCacheEntries = -1
 	}
 	if members := federation.SplitMembers(*mgr); len(members) > 1 {
 		// A member list makes this client federation-aware: dataset-scoped
@@ -267,6 +271,8 @@ func cmdStats(cl *client.Client) error {
 	fmt.Printf("logical bytes: %d, stored bytes: %d\n", s.LogicalBytes, s.StoredBytes)
 	fmt.Printf("active sessions: %d, transactions: %d\n", s.ActiveSessions, s.Transactions)
 	fmt.Printf("dedup probes: %d rpcs / %d chunks, hits: %d\n", s.DedupBatches, s.DedupChunks, s.DedupHits)
+	fmt.Printf("map fetches: %d, version revalidations: %d, hot-map cache: %d hits / %d misses / %d invalidations\n",
+		s.GetMaps, s.StatVersions, s.MapCache.Hits, s.MapCache.Misses, s.MapCache.Invalidations)
 	fmt.Printf("replicas copied: %d, chunks collected: %d, versions pruned: %d\n",
 		s.ReplicasCopied, s.ChunksCollected, s.VersionsPruned)
 	contended := 0.0

@@ -1,12 +1,14 @@
 package client_test
 
 import (
+	"io"
 	"testing"
 	"time"
 
 	"stdchk/internal/benefactor"
 	"stdchk/internal/chunker"
 	"stdchk/internal/client"
+	"stdchk/internal/core"
 	"stdchk/internal/manager"
 )
 
@@ -28,6 +30,110 @@ func BenchmarkEmitChunkPipelineCbCH(b *testing.B) {
 		Chunking:    client.ChunkCbCH,
 		CbCH:        chunker.StreamParams{Window: 48, Bits: 18, Min: 256 << 10, Max: 1 << 20},
 	})
+}
+
+// BenchmarkOpenRead measures the restart fast path end to end: one op is
+// Open (or OpenVersion) of a committed 8-chunk image plus a full read and
+// Close, against an unshaped in-process manager and 4 benefactors. The
+// cached variants re-open through the client chunk-map cache (explicit
+// version: zero manager RPCs; latest: one MStatVersion probe); uncached
+// is the historical full-getMap path. The bench-compare CI job gates
+// allocs/op on this path.
+func BenchmarkOpenRead(b *testing.B) {
+	for _, variant := range []struct {
+		name         string
+		cacheEntries int
+		version      bool // open by explicit version
+	}{
+		{"version-cached", 0, true},
+		{"latest-cached", 0, false},
+		{"latest-uncached", -1, false},
+	} {
+		b.Run(variant.name, func(b *testing.B) {
+			benchOpenRead(b, variant.cacheEntries, variant.version)
+		})
+	}
+}
+
+func benchOpenRead(b *testing.B, cacheEntries int, byVersion bool) {
+	mgr, err := manager.New(manager.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer mgr.Close()
+	for i := 0; i < 4; i++ {
+		bf, err := benefactor.New(benefactor.Config{ManagerAddr: mgr.Addr()})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer bf.Close()
+	}
+	for deadline := time.Now().Add(5 * time.Second); mgr.Stats().OnlineBenefactors < 4; {
+		if time.Now().After(deadline) {
+			b.Fatalf("only %d benefactors registered", mgr.Stats().OnlineBenefactors)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cl, err := client.New(client.Config{
+		ManagerAddr:     mgr.Addr(),
+		StripeWidth:     4,
+		ChunkSize:       64 << 10,
+		Replication:     1,
+		MapCacheEntries: cacheEntries,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cl.Close()
+
+	const name = "bench.n2.t0"
+	w, err := cl.Create(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := make([]byte, 512<<10) // 8 chunks of 64 KB
+	for i := range data {
+		data[i] = byte(i * 17)
+	}
+	if _, err := w.Write(data); err != nil {
+		b.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		b.Fatal(err)
+	}
+	if err := w.Wait(); err != nil {
+		b.Fatal(err)
+	}
+	ver := core.VersionID(0)
+	if byVersion {
+		info, err := cl.Stat(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ver = info.Versions[len(info.Versions)-1].Version
+	}
+
+	buf := make([]byte, 64<<10)
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := cl.OpenVersion(name, ver)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for {
+			if _, err := r.Read(buf); err != nil {
+				if err == io.EOF {
+					break
+				}
+				b.Fatal(err)
+			}
+		}
+		if err := r.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 func benchEmitChunkPipeline(b *testing.B, cfg client.Config) {

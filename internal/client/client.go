@@ -17,6 +17,7 @@ import (
 	"stdchk/internal/chunker"
 	"stdchk/internal/core"
 	"stdchk/internal/device"
+	"stdchk/internal/namespace"
 	"stdchk/internal/proto"
 	"stdchk/internal/wire"
 )
@@ -145,6 +146,13 @@ type Config struct {
 	// bound). 0 derives the budget as ReadAhead x the map's chunk-size
 	// bound.
 	ReadAheadBytes int64
+	// MapCacheEntries bounds the client's chunk-map cache (see mapCache):
+	// explicit-version re-opens hit it with zero manager RPCs, "latest"
+	// opens revalidate with one MStatVersion probe. 0 selects the default
+	// (256 entries); negative disables caching — every open then pays a
+	// full MGetMap, the historical behavior and the -map-cache=false
+	// ablation baseline.
+	MapCacheEntries int
 	// Logger receives operational messages; nil discards.
 	Logger *log.Logger
 }
@@ -184,6 +192,10 @@ type Client struct {
 	// mgr is the metadata service seam: a single manager or a federated
 	// router, resolved once at construction.
 	mgr ManagerEndpoint
+
+	// maps caches committed chunk-maps by (dataset, version) — the
+	// restart fast path. See mapCache.
+	maps *mapCache
 
 	// chunkPool recycles write-path chunk buffers: filled → hashed →
 	// uploaded (or dedup-hit) → returned. Buffers are handled as *[]byte
@@ -238,9 +250,14 @@ func New(cfg Config) (*Client, error) {
 		return nil, errors.New("client: ManagerAddr or Endpoint is required")
 	}
 	cfg = cfg.withDefaults()
+	cacheEntries := cfg.MapCacheEntries
+	if cacheEntries == 0 {
+		cacheEntries = defaultClientMapCacheEntries
+	}
 	c := &Client{
 		cfg:        cfg,
 		pool:       wire.NewPool(cfg.Shaper, 8),
+		maps:       newMapCache(cacheEntries),
 		benefAddrs: make(map[core.NodeID]string),
 	}
 	if cfg.Endpoint != nil {
@@ -278,19 +295,64 @@ func (c *Client) Open(name string) (*Reader, error) {
 }
 
 // OpenVersion opens a specific committed version (0 = latest).
+//
+// The chunk-map cache makes re-opens cheap: an explicit version that hits
+// needs no manager RPC at all (committed versions are immutable), and a
+// warm latest/timestep open revalidates with one lightweight MStatVersion
+// probe — name to committed version identity, no location payload —
+// paying the full map fetch only when the resolved version is not cached.
+// A cold open (no version of the dataset cached) skips the probe and
+// keeps the historical single-RPC getMap shape. Any revalidation error
+// (not-found, federation partition epoch mismatch, member unreachable)
+// propagates instead of falling back to the cache: a cached map must
+// never mask the metadata plane refusing the request.
 func (c *Client) OpenVersion(name string, ver core.VersionID) (*Reader, error) {
+	dsKey := namespace.DatasetOf(name)
+	if ver != 0 {
+		if fileName, cm := c.maps.get(dsKey, ver); cm != nil {
+			return newReader(c, fileName, cm), nil
+		}
+		return c.openFetch(name, dsKey, ver)
+	}
+	if !c.maps.hasDataset(dsKey) {
+		// Nothing cached for this dataset (or caching disabled): the
+		// revalidation probe cannot save the fetch, so keep the
+		// historical single-RPC cold path.
+		return c.openFetch(name, dsKey, 0)
+	}
+	sv, err := c.mgr.StatVersion(proto.StatVersionReq{Name: name})
+	if err != nil {
+		return nil, fmt.Errorf("client: open %s: %w", name, err)
+	}
+	if fileName, cm := c.maps.get(dsKey, sv.Version); cm != nil {
+		return newReader(c, fileName, cm), nil
+	}
+	// Fetch the exact version the probe resolved: a commit racing this
+	// open must not slide a different version under the cache key.
+	return c.openFetch(name, dsKey, sv.Version)
+}
+
+// openFetch pays the full MGetMap and caches the result.
+func (c *Client) openFetch(name, dsKey string, ver core.VersionID) (*Reader, error) {
 	resp, err := c.mgr.GetMap(proto.GetMapReq{Name: name, Version: ver})
 	if err != nil {
 		return nil, fmt.Errorf("client: open %s: %w", name, err)
 	}
+	c.maps.put(dsKey, resp.Name, resp.Map)
 	return newReader(c, resp.Name, resp.Map), nil
 }
 
-// Delete removes one version, or the whole dataset when ver is 0.
+// MapCacheStats snapshots the client chunk-map cache counters.
+func (c *Client) MapCacheStats() proto.MapCacheStats { return c.maps.snapshot() }
+
+// Delete removes one version, or the whole dataset when ver is 0. The
+// dataset's cached chunk-maps are dropped — a deleted version's chunks
+// may be garbage collected, so serving it from cache would read garbage.
 func (c *Client) Delete(name string, ver core.VersionID) error {
 	if err := c.mgr.Delete(proto.DeleteReq{Name: name, Version: ver}); err != nil {
 		return fmt.Errorf("client: delete %s: %w", name, err)
 	}
+	c.maps.invalidateDataset(namespace.DatasetOf(name))
 	return nil
 }
 

@@ -30,6 +30,10 @@ type ManagerEndpoint interface {
 	HasChunks(name string, ids []core.ChunkID) ([]bool, error)
 	// GetMap fetches a committed chunk-map.
 	GetMap(req proto.GetMapReq) (proto.GetMapResp, error)
+	// StatVersion resolves a name to its committed version identity (no
+	// location payload): the chunk-map cache's lightweight "is my cached
+	// map still the latest?" revalidation probe.
+	StatVersion(req proto.StatVersionReq) (proto.StatVersionResp, error)
 	// List summarizes datasets, optionally restricted to a folder.
 	List(folder string) ([]core.DatasetInfo, error)
 	// Stat summarizes one dataset.
@@ -97,6 +101,12 @@ func (s *singleManager) HasChunks(_ string, ids []core.ChunkID) ([]bool, error) 
 func (s *singleManager) GetMap(req proto.GetMapReq) (proto.GetMapResp, error) {
 	var resp proto.GetMapResp
 	err := s.call(proto.MGetMap, req, &resp)
+	return resp, err
+}
+
+func (s *singleManager) StatVersion(req proto.StatVersionReq) (proto.StatVersionResp, error) {
+	var resp proto.StatVersionResp
+	err := s.call(proto.MStatVersion, req, &resp)
 	return resp, err
 }
 

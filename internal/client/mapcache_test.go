@@ -1,0 +1,336 @@
+package client
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"stdchk/internal/core"
+	"stdchk/internal/proto"
+)
+
+// fakeMetadata is an in-memory ManagerEndpoint that counts the RPCs the
+// client issues — the cache tests' ground truth for "zero getMap RPCs".
+type fakeMetadata struct {
+	getMaps      int
+	statVersions int
+	deletes      int
+	// chains maps a dataset key to its committed versions in order.
+	chains map[string][]*core.ChunkMap
+	// statVersionErr, when set, fails StatVersion (the restarted-owner /
+	// epoch-mismatch shape).
+	statVersionErr error
+}
+
+func newFakeMetadata() *fakeMetadata {
+	return &fakeMetadata{chains: make(map[string][]*core.ChunkMap)}
+}
+
+// commit appends a new version to a dataset's chain and returns it.
+func (f *fakeMetadata) commit(dataset string, ver core.VersionID, locs []core.NodeID) *core.ChunkMap {
+	m := &core.ChunkMap{
+		Dataset:   1,
+		Version:   ver,
+		FileSize:  64,
+		ChunkSize: 64,
+		Chunks:    []core.ChunkRef{{Index: 0, ID: core.HashChunk([]byte(fmt.Sprintf("%s@%d", dataset, ver))), Size: 64}},
+		Locations: [][]core.NodeID{locs},
+	}
+	f.chains[dataset] = append(f.chains[dataset], m)
+	return m
+}
+
+func (f *fakeMetadata) fileName(dataset string, m *core.ChunkMap) string {
+	return fmt.Sprintf("%s.t%d", dataset, m.Version)
+}
+
+func (f *fakeMetadata) GetMap(req proto.GetMapReq) (proto.GetMapResp, error) {
+	f.getMaps++
+	chain := f.chains[req.Name]
+	if len(chain) == 0 {
+		return proto.GetMapResp{}, core.ErrNotFound
+	}
+	if req.Version == 0 {
+		m := chain[len(chain)-1]
+		return proto.GetMapResp{Name: f.fileName(req.Name, m), Map: m.Clone()}, nil
+	}
+	for _, m := range chain {
+		if m.Version == req.Version {
+			return proto.GetMapResp{Name: f.fileName(req.Name, m), Map: m.Clone()}, nil
+		}
+	}
+	return proto.GetMapResp{}, core.ErrNotFound
+}
+
+func (f *fakeMetadata) StatVersion(req proto.StatVersionReq) (proto.StatVersionResp, error) {
+	f.statVersions++
+	if f.statVersionErr != nil {
+		return proto.StatVersionResp{}, f.statVersionErr
+	}
+	chain := f.chains[req.Name]
+	if len(chain) == 0 {
+		return proto.StatVersionResp{}, core.ErrNotFound
+	}
+	m := chain[len(chain)-1]
+	return proto.StatVersionResp{Name: f.fileName(req.Name, m), Dataset: m.Dataset, Version: m.Version}, nil
+}
+
+func (f *fakeMetadata) Delete(req proto.DeleteReq) error {
+	f.deletes++
+	delete(f.chains, req.Name)
+	return nil
+}
+
+func (f *fakeMetadata) Alloc(proto.AllocReq) (proto.AllocResp, error) {
+	return proto.AllocResp{}, errors.New("fake: not implemented")
+}
+func (f *fakeMetadata) Extend(string, proto.ExtendReq) (proto.ExtendResp, error) {
+	return proto.ExtendResp{}, errors.New("fake: not implemented")
+}
+func (f *fakeMetadata) Commit(string, proto.CommitReq) (proto.CommitResp, error) {
+	return proto.CommitResp{}, errors.New("fake: not implemented")
+}
+func (f *fakeMetadata) Abort(string, proto.AbortReq) error {
+	return errors.New("fake: not implemented")
+}
+func (f *fakeMetadata) HasChunks(string, []core.ChunkID) ([]bool, error) {
+	return nil, errors.New("fake: not implemented")
+}
+func (f *fakeMetadata) List(string) ([]core.DatasetInfo, error) { return nil, nil }
+func (f *fakeMetadata) Stat(string) (core.DatasetInfo, error) {
+	return core.DatasetInfo{}, core.ErrNotFound
+}
+func (f *fakeMetadata) SetPolicy(string, core.Policy) error { return nil }
+func (f *fakeMetadata) GetPolicy(string) (core.Policy, error) {
+	return core.Policy{}, nil
+}
+func (f *fakeMetadata) ReplStatus(string) (proto.ReplStatusResp, error) {
+	return proto.ReplStatusResp{}, core.ErrNotFound
+}
+func (f *fakeMetadata) ManagerStats() (proto.ManagerStats, error) {
+	return proto.ManagerStats{}, nil
+}
+func (f *fakeMetadata) Benefactors() ([]core.BenefactorInfo, error) { return nil, nil }
+func (f *fakeMetadata) Close() error                                { return nil }
+
+func cacheTestClient(t *testing.T, f *fakeMetadata, entries int) *Client {
+	t.Helper()
+	c, err := New(Config{Endpoint: f, MapCacheEntries: entries})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+// TestMapCacheExplicitVersionZeroRPCs: once a version's map is cached,
+// re-opening that explicit version issues no manager RPC of any kind —
+// committed versions are immutable, so there is nothing to revalidate.
+func TestMapCacheExplicitVersionZeroRPCs(t *testing.T) {
+	f := newFakeMetadata()
+	f.commit("app.n1", 7, []core.NodeID{"b1:1"})
+	c := cacheTestClient(t, f, 0)
+
+	r, err := c.OpenVersion("app.n1", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Close()
+	if f.getMaps != 1 || f.statVersions != 0 {
+		t.Fatalf("cold open: %d getMaps, %d statVersions; want 1, 0", f.getMaps, f.statVersions)
+	}
+	for i := 0; i < 3; i++ {
+		r, err := c.OpenVersion("app.n1", 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Name() != "app.n1.t7" || r.Size() != 64 {
+			t.Fatalf("cached open: name %q size %d", r.Name(), r.Size())
+		}
+		r.Close()
+	}
+	if f.getMaps != 1 || f.statVersions != 0 {
+		t.Fatalf("warm explicit-version opens issued RPCs: %d getMaps, %d statVersions; want 1, 0",
+			f.getMaps, f.statVersions)
+	}
+	if s := c.MapCacheStats(); s.Hits != 3 || s.Misses != 1 {
+		t.Fatalf("cache stats %+v, want 3 hits / 1 miss", s)
+	}
+}
+
+// TestMapCacheLatestRevalidation: a cold "latest" open keeps the
+// historical single-RPC shape (nothing cached to revalidate), a warm
+// one costs exactly one MStatVersion probe and zero getMaps — and a
+// commit of version v+1 invalidates the cached answer, forcing one full
+// fetch of the new map.
+func TestMapCacheLatestRevalidation(t *testing.T) {
+	f := newFakeMetadata()
+	f.commit("app.n1", 1, []core.NodeID{"b1:1"})
+	c := cacheTestClient(t, f, 0)
+
+	if _, err := c.Open("app.n1"); err != nil {
+		t.Fatal(err)
+	}
+	if f.statVersions != 0 || f.getMaps != 1 {
+		t.Fatalf("cold latest open: %d statVersions, %d getMaps; want 0, 1", f.statVersions, f.getMaps)
+	}
+	r, err := c.Open("app.n1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Map().Version != 1 {
+		t.Fatalf("warm latest open served version %d, want 1", r.Map().Version)
+	}
+	r.Close()
+	if f.statVersions != 1 || f.getMaps != 1 {
+		t.Fatalf("warm latest open: %d statVersions, %d getMaps; want 1, 1", f.statVersions, f.getMaps)
+	}
+
+	// Version v+1 commits elsewhere: the revalidation probe must see it
+	// and the client must fetch the new map, not serve the stale one.
+	f.commit("app.n1", 2, []core.NodeID{"b2:1"})
+	r, err = c.Open("app.n1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Map().Version != 2 {
+		t.Fatalf("post-commit latest open served version %d, want 2", r.Map().Version)
+	}
+	r.Close()
+	if f.statVersions != 2 || f.getMaps != 2 {
+		t.Fatalf("post-commit open: %d statVersions, %d getMaps; want 2, 2", f.statVersions, f.getMaps)
+	}
+	// The superseded version remains cached and servable explicitly.
+	if _, err := c.OpenVersion("app.n1", 1); err != nil {
+		t.Fatal(err)
+	}
+	if f.getMaps != 2 {
+		t.Fatalf("explicit open of superseded version refetched (%d getMaps)", f.getMaps)
+	}
+}
+
+// TestMapCacheRevalidationErrorDoesNotServeCache: when the revalidation
+// probe fails — a federation owner restarted without its partition
+// identity answers ErrEpochMismatch — the open must fail rather than
+// fall back to the cached map.
+func TestMapCacheRevalidationErrorDoesNotServeCache(t *testing.T) {
+	f := newFakeMetadata()
+	f.commit("app.n1", 1, []core.NodeID{"b1:1"})
+	c := cacheTestClient(t, f, 0)
+	if _, err := c.Open("app.n1"); err != nil {
+		t.Fatal(err)
+	}
+	f.statVersionErr = core.ErrEpochMismatch
+	if _, err := c.Open("app.n1"); !errors.Is(err, core.ErrEpochMismatch) {
+		t.Fatalf("open with failing revalidation returned %v, want ErrEpochMismatch", err)
+	}
+}
+
+// TestMapCacheDeleteInvalidates: a local delete drops the dataset's
+// cached maps, so a later explicit-version open consults the manager
+// (and fails) instead of serving the deleted version from cache.
+func TestMapCacheDeleteInvalidates(t *testing.T) {
+	f := newFakeMetadata()
+	f.commit("app.n1", 1, []core.NodeID{"b1:1"})
+	c := cacheTestClient(t, f, 0)
+	if _, err := c.OpenVersion("app.n1", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Delete("app.n1", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.OpenVersion("app.n1", 1); !errors.Is(err, core.ErrNotFound) {
+		t.Fatalf("open of deleted version returned %v, want ErrNotFound", err)
+	}
+	if s := c.MapCacheStats(); s.Invalidations != 1 {
+		t.Fatalf("delete recorded %d invalidations, want 1", s.Invalidations)
+	}
+}
+
+// TestMapCacheDisabled: MapCacheEntries < 0 restores the historical
+// behavior — every open is one full getMap, no revalidation probes.
+func TestMapCacheDisabled(t *testing.T) {
+	f := newFakeMetadata()
+	f.commit("app.n1", 1, []core.NodeID{"b1:1"})
+	c := cacheTestClient(t, f, -1)
+	for i := 0; i < 3; i++ {
+		r, err := c.Open("app.n1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Close()
+	}
+	if f.getMaps != 3 || f.statVersions != 0 {
+		t.Fatalf("disabled cache: %d getMaps, %d statVersions; want 3, 0", f.getMaps, f.statVersions)
+	}
+}
+
+// TestMapCacheLRUEviction: the cache holds at most MapCacheEntries maps;
+// the least recently used falls out first.
+func TestMapCacheLRUEviction(t *testing.T) {
+	f := newFakeMetadata()
+	for d := 0; d < 3; d++ {
+		f.commit(fmt.Sprintf("ds%d.n1", d), core.VersionID(d+1), []core.NodeID{"b1:1"})
+	}
+	c := cacheTestClient(t, f, 2)
+	open := func(d int) {
+		t.Helper()
+		r, err := c.OpenVersion(fmt.Sprintf("ds%d.n1", d), core.VersionID(d+1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Close()
+	}
+	open(0)
+	open(1)
+	open(0) // refresh ds0; ds1 is now LRU
+	open(2) // evicts ds1
+	before := f.getMaps
+	open(0)
+	if f.getMaps != before {
+		t.Fatal("ds0 should still be cached")
+	}
+	open(1)
+	if f.getMaps != before+1 {
+		t.Fatal("ds1 should have been evicted and refetched")
+	}
+}
+
+// TestReaderInstallTimeReplicaOrder: the reader computes its per-chunk
+// replica preference order once at map-install time — rotated by chunk
+// index so readers spread over the stripe — and never mutates the
+// (possibly cache-shared) map's own location lists.
+func TestReaderInstallTimeReplicaOrder(t *testing.T) {
+	f := newFakeMetadata()
+	c := cacheTestClient(t, f, 0)
+	replicas := []core.NodeID{"a:1", "b:1", "c:1"}
+	cm := &core.ChunkMap{
+		Version: 1, FileSize: 3, ChunkSize: 1,
+		Chunks: []core.ChunkRef{
+			{Index: 0, ID: core.HashChunk([]byte("x")), Size: 1},
+			{Index: 1, ID: core.HashChunk([]byte("y")), Size: 1},
+			{Index: 2, ID: core.HashChunk([]byte("z")), Size: 1},
+		},
+		Locations: [][]core.NodeID{
+			append([]core.NodeID(nil), replicas...),
+			append([]core.NodeID(nil), replicas...),
+			append([]core.NodeID(nil), replicas...),
+		},
+	}
+	r := newReader(c, "rot.n1.t0", cm)
+	defer r.Close()
+	want := [][]core.NodeID{
+		{"a:1", "b:1", "c:1"},
+		{"b:1", "c:1", "a:1"},
+		{"c:1", "a:1", "b:1"},
+	}
+	if !reflect.DeepEqual(r.locs, want) {
+		t.Fatalf("installed order %v, want %v", r.locs, want)
+	}
+	for i, locs := range cm.Locations {
+		if !reflect.DeepEqual(locs, replicas) {
+			t.Fatalf("chunk %d of the shared map was reordered: %v", i, locs)
+		}
+	}
+}

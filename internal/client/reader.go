@@ -23,7 +23,18 @@ import (
 type Reader struct {
 	c    *Client
 	name string
-	cm   *core.ChunkMap
+	// cm may be shared with the client's chunk-map cache and with other
+	// Readers of the same version; it is immutable here.
+	cm *core.ChunkMap
+	// locs is the per-chunk replica preference order, computed once at
+	// map-install time (newReader) rather than per fetch: the manager
+	// serves location sets in sorted order, so without a per-reader
+	// rotation every reader of every chunk would hammer the
+	// lexicographically first replica while the others idle. Rotating by
+	// chunk index spreads one reader's fetches across the stripe;
+	// failover still walks the full list. Building the order here also
+	// keeps fetch from touching (or re-ordering) the shared map.
+	locs [][]core.NodeID
 
 	mu       sync.Mutex
 	pending  map[int]chan fetchResult
@@ -51,10 +62,21 @@ func newReader(c *Client, name string, cm *core.ChunkMap) *Reader {
 		}
 		budget = int64(c.cfg.ReadAhead) * cs
 	}
+	locs := make([][]core.NodeID, len(cm.Locations))
+	for i, replicas := range cm.Locations {
+		ordered := make([]core.NodeID, len(replicas))
+		if n := len(replicas); n > 0 {
+			rot := i % n
+			copy(ordered, replicas[rot:])
+			copy(ordered[n-rot:], replicas[:rot])
+		}
+		locs[i] = ordered
+	}
 	return &Reader{
 		c:       c,
 		name:    name,
 		cm:      cm,
+		locs:    locs,
 		budget:  budget,
 		pending: make(map[int]chan fetchResult),
 	}
@@ -138,11 +160,12 @@ func (r *Reader) advanceLocked() error {
 	return nil
 }
 
-// fetch retrieves one chunk, trying each replica in turn and verifying
-// content integrity against the chunk's content-based name.
+// fetch retrieves one chunk, trying each replica in the preference order
+// installed at open time and verifying content integrity against the
+// chunk's content-based name.
 func (r *Reader) fetch(idx int, ch chan<- fetchResult) {
 	ref := r.cm.Chunks[idx]
-	locs := r.cm.Locations[idx]
+	locs := r.locs[idx]
 	var lastErr error
 	for _, node := range locs {
 		addr, err := r.resolve(node)

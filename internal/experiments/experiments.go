@@ -37,6 +37,15 @@ type Config struct {
 	// (JSON lines) from experiments that emit them (managerload). The
 	// nightly CI job archives this stream.
 	JSON io.Writer
+	// DisableMapCache runs cache-sensitive experiments (restartload) with
+	// the client and manager chunk-map caches off — the read fast path's
+	// before baseline (stdchk-bench -map-cache=false).
+	DisableMapCache bool
+	// SyncJournal runs journaled experiments (restartload's metadata
+	// plane) with the historical synchronous journal writer instead of
+	// the ordered async one (stdchk-bench -sync-journal). The managerload
+	// sweep always measures both journal modes side by side.
+	SyncJournal bool
 }
 
 func (c Config) withDefaults() Config {
@@ -103,6 +112,7 @@ func All() []Runner {
 		{Name: "table5", Title: "Table 5: BLAST end-to-end (local disk vs stdchk)", Run: Table5},
 		{Name: "managerload", Title: "Manager load (§V.E): metadata tps vs concurrent writers, striped vs single-lock catalog", Run: ManagerLoad},
 		{Name: "fedload", Title: "Federated manager load (§V.E extension): aggregate metadata tps at 1/2/4 partitioned managers over sockets", Run: FedLoad},
+		{Name: "restartload", Title: "Restart storm (§V read path): cold vs warm chunk-map caches, N readers re-opening M datasets through the router", Run: RestartLoad},
 	}
 }
 

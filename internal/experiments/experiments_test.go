@@ -3,6 +3,7 @@ package experiments
 import (
 	"bytes"
 	"encoding/json"
+	"io"
 	"strconv"
 	"strings"
 	"testing"
@@ -12,7 +13,7 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"table1", "fig2", "fig3", "fig4", "fig5", "fig6",
 		"table2", "table3", "table3live", "table4", "fig7", "fig8", "table5",
-		"managerload", "fedload",
+		"managerload", "fedload", "restartload",
 	}
 	runners := All()
 	if len(runners) != len(want) {
@@ -143,12 +144,13 @@ func TestManagerLoadSmoke(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := buf.String()
-	for _, want := range []string{"single-mutex", "striped", "64", "256", "paper"} {
+	for _, want := range []string{"single-mutex", "striped", "striped+jsync", "striped+jasync", "64", "256", "paper", "async/sync journal"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("output missing %q:\n%s", want, out)
 		}
 	}
-	// Ten JSON lines: 2 variants x 5 writer counts, each with a positive tps.
+	// Twenty JSON lines: 4 variants x 5 writer counts, each with a
+	// positive tps.
 	lines := 0
 	for _, line := range strings.Split(strings.TrimSpace(js.String()), "\n") {
 		if line == "" {
@@ -167,8 +169,8 @@ func TestManagerLoadSmoke(t *testing.T) {
 			t.Fatalf("implausible record: %+v", rec)
 		}
 	}
-	if lines != 10 {
-		t.Fatalf("%d JSON records, want 10", lines)
+	if lines != 20 {
+		t.Fatalf("%d JSON records, want 20", lines)
 	}
 }
 
@@ -223,6 +225,112 @@ func TestFedLoadSmoke(t *testing.T) {
 	}
 	if lines != 6 {
 		t.Fatalf("%d JSON records, want 6", lines)
+	}
+}
+
+// TestRestartLoadSmoke runs the restart-storm sweep briefly over real
+// sockets through the federation router and gates the read fast path's
+// acceptance criteria on the JSON records: a warm explicit-version
+// re-open issues ZERO getMap RPCs (and zero revalidation probes), a warm
+// "latest" re-open issues exactly one MStatVersion per open and zero
+// getMaps, and cold opens hit the manager-side hot-map cache once per
+// (dataset, version) is built.
+func TestRestartLoadSmoke(t *testing.T) {
+	var buf, js bytes.Buffer
+	if err := RestartLoad(Config{Runs: 1, Out: &buf, JSON: &js}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Restart storm", "cold", "warm", "statVersions", "paper"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	type rec struct {
+		Experiment   string  `json:"experiment"`
+		Mode         string  `json:"mode"`
+		Readers      int     `json:"readers"`
+		Phase        string  `json:"phase"`
+		Opens        int64   `json:"opens"`
+		OpensPerSec  float64 `json:"opensPerSec"`
+		GetMaps      int64   `json:"getMaps"`
+		StatVersions int64   `json:"statVersions"`
+		MgrCacheHits int64   `json:"managerMapCacheHits"`
+	}
+	lines := 0
+	for _, line := range strings.Split(strings.TrimSpace(js.String()), "\n") {
+		if line == "" {
+			continue
+		}
+		lines++
+		var r rec
+		if err := json.Unmarshal([]byte(line), &r); err != nil {
+			t.Fatalf("bad JSON record %q: %v", line, err)
+		}
+		if r.Experiment != "restartload" || r.Opens <= 0 || r.OpensPerSec <= 0 {
+			t.Fatalf("implausible record: %+v", r)
+		}
+		switch {
+		case r.Phase == "warm" && r.Mode == "version":
+			// The headline claim: warm explicit-version re-opens cost the
+			// metadata plane nothing.
+			if r.GetMaps != 0 || r.StatVersions != 0 {
+				t.Fatalf("warm explicit-version re-opens issued %d getMaps + %d statVersions, want 0 + 0: %+v",
+					r.GetMaps, r.StatVersions, r)
+			}
+		case r.Phase == "warm" && r.Mode == "latest":
+			// One lightweight revalidation probe per open, never a map.
+			if r.GetMaps != 0 {
+				t.Fatalf("warm latest re-opens issued %d getMaps, want 0: %+v", r.GetMaps, r)
+			}
+			if r.StatVersions != r.Opens {
+				t.Fatalf("warm latest re-opens issued %d statVersions for %d opens: %+v",
+					r.StatVersions, r.Opens, r)
+			}
+		case r.Phase == "cold":
+			if r.GetMaps <= 0 {
+				t.Fatalf("cold opens issued no getMaps: %+v", r)
+			}
+			// N readers fetching the same maps: the manager builds each
+			// once and serves the rest from its hot-map cache.
+			if r.Readers > 1 && r.MgrCacheHits <= 0 {
+				t.Fatalf("cold storm with %d readers never hit the manager hot-map cache: %+v", r.Readers, r)
+			}
+		}
+	}
+	// 2 modes x 2 reader counts x 2 phases.
+	if lines != 8 {
+		t.Fatalf("%d JSON records, want 8", lines)
+	}
+}
+
+// TestRestartLoadAblationSmoke runs one restartload pass with the caches
+// disabled (the -map-cache=false baseline) and checks the warm phase then
+// pays full getMaps again — the ablation proves the win is the cache, not
+// the harness.
+func TestRestartLoadAblationSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation baseline; the cached path is gated by TestRestartLoadSmoke")
+	}
+	var js bytes.Buffer
+	if err := RestartLoad(Config{Runs: 1, Out: io.Discard, JSON: &js, DisableMapCache: true}); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(js.String()), "\n") {
+		if line == "" {
+			continue
+		}
+		var r struct {
+			Phase   string `json:"phase"`
+			Opens   int64  `json:"opens"`
+			GetMaps int64  `json:"getMaps"`
+		}
+		if err := json.Unmarshal([]byte(line), &r); err != nil {
+			t.Fatalf("bad JSON record %q: %v", line, err)
+		}
+		if r.Phase == "warm" && r.GetMaps != r.Opens {
+			t.Fatalf("cache-disabled warm pass issued %d getMaps for %d opens, want one per open", r.GetMaps, r.Opens)
+		}
 	}
 }
 

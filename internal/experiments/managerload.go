@@ -3,6 +3,8 @@ package experiments
 import (
 	"encoding/json"
 	"fmt"
+	"os"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -20,11 +22,18 @@ import (
 // never pushed: hundreds of small checkpointing clients hitting the
 // metadata plane at once (workload.ManyWriters).
 //
-// Two manager variants run the same sweep on the same machine:
+// Four manager variants run the same sweep on the same machine:
 //
 //   - stripes=1: the historical single-mutex catalog (every alloc,
 //     extend, dedup probe and commit serializes on one lock);
-//   - striped: the default lock-striped catalog + chunk index.
+//   - striped: the default lock-striped catalog + chunk index;
+//   - striped+jsync: journaling in the historical synchronous mode —
+//     every commit marshals, writes and flushes its journal record
+//     inside the dataset stripe's critical section, so journaled commits
+//     re-serialize on the journal mutex;
+//   - striped+jasync: journaling through the ordered async writer — the
+//     critical section only takes an order ticket, so the jasync/jsync
+//     tps ratio is the journal unserialization win measured in one run.
 //
 // Writers drive the manager's real handler path in-process
 // (Manager.Invoke) so the measurement isolates the metadata plane — the
@@ -46,6 +55,7 @@ func ManagerLoad(cfg Config) error {
 		Variant    string  `json:"variant"`
 		Stripes    int     `json:"stripes"`
 		Writers    int     `json:"writers"`
+		Journal    string  `json:"journal,omitempty"`
 		TPS        float64 `json:"tps"`
 		Checkpoint float64 `json:"checkpointsPerSec"`
 		Contended  int64   `json:"stripeContention"`
@@ -54,9 +64,12 @@ func ManagerLoad(cfg Config) error {
 	variants := []struct {
 		name    string
 		stripes int
+		journal string // "" | "sync" | "async"
 	}{
-		{"single-mutex", 1},
-		{"striped", 0}, // manager default
+		{"single-mutex", 1, ""},
+		{"striped", 0, ""}, // manager default
+		{"striped+jsync", 0, "sync"},
+		{"striped+jasync", 0, "async"},
 	}
 
 	fmt.Fprintf(cfg.Out, "Manager metadata-plane load (§V.E): %d-chunk checkpoints of %d KB, 5 metadata RPCs per checkpoint\n",
@@ -69,7 +82,7 @@ func ManagerLoad(cfg Config) error {
 	for _, v := range variants {
 		tpsAt[v.name] = make(map[int]float64)
 		for _, w := range writersSweep {
-			c, err := managerLoadCell(v.stripes, w, cellDur, imageSize, chunksPerCk, benefactors)
+			c, err := managerLoadCell(v.stripes, v.journal, w, cellDur, imageSize, chunksPerCk, benefactors)
 			if err != nil {
 				return fmt.Errorf("managerload %s/%d: %w", v.name, w, err)
 			}
@@ -81,22 +94,23 @@ func ManagerLoad(cfg Config) error {
 				v.name, w, c.tps, c.ckps, contPct, c.contended, c.stripeOps)
 			tpsAt[v.name][w] = c.tps
 			cells = append(cells, cell{
-				Variant: v.name, Stripes: c.stripes, Writers: w,
+				Variant: v.name, Stripes: c.stripes, Writers: w, Journal: v.journal,
 				TPS: c.tps, Checkpoint: c.ckps,
 				Contended: c.contended, StripeOps: c.stripeOps,
 			})
 		}
 	}
 
-	speedup := func(w int) float64 {
-		base := tpsAt["single-mutex"][w]
-		if base <= 0 {
+	ratio := func(num, den string, w int) float64 {
+		if tpsAt[den][w] <= 0 {
 			return 0
 		}
-		return tpsAt["striped"][w] / base
+		return tpsAt[num][w] / tpsAt[den][w]
 	}
 	fmt.Fprintf(cfg.Out, "striped/single-mutex tps: %.2fx at 64 writers, %.2fx at 256 writers\n",
-		speedup(64), speedup(256))
+		ratio("striped", "single-mutex", 64), ratio("striped", "single-mutex", 256))
+	fmt.Fprintf(cfg.Out, "async/sync journal tps: %.2fx at 64 writers, %.2fx at 256 writers (ordered async writer win)\n",
+		ratio("striped+jasync", "striped+jsync", 64), ratio("striped+jasync", "striped+jsync", 256))
 	fmt.Fprintf(cfg.Out, "paper: manager sustains well over 1,000 transactions per second (§V.E)\n\n")
 
 	if cfg.JSON != nil {
@@ -118,16 +132,28 @@ type loadResult struct {
 	stripeOps int64
 }
 
-// managerLoadCell runs one (stripes, writers) configuration for roughly
-// dur and returns the measured rates.
-func managerLoadCell(stripes, writers int, dur time.Duration, imageSize int64, chunksPerCk, benefactors int) (loadResult, error) {
-	m, err := manager.New(manager.Config{
+// managerLoadCell runs one (stripes, journal-mode, writers) configuration
+// for roughly dur and returns the measured rates. journal "" runs
+// unjournaled; "sync"/"async" journal to a fresh temp file in the
+// corresponding mode.
+func managerLoadCell(stripes int, journal string, writers int, dur time.Duration, imageSize int64, chunksPerCk, benefactors int) (loadResult, error) {
+	mcfg := manager.Config{
 		MetadataStripes:     stripes,
 		HeartbeatInterval:   time.Hour, // load cells outlive no heartbeats
 		ReplicationInterval: time.Hour,
 		PruneInterval:       time.Hour,
 		SessionTTL:          time.Hour,
-	})
+	}
+	if journal != "" {
+		dir, err := os.MkdirTemp("", "stdchk-managerload")
+		if err != nil {
+			return loadResult{}, err
+		}
+		defer os.RemoveAll(dir)
+		mcfg.JournalPath = filepath.Join(dir, "journal")
+		mcfg.SyncJournal = journal == "sync"
+	}
+	m, err := manager.New(mcfg)
 	if err != nil {
 		return loadResult{}, err
 	}

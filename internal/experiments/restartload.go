@@ -1,0 +1,235 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"stdchk/internal/client"
+	"stdchk/internal/core"
+	"stdchk/internal/device"
+	"stdchk/internal/grid"
+	"stdchk/internal/manager"
+)
+
+// RestartLoad measures the restart fast path: N reader clients re-opening
+// M committed checkpoint datasets through the federation router, cold
+// (empty chunk-map caches) versus warm (second pass of the same
+// clients). This is the DMTCP-style restart storm the paper's read goal
+// (§IV.A "provide good read performance to minimize restart delays")
+// exists for: every process of a job opens its checkpoint at once, and
+// the metadata plane — not the data path — sets the latency floor.
+//
+// Two open modes run the same sweep:
+//
+//   - version: explicit-version opens. A warm client serves these from
+//     its cache with ZERO manager RPCs (committed versions are
+//     immutable).
+//   - latest: "newest version" opens. A warm client revalidates with one
+//     MStatVersion probe (name → version identity, no location payload)
+//     and reuses the cached map on match.
+//
+// The JSON records carry the per-phase manager RPC deltas (getMaps,
+// statVersions) and the manager-side hot-map cache counters, so the
+// zero-RPC warm-path claim is asserted, not eyeballed
+// (TestRestartLoadSmoke gates it in CI). -map-cache=false runs the
+// ablation baseline where every open pays a full MGetMap.
+//
+// Like managerload/fedload the shape is fixed (Config.Scale has no
+// effect): 2 federated managers over real sockets, 8 datasets x 2
+// versions of 256 KB in 32 KB chunks.
+func RestartLoad(cfg Config) error {
+	cfg = cfg.withDefaults()
+	const (
+		managers    = 2
+		datasets    = 8
+		versionsPer = 2
+		imageSize   = 256 << 10
+		chunkSize   = 32 << 10
+	)
+	readersSweep := []int{4, 16}
+
+	type cell struct {
+		Experiment   string  `json:"experiment"`
+		Mode         string  `json:"mode"`
+		Readers      int     `json:"readers"`
+		Phase        string  `json:"phase"`
+		Opens        int64   `json:"opens"`
+		OpensPerSec  float64 `json:"opensPerSec"`
+		GetMaps      int64   `json:"getMaps"`
+		StatVersions int64   `json:"statVersions"`
+		MgrCacheHits int64   `json:"managerMapCacheHits"`
+	}
+
+	mgrCache := 0 // manager default (hot-map cache on)
+	if cfg.DisableMapCache {
+		mgrCache = -1
+	}
+	jdir, err := os.MkdirTemp("", "stdchk-restartload")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(jdir)
+	c, err := grid.Start(grid.Options{
+		Managers:          managers,
+		Benefactors:       8,
+		BenefactorProfile: device.Unshaped(),
+		Manager: manager.Config{
+			HeartbeatInterval:   200 * time.Millisecond,
+			ReplicationInterval: time.Hour, // no replica churn mid-measurement
+			PruneInterval:       time.Hour,
+			MapCacheEntries:     mgrCache,
+			// A journaled metadata plane, in the configured mode: the
+			// seeding commits run through the ordered async writer by
+			// default, or the -sync-journal historical baseline.
+			JournalPath: filepath.Join(jdir, "journal"),
+			SyncJournal: cfg.SyncJournal,
+		},
+		GCGrace:    time.Hour,
+		GCInterval: time.Hour,
+	})
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+
+	// Seed the checkpoint set through a writer client, then record each
+	// dataset's latest committed version for the explicit-version mode.
+	seeder, _, err := c.NewClient(client.Config{
+		StripeWidth: 2, ChunkSize: chunkSize, Replication: 1,
+		Semantics: core.WriteOptimistic,
+	}, device.Unshaped())
+	if err != nil {
+		return err
+	}
+	names := make([]string, datasets)
+	latest := make([]core.VersionID, datasets)
+	for d := 0; d < datasets; d++ {
+		names[d] = fmt.Sprintf("rl.n%d", d)
+		for t := 0; t < versionsPer; t++ {
+			if _, err := writeOnce(seeder, fmt.Sprintf("rl.n%d.t%d", d, t), imageSize, appBlock); err != nil {
+				seeder.Close()
+				return err
+			}
+		}
+		info, err := seeder.Stat(names[d])
+		if err != nil {
+			seeder.Close()
+			return err
+		}
+		latest[d] = info.Versions[len(info.Versions)-1].Version
+	}
+	seeder.Close()
+
+	cacheEntries := 0 // client default (cache on)
+	if cfg.DisableMapCache {
+		cacheEntries = -1
+	}
+
+	fmt.Fprintf(cfg.Out, "Restart storm (§V read path): %d readers x %d datasets through a %d-manager router, cold vs warm chunk-map caches\n",
+		readersSweep[len(readersSweep)-1], datasets, managers)
+	if cfg.DisableMapCache {
+		fmt.Fprintf(cfg.Out, "ablation: -map-cache=false (every open pays a full getMap)\n")
+	}
+	fmt.Fprintf(cfg.Out, "%-9s %8s %6s %10s %12s %10s %14s %10s\n",
+		"mode", "readers", "phase", "opens", "opens/s", "getMaps", "statVersions", "mgr hits")
+
+	var cells []cell
+	openOne := func(cl *client.Client, mode string, d int) error {
+		var r *client.Reader
+		var err error
+		if mode == "version" {
+			r, err = cl.OpenVersion(names[d], latest[d])
+		} else {
+			r, err = cl.Open(names[d])
+		}
+		if err != nil {
+			return err
+		}
+		if r.Size() != imageSize {
+			r.Close()
+			return fmt.Errorf("open %s: size %d, want %d", names[d], r.Size(), int64(imageSize))
+		}
+		return r.Close()
+	}
+
+	for _, mode := range []string{"version", "latest"} {
+		for _, readers := range readersSweep {
+			clients := make([]*client.Client, readers)
+			for i := range clients {
+				cl, _, err := c.NewClient(client.Config{
+					StripeWidth: 2, ChunkSize: chunkSize, Replication: 1,
+					Semantics: core.WriteOptimistic, MapCacheEntries: cacheEntries,
+				}, device.Unshaped())
+				if err != nil {
+					return err
+				}
+				clients[i] = cl
+			}
+
+			for _, phase := range []string{"cold", "warm"} {
+				rounds := cfg.Runs
+				if phase == "cold" {
+					// One pass defines cold; repetition would warm it.
+					rounds = 1
+				}
+				before := c.Stats()
+				start := time.Now()
+				var wg sync.WaitGroup
+				errCh := make(chan error, readers)
+				for _, cl := range clients {
+					wg.Add(1)
+					go func(cl *client.Client) {
+						defer wg.Done()
+						for rep := 0; rep < rounds; rep++ {
+							for d := 0; d < datasets; d++ {
+								if err := openOne(cl, mode, d); err != nil {
+									errCh <- err
+									return
+								}
+							}
+						}
+					}(cl)
+				}
+				wg.Wait()
+				close(errCh)
+				for err := range errCh {
+					return fmt.Errorf("restartload %s/%d/%s: %w", mode, readers, phase, err)
+				}
+				elapsed := time.Since(start)
+				after := c.Stats()
+				opens := int64(readers) * int64(datasets) * int64(rounds)
+				cl := cell{
+					Experiment: "restartload", Mode: mode, Readers: readers, Phase: phase,
+					Opens:        opens,
+					OpensPerSec:  float64(opens) / elapsed.Seconds(),
+					GetMaps:      after.GetMaps - before.GetMaps,
+					StatVersions: after.StatVersions - before.StatVersions,
+					MgrCacheHits: after.MapCache.Hits - before.MapCache.Hits,
+				}
+				cells = append(cells, cl)
+				fmt.Fprintf(cfg.Out, "%-9s %8d %6s %10d %12.0f %10d %14d %10d\n",
+					mode, readers, phase, cl.Opens, cl.OpensPerSec, cl.GetMaps, cl.StatVersions, cl.MgrCacheHits)
+			}
+			for _, cl := range clients {
+				cl.Close()
+			}
+		}
+	}
+	fmt.Fprintf(cfg.Out, "warm re-opens: explicit-version = zero manager RPCs, latest = one MStatVersion each;\n")
+	fmt.Fprintf(cfg.Out, "cold opens share the manager's hot-map cache (one location sort per version, not per reader)\n")
+	fmt.Fprintf(cfg.Out, "paper: read performance minimizes restart delays (§IV.A); 1-CPU boxes time-slice readers, see EXPERIMENTS.md\n\n")
+
+	if cfg.JSON != nil {
+		enc := json.NewEncoder(cfg.JSON)
+		for _, cl := range cells {
+			if err := enc.Encode(cl); err != nil {
+				return fmt.Errorf("restartload: json: %w", err)
+			}
+		}
+	}
+	return nil
+}

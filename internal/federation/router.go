@@ -273,6 +273,18 @@ func (r *Router) GetMap(req proto.GetMapReq) (proto.GetMapResp, error) {
 	return resp, err
 }
 
+// StatVersion resolves a name to its committed version identity on the
+// owner of req.Name — the client chunk-map cache's "latest" revalidation
+// probe. The partition epoch rides along like every dataset-scoped call,
+// so a member restarted without its federation identity answers
+// ErrEpochMismatch and the client must not trust (or serve) a cached map.
+func (r *Router) StatVersion(req proto.StatVersionReq) (proto.StatVersionResp, error) {
+	req.PartitionEpoch = r.wireEpoch()
+	var resp proto.StatVersionResp
+	err := r.callOwner(req.Name, proto.MStatVersion, req, &resp)
+	return resp, err
+}
+
 // Stat summarizes one dataset from its owner.
 func (r *Router) Stat(name string) (core.DatasetInfo, error) {
 	var resp proto.StatResp
@@ -385,6 +397,11 @@ func MergeStats(all []proto.ManagerStats) proto.ManagerStats {
 		agg.DedupBatches += st.DedupBatches
 		agg.DedupChunks += st.DedupChunks
 		agg.DedupHits += st.DedupHits
+		agg.GetMaps += st.GetMaps
+		agg.StatVersions += st.StatVersions
+		agg.MapCache.Hits += st.MapCache.Hits
+		agg.MapCache.Misses += st.MapCache.Misses
+		agg.MapCache.Invalidations += st.MapCache.Invalidations
 		agg.ReplicasCopied += st.ReplicasCopied
 		agg.ChunksCollected += st.ChunksCollected
 		agg.VersionsPruned += st.VersionsPruned

@@ -1,0 +1,225 @@
+package grid
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"stdchk/internal/client"
+	"stdchk/internal/core"
+	"stdchk/internal/device"
+	"stdchk/internal/federation"
+	"stdchk/internal/manager"
+)
+
+// TestReadPathCacheEndToEnd drives the whole read fast path over real
+// sockets: repeat opens are served by the client chunk-map cache (zero
+// getMaps for explicit versions, one MStatVersion probe for latest), a
+// second client's cold opens hit the manager-side hot-map cache, and —
+// the correctness half — a commit of version v+1 invalidates both layers
+// so "latest" never serves stale bytes.
+func TestReadPathCacheEndToEnd(t *testing.T) {
+	c, err := Start(Options{
+		Benefactors:       3,
+		BenefactorProfile: device.Unshaped(),
+		Manager:           manager.Config{ReplicationInterval: time.Hour},
+		GCInterval:        time.Hour,
+		GCGrace:           time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+
+	cl1 := testClient(t, c, client.Config{StripeWidth: 2, ChunkSize: 16 << 10, Replication: 1})
+	cl2 := testClient(t, c, client.Config{StripeWidth: 2, ChunkSize: 16 << 10, Replication: 1})
+
+	write := func(name string, img []byte) {
+		t.Helper()
+		w, err := cl1.Create(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := w.Write(img); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	readLatest := func(cl *client.Client) []byte {
+		t.Helper()
+		r, err := cl.Open("rp.n1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer r.Close()
+		got, err := r.ReadAll()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+
+	v1 := fedImage(51, 64<<10)
+	write("rp.n1.t0", v1)
+
+	if got := readLatest(cl1); !bytes.Equal(got, v1) {
+		t.Fatal("cold open read wrong bytes")
+	}
+	base := c.Stats()
+
+	// Warm latest re-open: one revalidation probe, no map fetch, and the
+	// bytes still verify (integrity is checked per chunk on read).
+	if got := readLatest(cl1); !bytes.Equal(got, v1) {
+		t.Fatal("warm open read wrong bytes")
+	}
+	after := c.Stats()
+	if d := after.GetMaps - base.GetMaps; d != 0 {
+		t.Fatalf("warm latest re-open issued %d getMaps, want 0", d)
+	}
+	if d := after.StatVersions - base.StatVersions; d != 1 {
+		t.Fatalf("warm latest re-open issued %d statVersions, want 1", d)
+	}
+
+	// A second client is cold client-side but the manager has the map
+	// memoized: its fetch must be a hot-map cache hit.
+	if got := readLatest(cl2); !bytes.Equal(got, v1) {
+		t.Fatal("second client read wrong bytes")
+	}
+	after2 := c.Stats()
+	if d := after2.MapCache.Hits - after.MapCache.Hits; d != 1 {
+		t.Fatalf("second client's fetch recorded %d hot-map cache hits, want 1", d)
+	}
+
+	// Version v+1: both cache layers must be invalidated — a stale
+	// "latest" would return v1's bytes.
+	v2 := fedImage(52, 64<<10)
+	write("rp.n1.t1", v2)
+	if got := readLatest(cl1); !bytes.Equal(got, v2) {
+		t.Fatal("open after commit of v+1 served stale bytes")
+	}
+	if got := readLatest(cl2); !bytes.Equal(got, v2) {
+		t.Fatal("second client served stale bytes after commit of v+1")
+	}
+
+	// The explicit old version stays addressable — from cl1's cache with
+	// zero additional map fetches.
+	info, err := cl1.Stat("rp.n1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(info.Versions) != 2 {
+		t.Fatalf("chain has %d versions, want 2", len(info.Versions))
+	}
+	before := c.Stats()
+	r, err := cl1.OpenVersion("rp.n1", info.Versions[0].Version)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.ReadAll()
+	r.Close()
+	if err != nil || !bytes.Equal(got, v1) {
+		t.Fatalf("explicit old-version read failed: %v", err)
+	}
+	afterOld := c.Stats()
+	if d := afterOld.GetMaps - before.GetMaps; d != 0 {
+		t.Fatalf("cached explicit-version open issued %d getMaps, want 0", d)
+	}
+	if d := afterOld.StatVersions - before.StatVersions; d != 0 {
+		t.Fatalf("cached explicit-version open issued %d statVersions, want 0", d)
+	}
+}
+
+// TestFederatedCachedMapEpochCheck pins the federation satellite: a
+// client holding a warm cached map keeps revalidating "latest" opens
+// through the owner member, so when that member is restarted WITHOUT its
+// federation identity (a real misconfiguration: -federation flags
+// dropped), the epoch check refuses the probe and the client surfaces
+// ErrEpochMismatch instead of quietly serving its cached map.
+func TestFederatedCachedMapEpochCheck(t *testing.T) {
+	const managers = 2
+	c := fedCluster(t, managers, 2)
+
+	// A dataset owned by member 0 — the member we will break.
+	name := ""
+	for i := 0; ; i++ {
+		key := fmt.Sprintf("ep.n%d", i)
+		if federation.OwnerIndex(key, managers) == 0 {
+			name = key
+			break
+		}
+	}
+	cl := testClient(t, c, client.Config{StripeWidth: 1, ChunkSize: 16 << 10, Replication: 1})
+	img := fedImage(77, 48<<10)
+	w, err := cl.Create(name + ".t0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write(img); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Wait(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Warm the client cache and record the explicit version.
+	r, err := cl.Open(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ver := r.Map().Version
+	r.Close()
+
+	// Replace member 0 with a standalone manager on the same address —
+	// same socket, no partition identity.
+	addr := c.Managers[0].Addr()
+	if err := c.Managers[0].Close(); err != nil {
+		t.Fatal(err)
+	}
+	var repl *manager.Manager
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		repl, err = manager.New(manager.Config{
+			ListenAddr:        addr,
+			HeartbeatInterval: 200 * time.Millisecond,
+		})
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("rebind standalone replacement: %v", err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	c.Managers[0] = repl
+	c.Manager = repl
+
+	// A "latest" open must revalidate — and the replacement, seeing a
+	// partition epoch it does not carry, must refuse. The cached map is
+	// NOT served.
+	if _, err := cl.Open(name); !errors.Is(err, core.ErrEpochMismatch) {
+		t.Fatalf("latest open against de-federated owner returned %v, want ErrEpochMismatch", err)
+	}
+
+	// An explicit-version open never consults the manager: committed
+	// versions are immutable, so the cached map still serves reads (the
+	// data plane is untouched by the metadata misconfiguration).
+	r2, err := cl.OpenVersion(name, ver)
+	if err != nil {
+		t.Fatalf("explicit-version open from cache failed: %v", err)
+	}
+	got, err := r2.ReadAll()
+	r2.Close()
+	if err != nil || !bytes.Equal(got, img) {
+		t.Fatalf("cached explicit-version read failed: %v", err)
+	}
+}

@@ -2,6 +2,7 @@ package manager
 
 import (
 	"fmt"
+	"path/filepath"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -17,13 +18,28 @@ import (
 // writers on distinct datasets, the stripe-friendly §V.E shape. The
 // bench-compare CI job gates allocs/op regressions on this path, and the
 // managerload experiment runs the identical driver.
+//
+// The journal sub-benchmarks measure the commit path's journaling cost in
+// one run: journal-sync is the historical mode (marshal + write + flush
+// inside the dataset stripe's critical section, all commits serialized on
+// the journal mutex), journal-async the ordered ticket writer that keeps
+// only an atomic increment and a channel send in the critical section.
 func BenchmarkManagerOps(b *testing.B) {
-	m, err := New(Config{
-		HeartbeatInterval:   time.Hour,
-		ReplicationInterval: time.Hour,
-		PruneInterval:       time.Hour,
-		SessionTTL:          time.Hour,
+	b.Run("no-journal", func(b *testing.B) { benchManagerOps(b, Config{}) })
+	b.Run("journal-async", func(b *testing.B) {
+		benchManagerOps(b, Config{JournalPath: filepath.Join(b.TempDir(), "journal")})
 	})
+	b.Run("journal-sync", func(b *testing.B) {
+		benchManagerOps(b, Config{JournalPath: filepath.Join(b.TempDir(), "journal"), SyncJournal: true})
+	})
+}
+
+func benchManagerOps(b *testing.B, cfg Config) {
+	cfg.HeartbeatInterval = time.Hour
+	cfg.ReplicationInterval = time.Hour
+	cfg.PruneInterval = time.Hour
+	cfg.SessionTTL = time.Hour
+	m, err := New(cfg)
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -37,6 +37,14 @@ type catalog struct {
 	ds []*datasetShard // len is a power of two
 	ck []*chunkShard   // len is a power of two
 
+	// maps memoizes wire-ready chunk-maps per (dataset, version) so
+	// repeat getMaps — the restart-storm shape — skip the per-chunk
+	// location sorting and chunk-stripe lock traffic of buildMap. It is
+	// consulted and filled under the dataset stripe's RLock and
+	// invalidated by commit/delete/restore (dataset-scoped, under the
+	// stripe's write lock) and replica death (full flush). Leaf lock.
+	maps *hotMapCache
+
 	nextDataset  atomic.Uint64
 	nextVersion  atomic.Uint64
 	logicalBytes atomic.Int64 // sum of committed file sizes
@@ -194,8 +202,9 @@ func newCatalog() *catalog { return newCatalogStripes(defaultStripes) }
 func newCatalogStripes(stripes int) *catalog {
 	n := normalizeStripes(stripes)
 	c := &catalog{
-		ds: make([]*datasetShard, n),
-		ck: make([]*chunkShard, n),
+		ds:   make([]*datasetShard, n),
+		ck:   make([]*chunkShard, n),
+		maps: newHotMapCache(defaultMapCacheEntries),
 	}
 	for i := range c.ds {
 		c.ds[i] = &datasetShard{byName: make(map[string]*dataset)}
@@ -574,6 +583,10 @@ func (c *catalog) commit(fileName string, folder string, replication int, chunkS
 	}
 	ds.versions = append(ds.versions, v)
 	c.logicalBytes.Add(fileSize)
+	// Drop the dataset's memoized maps while the write lock is held: the
+	// version chain changed, and chargeChunks may have merged fresh
+	// locations into chunks earlier versions share.
+	c.maps.invalidateDataset(key)
 	m := c.buildMap(ds, v)
 	if c.journalHook != nil {
 		c.journalHook(journalEntry{
@@ -650,15 +663,43 @@ func (c *catalog) forEachRefShard(refs []core.ChunkRef, instrumented bool, fn fu
 // getMap returns the chunk-map for a file name or dataset key. Version 0
 // means the latest version; a full A.Ni.Tj name selects that timestep's
 // version if present.
+//
+// The hot-map cache sits in front of buildMap: a hit serves a clone of
+// the memoized wire-ready map (locations already sorted) with no chunk
+// stripe traffic; a miss builds, serves, and memoizes. Both run under the
+// dataset stripe's RLock, so a commit or delete of this dataset (write
+// lock) can never interleave between version resolution and cache fill.
 func (c *catalog) getMap(name string, ver core.VersionID) (string, *core.ChunkMap, error) {
-	sh := c.dsShardOf(namespace.DatasetOf(name))
+	key := namespace.DatasetOf(name)
+	sh := c.dsShardOf(key)
 	sh.rlock()
 	defer sh.runlock()
 	ds, v, err := c.lookupLocked(sh, name, ver)
 	if err != nil {
 		return "", nil, err
 	}
-	return v.fileName, c.buildMap(ds, v), nil
+	if fileName, m := c.maps.get(key, v.id); m != nil {
+		return fileName, m, nil
+	}
+	gen := c.maps.generation()
+	m := c.buildMap(ds, v)
+	c.maps.put(gen, key, v.fileName, m.Clone())
+	return v.fileName, m, nil
+}
+
+// statVersion resolves a name to its committed version identity — the
+// MStatVersion fast path. It touches only the dataset stripe (RLock), no
+// chunk stripes and no map assembly: the cheapest possible answer to "is
+// the version I cached still current?".
+func (c *catalog) statVersion(name string) (string, core.DatasetID, core.VersionID, error) {
+	sh := c.dsShardOf(namespace.DatasetOf(name))
+	sh.rlock()
+	defer sh.runlock()
+	ds, v, err := c.lookupLocked(sh, name, 0)
+	if err != nil {
+		return "", 0, 0, err
+	}
+	return v.fileName, ds.id, v.id, nil
 }
 
 // lookupLocked resolves a name (+ optional explicit version) to a version.
@@ -738,6 +779,9 @@ func (c *catalog) deleteVersion(name string, ver core.VersionID) ([]core.ChunkID
 	if c.journalHook != nil {
 		c.journalHook(journalEntry{Op: "delete", Name: name, Version: ver})
 	}
+	// A deleted version must not be servable from the hot-map cache: its
+	// chunks may lose their last reference and be garbage collected.
+	c.maps.invalidateDataset(key)
 	orphans := c.dropVersions(victims)
 	ds.versions = kept
 	if len(ds.versions) == 0 {
@@ -790,7 +834,12 @@ func (c *catalog) addLocation(id core.ChunkID, node core.NodeID) {
 
 // dropLocationEverywhere removes a node from all chunk location sets
 // (permanent decommission; not used for mere offline transitions, where
-// the node may come back with its chunks intact).
+// the node may come back with its chunks intact). This is the one event
+// that shrinks location sets while versions stay alive, so the whole
+// hot-map cache is flushed: a node's chunks span datasets, and a cached
+// map pointing at the dead replica would defeat reader failover. The
+// flush runs after the scrub — its generation bump also discards any map
+// built concurrently from half-scrubbed stripes.
 func (c *catalog) dropLocationEverywhere(node core.NodeID) {
 	for _, sh := range c.ck {
 		sh.lock()
@@ -799,6 +848,7 @@ func (c *catalog) dropLocationEverywhere(node core.NodeID) {
 		}
 		sh.unlock()
 	}
+	c.maps.invalidateAll()
 }
 
 // list summarizes datasets, optionally restricted to a folder.

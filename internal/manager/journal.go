@@ -8,6 +8,7 @@ import (
 	"io"
 	"os"
 	"sync"
+	"sync/atomic"
 
 	"stdchk/internal/core"
 	"stdchk/internal/namespace"
@@ -31,15 +32,57 @@ type journalEntry struct {
 }
 
 // journal is the append-only writer plus the entries found at open time.
+//
+// Two append modes share the type. Synchronous (historical) appends
+// marshal, write and flush inline under the journal mutex — callers hold
+// their dataset stripe's critical section, so every journaled mutation in
+// the process serializes on that mutex. Asynchronous (default) appends
+// only take an order ticket and enqueue: record assigns a strictly
+// increasing sequence number (inside the caller's stripe critical
+// section, which is what makes ticket order match publication order — see
+// catalog.journalHook) and a single writer goroutine appends entries in
+// ticket order, flushing when its queue goes quiet instead of per record.
+// Commits regain full stripe parallelism; the cost is a small window of
+// acknowledged-but-unjournaled entries (queued or buffered, never
+// fsynced) that a process crash loses. Clean shutdown loses nothing:
+// close drains the queue and flushes before the file closes. Deployments
+// that cannot accept the window set Config.SyncJournal.
 type journal struct {
 	mu      sync.Mutex
 	f       *os.File
 	w       *bufio.Writer
 	entries []journalEntry
+
+	// sync selects the historical inline append mode.
+	sync bool
+
+	// Async mode. closeMu lets concurrent records (RLock) ticket and
+	// enqueue in parallel while close (Lock) waits them out before
+	// closing the queue; seq is the order ticket; done signals the writer
+	// goroutine has drained and flushed.
+	closeMu sync.RWMutex
+	closed  bool
+	seq     atomic.Uint64
+	queue   chan seqEntry
+	done    chan struct{}
+	logf    func(format string, args ...interface{})
 }
 
+type seqEntry struct {
+	seq uint64
+	e   journalEntry
+}
+
+// journalQueueDepth bounds acknowledged-but-unwritten entries. A full
+// queue applies backpressure to committers (the enqueue blocks inside the
+// stripe critical section), which also bounds the crash window.
+const journalQueueDepth = 1024
+
 // openJournal reads any existing entries and opens the file for appends.
-func openJournal(path string) (*journal, error) {
+// syncMode selects inline (historical) appends; otherwise the ordered
+// async writer goroutine is started. logf receives append failures (they
+// are logged, not fatal — the paper's quorum recovery remains available).
+func openJournal(path string, syncMode bool, logf func(string, ...interface{})) (*journal, error) {
 	entries, err := readJournal(path)
 	if err != nil {
 		return nil, err
@@ -48,7 +91,16 @@ func openJournal(path string) (*journal, error) {
 	if err != nil {
 		return nil, fmt.Errorf("open journal %s: %w", path, err)
 	}
-	return &journal{f: f, w: bufio.NewWriter(f), entries: entries}, nil
+	if logf == nil {
+		logf = func(string, ...interface{}) {}
+	}
+	j := &journal{f: f, w: bufio.NewWriter(f), entries: entries, sync: syncMode, logf: logf}
+	if !syncMode {
+		j.queue = make(chan seqEntry, journalQueueDepth)
+		j.done = make(chan struct{})
+		go j.writeLoop()
+	}
+	return j, nil
 }
 
 func readJournal(path string) ([]journalEntry, error) {
@@ -77,13 +129,34 @@ func readJournal(path string) ([]journalEntry, error) {
 	return entries, nil
 }
 
-// record appends one entry and flushes it.
+// record appends one entry. Synchronous mode writes and flushes inline;
+// asynchronous mode assigns the next order ticket and enqueues, leaving
+// marshal/write/flush to the writer goroutine. Callers inside a dataset
+// stripe critical section therefore hold it only for an atomic increment
+// and a channel send.
 func (j *journal) record(e journalEntry) error {
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	if j.f == nil {
+	if j.sync {
+		j.mu.Lock()
+		defer j.mu.Unlock()
+		if j.f == nil {
+			return core.ErrClosed
+		}
+		if err := j.appendLocked(e); err != nil {
+			return err
+		}
+		return j.w.Flush()
+	}
+	j.closeMu.RLock()
+	defer j.closeMu.RUnlock()
+	if j.closed {
 		return core.ErrClosed
 	}
+	j.queue <- seqEntry{seq: j.seq.Add(1), e: e}
+	return nil
+}
+
+// appendLocked marshals and buffers one entry. Callers hold j.mu.
+func (j *journal) appendLocked(e journalEntry) error {
 	b, err := json.Marshal(e)
 	if err != nil {
 		return fmt.Errorf("journal: marshal: %w", err)
@@ -91,10 +164,68 @@ func (j *journal) record(e journalEntry) error {
 	if _, err := j.w.Write(append(b, '\n')); err != nil {
 		return fmt.Errorf("journal: append: %w", err)
 	}
-	return j.w.Flush()
+	return nil
 }
 
+// writeLoop is the async writer: it reorders arrivals into ticket order
+// (concurrent enqueuers can interleave between Add and send) and appends
+// each entry exactly when its ticket is next, flushing whenever the queue
+// goes quiet rather than per record. Every allocated ticket is delivered
+// before the queue closes (record holds closeMu.RLock across ticket and
+// send; close takes the write lock first), so the loop never exits with a
+// gap outstanding.
+func (j *journal) writeLoop() {
+	defer close(j.done)
+	next := uint64(1)
+	pending := make(map[uint64]journalEntry)
+	flushed := true
+	for se := range j.queue {
+		pending[se.seq] = se.e
+		for {
+			e, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			next++
+			j.mu.Lock()
+			err := j.appendLocked(e)
+			j.mu.Unlock()
+			if err != nil {
+				j.logf("journal write failed: %v", err)
+				continue
+			}
+			flushed = false
+		}
+		if !flushed && len(j.queue) == 0 {
+			j.mu.Lock()
+			if err := j.w.Flush(); err != nil {
+				j.logf("journal flush failed: %v", err)
+			}
+			j.mu.Unlock()
+			flushed = true
+		}
+	}
+	if len(pending) > 0 {
+		// Unreachable by construction; refuse to drop entries silently if
+		// the construction ever breaks.
+		j.logf("journal writer exiting with %d out-of-order entries stranded", len(pending))
+	}
+}
+
+// close drains the async queue (writing every acknowledged entry in
+// ticket order), flushes, and closes the file. Safe to call once; the
+// manager guards it with closeOnce.
 func (j *journal) close() {
+	if !j.sync {
+		j.closeMu.Lock()
+		if !j.closed {
+			j.closed = true
+			close(j.queue)
+		}
+		j.closeMu.Unlock()
+		<-j.done
+	}
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.f != nil {

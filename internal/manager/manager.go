@@ -72,11 +72,26 @@ type Config struct {
 	// (16); 1 degenerates to the historical single-lock catalog and
 	// exists for the managerload before/after baseline.
 	MetadataStripes int
+	// MapCacheEntries bounds the hot-map cache in front of getMap
+	// (memoized wire-ready chunk-maps per dataset version; see
+	// hotMapCache). 0 selects the default (1024 entries); negative
+	// disables the cache — the ablation baseline where every getMap
+	// rebuilds and re-sorts its location sets.
+	MapCacheEntries int
 	// PruneInterval paces the folder-policy pruner.
 	PruneInterval time.Duration
 	// JournalPath, when set, persists commits/deletes/policies to an
 	// append-only journal replayed on restart.
 	JournalPath string
+	// SyncJournal restores the historical journal mode: every commit and
+	// delete marshals, writes and flushes its journal record inline under
+	// the dataset stripe's critical section, serializing all journaled
+	// mutations on the journal mutex. The default (false) is the ordered
+	// async writer: the critical section only takes an order ticket, a
+	// writer goroutine appends in ticket order, and a process crash can
+	// lose a small window of acknowledged-but-unjournaled entries (clean
+	// shutdown drains; see journal).
+	SyncJournal bool
 	// Recover starts the manager in recovery mode: registering
 	// benefactors are asked for their chunk-map replicas, and datasets
 	// are restored once two-thirds of a map's stripe concur (paper §IV.A).
@@ -148,6 +163,8 @@ type Manager struct {
 		dedupBatches       atomic.Int64
 		dedupChunksQueried atomic.Int64
 		dedupHits          atomic.Int64
+		getMaps            atomic.Int64
+		statVersions       atomic.Int64
 		replicasCopied     atomic.Int64
 		chunksCollected    atomic.Int64
 		versionsPruned     atomic.Int64
@@ -182,8 +199,15 @@ func New(cfg Config) (*Manager, error) {
 		}
 		m.fed = ms
 	}
+	if cfg.MapCacheEntries != 0 {
+		n := cfg.MapCacheEntries
+		if n < 0 {
+			n = 0 // disabled
+		}
+		m.cat.maps = newHotMapCache(n)
+	}
 	if cfg.JournalPath != "" {
-		j, err := openJournal(cfg.JournalPath)
+		j, err := openJournal(cfg.JournalPath, cfg.SyncJournal, m.logf)
 		if err != nil {
 			return nil, fmt.Errorf("manager: %w", err)
 		}
@@ -409,6 +433,7 @@ func (m *Manager) handle(r *wire.Req) (wire.Resp, error) {
 			return wire.Resp{}, err
 		}
 		m.stats.transactions.Add(1)
+		m.stats.getMaps.Add(1)
 		if err := m.checkPartition(req.Name, req.PartitionEpoch); err != nil {
 			return wire.Resp{}, err
 		}
@@ -417,6 +442,21 @@ func (m *Manager) handle(r *wire.Req) (wire.Resp, error) {
 			return wire.Resp{}, err
 		}
 		return wire.Resp{Meta: proto.GetMapResp{Name: name, Map: cm}}, nil
+	case proto.MStatVersion:
+		var req proto.StatVersionReq
+		if err := wire.UnmarshalMeta(r.Meta, &req); err != nil {
+			return wire.Resp{}, err
+		}
+		m.stats.transactions.Add(1)
+		m.stats.statVersions.Add(1)
+		if err := m.checkPartition(req.Name, req.PartitionEpoch); err != nil {
+			return wire.Resp{}, err
+		}
+		name, ds, ver, err := m.cat.statVersion(req.Name)
+		if err != nil {
+			return wire.Resp{}, err
+		}
+		return wire.Resp{Meta: proto.StatVersionResp{Name: name, Dataset: ds, Version: ver}}, nil
 	case proto.MList:
 		var req proto.ListReq
 		if err := wire.UnmarshalMeta(r.Meta, &req); err != nil {
@@ -662,6 +702,9 @@ func (m *Manager) statsSnapshot() proto.ManagerStats {
 		DedupBatches:      m.stats.dedupBatches.Load(),
 		DedupChunks:       m.stats.dedupChunksQueried.Load(),
 		DedupHits:         m.stats.dedupHits.Load(),
+		GetMaps:           m.stats.getMaps.Load(),
+		StatVersions:      m.stats.statVersions.Load(),
+		MapCache:          m.cat.maps.snapshot(),
 		ReplicasCopied:    m.stats.replicasCopied.Load(),
 		ChunksCollected:   m.stats.chunksCollected.Load(),
 		VersionsPruned:    m.stats.versionsPruned.Load(),

@@ -1,0 +1,208 @@
+package manager
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"stdchk/internal/core"
+	"stdchk/internal/proto"
+)
+
+// hotMapCache memoizes the wire-ready chunk-map — including the sorted
+// per-chunk location sets — per (dataset key, version). Building a map is
+// the expensive half of getMap: one read-lock acquisition per touched
+// chunk stripe plus a sort of every chunk's location set, repeated for
+// every reader of the same version. A restart storm (every process of a
+// job re-opening its checkpoint at once) pays that cost N times for one
+// unchanged answer; the cache pays it once.
+//
+// Staleness contract: location sets only ever grow while a version is
+// alive (commits and background replication add replicas; nothing removes
+// one short of replica death or deletion), so a cached map is at worst
+// missing the newest replicas — readers still find live data. The events
+// that can shrink a location set or change a dataset's version chain
+// invalidate eagerly: commit and delete (and recovery restore) drop the
+// dataset's entries, replica death (dropLocationEverywhere) flushes the
+// whole cache because a node's chunks span datasets.
+//
+// The cache is a leaf lock: callers hold at most a dataset stripe lock
+// (read or write), never a chunk stripe lock, when touching it.
+type hotMapCache struct {
+	mu  sync.Mutex
+	cap int
+	// byKey indexes the LRU list; byDataset tracks each dataset's live
+	// entries so commit/delete invalidation is O(entries of that dataset).
+	byKey     map[hotMapKey]*list.Element
+	byDataset map[string]map[hotMapKey]struct{}
+	lru       *list.List // front = most recently used
+
+	// gen counts full flushes. A builder that read the catalog before a
+	// flush must not insert its (possibly stale) map after it: getMap
+	// snapshots the generation before building and put discards on
+	// mismatch. Per-dataset invalidations need no generation — they are
+	// serialized against same-dataset builders by the dataset stripe's
+	// RW lock.
+	gen atomic.Uint64
+
+	hits          atomic.Int64
+	misses        atomic.Int64
+	invalidations atomic.Int64
+}
+
+type hotMapKey struct {
+	dataset string
+	version core.VersionID
+}
+
+type hotMapEntry struct {
+	key      hotMapKey
+	fileName string
+	m        *core.ChunkMap // canonical copy; hits return clones
+}
+
+// defaultMapCacheEntries bounds the hot-map cache when the config does
+// not: at ~100 bytes per chunk ref a 1024-chunk map is ~100 KB, so the
+// default worst case stays around a hundred MB of metadata for a cache
+// that covers an entire job's restart set.
+const defaultMapCacheEntries = 1024
+
+// newHotMapCache builds a cache holding up to capEntries maps.
+// capEntries <= 0 disables the cache (every call is a miss and nothing is
+// stored) — the ablation baseline.
+func newHotMapCache(capEntries int) *hotMapCache {
+	c := &hotMapCache{cap: capEntries}
+	if capEntries > 0 {
+		c.byKey = make(map[hotMapKey]*list.Element)
+		c.byDataset = make(map[string]map[hotMapKey]struct{})
+		c.lru = list.New()
+	}
+	return c
+}
+
+func (c *hotMapCache) enabled() bool { return c.cap > 0 }
+
+// get returns a clone of the cached map for (dataset, version), or nil on
+// a miss. Cloning keeps the canonical copy immutable while callers hand
+// the result to the wire layer or in-process readers.
+func (c *hotMapCache) get(dataset string, version core.VersionID) (string, *core.ChunkMap) {
+	if !c.enabled() {
+		c.misses.Add(1)
+		return "", nil
+	}
+	key := hotMapKey{dataset: dataset, version: version}
+	c.mu.Lock()
+	el, ok := c.byKey[key]
+	if !ok {
+		c.mu.Unlock()
+		c.misses.Add(1)
+		return "", nil
+	}
+	c.lru.MoveToFront(el)
+	e := el.Value.(*hotMapEntry)
+	name, m := e.fileName, e.m
+	c.mu.Unlock()
+	c.hits.Add(1)
+	return name, m.Clone()
+}
+
+// generation snapshots the flush counter; pass it back to put.
+func (c *hotMapCache) generation() uint64 { return c.gen.Load() }
+
+// put stores the canonical copy of a freshly built map, unless the cache
+// was flushed since generation gen was read (the map may then describe
+// locations that no longer exist). The caller must not retain or mutate m
+// after put — hand clones out instead.
+func (c *hotMapCache) put(gen uint64, dataset string, fileName string, m *core.ChunkMap) {
+	if !c.enabled() || m == nil {
+		return
+	}
+	key := hotMapKey{dataset: dataset, version: m.Version}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.gen.Load() != gen {
+		return
+	}
+	if el, ok := c.byKey[key]; ok {
+		// A racing miss rebuilt the same version; keep the newer build
+		// (it can only have more locations).
+		el.Value.(*hotMapEntry).m = m
+		el.Value.(*hotMapEntry).fileName = fileName
+		c.lru.MoveToFront(el)
+		return
+	}
+	el := c.lru.PushFront(&hotMapEntry{key: key, fileName: fileName, m: m})
+	c.byKey[key] = el
+	ds, ok := c.byDataset[dataset]
+	if !ok {
+		ds = make(map[hotMapKey]struct{})
+		c.byDataset[dataset] = ds
+	}
+	ds[key] = struct{}{}
+	for c.lru.Len() > c.cap {
+		c.evictLocked(c.lru.Back())
+	}
+}
+
+// evictLocked removes one LRU element. Callers hold c.mu.
+func (c *hotMapCache) evictLocked(el *list.Element) {
+	if el == nil {
+		return
+	}
+	e := el.Value.(*hotMapEntry)
+	c.lru.Remove(el)
+	delete(c.byKey, e.key)
+	if ds, ok := c.byDataset[e.key.dataset]; ok {
+		delete(ds, e.key)
+		if len(ds) == 0 {
+			delete(c.byDataset, e.key.dataset)
+		}
+	}
+}
+
+// invalidateDataset drops every cached version of one dataset (commit,
+// delete, recovery restore).
+func (c *hotMapCache) invalidateDataset(dataset string) {
+	if !c.enabled() {
+		return
+	}
+	c.mu.Lock()
+	var n int64
+	for key := range c.byDataset[dataset] {
+		if el, ok := c.byKey[key]; ok {
+			c.evictLocked(el)
+			n++
+		}
+	}
+	c.mu.Unlock()
+	if n > 0 {
+		c.invalidations.Add(n)
+	}
+}
+
+// invalidateAll flushes the cache (replica death: a node's chunks span
+// datasets, so per-dataset bookkeeping cannot name the affected maps).
+func (c *hotMapCache) invalidateAll() {
+	if !c.enabled() {
+		return
+	}
+	c.mu.Lock()
+	c.gen.Add(1)
+	n := int64(c.lru.Len())
+	c.byKey = make(map[hotMapKey]*list.Element)
+	c.byDataset = make(map[string]map[hotMapKey]struct{})
+	c.lru.Init()
+	c.mu.Unlock()
+	if n > 0 {
+		c.invalidations.Add(n)
+	}
+}
+
+// snapshot reports the cache counters.
+func (c *hotMapCache) snapshot() proto.MapCacheStats {
+	return proto.MapCacheStats{
+		Hits:          c.hits.Load(),
+		Misses:        c.misses.Load(),
+		Invalidations: c.invalidations.Load(),
+	}
+}

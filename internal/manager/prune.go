@@ -106,6 +106,10 @@ func (c *catalog) trimVersions(datasetKey string, keep int) (int, []core.ChunkID
 	}
 	victims := ds.versions[:len(ds.versions)-keep]
 	kept := append([]*version(nil), ds.versions[len(ds.versions)-keep:]...)
+	// Pruned versions must leave the hot-map cache like deleted ones do:
+	// their chunks may be garbage collected, and stranded entries would
+	// crowd live maps out of the LRU.
+	c.maps.invalidateDataset(datasetKey)
 	orphans := c.dropVersions(victims)
 	ds.versions = kept
 	return len(victims), orphans
@@ -134,6 +138,7 @@ func (c *catalog) purgeOlderThan(folder string, cutoff time.Time) (int, []core.C
 			if len(victims) == 0 {
 				continue
 			}
+			c.maps.invalidateDataset(key) // as trimVersions: purged maps leave the cache
 			orphans = append(orphans, c.dropVersions(victims)...)
 			ds.versions = kept
 			removed += len(victims)

@@ -112,13 +112,18 @@ func propChunkID(writer, t, j int, stable bool) core.ChunkID {
 // driveJournalWorkload runs concurrent writers against a journal-backed
 // manager through the real handler path: per writer a chain of versions
 // with copy-on-write chunk reuse, plus deletes and a folder policy, all
-// journaled. Returns the journal path.
-func driveJournalWorkload(t *testing.T, writers, versions int) string {
+// journaled — through the ordered async writer by default, or the
+// historical synchronous mode with syncJournal. Returns the journal path
+// and the live catalog's quiescent snapshot (newBytes excluded: which
+// racing commit first stores a shared chunk is interleaving-dependent),
+// taken before Close drains the journal.
+func driveJournalWorkload(t *testing.T, writers, versions int, syncJournal bool) (string, catSnap) {
 	t.Helper()
 	dir := t.TempDir()
 	journalPath := filepath.Join(dir, "manager.journal")
 	m, err := New(Config{
 		JournalPath:       journalPath,
+		SyncJournal:       syncJournal,
 		HeartbeatInterval: time.Hour,
 		SessionTTL:        time.Hour,
 	})
@@ -201,12 +206,20 @@ func driveJournalWorkload(t *testing.T, writers, versions int) string {
 	for err := range errCh {
 		t.Fatal(err)
 	}
-	return journalPath
+	return journalPath, snapshotCatalog(m.cat, false)
 }
 
 // replayCatalog rebuilds a catalog from a journal file with the given
 // stripe count, returning its snapshot.
 func replayCatalog(t *testing.T, journalPath string, stripes int) catSnap {
+	t.Helper()
+	return replayCatalogSnap(t, journalPath, stripes, true)
+}
+
+// replayCatalogSnap is replayCatalog with the newBytes comparison made
+// optional (live-vs-replay comparisons exclude it; see
+// driveJournalWorkload).
+func replayCatalogSnap(t *testing.T, journalPath string, stripes int, withNewBytes bool) catSnap {
 	t.Helper()
 	m, err := New(Config{
 		JournalPath:       journalPath,
@@ -217,14 +230,14 @@ func replayCatalog(t *testing.T, journalPath string, stripes int) catSnap {
 		t.Fatal(err)
 	}
 	defer m.Close()
-	return snapshotCatalog(m.cat, true)
+	return snapshotCatalog(m.cat, withNewBytes)
 }
 
 // TestJournalReplayStripeInvariance: replaying one journal into catalogs
 // with different stripe counts — including the single-lock reference
 // (stripes=1) — must produce identical metadata.
 func TestJournalReplayStripeInvariance(t *testing.T) {
-	journalPath := driveJournalWorkload(t, 8, 5)
+	journalPath, _ := driveJournalWorkload(t, 8, 5, false)
 	ref := replayCatalog(t, journalPath, 1)
 	if len(ref.Datasets) == 0 || len(ref.Chunks) == 0 {
 		t.Fatal("reference replay rebuilt an empty catalog")
@@ -243,7 +256,7 @@ func TestJournalReplayStripeInvariance(t *testing.T) {
 // leaving a torn final record. Every stripe variant must replay the same
 // intact prefix and ignore the torn tail.
 func TestJournalReplayTornRecord(t *testing.T) {
-	journalPath := driveJournalWorkload(t, 6, 4)
+	journalPath, _ := driveJournalWorkload(t, 6, 4, false)
 	raw, err := os.ReadFile(journalPath)
 	if err != nil {
 		t.Fatal(err)

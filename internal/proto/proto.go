@@ -52,6 +52,11 @@ const (
 	MHasChunks = "m.haschunks"
 	// MGetMap fetches the chunk-map of a committed version.
 	MGetMap = "m.getmap"
+	// MStatVersion resolves a name to its committed version identity —
+	// no location payload. It is the lightweight revalidation probe behind
+	// the client's chunk-map cache: a "latest" open asks only "is my cached
+	// map still the newest version?" instead of refetching the full map.
+	MStatVersion = "m.statversion"
 	// MList lists datasets, optionally restricted to a folder.
 	MList = "m.list"
 	// MStat describes one dataset.
@@ -252,6 +257,26 @@ type GetMapResp struct {
 	Map  *core.ChunkMap `json:"map"`
 }
 
+// StatVersionReq asks which committed version a name currently resolves
+// to (MStatVersion). Resolution follows GetMapReq semantics: a dataset
+// key resolves to the latest version, a full A.Ni.Tj name to that
+// timestep's version.
+type StatVersionReq struct {
+	Name string `json:"name"`
+	// PartitionEpoch mirrors AllocReq.PartitionEpoch.
+	PartitionEpoch uint64 `json:"partitionEpoch,omitempty"`
+}
+
+// StatVersionResp carries the resolved version identity — deliberately no
+// chunk or location payload, so the reply stays a few bytes regardless of
+// file size.
+type StatVersionResp struct {
+	// Name is the resolved full file name (as GetMapResp.Name).
+	Name    string         `json:"name"`
+	Dataset core.DatasetID `json:"dataset"`
+	Version core.VersionID `json:"version"`
+}
+
 // ListReq lists datasets under a folder ("" = all).
 type ListReq struct {
 	Folder string `json:"folder,omitempty"`
@@ -351,12 +376,21 @@ type ManagerStats struct {
 	// counts the probes answered "already stored" — the manager-side
 	// ground truth for chunks that incremental checkpointing kept off the
 	// wire.
-	DedupBatches    int64 `json:"dedupBatches"`
-	DedupChunks     int64 `json:"dedupChunks"`
-	DedupHits       int64 `json:"dedupHits"`
-	ReplicasCopied  int64 `json:"replicasCopied"`
-	ChunksCollected int64 `json:"chunksCollected"`
-	VersionsPruned  int64 `json:"versionsPruned"`
+	DedupBatches int64 `json:"dedupBatches"`
+	DedupChunks  int64 `json:"dedupChunks"`
+	DedupHits    int64 `json:"dedupHits"`
+	// GetMaps counts MGetMap RPCs and StatVersions the MStatVersion
+	// revalidation probes. A warm client chunk-map cache shows up here
+	// directly: explicit-version re-opens add to neither, "latest"
+	// re-opens add one StatVersion and zero GetMaps.
+	GetMaps      int64 `json:"getMaps"`
+	StatVersions int64 `json:"statVersions"`
+	// MapCache reports the manager-side hot-map cache in front of getMap
+	// (memoized wire-ready location sets per dataset version).
+	MapCache        MapCacheStats `json:"mapCache"`
+	ReplicasCopied  int64         `json:"replicasCopied"`
+	ChunksCollected int64         `json:"chunksCollected"`
+	VersionsPruned  int64         `json:"versionsPruned"`
 	// CatalogStripes, ChunkStripes and SessionStripes report per-stripe
 	// lock-acquisition counters for the manager's striped metadata plane
 	// (dataset catalog, content-addressed chunk index, session table).
@@ -377,6 +411,16 @@ type ManagerStats struct {
 	// Federation identifies this manager's place in a federated
 	// deployment; nil on a standalone manager.
 	Federation *FederationInfo `json:"federation,omitempty"`
+}
+
+// MapCacheStats reports a chunk-map cache's effectiveness: Hits served
+// without rebuilding (manager) or refetching (client) the map, Misses
+// that paid the full path, and Invalidations from commits, deletes and
+// replica death.
+type MapCacheStats struct {
+	Hits          int64 `json:"hits"`
+	Misses        int64 `json:"misses"`
+	Invalidations int64 `json:"invalidations"`
 }
 
 // StripeStats reports one metadata lock stripe's acquisition counts.
