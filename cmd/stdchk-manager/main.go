@@ -24,6 +24,7 @@ import (
 	"syscall"
 	"time"
 
+	"stdchk/internal/faultpoint"
 	"stdchk/internal/federation"
 	"stdchk/internal/manager"
 )
@@ -47,6 +48,8 @@ func run(args []string) error {
 		memberIdx   = fs.Int("member-index", 0, "this manager's index in the -federation member list")
 		journal     = fs.String("journal", "", "metadata journal path (optional)")
 		syncJournal = fs.Bool("sync-journal", false, "journal synchronously inside the commit critical section (historical mode; default is the ordered async writer, which can lose a small acknowledged-but-unjournaled window on process crash)")
+		fsyncJrnl   = fs.Bool("fsync-journal", false, "group-commit durability: every commit blocks until its journal batch is fsynced; concurrent commits share one fsync, so no acknowledged commit can be lost to a crash")
+		snapEvery   = fs.Duration("snapshot-interval", 0, "write periodic catalog snapshots and truncate the journal behind them (0 = snapshots off; restart then replays the full journal)")
 		mapCache    = fs.Bool("map-cache", true, "serve repeat getMaps from the hot-map cache (false = rebuild and re-sort locations per read, the ablation baseline)")
 		recover     = fs.Bool("recover", false, "start in recovery mode: rebuild metadata from benefactor-held chunk-map replicas")
 		quiet       = fs.Bool("quiet", false, "suppress operational logging")
@@ -63,6 +66,11 @@ func run(args []string) error {
 	if !*mapCache {
 		mapCacheEntries = -1
 	}
+	// Fault-injection harness: STDCHK_FAULTPOINTS="manager.journal.fsync=crash"
+	// arms named faults for recovery drills; unset, this is a no-op.
+	if err := faultpoint.InitFromEnv(); err != nil {
+		return err
+	}
 	m, err := manager.New(manager.Config{
 		ListenAddr:         *listen,
 		HeartbeatInterval:  *heartbeat,
@@ -74,6 +82,8 @@ func run(args []string) error {
 		MemberIndex:        *memberIdx,
 		JournalPath:        *journal,
 		SyncJournal:        *syncJournal,
+		FsyncJournal:       *fsyncJrnl,
+		SnapshotInterval:   *snapEvery,
 		Recover:            *recover,
 		WritePriority:      true,
 		Logger:             logger,

@@ -281,5 +281,16 @@ func cmdStats(cl *client.Client) error {
 	}
 	fmt.Printf("metadata stripes: %d catalog / %d chunk / %d session, lock ops: %d (%.1f%% contended)\n",
 		len(s.CatalogStripes), len(s.ChunkStripes), len(s.SessionStripes), s.StripeOps, contended)
+	if s.JournalBatches > 0 || s.JournalReplayed > 0 || s.JournalErrors > 0 ||
+		s.Snapshots > 0 || s.SnapshotSeq > 0 {
+		amort := 0.0
+		if s.JournalFsyncs > 0 {
+			amort = float64(s.JournalBatchLen) / float64(s.JournalFsyncs)
+		}
+		fmt.Printf("journal: %d batches / %d records, %d fsyncs (%.1f records/fsync), %d errors\n",
+			s.JournalBatches, s.JournalBatchLen, s.JournalFsyncs, amort, s.JournalErrors)
+		fmt.Printf("recovery: %d entries replayed at start, %d snapshots taken, snapshot watermark %d\n",
+			s.JournalReplayed, s.Snapshots, s.SnapshotSeq)
+	}
 	return nil
 }

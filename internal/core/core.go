@@ -140,6 +140,11 @@ var (
 	// does not match the member's federation configuration: the caller's
 	// member list and the member's disagree, so routing cannot be trusted.
 	ErrEpochMismatch = errors.New("federation partition epoch mismatch")
+	// ErrRetryable marks a transient transport failure (dial refused,
+	// connection reset, timeout) on a call that may be retried: the remote
+	// never answered, so it may simply be restarting. Application-level
+	// replies — including remote errors — are never wrapped in it.
+	ErrRetryable = errors.New("transient transport failure")
 )
 
 // ChunkRef names one chunk of a version: its position in the file, its

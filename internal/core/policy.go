@@ -48,14 +48,61 @@ func ParsePolicyKind(s string) (PolicyKind, error) {
 	}
 }
 
+// Durability selects how hard the manager journal pushes a folder's
+// commits toward stable storage. It is orthogonal to the lifetime Kind: a
+// scratch folder can run relaxed/1-replica while a results folder demands
+// group-commit fsync, on the same manager.
+type Durability int
+
+const (
+	// DurabilityDefault inherits the manager's configured journal mode.
+	DurabilityDefault Durability = iota
+	// DurabilityRelaxed explicitly accepts the async journal's crash
+	// window (buffered, no fsync requested).
+	DurabilityRelaxed
+	// DurabilityFsync asks the journal writer to fsync the batch carrying
+	// this folder's records before more commits are acknowledged, even
+	// when the manager's global fsync mode is off.
+	DurabilityFsync
+)
+
+// String implements fmt.Stringer.
+func (d Durability) String() string {
+	switch d {
+	case DurabilityDefault:
+		return "default"
+	case DurabilityRelaxed:
+		return "relaxed"
+	case DurabilityFsync:
+		return "fsync"
+	default:
+		return fmt.Sprintf("Durability(%d)", int(d))
+	}
+}
+
+// ParseDurability parses the string form produced by String.
+func ParseDurability(s string) (Durability, error) {
+	switch s {
+	case "", "default":
+		return DurabilityDefault, nil
+	case "relaxed":
+		return DurabilityRelaxed, nil
+	case "fsync":
+		return DurabilityFsync, nil
+	default:
+		return 0, fmt.Errorf("unknown durability %q", s)
+	}
+}
+
 // Policy is the per-folder data-lifetime policy. KeepVersions optionally
 // retains the most recent N versions under PolicyReplace (N=1 reproduces the
 // paper's "new images make older ones obsolete"); PurgeAfter applies under
-// PolicyPurge.
+// PolicyPurge. Durability selects the folder's journal durability tier.
 type Policy struct {
 	Kind         PolicyKind    `json:"kind"`
 	KeepVersions int           `json:"keepVersions,omitempty"`
 	PurgeAfter   time.Duration `json:"purgeAfter,omitempty"`
+	Durability   Durability    `json:"durability,omitempty"`
 }
 
 // DefaultPolicy is applied to folders without explicit metadata.
@@ -65,6 +112,11 @@ func DefaultPolicy() Policy {
 
 // Validate checks that the policy parameters are consistent with its kind.
 func (p Policy) Validate() error {
+	switch p.Durability {
+	case DurabilityDefault, DurabilityRelaxed, DurabilityFsync:
+	default:
+		return fmt.Errorf("policy: unknown durability %d", int(p.Durability))
+	}
 	switch p.Kind {
 	case PolicyNone:
 		return nil

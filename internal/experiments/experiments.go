@@ -46,6 +46,11 @@ type Config struct {
 	// the ordered async one (stdchk-bench -sync-journal). The managerload
 	// sweep always measures both journal modes side by side.
 	SyncJournal bool
+	// FsyncJournal runs journaled experiments with group-commit fsync
+	// (stdchk-bench -fsync-journal): commits wait for their batch's fsync,
+	// concurrent commits share it. The managerload sweep always measures
+	// the fsync variant side by side regardless of this flag.
+	FsyncJournal bool
 }
 
 func (c Config) withDefaults() Config {

@@ -144,23 +144,27 @@ func TestManagerLoadSmoke(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := buf.String()
-	for _, want := range []string{"single-mutex", "striped", "striped+jsync", "striped+jasync", "64", "256", "paper", "async/sync journal"} {
+	for _, want := range []string{"single-mutex", "striped", "striped+jsync", "striped+jasync", "striped+jfsync", "64", "256", "paper", "async/sync journal", "group-commit fsync"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("output missing %q:\n%s", want, out)
 		}
 	}
-	// Twenty JSON lines: 4 variants x 5 writer counts, each with a
-	// positive tps.
+	// Twenty-five JSON lines: 5 variants x 5 writer counts, each with a
+	// positive tps; the group-commit variant must show its fsyncs being
+	// amortized over multiple records.
 	lines := 0
+	fsyncCells := 0
 	for _, line := range strings.Split(strings.TrimSpace(js.String()), "\n") {
 		if line == "" {
 			continue
 		}
 		lines++
 		var rec struct {
-			Variant string  `json:"variant"`
-			Writers int     `json:"writers"`
-			TPS     float64 `json:"tps"`
+			Variant  string  `json:"variant"`
+			Writers  int     `json:"writers"`
+			TPS      float64 `json:"tps"`
+			Fsyncs   int64   `json:"journalFsyncs"`
+			BatchLen int64   `json:"journalBatchLen"`
 		}
 		if err := json.Unmarshal([]byte(line), &rec); err != nil {
 			t.Fatalf("bad JSON record %q: %v", line, err)
@@ -168,9 +172,18 @@ func TestManagerLoadSmoke(t *testing.T) {
 		if rec.TPS <= 0 || rec.Writers <= 0 || rec.Variant == "" {
 			t.Fatalf("implausible record: %+v", rec)
 		}
+		if rec.Variant == "striped+jfsync" {
+			fsyncCells++
+			if rec.Fsyncs <= 0 || rec.BatchLen < rec.Fsyncs {
+				t.Fatalf("group-commit cell without fsync accounting: %+v", rec)
+			}
+		}
 	}
-	if lines != 20 {
-		t.Fatalf("%d JSON records, want 20", lines)
+	if lines != 25 {
+		t.Fatalf("%d JSON records, want 25", lines)
+	}
+	if fsyncCells != 5 {
+		t.Fatalf("%d striped+jfsync cells, want 5", fsyncCells)
 	}
 }
 
@@ -256,8 +269,13 @@ func TestRestartLoadSmoke(t *testing.T) {
 		GetMaps      int64   `json:"getMaps"`
 		StatVersions int64   `json:"statVersions"`
 		MgrCacheHits int64   `json:"managerMapCacheHits"`
+		Entries      int64   `json:"entriesReplayed"`
+		Datasets     int     `json:"datasets"`
+		RestartMs    float64 `json:"restartMs"`
+		SnapshotSeq  int64   `json:"snapshotSeq"`
 	}
 	lines := 0
+	restarts := make(map[string]rec)
 	for _, line := range strings.Split(strings.TrimSpace(js.String()), "\n") {
 		if line == "" {
 			continue
@@ -267,7 +285,17 @@ func TestRestartLoadSmoke(t *testing.T) {
 		if err := json.Unmarshal([]byte(line), &r); err != nil {
 			t.Fatalf("bad JSON record %q: %v", line, err)
 		}
-		if r.Experiment != "restartload" || r.Opens <= 0 || r.OpensPerSec <= 0 {
+		if r.Experiment != "restartload" {
+			t.Fatalf("implausible record: %+v", r)
+		}
+		if strings.HasPrefix(r.Mode, "restart-") {
+			if r.Entries <= 0 || r.Datasets <= 0 || r.RestartMs <= 0 {
+				t.Fatalf("implausible restart cell: %+v", r)
+			}
+			restarts[r.Mode] = r
+			continue
+		}
+		if r.Opens <= 0 || r.OpensPerSec <= 0 {
 			t.Fatalf("implausible record: %+v", r)
 		}
 		switch {
@@ -298,9 +326,32 @@ func TestRestartLoadSmoke(t *testing.T) {
 			}
 		}
 	}
-	// 2 modes x 2 reader counts x 2 phases.
-	if lines != 8 {
-		t.Fatalf("%d JSON records, want 8", lines)
+	// 2 modes x 2 reader counts x 2 phases, plus the two metadata-plane
+	// restart cells.
+	if lines != 10 {
+		t.Fatalf("%d JSON records, want 10", lines)
+	}
+	// The durability acceptance gate: a snapshot restart must replay
+	// strictly less journal than a full replay while recovering the
+	// identical dataset count. Entry counts are deterministic (fixed
+	// synthetic history), so this cannot flake the way wall-clock
+	// comparisons would; restartMs is recorded for the nightly archive.
+	jr, ok := restarts["restart-journal"]
+	if !ok {
+		t.Fatalf("no restart-journal cell in %v", restarts)
+	}
+	sr, ok := restarts["restart-snapshot"]
+	if !ok {
+		t.Fatalf("no restart-snapshot cell in %v", restarts)
+	}
+	if sr.Entries >= jr.Entries {
+		t.Fatalf("snapshot restart replayed %d entries, full replay %d — truncation didn't help", sr.Entries, jr.Entries)
+	}
+	if sr.SnapshotSeq <= 0 {
+		t.Fatalf("snapshot restart recovered no watermark: %+v", sr)
+	}
+	if sr.Datasets != jr.Datasets {
+		t.Fatalf("snapshot restart recovered %d datasets, full replay %d", sr.Datasets, jr.Datasets)
 	}
 }
 

@@ -13,6 +13,7 @@ import (
 	"stdchk/internal/device"
 	"stdchk/internal/grid"
 	"stdchk/internal/manager"
+	"stdchk/internal/proto"
 )
 
 // RestartLoad measures the restart fast path: N reader clients re-opening
@@ -84,9 +85,11 @@ func RestartLoad(cfg Config) error {
 			MapCacheEntries:     mgrCache,
 			// A journaled metadata plane, in the configured mode: the
 			// seeding commits run through the ordered async writer by
-			// default, or the -sync-journal historical baseline.
-			JournalPath: filepath.Join(jdir, "journal"),
-			SyncJournal: cfg.SyncJournal,
+			// default, the -sync-journal historical baseline, or the
+			// -fsync-journal group-commit durable mode.
+			JournalPath:  filepath.Join(jdir, "journal"),
+			SyncJournal:  cfg.SyncJournal,
+			FsyncJournal: cfg.FsyncJournal,
 		},
 		GCGrace:    time.Hour,
 		GCInterval: time.Hour,
@@ -223,6 +226,11 @@ func RestartLoad(cfg Config) error {
 	fmt.Fprintf(cfg.Out, "cold opens share the manager's hot-map cache (one location sort per version, not per reader)\n")
 	fmt.Fprintf(cfg.Out, "paper: read performance minimizes restart delays (§IV.A); 1-CPU boxes time-slice readers, see EXPERIMENTS.md\n\n")
 
+	restartCells, err := restartRecoveryCells(cfg, jdir)
+	if err != nil {
+		return fmt.Errorf("restartload: recovery cells: %w", err)
+	}
+
 	if cfg.JSON != nil {
 		enc := json.NewEncoder(cfg.JSON)
 		for _, cl := range cells {
@@ -230,6 +238,180 @@ func RestartLoad(cfg Config) error {
 				return fmt.Errorf("restartload: json: %w", err)
 			}
 		}
+		for _, rc := range restartCells {
+			if err := enc.Encode(rc); err != nil {
+				return fmt.Errorf("restartload: json: %w", err)
+			}
+		}
 	}
 	return nil
+}
+
+// restartCell records one metadata-plane restart measurement: how long the
+// manager took to come back and how much journal it had to replay.
+type restartCell struct {
+	Experiment  string  `json:"experiment"` // "restartload"
+	Mode        string  `json:"mode"`       // "restart-journal" | "restart-snapshot"
+	Entries     int64   `json:"entriesReplayed"`
+	Datasets    int     `json:"datasets"`
+	RestartMs   float64 `json:"restartMs"`
+	SnapshotSeq int64   `json:"snapshotSeq,omitempty"`
+}
+
+// restartRecoveryCells measures the manager's own restart latency — the
+// §IV.A "minimize restart delays" goal applied to the metadata plane
+// itself. A fixed synthetic history (64 datasets x 32 versions of
+// 16-chunk checkpoints, the managerload driver, pruned to the two newest
+// versions per dataset as it goes) is committed in-process;
+// the manager then restarts twice from the same durable state: once with
+// nothing but the journal (full replay), and once after catalog snapshots
+// — the second of which truncates the journal by the lag-one rule — so
+// recovery loads the newest snapshot and replays only the short suffix
+// behind it. The smoke test gates that the snapshot restart replays
+// strictly less and recovers the identical dataset count.
+func restartRecoveryCells(cfg Config, jdir string) ([]restartCell, error) {
+	const (
+		rDatasets  = 64
+		rVersions  = 32
+		chunksPer  = 16
+		rChunkSize = 4 << 10
+	)
+	rdir := filepath.Join(jdir, "restart")
+	if err := os.MkdirAll(rdir, 0o755); err != nil {
+		return nil, err
+	}
+	mcfg := manager.Config{
+		HeartbeatInterval:   time.Hour,
+		ReplicationInterval: time.Hour,
+		PruneInterval:       time.Hour,
+		SessionTTL:          time.Hour,
+		JournalPath:         filepath.Join(rdir, "journal"),
+		SyncJournal:         cfg.SyncJournal,
+		FsyncJournal:        cfg.FsyncJournal,
+	}
+	seedBenefactors := func(m *manager.Manager) error {
+		for i := 0; i < 8; i++ {
+			req := proto.RegisterReq{
+				ID:   core.NodeID(fmt.Sprintf("rr%d:1", i)),
+				Addr: fmt.Sprintf("rr%d:1", i), Capacity: 1 << 40, Free: 1 << 40,
+			}
+			if err := m.Invoke(proto.MRegister, req, nil); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	commitRound := func(m *manager.Manager, t, datasets int) error {
+		for d := 0; d < datasets; d++ {
+			if _, err := manager.DriveCheckpoint(m, fmt.Sprintf("rr.n%d.t%d", d, t), int64(d), t, chunksPer, rChunkSize, false); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	deleteRound := func(m *manager.Manager, t, datasets int) error {
+		for d := 0; d < datasets; d++ {
+			req := proto.DeleteReq{Name: fmt.Sprintf("rr.n%d.t%d", d, t)}
+			if err := m.Invoke(proto.MDelete, req, nil); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	timedRestart := func() (*manager.Manager, float64, error) {
+		start := time.Now()
+		m, err := manager.New(mcfg)
+		if err != nil {
+			return nil, 0, err
+		}
+		return m, float64(time.Since(start).Microseconds()) / 1000, nil
+	}
+
+	// Build the history.
+	m, err := manager.New(mcfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := seedBenefactors(m); err != nil {
+		m.Close()
+		return nil, err
+	}
+	for t := 0; t < rVersions; t++ {
+		if err := commitRound(m, t, rDatasets); err != nil {
+			m.Close()
+			return nil, err
+		}
+		// Checkpoint-storage churn: keep the two newest versions per
+		// dataset, delete the rest — so the journal records the full
+		// history while the final catalog holds only its tail. This is
+		// the regime where a snapshot beats replay: replay must walk
+		// every commit AND every delete to land on the small live state
+		// a snapshot stores directly.
+		if t >= 2 {
+			if err := deleteRound(m, t-2, rDatasets); err != nil {
+				m.Close()
+				return nil, err
+			}
+		}
+	}
+	if err := m.Close(); err != nil {
+		return nil, err
+	}
+
+	// Restart 1: the journal alone — replay from entry one.
+	m2, jMs, err := timedRestart()
+	if err != nil {
+		return nil, err
+	}
+	jStats := m2.Stats()
+	cells := []restartCell{{
+		Experiment: "restartload", Mode: "restart-journal",
+		Entries: jStats.JournalReplayed, Datasets: jStats.Datasets, RestartMs: jMs,
+	}}
+
+	// Snapshot the recovered catalog, commit a short tail, snapshot again
+	// (truncating the journal past the first watermark), then a few more
+	// commits that only the journal suffix carries.
+	if err := seedBenefactors(m2); err != nil {
+		m2.Close()
+		return nil, err
+	}
+	if _, err := m2.Snapshot(); err != nil {
+		m2.Close()
+		return nil, err
+	}
+	if err := commitRound(m2, rVersions, 8); err != nil {
+		m2.Close()
+		return nil, err
+	}
+	if _, err := m2.Snapshot(); err != nil {
+		m2.Close()
+		return nil, err
+	}
+	if err := commitRound(m2, rVersions+1, 4); err != nil {
+		m2.Close()
+		return nil, err
+	}
+	if err := m2.Close(); err != nil {
+		return nil, err
+	}
+
+	// Restart 2: newest snapshot + journal suffix.
+	m3, sMs, err := timedRestart()
+	if err != nil {
+		return nil, err
+	}
+	sStats := m3.Stats()
+	m3.Close()
+	cells = append(cells, restartCell{
+		Experiment: "restartload", Mode: "restart-snapshot",
+		Entries: sStats.JournalReplayed, Datasets: sStats.Datasets, RestartMs: sMs,
+		SnapshotSeq: sStats.SnapshotSeq,
+	})
+
+	fmt.Fprintf(cfg.Out, "metadata-plane restart (%d datasets, %d commits): full journal replay %d entries in %.1f ms;\n",
+		jStats.Datasets, rDatasets*rVersions, jStats.JournalReplayed, jMs)
+	fmt.Fprintf(cfg.Out, "snapshot + suffix replays %d entries in %.1f ms (snapshot watermark %d, journal truncated past the previous one)\n\n",
+		sStats.JournalReplayed, sMs, sStats.SnapshotSeq)
+	return cells, nil
 }

@@ -1,0 +1,248 @@
+// Package faultpoint provides named fault-injection points compiled into
+// production code paths (manager journal append/fsync, snapshot
+// write/rename, commit publish, wire send). A point is a no-op until armed
+// — the disarmed fast path is one atomic load shared by every point — so
+// the hooks can stay in hot paths permanently. Tests arm points
+// programmatically; processes arm them from the STDCHK_FAULTPOINTS
+// environment variable, e.g.
+//
+//	STDCHK_FAULTPOINTS="manager.journal.append=error,wire.send=delay:5ms"
+//
+// Three modes exist: error (the operation fails with ErrInjected), delay
+// (the operation stalls, then proceeds), and crash (the registered crash
+// handler runs — typically capturing the durable state exactly as a
+// kill -9 would leave it — and the operation fails). Crash is what the
+// recovery test harness uses to prove the crash-consistency invariant
+// without actually killing the test process.
+package faultpoint
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjected is the error returned by points armed in error or crash mode.
+var ErrInjected = errors.New("injected fault")
+
+// Mode selects what an armed point does when hit.
+type Mode int
+
+const (
+	// ModeError fails the operation with ErrInjected.
+	ModeError Mode = iota + 1
+	// ModeDelay stalls the operation for the configured duration.
+	ModeDelay
+	// ModeCrash invokes the process crash handler (see SetCrashHandler)
+	// and fails the operation with ErrInjected.
+	ModeCrash
+)
+
+// Config arms a point.
+type Config struct {
+	Mode Mode
+	// Delay applies under ModeDelay.
+	Delay time.Duration
+	// Count limits how many hits trigger before the point self-disarms;
+	// 0 means every hit triggers until Disable.
+	Count int
+}
+
+// Point is one named injection site. Obtain via Register (package init
+// time); Hit from the instrumented code path.
+type Point struct {
+	name  string
+	armed atomic.Pointer[armedState]
+	hits  atomic.Int64
+}
+
+type armedState struct {
+	cfg       Config
+	remaining atomic.Int64 // only meaningful when cfg.Count > 0
+}
+
+var (
+	mu         sync.Mutex
+	points     = make(map[string]*Point)
+	armedCount atomic.Int32
+
+	crashMu      sync.Mutex
+	crashHandler func(name string)
+)
+
+// Register creates (or returns) the point with the given name. Call it from
+// package-level var initializers so every point exists before any test or
+// env sweep enumerates them.
+func Register(name string) *Point {
+	mu.Lock()
+	defer mu.Unlock()
+	if p, ok := points[name]; ok {
+		return p
+	}
+	p := &Point{name: name}
+	points[name] = p
+	return p
+}
+
+// Name returns the point's registered name.
+func (p *Point) Name() string { return p.name }
+
+// Hits reports how many times the point has triggered while armed.
+func (p *Point) Hits() int64 { return p.hits.Load() }
+
+// Hit is the injection site. Disarmed (the common case) it costs one
+// shared atomic load. Armed, it applies the configured mode and returns
+// ErrInjected for error/crash modes.
+func (p *Point) Hit() error {
+	if armedCount.Load() == 0 {
+		return nil
+	}
+	st := p.armed.Load()
+	if st == nil {
+		return nil
+	}
+	if st.cfg.Count > 0 {
+		if st.remaining.Add(-1) < 0 {
+			return nil
+		}
+		if st.remaining.Load() == 0 {
+			p.disarm()
+		}
+	}
+	p.hits.Add(1)
+	switch st.cfg.Mode {
+	case ModeDelay:
+		time.Sleep(st.cfg.Delay)
+		return nil
+	case ModeCrash:
+		crashMu.Lock()
+		h := crashHandler
+		crashMu.Unlock()
+		if h != nil {
+			h(p.name)
+		}
+		return fmt.Errorf("faultpoint %s (crash): %w", p.name, ErrInjected)
+	default:
+		return fmt.Errorf("faultpoint %s: %w", p.name, ErrInjected)
+	}
+}
+
+func (p *Point) disarm() {
+	if p.armed.Swap(nil) != nil {
+		armedCount.Add(-1)
+	}
+}
+
+// Enable arms the named point. The point must have been registered.
+func Enable(name string, cfg Config) error {
+	mu.Lock()
+	p, ok := points[name]
+	mu.Unlock()
+	if !ok {
+		return fmt.Errorf("faultpoint: unknown point %q", name)
+	}
+	if cfg.Mode < ModeError || cfg.Mode > ModeCrash {
+		return fmt.Errorf("faultpoint %s: unknown mode %d", name, cfg.Mode)
+	}
+	st := &armedState{cfg: cfg}
+	st.remaining.Store(int64(cfg.Count))
+	if p.armed.Swap(st) == nil {
+		armedCount.Add(1)
+	}
+	return nil
+}
+
+// Disable disarms the named point (no-op if unknown or already disarmed).
+func Disable(name string) {
+	mu.Lock()
+	p, ok := points[name]
+	mu.Unlock()
+	if ok {
+		p.disarm()
+	}
+}
+
+// Reset disarms every point and clears the crash handler and hit counters.
+func Reset() {
+	mu.Lock()
+	for _, p := range points {
+		p.disarm()
+		p.hits.Store(0)
+	}
+	mu.Unlock()
+	SetCrashHandler(nil)
+}
+
+// SetCrashHandler installs the process-wide handler invoked by points armed
+// in ModeCrash, typically to capture durable state at the fault instant
+// with kill -9 semantics. nil clears it (crash then behaves like error).
+func SetCrashHandler(h func(name string)) {
+	crashMu.Lock()
+	crashHandler = h
+	crashMu.Unlock()
+}
+
+// Registered lists every registered point name, sorted.
+func Registered() []string {
+	mu.Lock()
+	defer mu.Unlock()
+	out := make([]string, 0, len(points))
+	for name := range points {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// EnableFromEnv arms points from a spec like
+// "name=error,name=delay:10ms,name=crash" (the STDCHK_FAULTPOINTS format).
+// Unknown point names are an error so a typo cannot silently disable a
+// fault sweep.
+func EnableFromEnv(spec string) error {
+	for _, field := range strings.Split(spec, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		name, mode, ok := strings.Cut(field, "=")
+		if !ok {
+			return fmt.Errorf("faultpoint: malformed spec %q (want name=mode)", field)
+		}
+		cfg := Config{}
+		mode, arg, _ := strings.Cut(mode, ":")
+		switch mode {
+		case "error":
+			cfg.Mode = ModeError
+		case "crash":
+			cfg.Mode = ModeCrash
+		case "delay":
+			cfg.Mode = ModeDelay
+			d, err := time.ParseDuration(arg)
+			if err != nil {
+				return fmt.Errorf("faultpoint: bad delay in %q: %w", field, err)
+			}
+			cfg.Delay = d
+		default:
+			return fmt.Errorf("faultpoint: unknown mode %q in %q", mode, field)
+		}
+		if err := Enable(name, cfg); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// InitFromEnv arms points from the STDCHK_FAULTPOINTS environment variable
+// (empty = no-op). CLI main functions call it once at startup.
+func InitFromEnv() error {
+	spec := os.Getenv("STDCHK_FAULTPOINTS")
+	if spec == "" {
+		return nil
+	}
+	return EnableFromEnv(spec)
+}

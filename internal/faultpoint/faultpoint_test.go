@@ -1,0 +1,104 @@
+package faultpoint
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestDisarmedPointIsNoop(t *testing.T) {
+	defer Reset()
+	p := Register("test.noop")
+	for i := 0; i < 3; i++ {
+		if err := p.Hit(); err != nil {
+			t.Fatalf("disarmed hit returned %v", err)
+		}
+	}
+	if p.Hits() != 0 {
+		t.Fatalf("disarmed point counted %d hits", p.Hits())
+	}
+}
+
+func TestErrorModeAndDisable(t *testing.T) {
+	defer Reset()
+	p := Register("test.error")
+	if err := Enable("test.error", Config{Mode: ModeError}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Hit(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("armed hit returned %v, want ErrInjected", err)
+	}
+	Disable("test.error")
+	if err := p.Hit(); err != nil {
+		t.Fatalf("hit after disable returned %v", err)
+	}
+	if p.Hits() != 1 {
+		t.Fatalf("hits = %d, want 1", p.Hits())
+	}
+}
+
+func TestCountSelfDisarms(t *testing.T) {
+	defer Reset()
+	p := Register("test.count")
+	if err := Enable("test.count", Config{Mode: ModeError, Count: 2}); err != nil {
+		t.Fatal(err)
+	}
+	var failures int
+	for i := 0; i < 5; i++ {
+		if p.Hit() != nil {
+			failures++
+		}
+	}
+	if failures != 2 {
+		t.Fatalf("count=2 point failed %d hits", failures)
+	}
+}
+
+func TestCrashModeInvokesHandler(t *testing.T) {
+	defer Reset()
+	p := Register("test.crash")
+	var crashed string
+	SetCrashHandler(func(name string) { crashed = name })
+	if err := Enable("test.crash", Config{Mode: ModeCrash}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Hit(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("crash hit returned %v, want ErrInjected", err)
+	}
+	if crashed != "test.crash" {
+		t.Fatalf("crash handler saw %q", crashed)
+	}
+}
+
+func TestDelayMode(t *testing.T) {
+	defer Reset()
+	p := Register("test.delay")
+	if err := Enable("test.delay", Config{Mode: ModeDelay, Delay: 10 * time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := p.Hit(); err != nil {
+		t.Fatalf("delay hit returned %v", err)
+	}
+	if elapsed := time.Since(start); elapsed < 10*time.Millisecond {
+		t.Fatalf("delay hit returned after %v", elapsed)
+	}
+}
+
+func TestEnableFromEnvSpec(t *testing.T) {
+	defer Reset()
+	Register("test.env.a")
+	Register("test.env.b")
+	if err := EnableFromEnv("test.env.a=error, test.env.b=delay:1ms"); err != nil {
+		t.Fatal(err)
+	}
+	if err := Register("test.env.a").Hit(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("env-armed point returned %v", err)
+	}
+	if err := EnableFromEnv("test.env.missing=error"); err == nil {
+		t.Fatal("unknown point accepted")
+	}
+	if err := EnableFromEnv("test.env.a=warp"); err == nil {
+		t.Fatal("unknown mode accepted")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"log"
+	"math/rand"
 	"sort"
 	"sync"
 	"time"
@@ -30,6 +31,9 @@ type Router struct {
 	pool   *wire.Pool
 	logger *log.Logger
 	health []*memberHealth
+
+	retryAttempts int
+	retryBase     time.Duration
 }
 
 // RouterConfig parameterizes a Router.
@@ -42,6 +46,15 @@ type RouterConfig struct {
 	Shaper wire.Shaper
 	// PerMemberConns caps pooled connections per member (0 = 8).
 	PerMemberConns int
+	// RetryAttempts bounds how many times a dataset-scoped call is tried
+	// against its owner when the failure is a transport one (dial refused,
+	// reset, timeout) — the owner may simply be restarting. 0 selects the
+	// default (4); 1 disables retries. Application-level errors, including
+	// remote errors, are never retried: an answer proves the member is up.
+	RetryAttempts int
+	// RetryBase is the first backoff delay; each further attempt doubles
+	// it, plus up to 100% jitter. 0 selects the default (25ms).
+	RetryBase time.Duration
 	// Logger receives operational messages; nil discards.
 	Logger *log.Logger
 }
@@ -78,11 +91,21 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 	if per <= 0 {
 		per = 8
 	}
+	attempts := cfg.RetryAttempts
+	if attempts <= 0 {
+		attempts = 4
+	}
+	base := cfg.RetryBase
+	if base <= 0 {
+		base = 25 * time.Millisecond
+	}
 	r := &Router{
-		ms:     ms,
-		pool:   wire.NewPool(cfg.Shaper, per),
-		logger: cfg.Logger,
-		health: make([]*memberHealth, ms.Len()),
+		ms:            ms,
+		pool:          wire.NewPool(cfg.Shaper, per),
+		logger:        cfg.Logger,
+		health:        make([]*memberHealth, ms.Len()),
+		retryAttempts: attempts,
+		retryBase:     base,
 	}
 	for i := range r.health {
 		r.health[i] = &memberHealth{}
@@ -132,10 +155,34 @@ func (r *Router) call(i int, op string, req, resp interface{}) error {
 	return nil
 }
 
-// callOwner routes one dataset-scoped RPC to the member owning name.
+// callOwner routes one dataset-scoped RPC to the member owning name,
+// retrying transport failures with bounded exponential backoff plus jitter:
+// a member that cannot be reached may simply be restarting, and a client
+// mid-write-storm should degrade to a short stall instead of an error. A
+// RemoteError reply stops retrying immediately — the member answered, and
+// replaying a non-idempotent op (commit) against a member that already
+// applied it would surface confusing secondary errors. When all attempts
+// fail the error is marked core.ErrRetryable so callers can distinguish
+// "the owner never answered" from an application-level rejection.
 func (r *Router) callOwner(name, op string, req, resp interface{}) error {
 	i, _ := r.ms.OwnerOf(name)
-	return r.call(i, op, req, resp)
+	var err error
+	for attempt := 0; attempt < r.retryAttempts; attempt++ {
+		if attempt > 0 {
+			d := r.retryBase << (attempt - 1)
+			d += time.Duration(rand.Int63n(int64(d) + 1))
+			time.Sleep(d)
+			r.logf("retrying %s on member %d after transport failure (attempt %d): %v", op, i, attempt+1, err)
+		}
+		if err = r.call(i, op, req, resp); err == nil {
+			return nil
+		}
+		var remote *wire.RemoteError
+		if errors.As(err, &remote) {
+			return err
+		}
+	}
+	return fmt.Errorf("%w: %w", core.ErrRetryable, err)
 }
 
 // wireEpoch is the partition epoch stamped on dataset-scoped requests.
@@ -405,6 +452,15 @@ func MergeStats(all []proto.ManagerStats) proto.ManagerStats {
 		agg.ReplicasCopied += st.ReplicasCopied
 		agg.ChunksCollected += st.ChunksCollected
 		agg.VersionsPruned += st.VersionsPruned
+		agg.JournalBatches += st.JournalBatches
+		agg.JournalBatchLen += st.JournalBatchLen
+		agg.JournalFsyncs += st.JournalFsyncs
+		agg.JournalErrors += st.JournalErrors
+		agg.JournalReplayed += st.JournalReplayed
+		agg.Snapshots += st.Snapshots
+		if st.SnapshotSeq > agg.SnapshotSeq {
+			agg.SnapshotSeq = st.SnapshotSeq // watermarks are member-local; report the newest
+		}
 		agg.StripeOps += st.StripeOps
 		agg.StripeContention += st.StripeContention
 		agg.Registry.Ops += st.Registry.Ops

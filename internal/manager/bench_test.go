@@ -32,6 +32,12 @@ func BenchmarkManagerOps(b *testing.B) {
 	b.Run("journal-sync", func(b *testing.B) {
 		benchManagerOps(b, Config{JournalPath: filepath.Join(b.TempDir(), "journal"), SyncJournal: true})
 	})
+	// Group-commit durability: commits block until their batch is fsynced,
+	// but concurrent writers share one fsync per drained batch — the cost
+	// to compare against journal-sync with FsyncJournal's per-record fsync.
+	b.Run("journal-fsync", func(b *testing.B) {
+		benchManagerOps(b, Config{JournalPath: filepath.Join(b.TempDir(), "journal"), FsyncJournal: true})
+	})
 }
 
 func benchManagerOps(b *testing.B, cfg Config) {

@@ -68,13 +68,13 @@ type catalog struct {
 	// journal replay (nil during replay, so replayed entries are not
 	// re-journaled). The journal's own mutex is a leaf lock.
 	//
-	// Cost, accepted deliberately: with journaling on, the buffered
-	// journal write (microseconds, no fsync) runs under the stripe lock
-	// and all journaled mutations serialize on the journal mutex. Only
-	// commits/deletes pay it, reads on other stripes never do, and at
-	// the measured ~15k tps the journal is far from the bottleneck; an
-	// ordered async journal writer is a ROADMAP follow-on.
-	journalHook func(journalEntry)
+	// A hook error aborts the mutation: the version is never created (or
+	// the delete never applied), so the catalog can never hold state the
+	// journal failed to capture — acknowledged is a subset of journaled.
+	// The converse window (journaled but the caller crashed before
+	// acknowledging) is benign redo-log semantics: replay resurrects an
+	// unacknowledged commit, never loses an acknowledged one.
+	journalHook func(journalEntry) error
 
 	// replaying is set during single-threaded journal replay. A replayed
 	// copy-on-write reference may name a chunk the journal has already
@@ -560,6 +560,7 @@ func (c *catalog) commit(fileName string, folder string, replication int, chunkS
 	sh := c.dsShardOf(key)
 	sh.lock()
 	ds, ok := sh.byName[key]
+	created := false
 	if !ok {
 		ds = &dataset{
 			id:     c.claimDatasetID(0),
@@ -567,6 +568,25 @@ func (c *catalog) commit(fileName string, folder string, replication int, chunkS
 			folder: namespace.FolderOf(fileName),
 		}
 		sh.byName[key] = ds
+		created = true
+	}
+	// Journal before any effect of this commit becomes visible. On journal
+	// failure the commit rolls back completely — pending chunk references
+	// were never observable, and a dataset shell created above is removed —
+	// so an acknowledged commit is always a journaled one.
+	if c.journalHook != nil {
+		if err := c.journalHook(journalEntry{
+			Op: "commit", Name: fileName, Replication: replication,
+			ChunkSize: chunkSize, Variable: variable, FileSize: fileSize, Chunks: chunks,
+		}); err != nil {
+			if created {
+				delete(sh.byName, key)
+				c.releaseDatasetID(ds.id)
+			}
+			sh.unlock()
+			c.unchargeChunks(charges)
+			return nil, 0, fmt.Errorf("commit %s: journal: %w", fileName, err)
+		}
 	}
 	if replication > 0 {
 		ds.replication = replication
@@ -588,12 +608,6 @@ func (c *catalog) commit(fileName string, folder string, replication int, chunkS
 	// locations into chunks earlier versions share.
 	c.maps.invalidateDataset(key)
 	m := c.buildMap(ds, v)
-	if c.journalHook != nil {
-		c.journalHook(journalEntry{
-			Op: "commit", Name: fileName, Replication: replication,
-			ChunkSize: chunkSize, Variable: variable, FileSize: fileSize, Chunks: chunks,
-		})
-	}
 	// Confirm inside the dataset critical section: the instant the version
 	// becomes visible (lock release) its chunks are published, and no
 	// delete of this version can interleave between publish and confirm
@@ -775,9 +789,12 @@ func (c *catalog) deleteVersion(name string, ver core.VersionID) ([]core.ChunkID
 		kept = nil
 	}
 	// Journal before the first cross-stripe-visible effect (chunk
-	// dereferencing), mirroring commit's ordering.
+	// dereferencing), mirroring commit's ordering. A journal failure aborts
+	// the delete with nothing applied.
 	if c.journalHook != nil {
-		c.journalHook(journalEntry{Op: "delete", Name: name, Version: ver})
+		if err := c.journalHook(journalEntry{Op: "delete", Name: name, Version: ver}); err != nil {
+			return nil, fmt.Errorf("delete %s: journal: %w", name, err)
+		}
 	}
 	// A deleted version must not be servable from the hot-map cache: its
 	// chunks may lose their last reference and be garbage collected.

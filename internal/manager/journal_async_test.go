@@ -175,15 +175,15 @@ func TestAsyncJournalCloseDrains(t *testing.T) {
 // TestAsyncJournalRecordAfterClose: a record attempted after close must
 // report ErrClosed, not hang or panic against the closed queue.
 func TestAsyncJournalRecordAfterClose(t *testing.T) {
-	j, err := openJournal(filepath.Join(t.TempDir(), "c.journal"), false, nil)
+	j, err := openJournal(filepath.Join(t.TempDir(), "c.journal"), false, false, nil, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := j.record(journalEntry{Op: "policy", Name: "x", Policy: &core.Policy{}}); err != nil {
+	if err := j.record(journalEntry{Op: "policy", Name: "x", Policy: &core.Policy{}}, false); err != nil {
 		t.Fatal(err)
 	}
 	j.close()
-	if err := j.record(journalEntry{Op: "policy", Name: "y", Policy: &core.Policy{}}); !errors.Is(err, core.ErrClosed) {
+	if err := j.record(journalEntry{Op: "policy", Name: "y", Policy: &core.Policy{}}, false); !errors.Is(err, core.ErrClosed) {
 		t.Fatalf("record after close returned %v, want ErrClosed", err)
 	}
 	// close is idempotent.

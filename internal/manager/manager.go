@@ -18,11 +18,18 @@ import (
 	"time"
 
 	"stdchk/internal/core"
+	"stdchk/internal/faultpoint"
 	"stdchk/internal/federation"
 	"stdchk/internal/namespace"
 	"stdchk/internal/proto"
 	"stdchk/internal/wire"
 )
+
+// fpCommitPublish fires after a commit is journaled and published but
+// before the client is acknowledged — the redo-log ambiguity window where a
+// crash leaves the commit durable yet unconfirmed. Crash tests use it to
+// prove replay resurrects (never loses) such commits.
+var fpCommitPublish = faultpoint.Register("manager.commit.publish")
 
 // Config parameterizes a Manager.
 type Config struct {
@@ -92,6 +99,19 @@ type Config struct {
 	// lose a small window of acknowledged-but-unjournaled entries (clean
 	// shutdown drains; see journal).
 	SyncJournal bool
+	// FsyncJournal arms power-loss durability: the async journal writer
+	// fsyncs once per drained batch (group commit) and the sync writer
+	// once per record. Off, acknowledged commits survive a process crash
+	// (the OS page cache holds the appends) but not the machine going
+	// dark. Folders can demand fsync individually via their policy's
+	// Durability knob even when this is off.
+	FsyncJournal bool
+	// SnapshotInterval, when positive, periodically serializes the catalog
+	// to a snapshot beside the journal and truncates the journal to the
+	// entries the snapshot does not cover, bounding restart time by live
+	// state instead of journal history. Zero disables the background loop;
+	// Snapshot() can still be called explicitly.
+	SnapshotInterval time.Duration
 	// Recover starts the manager in recovery mode: registering
 	// benefactors are asked for their chunk-map replicas, and datasets
 	// are restored once two-thirds of a map's stripe concur (paper §IV.A).
@@ -168,6 +188,9 @@ type Manager struct {
 		replicasCopied     atomic.Int64
 		chunksCollected    atomic.Int64
 		versionsPruned     atomic.Int64
+		journalReplayed    atomic.Int64
+		snapshots          atomic.Int64
+		snapshotSeq        atomic.Uint64
 	}
 
 	stop chan struct{}
@@ -207,12 +230,21 @@ func New(cfg Config) (*Manager, error) {
 		m.cat.maps = newHotMapCache(n)
 	}
 	if cfg.JournalPath != "" {
-		j, err := openJournal(cfg.JournalPath, cfg.SyncJournal, m.logf)
+		// Recovery order: newest valid snapshot first (checksum-verified,
+		// falling back to the previous one on corruption), then the journal
+		// suffix past the snapshot's ticket watermark. The snapshot loads
+		// before the journal opens because the watermark floors the ticket
+		// counter, which must be final before the async writer starts.
+		watermark, err := m.loadSnapshot()
+		if err != nil {
+			return nil, fmt.Errorf("manager: load snapshot: %w", err)
+		}
+		j, err := openJournal(cfg.JournalPath, cfg.SyncJournal, cfg.FsyncJournal, m.logf, watermark)
 		if err != nil {
 			return nil, fmt.Errorf("manager: %w", err)
 		}
 		m.journal = j
-		if err := m.replayJournal(); err != nil {
+		if err := m.replayJournal(watermark); err != nil {
 			return nil, fmt.Errorf("manager: replay journal: %w", err)
 		}
 		// Installed only after replay (replayed entries must not be
@@ -239,6 +271,10 @@ func New(cfg Config) (*Manager, error) {
 	go m.sweepLoop()
 	go m.replicationLoop()
 	go m.pruneLoop()
+	if m.journal != nil && cfg.SnapshotInterval > 0 {
+		m.wg.Add(1)
+		go m.snapshotLoop()
+	}
 	return m, nil
 }
 
@@ -308,7 +344,10 @@ func NewFederation(n int, tmpl Config) ([]*Manager, []string, error) {
 	return mgrs, members, nil
 }
 
-// Close stops the manager and its background tasks.
+// Close stops the manager and its background tasks. It returns the first
+// error the journal writer could not recover from (entries acknowledged
+// before the sticky error tripped may not have reached the file), so
+// operators learn about silent durability loss at shutdown at the latest.
 func (m *Manager) Close() error {
 	var err error
 	m.closeOnce.Do(func() {
@@ -317,7 +356,9 @@ func (m *Manager) Close() error {
 		m.wg.Wait()
 		m.pool.Close()
 		if m.journal != nil {
-			m.journal.close()
+			if jerr := m.journal.close(); jerr != nil && err == nil {
+				err = fmt.Errorf("manager: journal: %w", jerr)
+			}
 		}
 	})
 	return err
@@ -490,8 +531,12 @@ func (m *Manager) handle(r *wire.Req) (wire.Resp, error) {
 		if err := req.Policy.Validate(); err != nil {
 			return wire.Resp{}, err
 		}
-		m.policies.set(req.Folder, req.Policy)
-		m.journalRecord(journalEntry{Op: "policy", Name: req.Folder, Policy: &req.Policy})
+		// Apply and journal under the policy-table lock so the update is
+		// all-or-nothing (a journal failure reverts it) and a snapshot cut
+		// can never split the pair.
+		if err := m.policies.setJournaled(req.Folder, req.Policy, m.policyJournalFn()); err != nil {
+			return wire.Resp{}, err
+		}
 		return wire.Resp{Meta: proto.HeartbeatResp{OK: true}}, nil
 	case proto.MPolicyGet:
 		var req proto.PolicyGetReq
@@ -606,6 +651,9 @@ func (m *Manager) handleCommit(req proto.CommitReq) (wire.Resp, error) {
 	if err != nil {
 		return wire.Resp{}, err
 	}
+	if err := fpCommitPublish.Hit(); err != nil {
+		return wire.Resp{}, err
+	}
 	// Apply the folder's replace policy synchronously: a new image makes
 	// old ones obsolete at commit time (paper §IV.D "Automated replace").
 	m.applyReplacePolicy(s.name)
@@ -681,6 +729,7 @@ func (m *Manager) statsSnapshot() proto.ManagerStats {
 			Epoch:       m.fed.Epoch(),
 		}
 	}
+	jBatches, jBatchLen, jFsyncs, jErrs := m.journal.counters()
 	return proto.ManagerStats{
 		CatalogStripes:    dsStripes,
 		ChunkStripes:      ckStripes,
@@ -708,6 +757,13 @@ func (m *Manager) statsSnapshot() proto.ManagerStats {
 		ReplicasCopied:    m.stats.replicasCopied.Load(),
 		ChunksCollected:   m.stats.chunksCollected.Load(),
 		VersionsPruned:    m.stats.versionsPruned.Load(),
+		JournalBatches:    jBatches,
+		JournalBatchLen:   jBatchLen,
+		JournalFsyncs:     jFsyncs,
+		JournalErrors:     jErrs,
+		JournalReplayed:   m.stats.journalReplayed.Load(),
+		Snapshots:         m.stats.snapshots.Load(),
+		SnapshotSeq:       int64(m.stats.snapshotSeq.Load()),
 	}
 }
 

@@ -9,8 +9,12 @@ import (
 )
 
 // policyTable holds per-folder data-lifetime policies (paper §IV.D).
+// Reads (the per-commit durability lookup, pruner scans) take the read
+// lock; writes hold the write lock across apply AND journal so a catalog
+// snapshot's watermark cut can never observe an applied policy whose
+// journal record is not yet ticketed, or vice versa.
 type policyTable struct {
-	mu sync.Mutex
+	mu sync.RWMutex
 	m  map[string]core.Policy
 }
 
@@ -24,9 +28,32 @@ func (p *policyTable) set(folder string, policy core.Policy) {
 	p.m[folder] = policy
 }
 
-func (p *policyTable) get(folder string) core.Policy {
+// setJournaled applies a policy and journals it atomically under the
+// table lock. A journal failure reverts the apply, so a client whose
+// SetPolicy errors has not silently changed behaviour the journal cannot
+// replay.
+func (p *policyTable) setJournaled(folder string, policy core.Policy, journal func(journalEntry) error) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	old, had := p.m[folder]
+	p.m[folder] = policy
+	if journal == nil {
+		return nil
+	}
+	if err := journal(journalEntry{Op: "policy", Name: folder, Policy: &policy}); err != nil {
+		if had {
+			p.m[folder] = old
+		} else {
+			delete(p.m, folder)
+		}
+		return err
+	}
+	return nil
+}
+
+func (p *policyTable) get(folder string) core.Policy {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
 	if policy, ok := p.m[folder]; ok {
 		return policy
 	}
@@ -35,8 +62,8 @@ func (p *policyTable) get(folder string) core.Policy {
 
 // purgeFolders lists folders with a purge policy.
 func (p *policyTable) purgeFolders() map[string]core.Policy {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.mu.RLock()
+	defer p.mu.RUnlock()
 	out := make(map[string]core.Policy)
 	for folder, policy := range p.m {
 		if policy.Kind == core.PolicyPurge {

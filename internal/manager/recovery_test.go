@@ -13,7 +13,7 @@ import (
 
 func TestJournalRoundTrip(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "journal.log")
-	j, err := openJournal(path, false, nil)
+	j, err := openJournal(path, false, false, nil, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -24,13 +24,13 @@ func TestJournalRoundTrip(t *testing.T) {
 		{Op: "delete", Name: "j.n1.t0"},
 	}
 	for _, e := range entries {
-		if err := j.record(e); err != nil {
+		if err := j.record(e, false); err != nil {
 			t.Fatal(err)
 		}
 	}
 	j.close()
 
-	j2, err := openJournal(path, false, nil)
+	j2, err := openJournal(path, false, false, nil, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,18 +48,18 @@ func TestJournalRoundTrip(t *testing.T) {
 
 func TestJournalTornTail(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "journal.log")
-	j, err := openJournal(path, false, nil)
+	j, err := openJournal(path, false, false, nil, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := j.record(journalEntry{Op: "policy", Name: "x", Policy: &core.Policy{Kind: core.PolicyNone}}); err != nil {
+	if err := j.record(journalEntry{Op: "policy", Name: "x", Policy: &core.Policy{Kind: core.PolicyNone}}, false); err != nil {
 		t.Fatal(err)
 	}
 	j.close()
 	// Append a torn (half-written) record.
 	appendFile(t, path, `{"op":"commit","name":"torn`)
 
-	j2, err := openJournal(path, false, nil)
+	j2, err := openJournal(path, false, false, nil, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

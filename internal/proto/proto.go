@@ -391,6 +391,23 @@ type ManagerStats struct {
 	ReplicasCopied  int64         `json:"replicasCopied"`
 	ChunksCollected int64         `json:"chunksCollected"`
 	VersionsPruned  int64         `json:"versionsPruned"`
+	// Journal* report the metadata journal's durability pipeline.
+	// JournalBatches counts flush batches reaching the file and
+	// JournalBatchLen the entries they carried — their ratio is the
+	// group-commit amortization (entries per flush/fsync). JournalFsyncs
+	// counts fsync syscalls; JournalErrors counts write/flush/fsync
+	// failures (the first also sticks: later commits fail fast and the
+	// manager's Close returns it).
+	JournalBatches  int64 `json:"journalBatches,omitempty"`
+	JournalBatchLen int64 `json:"journalBatchLen,omitempty"`
+	JournalFsyncs   int64 `json:"journalFsyncs,omitempty"`
+	JournalErrors   int64 `json:"journalErrors,omitempty"`
+	// JournalReplayed counts journal entries replayed at startup (past any
+	// snapshot's watermark); Snapshots counts catalog snapshots taken since
+	// start and SnapshotSeq the newest snapshot's ticket watermark.
+	JournalReplayed int64 `json:"journalReplayed,omitempty"`
+	Snapshots       int64 `json:"snapshots,omitempty"`
+	SnapshotSeq     int64 `json:"snapshotSeq,omitempty"`
 	// CatalogStripes, ChunkStripes and SessionStripes report per-stripe
 	// lock-acquisition counters for the manager's striped metadata plane
 	// (dataset catalog, content-addressed chunk index, session table).

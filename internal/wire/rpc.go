@@ -10,7 +10,13 @@ import (
 	"sync"
 
 	"stdchk/internal/core"
+	"stdchk/internal/faultpoint"
 )
+
+// fpWireSend injects transport failures into client-side sends (no-op
+// unless armed; see internal/faultpoint). Grid tests use it to exercise
+// the router's transient-failure retry path.
+var fpWireSend = faultpoint.Register("wire.send")
 
 // Shaper optionally wraps an accepted or dialed connection with traffic
 // shaping (device models). A nil Shaper leaves connections unshaped.
@@ -235,6 +241,11 @@ func (c *Conn) Call(op string, reqMeta interface{}, reqBody []byte, respMeta int
 	defer c.mu.Unlock()
 	if c.conn == nil {
 		return nil, core.ErrClosed
+	}
+	// Injectable transport failure (delay or error) before the request
+	// leaves: the fault surfaces exactly like a network send failing.
+	if err := fpWireSend.Hit(); err != nil {
+		return nil, fmt.Errorf("wire: send %s: %w", op, err)
 	}
 	if err := Write(c.conn, &Msg{Op: op, Meta: meta, Body: reqBody}); err != nil {
 		return nil, err
