@@ -52,6 +52,9 @@ func run(args []string) error {
 		snapEvery   = fs.Duration("snapshot-interval", 0, "write periodic catalog snapshots and truncate the journal behind them (0 = snapshots off; restart then replays the full journal)")
 		mapCache    = fs.Bool("map-cache", true, "serve repeat getMaps from the hot-map cache (false = rebuild and re-sort locations per read, the ablation baseline)")
 		recover     = fs.Bool("recover", false, "start in recovery mode: rebuild metadata from benefactor-held chunk-map replicas")
+		maxPending  = fs.Int("max-pending", 0, "admission bound: max concurrently pending alloc/extend/commit ops before the manager sheds with a typed retry-after (0 = unbounded)")
+		maxInflight = fs.Int("max-conn-inflight", 0, "per-connection budget for concurrently dispatched session-tagged frames; excess frames are shed with retry-after (0 = default)")
+		retryAfter  = fs.Duration("retry-after", 0, "backoff hint carried in shed responses (0 = default 2ms)")
 		quiet       = fs.Bool("quiet", false, "suppress operational logging")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -85,6 +88,9 @@ func run(args []string) error {
 		FsyncJournal:       *fsyncJrnl,
 		SnapshotInterval:   *snapEvery,
 		Recover:            *recover,
+		MaxPendingOps:      *maxPending,
+		MaxConnInflight:    *maxInflight,
+		RetryAfterHint:     *retryAfter,
 		WritePriority:      true,
 		Logger:             logger,
 	})

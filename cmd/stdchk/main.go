@@ -25,6 +25,8 @@ import (
 	"stdchk/internal/client"
 	"stdchk/internal/core"
 	"stdchk/internal/federation"
+	"stdchk/internal/metrics"
+	"stdchk/internal/proto"
 )
 
 func main() {
@@ -45,6 +47,7 @@ func run(args []string) error {
 		protocol    = fs.String("protocol", "sliding-window", "write protocol: sliding-window | incremental | complete-local")
 		chunking    = fs.String("chunking", "fixed", "chunk boundaries: fixed | cbch (content-based, dedups shifted content)")
 		mapCache    = fs.Bool("map-cache", true, "cache chunk-maps client-side: explicit-version re-opens need zero manager RPCs, latest opens one revalidation probe (false = full getMap per open, the ablation baseline)")
+		mux         = fs.Int("mux", 0, "share N session-multiplexed manager connections for metadata RPCs instead of pooling one serial conn per in-flight call (0 = serial pool; chunk traffic to benefactors is unaffected)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -92,13 +95,18 @@ func run(args []string) error {
 	if members := federation.SplitMembers(*mgr); len(members) > 1 {
 		// A member list makes this client federation-aware: dataset-scoped
 		// calls route to the partition owner, the rest fan out.
-		r, err := federation.NewRouter(federation.RouterConfig{Members: members})
+		r, err := federation.NewRouter(federation.RouterConfig{
+			Members:        members,
+			SharedConns:    *mux > 0,
+			PerMemberConns: *mux,
+		})
 		if err != nil {
 			return err
 		}
 		cfg.Endpoint = r // the client owns and closes it
 	} else {
 		cfg.ManagerAddr = *mgr
+		cfg.SharedManagerConns = *mux
 	}
 	cl, err := client.New(cfg)
 	if err != nil {
@@ -292,5 +300,31 @@ func cmdStats(cl *client.Client) error {
 		fmt.Printf("recovery: %d entries replayed at start, %d snapshots taken, snapshot watermark %d\n",
 			s.JournalReplayed, s.Snapshots, s.SnapshotSeq)
 	}
+	a := s.Admission
+	bound := "unbounded"
+	if a.MaxPending > 0 {
+		bound = fmt.Sprintf("bound %d", a.MaxPending)
+	}
+	fmt.Printf("admission (%s): %d admitted, %d shed, %d conn-shed, queue depth %d (peak %d)\n",
+		bound, a.Admitted, a.Shed, a.ConnShed, a.QueueDepth, a.PeakQueueDepth)
+	if a.Shed > 0 || a.ConnShed > 0 {
+		fmt.Printf("  shed callers were hinted to retry after %v\n",
+			time.Duration(a.RetryAfterMicros)*time.Microsecond)
+	}
+	printLatency("alloc latency", s.AllocLatency)
+	printLatency("commit latency", s.CommitLatency)
 	return nil
+}
+
+// printLatency renders one of the manager's log2-bucket op histograms.
+func printLatency(label string, ls proto.LatencyStats) {
+	if ls.Count == 0 {
+		return
+	}
+	mean := time.Duration(ls.SumMicros/ls.Count) * time.Microsecond
+	fmt.Printf("%s: %d ops, mean %v, p50 %v, p99 %v, p999 %v\n",
+		label, ls.Count, mean,
+		metrics.Percentile(ls.Buckets, 0.50).Round(time.Microsecond),
+		metrics.Percentile(ls.Buckets, 0.99).Round(time.Microsecond),
+		metrics.Percentile(ls.Buckets, 0.999).Round(time.Microsecond))
 }

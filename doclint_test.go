@@ -1,0 +1,167 @@
+package stdchk
+
+import (
+	"go/ast"
+	"go/doc"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestPackageDocs is the godoc gate: every package in the module must
+// open with a package comment — the one-paragraph contract a reader gets
+// from `go doc` before any code. CI runs this by name, so a new package
+// without its paragraph fails the build rather than rotting silently.
+func TestPackageDocs(t *testing.T) {
+	for _, dir := range modulePackageDirs(t) {
+		pkgs := parseDir(t, dir, parser.PackageClauseOnly|parser.ParseComments)
+		for name, pkg := range pkgs {
+			if strings.HasSuffix(name, "_test") {
+				continue
+			}
+			if pkgDoc(pkg) == "" {
+				t.Errorf("package %s (%s) has no package comment", name, dir)
+			}
+		}
+	}
+}
+
+// TestExportedDocs holds the load-bearing API packages — the ones
+// README/ARCHITECTURE point readers at — to the stricter bar: every
+// exported top-level declaration documented.
+func TestExportedDocs(t *testing.T) {
+	for _, rel := range []string{
+		"internal/proto",
+		"internal/wire",
+		"internal/federation",
+		"internal/faultpoint",
+		"internal/metrics",
+		"internal/workload",
+	} {
+		dir := filepath.Join(moduleRoot(t), rel)
+		for name, pkg := range parseDir(t, dir, parser.ParseComments) {
+			if strings.HasSuffix(name, "_test") {
+				continue
+			}
+			d := doc.New(pkg, rel, 0)
+			for _, v := range d.Consts {
+				checkValueDocured(t, rel, "const "+strings.Join(v.Names, ","), v)
+			}
+			for _, v := range d.Vars {
+				checkValueDocured(t, rel, "var "+strings.Join(v.Names, ","), v)
+			}
+			for _, typ := range d.Types {
+				checkDocured(t, rel, "type "+typ.Name, typ.Doc)
+				for _, m := range typ.Methods {
+					checkDocured(t, rel, "method "+typ.Name+"."+m.Name, m.Doc)
+				}
+				for _, f := range typ.Funcs {
+					checkDocured(t, rel, "func "+f.Name, f.Doc)
+				}
+				for _, v := range typ.Consts {
+					checkValueDocured(t, rel, "const "+strings.Join(v.Names, ","), v)
+				}
+				for _, v := range typ.Vars {
+					checkValueDocured(t, rel, "var "+strings.Join(v.Names, ","), v)
+				}
+			}
+			for _, f := range d.Funcs {
+				checkDocured(t, rel, "func "+f.Name, f.Doc)
+			}
+		}
+	}
+}
+
+func checkDocured(t *testing.T, pkg, decl, docText string) {
+	t.Helper()
+	if strings.TrimSpace(docText) == "" {
+		t.Errorf("%s: exported %s has no doc comment", pkg, decl)
+	}
+}
+
+// checkValueDocured accepts either a group doc on the const/var block or
+// a doc (or trailing comment) on every spec inside it — the idiomatic
+// style for enums whose members document themselves.
+func checkValueDocured(t *testing.T, pkg, decl string, v *doc.Value) {
+	t.Helper()
+	if strings.TrimSpace(v.Doc) != "" {
+		return
+	}
+	for _, spec := range v.Decl.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok {
+			continue
+		}
+		if vs.Doc == nil && vs.Comment == nil {
+			t.Errorf("%s: exported %s has no doc comment (neither group nor per-member)", pkg, decl)
+			return
+		}
+	}
+}
+
+// pkgDoc returns the package comment of any file in the package.
+func pkgDoc(pkg *ast.Package) string {
+	for _, f := range pkg.Files {
+		if f.Doc != nil {
+			return f.Doc.Text()
+		}
+	}
+	return ""
+}
+
+func parseDir(t *testing.T, dir string, mode parser.Mode) map[string]*ast.Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	// Test files are exempt: Test/Benchmark funcs are exported by
+	// convention, not API surface.
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, mode)
+	if err != nil {
+		t.Fatalf("parse %s: %v", dir, err)
+	}
+	return pkgs
+}
+
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wd
+}
+
+// modulePackageDirs walks the module for directories holding Go files,
+// skipping testdata and hidden trees.
+func modulePackageDirs(t *testing.T) []string {
+	t.Helper()
+	var dirs []string
+	root := moduleRoot(t)
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != root && (strings.HasPrefix(name, ".") || name == "testdata") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(d.Name(), ".go") {
+			dir := filepath.Dir(path)
+			if len(dirs) == 0 || dirs[len(dirs)-1] != dir {
+				dirs = append(dirs, dir)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dirs
+}

@@ -153,6 +153,15 @@ type Config struct {
 	// full MGetMap, the historical behavior and the -map-cache=false
 	// ablation baseline.
 	MapCacheEntries int
+	// SharedManagerConns, when positive, multiplexes the client's
+	// metadata RPCs over that many shared session-tagged connections to
+	// the manager instead of one pooled connection per outstanding call
+	// — the million-writer topology, where socket count stops scaling
+	// with writer count. Zero keeps the historical per-call pool. Chunk
+	// traffic to benefactors is unaffected (bulk bodies want their own
+	// sockets). Ignored when Endpoint is set; a federated Router selects
+	// shared mode via its own RouterConfig.SharedConns.
+	SharedManagerConns int
 	// Logger receives operational messages; nil discards.
 	Logger *log.Logger
 }
@@ -189,6 +198,9 @@ func (c Config) withDefaults() Config {
 type Client struct {
 	cfg  Config
 	pool *wire.Pool
+	// mgrPool, when non-nil, is a shared (multiplexed) pool dedicated to
+	// manager metadata RPCs (Config.SharedManagerConns); owned here.
+	mgrPool *wire.Pool
 	// mgr is the metadata service seam: a single manager or a federated
 	// router, resolved once at construction.
 	mgr ManagerEndpoint
@@ -260,9 +272,13 @@ func New(cfg Config) (*Client, error) {
 		maps:       newMapCache(cacheEntries),
 		benefAddrs: make(map[core.NodeID]string),
 	}
-	if cfg.Endpoint != nil {
+	switch {
+	case cfg.Endpoint != nil:
 		c.mgr = cfg.Endpoint
-	} else {
+	case cfg.SharedManagerConns > 0:
+		c.mgrPool = wire.NewSharedPool(cfg.Shaper, cfg.SharedManagerConns)
+		c.mgr = &singleManager{pool: c.mgrPool, addr: cfg.ManagerAddr}
+	default:
 		c.mgr = &singleManager{pool: c.pool, addr: cfg.ManagerAddr}
 	}
 	return c, nil
@@ -272,6 +288,9 @@ func New(cfg Config) (*Client, error) {
 func (c *Client) Close() error {
 	err := c.mgr.Close()
 	c.pool.Close()
+	if c.mgrPool != nil {
+		c.mgrPool.Close()
+	}
 	return err
 }
 

@@ -1,6 +1,10 @@
 package client
 
 import (
+	"errors"
+	"math/rand"
+	"time"
+
 	"stdchk/internal/core"
 	"stdchk/internal/proto"
 	"stdchk/internal/wire"
@@ -55,6 +59,17 @@ type ManagerEndpoint interface {
 	Close() error
 }
 
+// Retry-after handling for the single-manager endpoint: a shed call is
+// retried up to retryAfterAttempts times, sleeping the server's delay
+// hint (escalated per attempt, jittered, capped at maxRetryAfterDelay)
+// between tries. The federation Router applies the same policy in its
+// owner-retry loop, so clients behave identically against one manager or
+// a federated plane.
+const (
+	retryAfterAttempts = 4
+	maxRetryAfterDelay = 250 * time.Millisecond
+)
+
 // singleManager is the historical endpoint: every call goes to one
 // manager address over the client's shared connection pool. Its Close is
 // a no-op because the pool belongs to the Client.
@@ -64,7 +79,29 @@ type singleManager struct {
 }
 
 func (s *singleManager) call(op string, req, resp interface{}) error {
-	_, err := s.pool.Call(s.addr, op, req, nil, resp)
+	var err error
+	for attempt := 0; attempt < retryAfterAttempts; attempt++ {
+		if attempt > 0 {
+			var ra core.ErrRetryAfter
+			errors.As(err, &ra)
+			d := ra.Delay * time.Duration(attempt)
+			if d < ra.Delay {
+				d = ra.Delay
+			}
+			if d > maxRetryAfterDelay {
+				d = maxRetryAfterDelay
+			}
+			if d > 0 {
+				d += time.Duration(rand.Int63n(int64(d) + 1))
+			}
+			time.Sleep(d)
+		}
+		_, err = s.pool.Call(s.addr, op, req, nil, resp)
+		if err == nil || !errors.Is(err, core.ErrRetryAfter{}) {
+			return err
+		}
+		// Manager shed the op: honor the typed retry-after and try again.
+	}
 	return err
 }
 

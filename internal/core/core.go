@@ -15,6 +15,7 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"strings"
 	"time"
 )
 
@@ -146,6 +147,61 @@ var (
 	// replies — including remote errors — are never wrapped in it.
 	ErrRetryable = errors.New("transient transport failure")
 )
+
+// retryAfterMarker is the wire form of an ErrRetryAfter rejection. The
+// delay is embedded in the error string so the typed error survives the
+// framed protocol's string-only error channel (see ParseRetryAfter).
+const retryAfterMarker = "overloaded, retry after "
+
+// ErrRetryAfter is an admission-control rejection: the metadata service is
+// shedding load and names the earliest moment the caller should try
+// again. It is deliberately distinct from ErrRetryable — a transport that
+// never answered — because a retry-after IS an answer: the server is
+// alive and protecting itself, so retrying sooner than Delay only deepens
+// the overload. Clients and the federation router honor Delay with
+// bounded backoff; errors.Is(err, ErrRetryAfter{}) matches any delay and
+// errors.As extracts it.
+type ErrRetryAfter struct {
+	// Delay is the server's backoff hint.
+	Delay time.Duration
+}
+
+// Error implements the error interface; the format round-trips through
+// ParseRetryAfter.
+func (e ErrRetryAfter) Error() string {
+	return retryAfterMarker + e.Delay.String()
+}
+
+// Is matches any ErrRetryAfter regardless of delay, so
+// errors.Is(err, core.ErrRetryAfter{}) works as a class test.
+func (e ErrRetryAfter) Is(target error) bool {
+	_, ok := target.(ErrRetryAfter)
+	return ok
+}
+
+// IsRetryAfter reports whether err is (or wraps) an admission-control
+// retry-after rejection, regardless of its delay.
+func IsRetryAfter(err error) bool { return errors.Is(err, ErrRetryAfter{}) }
+
+// ParseRetryAfter recovers a typed ErrRetryAfter from an error string that
+// crossed the wire (remote errors travel as strings; see
+// wire.RemoteError.Unwrap). ok is false when s carries no retry-after
+// marker or the embedded delay does not parse.
+func ParseRetryAfter(s string) (ErrRetryAfter, bool) {
+	i := strings.LastIndex(s, retryAfterMarker)
+	if i < 0 {
+		return ErrRetryAfter{}, false
+	}
+	rest := s[i+len(retryAfterMarker):]
+	if j := strings.IndexByte(rest, ' '); j >= 0 {
+		rest = rest[:j]
+	}
+	d, err := time.ParseDuration(rest)
+	if err != nil || d < 0 {
+		return ErrRetryAfter{}, false
+	}
+	return ErrRetryAfter{Delay: d}, true
+}
 
 // ChunkRef names one chunk of a version: its position in the file, its
 // content-based name, and its size (the final chunk of a file may be short).

@@ -13,7 +13,7 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"table1", "fig2", "fig3", "fig4", "fig5", "fig6",
 		"table2", "table3", "table3live", "table4", "fig7", "fig8", "table5",
-		"managerload", "fedload", "restartload",
+		"managerload", "fedload", "restartload", "openload",
 	}
 	runners := All()
 	if len(runners) != len(want) {
@@ -382,6 +382,84 @@ func TestRestartLoadAblationSmoke(t *testing.T) {
 		if r.Phase == "warm" && r.GetMaps != r.Opens {
 			t.Fatalf("cache-disabled warm pass issued %d getMaps for %d opens, want one per open", r.GetMaps, r.Opens)
 		}
+	}
+}
+
+// TestOpenLoadSmoke runs the open-loop traffic experiment briefly over
+// real sockets (mux'd shared connections, bounded admission) and gates
+// the million-writer plane's acceptance criteria on the JSON records:
+// every offered-load level lands with completions and sane percentiles,
+// the bounded grid's peak queue depth never exceeds the admission bound,
+// and the ablation cell (unbounded queue) is present for contrast. The
+// p99 gate is deliberately loose — a CI smoke, not a benchmark.
+func TestOpenLoadSmoke(t *testing.T) {
+	var buf, js bytes.Buffer
+	if err := OpenLoad(Config{Runs: 1, Out: &buf, JSON: &js}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Open-loop traffic", "calibrated closed-loop capacity", "p999", "ablation at 1.50x", "unbounded queue"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	type rec struct {
+		Experiment string  `json:"experiment"`
+		Variant    string  `json:"variant"`
+		Offered    float64 `json:"offeredPerSec"`
+		Achieved   float64 `json:"achievedPerSec"`
+		P50Micros  int64   `json:"p50Micros"`
+		P99Micros  int64   `json:"p99Micros"`
+		Completed  int64   `json:"completed"`
+		ShedFailed int64   `json:"shedFailed"`
+		PeakDepth  int64   `json:"peakQueueDepth"`
+	}
+	lines, unbounded := 0, 0
+	for _, line := range strings.Split(strings.TrimSpace(js.String()), "\n") {
+		if line == "" {
+			continue
+		}
+		lines++
+		var r rec
+		if err := json.Unmarshal([]byte(line), &r); err != nil {
+			t.Fatalf("bad JSON record %q: %v", line, err)
+		}
+		if r.Experiment != "openload" || r.Offered <= 0 {
+			t.Fatalf("implausible record: %+v", r)
+		}
+		switch r.Variant {
+		case "admission":
+			// The admission gate's whole point: the pending-op queue is
+			// bounded by construction, even at 1.5x offered load.
+			if r.PeakDepth > 128 {
+				t.Fatalf("bounded grid peak queue depth %d exceeds admission bound 128: %+v", r.PeakDepth, r)
+			}
+			if r.Completed <= 0 || r.P50Micros <= 0 || r.P99Micros < r.P50Micros {
+				t.Fatalf("implausible latency cell: %+v", r)
+			}
+			// Loose tail gate: a loopback checkpoint commit taking >30s at
+			// p99 means the plane hung, not that CI was slow.
+			if r.P99Micros > 30_000_000 {
+				t.Fatalf("p99 %dµs implies a stuck plane: %+v", r.P99Micros, r)
+			}
+		case "unbounded":
+			unbounded++
+			// The ablation unbounds the admission queue, not the per-conn
+			// inflight budget — so ShedFailed may still count conn-level
+			// sheds, but completions must flow.
+			if r.Completed <= 0 {
+				t.Fatalf("unbounded ablation starved: %+v", r)
+			}
+		default:
+			t.Fatalf("unknown variant %q: %+v", r.Variant, r)
+		}
+	}
+	// Five sweep levels plus the ablation cell.
+	if lines != 6 {
+		t.Fatalf("%d JSON records, want 6", lines)
+	}
+	if unbounded != 1 {
+		t.Fatalf("%d unbounded ablation cells, want 1", unbounded)
 	}
 }
 

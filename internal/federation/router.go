@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"stdchk/internal/core"
+	"stdchk/internal/metrics"
 	"stdchk/internal/proto"
 	"stdchk/internal/wire"
 )
@@ -44,8 +45,15 @@ type RouterConfig struct {
 	// Shaper wraps every connection the router dials (the caller's NIC
 	// model); nil leaves connections unshaped.
 	Shaper wire.Shaper
-	// PerMemberConns caps pooled connections per member (0 = 8).
+	// PerMemberConns caps pooled connections per member (0 = 8), or — in
+	// shared-connection mode — the multiplexed connections per member.
 	PerMemberConns int
+	// SharedConns selects shared-connection mode: instead of one pooled
+	// connection per outstanding call, up to PerMemberConns multiplexed
+	// connections per member carry all calls concurrently with
+	// session-tagged frames. This is the topology that scales to
+	// millions of client sessions without a socket per session.
+	SharedConns bool
 	// RetryAttempts bounds how many times a dataset-scoped call is tried
 	// against its owner when the failure is a transport one (dial refused,
 	// reset, timeout) — the owner may simply be restarting. 0 selects the
@@ -99,9 +107,13 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 	if base <= 0 {
 		base = 25 * time.Millisecond
 	}
+	pool := wire.NewPool(cfg.Shaper, per)
+	if cfg.SharedConns {
+		pool = wire.NewSharedPool(cfg.Shaper, per)
+	}
 	r := &Router{
 		ms:            ms,
-		pool:          wire.NewPool(cfg.Shaper, per),
+		pool:          pool,
 		logger:        cfg.Logger,
 		health:        make([]*memberHealth, ms.Len()),
 		retryAttempts: attempts,
@@ -155,32 +167,64 @@ func (r *Router) call(i int, op string, req, resp interface{}) error {
 	return nil
 }
 
+// maxRetryAfterDelay caps how long the router honors a server's
+// retry-after hint per attempt, so a misconfigured hint cannot stall a
+// caller indefinitely.
+const maxRetryAfterDelay = 250 * time.Millisecond
+
 // callOwner routes one dataset-scoped RPC to the member owning name,
 // retrying transport failures with bounded exponential backoff plus jitter:
 // a member that cannot be reached may simply be restarting, and a client
 // mid-write-storm should degrade to a short stall instead of an error. A
 // RemoteError reply stops retrying immediately — the member answered, and
 // replaying a non-idempotent op (commit) against a member that already
-// applied it would surface confusing secondary errors. When all attempts
-// fail the error is marked core.ErrRetryable so callers can distinguish
-// "the owner never answered" from an application-level rejection.
+// applied it would surface confusing secondary errors — with one
+// exception: an admission-control shed (core.ErrRetryAfter) is the
+// server asking to be called back, so the router sleeps the server's
+// delay hint (scaled by attempt, jittered, capped) and retries within
+// the same bounded attempt budget. When all attempts fail on transport
+// errors the error is marked core.ErrRetryable so callers can
+// distinguish "the owner never answered" from an application-level
+// rejection; an exhausted retry-after budget returns the typed shed
+// error itself, delay hint intact.
 func (r *Router) callOwner(name, op string, req, resp interface{}) error {
 	i, _ := r.ms.OwnerOf(name)
 	var err error
 	for attempt := 0; attempt < r.retryAttempts; attempt++ {
 		if attempt > 0 {
-			d := r.retryBase << (attempt - 1)
+			var ra core.ErrRetryAfter
+			var d time.Duration
+			if errors.As(err, &ra) {
+				// Server-directed backoff: the hint, escalated per
+				// attempt so persistent overload spreads callers out.
+				d = ra.Delay * time.Duration(attempt)
+				if d < ra.Delay {
+					d = ra.Delay
+				}
+				if d > maxRetryAfterDelay {
+					d = maxRetryAfterDelay
+				}
+				r.logf("member %d shed %s, honoring retry-after %v (attempt %d)", i, op, d, attempt+1)
+			} else {
+				d = r.retryBase << (attempt - 1)
+				r.logf("retrying %s on member %d after transport failure (attempt %d): %v", op, i, attempt+1, err)
+			}
 			d += time.Duration(rand.Int63n(int64(d) + 1))
 			time.Sleep(d)
-			r.logf("retrying %s on member %d after transport failure (attempt %d): %v", op, i, attempt+1, err)
 		}
 		if err = r.call(i, op, req, resp); err == nil {
 			return nil
 		}
 		var remote *wire.RemoteError
 		if errors.As(err, &remote) {
+			if errors.Is(err, core.ErrRetryAfter{}) {
+				continue // honored in the backoff branch above
+			}
 			return err
 		}
+	}
+	if errors.Is(err, core.ErrRetryAfter{}) {
+		return err // typed shed, delay hint intact — not a transport fault
 	}
 	return fmt.Errorf("%w: %w", core.ErrRetryable, err)
 }
@@ -469,8 +513,34 @@ func MergeStats(all []proto.ManagerStats) proto.ManagerStats {
 		agg.Registry.Reserves += st.Registry.Reserves
 		agg.Registry.Releases += st.Registry.Releases
 		agg.Registry.Heartbeats += st.Registry.Heartbeats
+		// Admission: throughput counters sum; bounds and high-water marks
+		// are per-member properties, so the merged view takes the max
+		// (the federation "respected its bounds" iff every member did).
+		agg.Admission.Admitted += st.Admission.Admitted
+		agg.Admission.Shed += st.Admission.Shed
+		agg.Admission.ConnShed += st.Admission.ConnShed
+		agg.Admission.QueueDepth += st.Admission.QueueDepth
+		if st.Admission.PeakQueueDepth > agg.Admission.PeakQueueDepth {
+			agg.Admission.PeakQueueDepth = st.Admission.PeakQueueDepth
+		}
+		if st.Admission.MaxPending > agg.Admission.MaxPending {
+			agg.Admission.MaxPending = st.Admission.MaxPending
+		}
+		if st.Admission.RetryAfterMicros > agg.Admission.RetryAfterMicros {
+			agg.Admission.RetryAfterMicros = st.Admission.RetryAfterMicros
+		}
+		agg.AllocLatency = mergeLatency(agg.AllocLatency, st.AllocLatency)
+		agg.CommitLatency = mergeLatency(agg.CommitLatency, st.CommitLatency)
 	}
 	return agg
+}
+
+// mergeLatency combines two wire-form latency histograms element-wise.
+func mergeLatency(dst, src proto.LatencyStats) proto.LatencyStats {
+	dst.Count += src.Count
+	dst.SumMicros += src.SumMicros
+	dst.Buckets = metrics.MergeBuckets(dst.Buckets, src.Buckets)
+	return dst
 }
 
 // MemberStats snapshots every member's counters, indexed by member.

@@ -20,6 +20,7 @@ import (
 	"stdchk/internal/core"
 	"stdchk/internal/faultpoint"
 	"stdchk/internal/federation"
+	"stdchk/internal/metrics"
 	"stdchk/internal/namespace"
 	"stdchk/internal/proto"
 	"stdchk/internal/wire"
@@ -116,6 +117,20 @@ type Config struct {
 	// benefactors are asked for their chunk-map replicas, and datasets
 	// are restored once two-thirds of a map's stripe concur (paper §IV.A).
 	Recover bool
+	// MaxPendingOps bounds the globally admitted, unfinished mutating
+	// metadata ops (alloc/extend/commit). Past the bound the manager
+	// sheds: the op is rejected immediately with a typed
+	// core.ErrRetryAfter carrying RetryAfterHint instead of queueing.
+	// Zero leaves the queue unbounded (depth is still tracked).
+	MaxPendingOps int
+	// MaxConnInflight caps concurrently dispatched session-tagged
+	// requests per connection (multiplexed clients); past it frames are
+	// shed at the wire layer with the same typed retry-after. Zero uses
+	// the wire server's default.
+	MaxConnInflight int
+	// RetryAfterHint is the backoff delay embedded in shed responses.
+	// Zero means a small default (see internal admission gate).
+	RetryAfterHint time.Duration
 	// Shaper wraps server-side connections with device models.
 	Shaper wire.Shaper
 	// DialShaper wraps manager-initiated connections to benefactors.
@@ -177,6 +192,14 @@ type Manager struct {
 	// the federation (partition filter inputs).
 	fed *federation.Membership
 
+	// adm gates mutating metadata ops; always constructed (unbounded
+	// when MaxPendingOps is zero) so depth accounting is uniform.
+	adm *admission
+	// allocLat and commitLat time the two metadata ops on a checkpoint's
+	// critical path, service-time only (queueing excluded by admission).
+	allocLat  metrics.LatencyHistogram
+	commitLat metrics.LatencyHistogram
+
 	stats struct {
 		transactions       atomic.Int64
 		extends            atomic.Int64
@@ -210,6 +233,7 @@ func New(cfg Config) (*Manager, error) {
 		pool:     wire.NewPool(cfg.DialShaper, 8),
 		logger:   cfg.Logger,
 		policies: newPolicyTable(),
+		adm:      newAdmission(cfg.MaxPendingOps, cfg.RetryAfterHint),
 		stop:     make(chan struct{}),
 	}
 	if len(cfg.FederationMembers) > 0 {
@@ -265,7 +289,12 @@ func New(cfg Config) (*Manager, error) {
 			return nil, fmt.Errorf("manager: listen %s: %w", cfg.ListenAddr, err)
 		}
 	}
-	m.srv = wire.NewServer(ln, m.handle, cfg.Shaper)
+	m.srv = wire.NewServerWithConfig(ln, wire.ServerConfig{
+		Handler:         m.handle,
+		Shaper:          cfg.Shaper,
+		MaxConnInflight: cfg.MaxConnInflight,
+		Overload:        m.adm.overloadHook,
+	})
 
 	m.wg.Add(3)
 	go m.sweepLoop()
@@ -433,19 +462,38 @@ func (m *Manager) handle(r *wire.Req) (wire.Resp, error) {
 		if err := wire.UnmarshalMeta(r.Meta, &req); err != nil {
 			return wire.Resp{}, err
 		}
-		return m.handleAlloc(req)
+		if err := m.adm.enter(); err != nil {
+			return wire.Resp{}, err
+		}
+		start := time.Now()
+		resp, err := m.handleAlloc(req)
+		m.allocLat.Observe(time.Since(start))
+		m.adm.exit()
+		return resp, err
 	case proto.MExtend:
 		var req proto.ExtendReq
 		if err := wire.UnmarshalMeta(r.Meta, &req); err != nil {
 			return wire.Resp{}, err
 		}
-		return m.handleExtend(req)
+		if err := m.adm.enter(); err != nil {
+			return wire.Resp{}, err
+		}
+		resp, err := m.handleExtend(req)
+		m.adm.exit()
+		return resp, err
 	case proto.MCommit:
 		var req proto.CommitReq
 		if err := wire.UnmarshalMeta(r.Meta, &req); err != nil {
 			return wire.Resp{}, err
 		}
-		return m.handleCommit(req)
+		if err := m.adm.enter(); err != nil {
+			return wire.Resp{}, err
+		}
+		start := time.Now()
+		resp, err := m.handleCommit(req)
+		m.commitLat.Observe(time.Since(start))
+		m.adm.exit()
+		return resp, err
 	case proto.MAbort:
 		var req proto.AbortReq
 		if err := wire.UnmarshalMeta(r.Meta, &req); err != nil {
@@ -730,7 +778,12 @@ func (m *Manager) statsSnapshot() proto.ManagerStats {
 		}
 	}
 	jBatches, jBatchLen, jFsyncs, jErrs := m.journal.counters()
+	allocCount, allocSum, allocBuckets := m.allocLat.Snapshot()
+	commitCount, commitSum, commitBuckets := m.commitLat.Snapshot()
 	return proto.ManagerStats{
+		Admission:         m.adm.snapshot(),
+		AllocLatency:      proto.LatencyStats{Count: allocCount, SumMicros: allocSum, Buckets: allocBuckets},
+		CommitLatency:     proto.LatencyStats{Count: commitCount, SumMicros: commitSum, Buckets: commitBuckets},
 		CatalogStripes:    dsStripes,
 		ChunkStripes:      ckStripes,
 		SessionStripes:    sessStripes,

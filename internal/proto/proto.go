@@ -428,6 +428,51 @@ type ManagerStats struct {
 	// Federation identifies this manager's place in a federated
 	// deployment; nil on a standalone manager.
 	Federation *FederationInfo `json:"federation,omitempty"`
+	// Admission reports the manager's load-shedding plane: pending-op
+	// bounds, queue depths, and how many requests were admitted vs shed.
+	Admission AdmissionStats `json:"admission"`
+	// AllocLatency and CommitLatency are server-side service-time
+	// histograms for the two metadata ops that dominate a checkpoint's
+	// critical path (session open and commit publish).
+	AllocLatency  LatencyStats `json:"allocLatency"`
+	CommitLatency LatencyStats `json:"commitLatency"`
+}
+
+// AdmissionStats reports manager-side admission control: the global
+// pending-op queue (alloc/extend/commit), its high-water mark, and shed
+// counts. Shed is requests rejected at the global gate with a typed
+// retry-after; ConnShed is frames rejected earlier still, at a
+// connection's inflight budget, before the dispatcher ever saw them.
+type AdmissionStats struct {
+	// MaxPending is the configured global pending-op bound (0 =
+	// unbounded: depth is tracked but nothing is shed).
+	MaxPending int `json:"maxPending,omitempty"`
+	// QueueDepth is the instantaneous count of admitted, unfinished ops.
+	QueueDepth int64 `json:"queueDepth"`
+	// PeakQueueDepth is the high-water mark of QueueDepth since start —
+	// under a working admission gate it never exceeds MaxPending.
+	PeakQueueDepth int64 `json:"peakQueueDepth"`
+	// Admitted and Shed partition gated requests: every gated request
+	// either entered the queue or was rejected with retry-after.
+	Admitted int64 `json:"admitted"`
+	Shed     int64 `json:"shed"`
+	// ConnShed counts session-tagged frames shed at a connection's
+	// inflight bound by the wire server's overload hook.
+	ConnShed int64 `json:"connShed"`
+	// RetryAfterMicros is the configured backoff hint handed to shed
+	// callers, in microseconds.
+	RetryAfterMicros int64 `json:"retryAfterMicros,omitempty"`
+}
+
+// LatencyStats is the wire form of a latency histogram: log2-spaced
+// microsecond buckets (bucket i counts observations in [2^i, 2^(i+1))
+// µs) plus count and sum for the mean. Percentiles are derived
+// client-side; merging across federation members is element-wise
+// addition.
+type LatencyStats struct {
+	Count     int64   `json:"count"`
+	SumMicros int64   `json:"sumMicros"`
+	Buckets   []int64 `json:"buckets,omitempty"`
 }
 
 // MapCacheStats reports a chunk-map cache's effectiveness: Hits served

@@ -1,0 +1,184 @@
+package wire
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+
+	"stdchk/internal/core"
+)
+
+// MuxConn is a multiplexed client connection: many goroutines issue calls
+// concurrently over one socket, each request tagged with a fresh session
+// ID and a reader goroutine routing every reply to its waiter. Compared
+// to Conn — which serializes calls on a mutex — a MuxConn keeps many
+// requests in flight at once, which is how millions of logical client
+// sessions share a small number of manager connections.
+//
+// A transport error is sticky: it fails every pending and future call,
+// and the owner (normally a shared Pool) replaces the connection.
+type MuxConn struct {
+	conn net.Conn
+	wmu  sync.Mutex // serializes request frames onto the socket
+
+	mu      sync.Mutex
+	calls   map[uint64]chan muxReply
+	nextSid uint64
+	err     error // sticky transport error; set once
+
+	readerDone chan struct{}
+}
+
+// muxReply carries one demultiplexed response (or the connection's fatal
+// error) to its waiting caller.
+type muxReply struct {
+	msg Msg
+	err error
+}
+
+// DialMux connects to addr and starts the reply-demux reader.
+func DialMux(addr string, shaper Shaper) (*MuxConn, error) {
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("wire: dial %s: %w", addr, err)
+	}
+	conn := raw
+	if shaper != nil {
+		conn = shaper(raw)
+	}
+	c := &MuxConn{
+		conn:       conn,
+		calls:      make(map[uint64]chan muxReply),
+		readerDone: make(chan struct{}),
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+// readLoop demultiplexes response frames to waiting callers by session ID
+// until the connection dies, then fails every pending call.
+func (c *MuxConn) readLoop() {
+	defer close(c.readerDone)
+	br := bufio.NewReaderSize(c.conn, connReadBufSize)
+	for {
+		// A fresh Msg per frame: Meta and Body ownership pass to the
+		// waiter, so the loop must not reuse their backing arrays.
+		var m Msg
+		if err := ReadInto(br, &m); err != nil {
+			c.fail(err)
+			return
+		}
+		c.mu.Lock()
+		ch := c.calls[m.Session]
+		delete(c.calls, m.Session)
+		c.mu.Unlock()
+		if ch == nil {
+			// Stray or duplicate session tag; drop the frame.
+			if m.Body != nil {
+				PutBuf(m.Body)
+			}
+			continue
+		}
+		ch <- muxReply{msg: m}
+	}
+}
+
+// fail records the sticky error, closes the socket and unblocks every
+// pending caller with the failure.
+func (c *MuxConn) fail(err error) {
+	c.mu.Lock()
+	if c.err == nil {
+		c.err = err
+	}
+	pending := c.calls
+	c.calls = make(map[uint64]chan muxReply)
+	c.mu.Unlock()
+	c.conn.Close()
+	for _, ch := range pending {
+		ch <- muxReply{err: err}
+	}
+}
+
+// Call sends one request and waits for its demultiplexed response. It is
+// safe — and intended — to call concurrently; requests interleave on the
+// wire and responses may arrive in any order. Response-body ownership
+// matches Conn.Call: the returned slice is pooled and passes to the
+// caller.
+func (c *MuxConn) Call(op string, reqMeta interface{}, reqBody []byte, respMeta interface{}) ([]byte, error) {
+	meta, err := MarshalMeta(reqMeta)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return nil, err
+	}
+	c.nextSid++
+	sid := c.nextSid
+	ch := make(chan muxReply, 1)
+	c.calls[sid] = ch
+	c.mu.Unlock()
+
+	// Injectable transport failure, as in Conn.Call: the fault surfaces
+	// exactly like a network send failing.
+	if err := fpWireSend.Hit(); err != nil {
+		c.abandon(sid)
+		return nil, fmt.Errorf("wire: send %s: %w", op, err)
+	}
+	c.wmu.Lock()
+	werr := Write(c.conn, &Msg{Op: op, Session: sid, Meta: meta, Body: reqBody})
+	c.wmu.Unlock()
+	if werr != nil {
+		c.abandon(sid)
+		c.fail(werr)
+		return nil, werr
+	}
+
+	reply := <-ch
+	if reply.err != nil {
+		return nil, reply.err
+	}
+	resp := reply.msg
+	if resp.Err != "" {
+		if resp.Body != nil {
+			PutBuf(resp.Body)
+		}
+		return nil, &RemoteError{Op: op, Msg: resp.Err}
+	}
+	if respMeta != nil {
+		if err := UnmarshalMeta(resp.Meta, respMeta); err != nil {
+			if resp.Body != nil {
+				PutBuf(resp.Body)
+			}
+			return nil, err
+		}
+	}
+	return resp.Body, nil
+}
+
+// abandon forgets a registered session before its request ever reached
+// the wire (or after a failed write), so a late stray reply is dropped
+// rather than delivered to a departed caller.
+func (c *MuxConn) abandon(sid uint64) {
+	c.mu.Lock()
+	delete(c.calls, sid)
+	c.mu.Unlock()
+}
+
+// Close tears the connection down, failing any pending calls with
+// core.ErrClosed, and waits for the reader to exit.
+func (c *MuxConn) Close() error {
+	c.fail(core.ErrClosed)
+	<-c.readerDone
+	return nil
+}
+
+// broken reports whether the connection has hit its sticky error.
+func (c *MuxConn) broken() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err != nil
+}

@@ -61,14 +61,40 @@ type Resp struct {
 // (see RemoteError.Unwrap).
 type Handler func(req *Req) (Resp, error)
 
+// DefaultConnInflight is the per-connection cap on concurrently dispatched
+// session-tagged requests when ServerConfig.MaxConnInflight is zero.
+const DefaultConnInflight = 64
+
+// ServerConfig parameterizes a Server beyond the handler: traffic shaping,
+// the per-connection inflight bound for multiplexed sessions, and the
+// overload hook that turns an over-budget frame into a typed rejection.
+type ServerConfig struct {
+	// Handler processes each request (required).
+	Handler Handler
+	// Shaper optionally wraps accepted connections (device models).
+	Shaper Shaper
+	// MaxConnInflight caps how many session-tagged requests one connection
+	// may have dispatched concurrently. Zero means DefaultConnInflight.
+	// Untagged requests are always serial and never counted.
+	MaxConnInflight int
+	// Overload, when non-nil, is consulted for a tagged frame arriving with
+	// the inflight budget exhausted; its error is sent to the peer as the
+	// rejection (typically a core.ErrRetryAfter). When nil, over-budget
+	// frames fall back to serial in-order processing instead of shedding.
+	Overload func(op string) error
+}
+
 // Server accepts framed-RPC connections and dispatches requests to a
-// Handler. Each connection is served by one goroutine; requests on a
-// connection are processed in order (the protocol is synchronous per
-// connection, clients use pools for parallelism).
+// Handler. Untagged requests on a connection are processed in order (the
+// classic synchronous protocol); session-tagged requests dispatch
+// concurrently up to MaxConnInflight, with responses echoing the session
+// ID so the client-side mux can demultiplex them.
 type Server struct {
-	ln      net.Listener
-	handler Handler
-	shaper  Shaper
+	ln       net.Listener
+	handler  Handler
+	shaper   Shaper
+	inflight int
+	overload func(op string) error
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -79,11 +105,21 @@ type Server struct {
 // NewServer starts serving on ln. It returns immediately; the accept loop
 // runs until Close.
 func NewServer(ln net.Listener, handler Handler, shaper Shaper) *Server {
+	return NewServerWithConfig(ln, ServerConfig{Handler: handler, Shaper: shaper})
+}
+
+// NewServerWithConfig starts serving on ln with explicit server options.
+func NewServerWithConfig(ln net.Listener, cfg ServerConfig) *Server {
+	if cfg.MaxConnInflight <= 0 {
+		cfg.MaxConnInflight = DefaultConnInflight
+	}
 	s := &Server{
-		ln:      ln,
-		handler: handler,
-		shaper:  shaper,
-		conns:   make(map[net.Conn]struct{}),
+		ln:       ln,
+		handler:  cfg.Handler,
+		shaper:   cfg.Shaper,
+		inflight: cfg.MaxConnInflight,
+		overload: cfg.Overload,
+		conns:    make(map[net.Conn]struct{}),
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
@@ -144,40 +180,96 @@ func (s *Server) serveConn(raw net.Conn) {
 		conn = s.shaper(raw)
 	}
 	br := bufio.NewReaderSize(conn, connReadBufSize)
+	// Tagged requests dispatch concurrently, so responses from dispatch
+	// goroutines and the serial loop interleave on one socket: every frame
+	// write serializes on wmu. sem bounds dispatched-but-unanswered tagged
+	// requests; dispatched waits them out before the connection is torn
+	// down so no goroutine writes to a closed-and-reused buffer.
+	var (
+		wmu        sync.Mutex
+		dispatched sync.WaitGroup
+	)
+	sem := make(chan struct{}, s.inflight)
+	defer dispatched.Wait()
 	var msg Msg
 	for {
 		if err := ReadInto(br, &msg); err != nil {
 			return // peer gone or protocol error; drop the connection
 		}
-		req := Req{Op: msg.Op, Meta: msg.Meta, Body: msg.Body}
-		hresp, herr := s.handler(&req)
-		out := Msg{Op: msg.Op}
-		if herr != nil {
-			out.Err = herr.Error()
-		} else {
-			if hresp.Meta != nil {
-				raw, merr := MarshalMeta(hresp.Meta)
-				if merr != nil {
-					out.Err = merr.Error()
-				} else {
-					out.Meta = raw
+		if msg.Session != 0 {
+			select {
+			case sem <- struct{}{}:
+				// The dispatch goroutine takes over Meta and Body; detach
+				// them so the next ReadInto cannot reuse their backing
+				// arrays while the handler still reads them.
+				m := msg
+				msg.Meta, msg.Body = nil, nil
+				dispatched.Add(1)
+				go func() {
+					defer dispatched.Done()
+					defer func() { <-sem }()
+					s.serveOne(conn, &wmu, &m)
+				}()
+				continue
+			default:
+				if s.overload != nil {
+					// Budget exhausted: shed before touching the handler.
+					if msg.Body != nil {
+						PutBuf(msg.Body)
+						msg.Body = nil
+					}
+					out := Msg{Op: msg.Op, Session: msg.Session, Err: s.overload(msg.Op).Error()}
+					wmu.Lock()
+					werr := Write(conn, &out)
+					wmu.Unlock()
+					if werr != nil {
+						return
+					}
+					continue
 				}
+				// No shed policy: process in-line, which naturally stalls
+				// the read loop until capacity frees (backpressure).
 			}
-			if out.Err == "" {
-				out.Body = hresp.Body
-			}
 		}
-		werr := Write(conn, &out)
-		if msg.Body != nil && !req.retained {
-			PutBuf(msg.Body)
-		}
-		if hresp.Recycle && hresp.Body != nil {
-			PutBuf(hresp.Body)
-		}
-		if werr != nil {
+		if werr := s.serveOne(conn, &wmu, &msg); werr != nil {
 			return
 		}
 	}
+}
+
+// serveOne runs the handler for one decoded request and writes its
+// response frame (echoing the session tag), recycling the request body
+// unless the handler retained it. The write lock serializes frames from
+// concurrent dispatches.
+func (s *Server) serveOne(conn net.Conn, wmu *sync.Mutex, msg *Msg) error {
+	req := Req{Op: msg.Op, Meta: msg.Meta, Body: msg.Body}
+	hresp, herr := s.handler(&req)
+	out := Msg{Op: msg.Op, Session: msg.Session}
+	if herr != nil {
+		out.Err = herr.Error()
+	} else {
+		if hresp.Meta != nil {
+			raw, merr := MarshalMeta(hresp.Meta)
+			if merr != nil {
+				out.Err = merr.Error()
+			} else {
+				out.Meta = raw
+			}
+		}
+		if out.Err == "" {
+			out.Body = hresp.Body
+		}
+	}
+	wmu.Lock()
+	werr := Write(conn, &out)
+	wmu.Unlock()
+	if msg.Body != nil && !req.retained {
+		PutBuf(msg.Body)
+	}
+	if hresp.Recycle && hresp.Body != nil {
+		PutBuf(hresp.Body)
+	}
+	return werr
 }
 
 // RemoteError is an error reported by a peer over the wire.
@@ -190,8 +282,13 @@ type RemoteError struct {
 func (e *RemoteError) Error() string { return fmt.Sprintf("remote %s: %s", e.Op, e.Msg) }
 
 // Unwrap maps well-known remote error strings back to the core sentinel
-// errors so errors.Is works across the wire.
+// errors so errors.Is works across the wire. Admission-control rejections
+// are parsed back into a typed core.ErrRetryAfter (before sentinel
+// matching, so the server's delay hint survives the round trip).
 func (e *RemoteError) Unwrap() error {
+	if ra, ok := core.ParseRetryAfter(e.Msg); ok {
+		return ra
+	}
 	for _, sentinel := range []error{
 		core.ErrNotFound, core.ErrNoSpace, core.ErrNoBenefactors,
 		core.ErrNotCommitted, core.ErrAlreadyCommitted, core.ErrIntegrity,
@@ -284,6 +381,11 @@ func (c *Conn) Close() error {
 
 // Pool maintains reusable connections per remote address. Broken
 // connections are discarded on error; callers just retry the Call.
+//
+// A pool built with NewSharedPool runs in shared-connection (multiplexed)
+// mode instead: a small fixed set of MuxConns per address carries every
+// call concurrently, each tagged with a session ID. The Call signature is
+// identical, so callers switch modes at construction only.
 type Pool struct {
 	shaper Shaper
 
@@ -291,6 +393,10 @@ type Pool struct {
 	idle  map[string][]*Conn
 	total int
 	limit int
+
+	mux      bool
+	muxConns map[string][]*MuxConn
+	rr       map[string]int
 }
 
 // NewPool returns a pool applying shaper to every dialed connection.
@@ -303,10 +409,35 @@ func NewPool(shaper Shaper, perAddrLimit int) *Pool {
 	return &Pool{shaper: shaper, idle: make(map[string][]*Conn), limit: perAddrLimit}
 }
 
+// NewSharedPool returns a pool in shared-connection mode: up to
+// perAddrConns multiplexed connections per address carry all calls, with
+// session-tagged frames demultiplexed by a per-connection reader. This is
+// the million-writer topology — concurrency no longer implies socket
+// count.
+func NewSharedPool(shaper Shaper, perAddrConns int) *Pool {
+	if perAddrConns <= 0 {
+		perAddrConns = 2
+	}
+	return &Pool{
+		shaper:   shaper,
+		idle:     make(map[string][]*Conn),
+		limit:    perAddrConns,
+		mux:      true,
+		muxConns: make(map[string][]*MuxConn),
+		rr:       make(map[string]int),
+	}
+}
+
+// Shared reports whether the pool runs in shared-connection mode.
+func (p *Pool) Shared() bool { return p.mux }
+
 // Call performs one RPC against addr using a pooled connection. On
 // transport errors the connection is discarded and the call retried once on
 // a fresh connection. Response-body ownership matches Conn.Call.
 func (p *Pool) Call(addr, op string, reqMeta interface{}, reqBody []byte, respMeta interface{}) ([]byte, error) {
+	if p.mux {
+		return p.muxCall(addr, op, reqMeta, reqBody, respMeta)
+	}
 	for attempt := 0; ; attempt++ {
 		conn, fresh, err := p.get(addr)
 		if err != nil {
@@ -350,6 +481,88 @@ func (p *Pool) get(addr string) (conn *Conn, fresh bool, err error) {
 	return conn, true, nil
 }
 
+// muxCall routes one RPC over a shared multiplexed connection, retrying
+// once on a fresh connection when a pooled one turns out broken. Remote
+// errors — including retry-after sheds — are answers, not transport
+// faults, and return immediately.
+func (p *Pool) muxCall(addr, op string, reqMeta interface{}, reqBody []byte, respMeta interface{}) ([]byte, error) {
+	for attempt := 0; ; attempt++ {
+		mc, fresh, err := p.muxGet(addr)
+		if err != nil {
+			return nil, err
+		}
+		body, err := mc.Call(op, reqMeta, reqBody, respMeta)
+		if err == nil {
+			return body, nil
+		}
+		var remote *RemoteError
+		if errors.As(err, &remote) {
+			return nil, err
+		}
+		p.muxEvict(addr, mc)
+		if fresh || attempt >= 1 {
+			return nil, err
+		}
+	}
+}
+
+// muxGet picks a live shared connection for addr round-robin, dialing new
+// ones until the per-address budget is full.
+func (p *Pool) muxGet(addr string) (mc *MuxConn, fresh bool, err error) {
+	p.mu.Lock()
+	if p.muxConns == nil { // pool closed
+		p.mu.Unlock()
+		return nil, true, core.ErrClosed
+	}
+	conns := p.muxConns[addr]
+	// Prune broken connections eagerly so the budget refills with live
+	// ones rather than round-robining onto known-dead sockets.
+	live := conns[:0]
+	for _, c := range conns {
+		if c.broken() {
+			c.Close()
+			continue
+		}
+		live = append(live, c)
+	}
+	p.muxConns[addr] = live
+	if len(live) >= p.limit {
+		i := p.rr[addr] % len(live)
+		p.rr[addr] = i + 1
+		mc = live[i]
+		p.mu.Unlock()
+		return mc, false, nil
+	}
+	p.mu.Unlock()
+	mc, err = DialMux(addr, p.shaper)
+	if err != nil {
+		return nil, true, err
+	}
+	p.mu.Lock()
+	if p.muxConns == nil { // pool closed while dialing
+		p.mu.Unlock()
+		mc.Close()
+		return nil, true, core.ErrClosed
+	}
+	p.muxConns[addr] = append(p.muxConns[addr], mc)
+	p.mu.Unlock()
+	return mc, true, nil
+}
+
+// muxEvict drops a broken shared connection from the per-address set.
+func (p *Pool) muxEvict(addr string, mc *MuxConn) {
+	p.mu.Lock()
+	conns := p.muxConns[addr]
+	for i, c := range conns {
+		if c == mc {
+			p.muxConns[addr] = append(conns[:i], conns[i+1:]...)
+			break
+		}
+	}
+	p.mu.Unlock()
+	mc.Close()
+}
+
 func (p *Pool) put(addr string, conn *Conn) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -360,16 +573,25 @@ func (p *Pool) put(addr string, conn *Conn) {
 	p.idle[addr] = append(p.idle[addr], conn)
 }
 
-// Close closes all idle connections.
+// Close closes all idle and shared connections.
 func (p *Pool) Close() {
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	for _, conns := range p.idle {
 		for _, c := range conns {
 			c.Close()
 		}
 	}
 	p.idle = make(map[string][]*Conn)
+	shared := p.muxConns
+	if p.mux {
+		p.muxConns = nil // reject post-Close dials in muxGet
+	}
+	p.mu.Unlock()
+	for _, conns := range shared {
+		for _, c := range conns {
+			c.Close()
+		}
+	}
 }
 
 // keep RemoteError usable with errors.As in this package's own retry logic.

@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"strconv"
 	"sync"
 )
 
@@ -44,17 +45,26 @@ var (
 // Msg is one framed message. For requests, Op names the operation and Meta
 // carries its parameters; for responses, Op is echoed, Err carries a
 // remote error (empty on success) and Meta carries the result.
+//
+// Session, when non-zero, tags the frame with a multiplexing session ID:
+// many logical sessions share one connection, requests carry the ID, and
+// responses echo it so the client-side demux can route each reply to its
+// waiter. Zero means "untagged" — the classic one-outstanding-call
+// protocol — and is omitted from the wire form entirely, so old peers and
+// new peers interoperate frame-for-frame.
 type Msg struct {
-	Op   string          `json:"op"`
-	Err  string          `json:"err,omitempty"`
-	Meta json.RawMessage `json:"meta,omitempty"`
-	Body []byte          `json:"-"`
+	Op      string          `json:"op"`
+	Err     string          `json:"err,omitempty"`
+	Session uint64          `json:"sid,omitempty"`
+	Meta    json.RawMessage `json:"meta,omitempty"`
+	Body    []byte          `json:"-"`
 }
 
 // header is the wire form of the JSON control portion.
 type header struct {
 	Op   string          `json:"op"`
 	Err  string          `json:"err,omitempty"`
+	Sid  uint64          `json:"sid,omitempty"`
 	Meta json.RawMessage `json:"meta,omitempty"`
 }
 
@@ -156,6 +166,10 @@ func appendHeader(dst []byte, m *Msg) []byte {
 	if m.Err != "" {
 		dst = append(dst, `,"err":`...)
 		dst = appendJSONString(dst, m.Err)
+	}
+	if m.Session != 0 {
+		dst = append(dst, `,"sid":`...)
+		dst = strconv.AppendUint(dst, m.Session, 10)
 	}
 	if len(m.Meta) > 0 {
 		dst = append(dst, `,"meta":`...)
@@ -259,17 +273,18 @@ var zeroPrefix [12]byte
 // anything else (escaped strings, unknown fields, reordered keys), so any
 // valid JSON header still decodes.
 func decodeHeader(hb []byte, m *Msg) error {
-	op, errStr, meta, ok := scanHeader(hb)
+	op, errStr, meta, sid, ok := scanHeader(hb)
 	if !ok {
 		var h header
 		if err := json.Unmarshal(hb, &h); err != nil {
 			return err
 		}
-		m.Op, m.Err, m.Meta = h.Op, h.Err, h.Meta
+		m.Op, m.Err, m.Session, m.Meta = h.Op, h.Err, h.Sid, h.Meta
 		return nil
 	}
 	m.Op = string(op)
 	m.Err = string(errStr)
+	m.Session = sid
 	if len(meta) > 0 {
 		m.Meta = append(m.Meta[:0], meta...)
 	} else {
@@ -279,64 +294,89 @@ func decodeHeader(hb []byte, m *Msg) error {
 }
 
 // scanHeader is the allocation-free fast path for the canonical header
-// shape: a flat object with unescaped "op"/"err" strings and a "meta" raw
-// value. ok=false means "use the full JSON decoder", not "invalid".
-func scanHeader(b []byte) (op, errStr, meta []byte, ok bool) {
+// shape: a flat object with unescaped "op"/"err" strings, a numeric "sid"
+// and a "meta" raw value. ok=false means "use the full JSON decoder", not
+// "invalid".
+func scanHeader(b []byte) (op, errStr, meta []byte, sid uint64, ok bool) {
 	i := skipSpace(b, 0)
 	if i >= len(b) || b[i] != '{' {
-		return nil, nil, nil, false
+		return nil, nil, nil, 0, false
 	}
 	i = skipSpace(b, i+1)
 	if i < len(b) && b[i] == '}' {
-		return nil, nil, nil, true // empty header object
+		return nil, nil, nil, 0, true // empty header object
 	}
 	for {
 		key, rest, kok := scanPlainString(b, i)
 		if !kok {
-			return nil, nil, nil, false
+			return nil, nil, nil, 0, false
 		}
 		i = skipSpace(b, rest)
 		if i >= len(b) || b[i] != ':' {
-			return nil, nil, nil, false
+			return nil, nil, nil, 0, false
 		}
 		i = skipSpace(b, i+1)
 		switch string(key) {
 		case "op":
 			v, rest, vok := scanPlainString(b, i)
 			if !vok {
-				return nil, nil, nil, false
+				return nil, nil, nil, 0, false
 			}
 			op, i = v, rest
 		case "err":
 			v, rest, vok := scanPlainString(b, i)
 			if !vok {
-				return nil, nil, nil, false
+				return nil, nil, nil, 0, false
 			}
 			errStr, i = v, rest
+		case "sid":
+			v, rest, vok := scanUint(b, i)
+			if !vok {
+				return nil, nil, nil, 0, false
+			}
+			sid, i = v, rest
 		case "meta":
 			end, vok := scanValue(b, i)
 			if !vok {
-				return nil, nil, nil, false
+				return nil, nil, nil, 0, false
 			}
 			meta, i = b[i:end], end
 		default:
-			return nil, nil, nil, false
+			return nil, nil, nil, 0, false
 		}
 		i = skipSpace(b, i)
 		if i >= len(b) {
-			return nil, nil, nil, false
+			return nil, nil, nil, 0, false
 		}
 		if b[i] == '}' {
 			if skipSpace(b, i+1) != len(b) {
-				return nil, nil, nil, false
+				return nil, nil, nil, 0, false
 			}
-			return op, errStr, meta, true
+			return op, errStr, meta, sid, true
 		}
 		if b[i] != ',' {
-			return nil, nil, nil, false
+			return nil, nil, nil, 0, false
 		}
 		i = skipSpace(b, i+1)
 	}
+}
+
+// scanUint scans an unsigned decimal JSON number. Signs, fractions and
+// exponents defer to the full decoder.
+func scanUint(b []byte, i int) (v uint64, rest int, ok bool) {
+	j := i
+	for j < len(b) && b[j] >= '0' && b[j] <= '9' {
+		d := uint64(b[j] - '0')
+		if v > (^uint64(0)-d)/10 {
+			return 0, 0, false // overflow: let encoding/json report it
+		}
+		v = v*10 + d
+		j++
+	}
+	if j == i {
+		return 0, 0, false
+	}
+	return v, j, true
 }
 
 func skipSpace(b []byte, i int) int {

@@ -1,0 +1,34 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"time"
+)
+
+// PoissonSchedule generates the arrival offsets of an open-loop load
+// test: n events whose inter-arrival gaps are exponentially distributed
+// around 1/rate (a Poisson process), the standard model for independent
+// clients hitting a shared service. Offsets are measured from the start
+// of the run and strictly non-decreasing. Deterministic in seed.
+//
+// Open-loop is the point: arrivals do NOT wait for completions, so a
+// slow server faces a growing backlog exactly as a production service
+// would — closed-loop drivers (each writer waits for itself) can never
+// observe that regime, which is why latency-vs-offered-load curves need
+// this schedule rather than the ManyWriters spec list.
+func PoissonSchedule(seed int64, rate float64, n int) []time.Duration {
+	if n <= 0 || rate <= 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]time.Duration, n)
+	var t float64 // seconds
+	for i := range out {
+		// Inverse-CDF sample of Exp(rate); 1-U avoids log(0).
+		gap := -math.Log(1-rng.Float64()) / rate
+		t += gap
+		out[i] = time.Duration(t * float64(time.Second))
+	}
+	return out
+}
