@@ -1,18 +1,28 @@
-// Command stdchk is the client CLI: store, retrieve, list and manage
-// checkpoint files in a stdchk pool.
+// Command stdchk is the client CLI: store, retrieve, list, diff and
+// manage checkpoint files in a stdchk pool. Each subcommand owns its
+// flags; connection flags (-manager, -mux, -map-cache) are shared by all
+// of them and come after the subcommand name.
 //
 // Usage:
 //
-//	stdchk -manager host:9400 put app.n1.t0 < image.ckpt
-//	stdchk -manager host:9400 get app.n1.t0 > image.ckpt
-//	stdchk -manager host0:9400,host1:9400 put app.n1.t0 < image.ckpt  # federated plane
-//	stdchk -manager host:9400 ls [folder]
-//	stdchk -manager host:9400 stat app.n1
-//	stdchk -manager host:9400 rm app.n1
-//	stdchk -manager host:9400 policy app replace
-//	stdchk -manager host:9400 policy app purge 1h
-//	stdchk -manager host:9400 benefactors
-//	stdchk -manager host:9400 stats
+//	stdchk write -manager host:9400 app.n1.t0 < image.ckpt
+//	stdchk read -manager host:9400 app.n1 > image.ckpt
+//	stdchk read -manager host:9400 -version 3 app.n1 > old.ckpt
+//	stdchk read -manager host:9400 -as-of 2026-08-01T12:00:00Z app.n1
+//	stdchk restore -manager host:9400 -baseline old.ckpt -baseline-version 3 app.n1 > image.ckpt
+//	stdchk history -manager host:9400 app.n1
+//	stdchk diff -manager host:9400 -from 3 -to 5 app.n1
+//	stdchk ls -manager host:9400 [folder]
+//	stdchk stat -manager host:9400 app.n1
+//	stdchk rm -manager host:9400 app.n1
+//	stdchk policy -manager host:9400 app replace
+//	stdchk policy -manager host:9400 -keep-last 4 -keep-hourly 24 app
+//	stdchk benefactors -manager host:9400
+//	stdchk stats -manager host:9400
+//
+// A comma-separated -manager list selects a federated metadata plane;
+// every subcommand then routes dataset-scoped calls to the partition
+// owner. "put" and "get" remain as aliases of write/read.
 package main
 
 import (
@@ -36,111 +46,136 @@ func main() {
 	}
 }
 
-func run(args []string) error {
-	fs := flag.NewFlagSet("stdchk", flag.ContinueOnError)
-	var (
-		mgr         = fs.String("manager", "127.0.0.1:9400", "manager address, or comma-separated federation member list")
-		width       = fs.Int("stripe", 0, "stripe width (0 = manager default)")
-		replication = fs.Int("replication", 0, "replication target (0 = manager default)")
-		pessimistic = fs.Bool("pessimistic", false, "wait for the replication target before put returns")
-		incremental = fs.Bool("incremental", false, "enable compare-by-hash dedup against stored chunks")
-		protocol    = fs.String("protocol", "sliding-window", "write protocol: sliding-window | incremental | complete-local")
-		chunking    = fs.String("chunking", "fixed", "chunk boundaries: fixed | cbch (content-based, dedups shifted content)")
-		mapCache    = fs.Bool("map-cache", true, "cache chunk-maps client-side: explicit-version re-opens need zero manager RPCs, latest opens one revalidation probe (false = full getMap per open, the ablation baseline)")
-		mux         = fs.Int("mux", 0, "share N session-multiplexed manager connections for metadata RPCs instead of pooling one serial conn per in-flight call (0 = serial pool; chunk traffic to benefactors is unaffected)")
-	)
-	if err := fs.Parse(args); err != nil {
-		return err
-	}
-	rest := fs.Args()
-	if len(rest) == 0 {
-		return fmt.Errorf("usage: stdchk [flags] put|get|ls|stat|rm|policy|benefactors|stats ...")
-	}
+const usage = "usage: stdchk <write|read|restore|history|diff|ls|stat|rm|policy|benefactors|stats> [flags] ..."
 
-	sem := core.WriteOptimistic
-	if *pessimistic {
-		sem = core.WritePessimistic
+// connOpts are the connection flags every subcommand shares.
+type connOpts struct {
+	manager  *string
+	mapCache *bool
+	mux      *int
+}
+
+// connFlags registers the shared connection flags on a subcommand's
+// FlagSet — one registrar, so a new connection knob cannot reach some
+// subcommands and silently miss others.
+func connFlags(fs *flag.FlagSet) *connOpts {
+	return &connOpts{
+		manager:  fs.String("manager", "127.0.0.1:9400", "manager address, or comma-separated federation member list"),
+		mapCache: fs.Bool("map-cache", true, "cache chunk-maps client-side: explicit-version re-opens need zero manager RPCs, latest opens one revalidation probe (false = full getMap per open, the ablation baseline)"),
+		mux:      fs.Int("mux", 0, "share N session-multiplexed manager connections for metadata RPCs instead of pooling one serial conn per in-flight call (0 = serial pool; chunk traffic to benefactors is unaffected)"),
 	}
-	var proto client.Protocol
-	switch *protocol {
-	case "sliding-window":
-		proto = client.SlidingWindow
-	case "incremental":
-		proto = client.IncrementalWrite
-	case "complete-local":
-		proto = client.CompleteLocalWrite
-	default:
-		return fmt.Errorf("unknown protocol %q", *protocol)
-	}
-	var mode client.ChunkingMode
-	switch *chunking {
-	case "fixed":
-		mode = client.ChunkFixed
-	case "cbch":
-		mode = client.ChunkCbCH
-	default:
-		return fmt.Errorf("unknown chunking %q", *chunking)
-	}
-	cfg := client.Config{
-		StripeWidth: *width,
-		Replication: *replication,
-		Semantics:   sem,
-		Protocol:    proto,
-		Chunking:    mode,
-		Incremental: *incremental,
-	}
-	if !*mapCache {
+}
+
+// connect builds the client from a base config (write flags may have
+// filled parts of it) plus the shared connection flags.
+func (o *connOpts) connect(cfg client.Config) (*client.Client, error) {
+	if !*o.mapCache {
 		cfg.MapCacheEntries = -1
 	}
-	if members := federation.SplitMembers(*mgr); len(members) > 1 {
+	if members := federation.SplitMembers(*o.manager); len(members) > 1 {
 		// A member list makes this client federation-aware: dataset-scoped
 		// calls route to the partition owner, the rest fan out.
 		r, err := federation.NewRouter(federation.RouterConfig{
 			Members:        members,
-			SharedConns:    *mux > 0,
-			PerMemberConns: *mux,
+			SharedConns:    *o.mux > 0,
+			PerMemberConns: *o.mux,
 		})
 		if err != nil {
-			return err
+			return nil, err
 		}
 		cfg.Endpoint = r // the client owns and closes it
 	} else {
-		cfg.ManagerAddr = *mgr
-		cfg.SharedManagerConns = *mux
+		cfg.ManagerAddr = *o.manager
+		cfg.SharedManagerConns = *o.mux
 	}
-	cl, err := client.New(cfg)
+	return client.New(cfg)
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("%s", usage)
+	}
+	cmd, rest := args[0], args[1:]
+	switch cmd {
+	case "write", "put":
+		return cmdWrite(rest)
+	case "read", "get":
+		return cmdRead(rest)
+	case "restore":
+		return cmdRestore(rest)
+	case "history":
+		return cmdHistory(rest)
+	case "diff":
+		return cmdDiff(rest)
+	case "ls":
+		return cmdLs(rest)
+	case "stat":
+		return cmdStat(rest)
+	case "rm":
+		return cmdRm(rest)
+	case "policy":
+		return cmdPolicy(rest)
+	case "benefactors":
+		return cmdBenefactors(rest)
+	case "stats":
+		return cmdStats(rest)
+	default:
+		return fmt.Errorf("unknown command %q\n%s", cmd, usage)
+	}
+}
+
+func cmdWrite(args []string) error {
+	fs := flag.NewFlagSet("stdchk write", flag.ContinueOnError)
+	conn := connFlags(fs)
+	var (
+		width       = fs.Int("stripe", 0, "stripe width (0 = manager default)")
+		replication = fs.Int("replication", 0, "replication target (0 = manager default)")
+		pessimistic = fs.Bool("pessimistic", false, "wait for the replication target before write returns")
+		incremental = fs.Bool("incremental", false, "enable compare-by-hash dedup against stored chunks")
+		protocol    = fs.String("protocol", "sliding-window", "write protocol: sliding-window | incremental | complete-local")
+		chunking    = fs.String("chunking", "fixed", "chunk boundaries: fixed | cbch (content-based, dedups shifted content)")
+		writer      = fs.String("writer", "", "writer identity stamped on the committed version (shown in history)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: stdchk write [flags] <name> (reads stdin)")
+	}
+	cfg := client.Config{
+		StripeWidth: *width,
+		Replication: *replication,
+		Incremental: *incremental,
+		Writer:      *writer,
+	}
+	if *pessimistic {
+		cfg.Semantics = core.WritePessimistic
+	}
+	switch *protocol {
+	case "sliding-window":
+		cfg.Protocol = client.SlidingWindow
+	case "incremental":
+		cfg.Protocol = client.IncrementalWrite
+	case "complete-local":
+		cfg.Protocol = client.CompleteLocalWrite
+	default:
+		return fmt.Errorf("unknown protocol %q", *protocol)
+	}
+	switch *chunking {
+	case "fixed":
+		cfg.Chunking = client.ChunkFixed
+	case "cbch":
+		cfg.Chunking = client.ChunkCbCH
+	default:
+		return fmt.Errorf("unknown chunking %q", *chunking)
+	}
+	cl, err := conn.connect(cfg)
 	if err != nil {
 		return err
 	}
 	defer cl.Close()
-
-	switch cmd, rest := rest[0], rest[1:]; cmd {
-	case "put":
-		return cmdPut(cl, rest)
-	case "get":
-		return cmdGet(cl, rest)
-	case "ls":
-		return cmdLs(cl, rest)
-	case "stat":
-		return cmdStat(cl, rest)
-	case "rm":
-		return cmdRm(cl, rest)
-	case "policy":
-		return cmdPolicy(cl, rest)
-	case "benefactors":
-		return cmdBenefactors(cl)
-	case "stats":
-		return cmdStats(cl)
-	default:
-		return fmt.Errorf("unknown command %q", cmd)
-	}
-}
-
-func cmdPut(cl *client.Client, args []string) error {
-	if len(args) != 1 {
-		return fmt.Errorf("usage: put <name> (reads stdin)")
-	}
-	w, err := cl.Create(args[0])
+	name := fs.Arg(0)
+	w, err := cl.Create(name)
 	if err != nil {
 		return err
 	}
@@ -155,15 +190,48 @@ func cmdPut(cl *client.Client, args []string) error {
 	}
 	m := w.Metrics()
 	fmt.Fprintf(os.Stderr, "stored %s: %d bytes (%.1f MB/s OAB, %.1f MB/s ASB, %d deduped)\n",
-		args[0], m.Bytes, m.OABMBps(), m.ASBMBps(), m.Deduped)
+		name, m.Bytes, m.OABMBps(), m.ASBMBps(), m.Deduped)
 	return nil
 }
 
-func cmdGet(cl *client.Client, args []string) error {
-	if len(args) != 1 {
-		return fmt.Errorf("usage: get <name> (writes stdout)")
+// openOptions assembles the read-side version selector shared by read
+// and restore from their flags.
+func openOptions(version int64, asOf string) (client.OpenOptions, error) {
+	var opt client.OpenOptions
+	opt.Version = core.VersionID(version)
+	if asOf != "" {
+		t, err := time.Parse(time.RFC3339, asOf)
+		if err != nil {
+			return opt, fmt.Errorf("bad -as-of %q (want RFC3339): %w", asOf, err)
+		}
+		opt.AsOf = t
 	}
-	r, err := cl.Open(args[0])
+	return opt, nil
+}
+
+func cmdRead(args []string) error {
+	fs := flag.NewFlagSet("stdchk read", flag.ContinueOnError)
+	conn := connFlags(fs)
+	var (
+		version = fs.Int64("version", 0, "open this committed version (0 = latest)")
+		asOf    = fs.String("as-of", "", "open the newest version committed at or before this RFC3339 instant")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: stdchk read [flags] <name> (writes stdout)")
+	}
+	opt, err := openOptions(*version, *asOf)
+	if err != nil {
+		return err
+	}
+	cl, err := conn.connect(client.Config{})
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+	r, err := cl.Open(fs.Arg(0), opt)
 	if err != nil {
 		return err
 	}
@@ -172,11 +240,125 @@ func cmdGet(cl *client.Client, args []string) error {
 	return err
 }
 
-func cmdLs(cl *client.Client, args []string) error {
-	folder := ""
-	if len(args) > 0 {
-		folder = args[0]
+func cmdRestore(args []string) error {
+	fs := flag.NewFlagSet("stdchk restore", flag.ContinueOnError)
+	conn := connFlags(fs)
+	var (
+		version  = fs.Int64("version", 0, "restore this committed version (0 = latest)")
+		asOf     = fs.String("as-of", "", "restore the newest version committed at or before this RFC3339 instant")
+		baseline = fs.String("baseline", "", "local file holding the baseline version's bytes (required)")
+		baseVer  = fs.Int64("baseline-version", 0, "which committed version the baseline file holds (required)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
 	}
+	if fs.NArg() != 1 || *baseline == "" || *baseVer == 0 {
+		return fmt.Errorf("usage: stdchk restore [flags] -baseline <file> -baseline-version <n> <name> (writes stdout)")
+	}
+	opt, err := openOptions(*version, *asOf)
+	if err != nil {
+		return err
+	}
+	data, err := os.ReadFile(*baseline)
+	if err != nil {
+		return err
+	}
+	opt.Baseline = core.VersionID(*baseVer)
+	opt.BaselineData = data
+	cl, err := conn.connect(client.Config{})
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+	r, err := cl.Open(fs.Arg(0), opt)
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	if _, err := io.Copy(os.Stdout, r); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "restored %s: %d bytes fetched, %d bytes reused from baseline v%d\n",
+		r.Name(), r.BytesFetched(), r.BytesLocal(), *baseVer)
+	return nil
+}
+
+func cmdHistory(args []string) error {
+	fs := flag.NewFlagSet("stdchk history", flag.ContinueOnError)
+	conn := connFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: stdchk history [flags] <name>")
+	}
+	cl, err := conn.connect(client.Config{})
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+	hist, err := cl.History(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("dataset id %d (folder %s): %d versions\n", hist.Dataset, hist.Folder, len(hist.Versions))
+	for _, v := range hist.Versions {
+		writer := v.Writer
+		if writer == "" {
+			writer = "-"
+		}
+		fmt.Printf("  v%-4d %-28s %12d bytes  chunks=%-5d shared=%d (%d bytes)  new=%d  writer=%-12s %s\n",
+			v.Version, v.Name, v.FileSize, v.Chunks, v.SharedChunks, v.SharedBytes,
+			v.NewBytes, writer, v.CommittedAt.Format(time.RFC3339))
+	}
+	return nil
+}
+
+func cmdDiff(args []string) error {
+	fs := flag.NewFlagSet("stdchk diff", flag.ContinueOnError)
+	conn := connFlags(fs)
+	var (
+		from = fs.Int64("from", 0, "older version of the pair (required)")
+		to   = fs.Int64("to", 0, "newer version of the pair (0 = latest)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 || *from == 0 {
+		return fmt.Errorf("usage: stdchk diff [flags] -from <version> [-to <version>] <name>")
+	}
+	cl, err := conn.connect(client.Config{})
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+	d, err := cl.Diff(fs.Arg(0), core.VersionID(*from), core.VersionID(*to))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("diff v%d (%d bytes) -> v%d (%d bytes): %d changed bytes in %d ranges\n",
+		d.From, d.FromSize, d.To, d.ToSize, d.DiffBytes, len(d.Ranges))
+	for _, rg := range d.Ranges {
+		fmt.Printf("  [%12d, %12d)  %d bytes\n", rg.Offset, rg.Offset+rg.Length, rg.Length)
+	}
+	return nil
+}
+
+func cmdLs(args []string) error {
+	fs := flag.NewFlagSet("stdchk ls", flag.ContinueOnError)
+	conn := connFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	folder := ""
+	if fs.NArg() > 0 {
+		folder = fs.Arg(0)
+	}
+	cl, err := conn.connect(client.Config{})
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
 	infos, err := cl.List(folder)
 	if err != nil {
 		return err
@@ -194,11 +376,21 @@ func cmdLs(cl *client.Client, args []string) error {
 	return nil
 }
 
-func cmdStat(cl *client.Client, args []string) error {
-	if len(args) != 1 {
-		return fmt.Errorf("usage: stat <name>")
+func cmdStat(args []string) error {
+	fs := flag.NewFlagSet("stdchk stat", flag.ContinueOnError)
+	conn := connFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
 	}
-	info, err := cl.Stat(args[0])
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: stdchk stat [flags] <name>")
+	}
+	cl, err := conn.connect(client.Config{})
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+	info, err := cl.Stat(fs.Arg(0))
 	if err != nil {
 		return err
 	}
@@ -211,49 +403,107 @@ func cmdStat(cl *client.Client, args []string) error {
 	return nil
 }
 
-func cmdRm(cl *client.Client, args []string) error {
-	if len(args) != 1 {
-		return fmt.Errorf("usage: rm <name>")
+func cmdRm(args []string) error {
+	fs := flag.NewFlagSet("stdchk rm", flag.ContinueOnError)
+	conn := connFlags(fs)
+	version := fs.Int64("version", 0, "remove only this version (0 = whole dataset)")
+	if err := fs.Parse(args); err != nil {
+		return err
 	}
-	return cl.Delete(args[0], 0)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: stdchk rm [flags] <name>")
+	}
+	cl, err := conn.connect(client.Config{})
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+	return cl.Delete(fs.Arg(0), core.VersionID(*version))
 }
 
-func cmdPolicy(cl *client.Client, args []string) error {
-	switch len(args) {
-	case 1:
-		p, err := cl.GetPolicy(args[0])
+func cmdPolicy(args []string) error {
+	fs := flag.NewFlagSet("stdchk policy", flag.ContinueOnError)
+	conn := connFlags(fs)
+	var (
+		keepLast   = fs.Int("keep-last", 0, "retention: keep the N most recent versions (0 = no keep-last schedule)")
+		keepHourly = fs.Int("keep-hourly", 0, "retention: keep the newest version of each of the last N distinct hours (0 = no keep-hourly schedule)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cl, err := conn.connect(client.Config{})
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+	rest := fs.Args()
+	retention := core.Retention{KeepLast: *keepLast, KeepHourly: *keepHourly}
+	switch {
+	case len(rest) == 1 && !retention.Enabled():
+		// Display.
+		folder := rest[0]
+		p, err := cl.GetPolicy(folder)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("folder %s: %s", args[0], p.Kind)
+		fmt.Printf("folder %s: %s", folder, p.Kind)
 		if p.Kind == core.PolicyPurge {
 			fmt.Printf(" after %v", p.PurgeAfter)
 		}
+		if p.Retention.KeepLast > 0 {
+			fmt.Printf(" keep-last=%d", p.Retention.KeepLast)
+		}
+		if p.Retention.KeepHourly > 0 {
+			fmt.Printf(" keep-hourly=%d", p.Retention.KeepHourly)
+		}
 		fmt.Println()
 		return nil
-	case 2, 3:
-		kind, err := core.ParsePolicyKind(args[1])
+	case len(rest) >= 1 && len(rest) <= 3:
+		folder := rest[0]
+		// Start from the folder's current policy so setting a retention
+		// schedule does not silently clear a purge interval or vice versa.
+		p, err := cl.GetPolicy(folder)
 		if err != nil {
 			return err
 		}
-		p := core.Policy{Kind: kind}
-		if kind == core.PolicyPurge {
-			if len(args) != 3 {
-				return fmt.Errorf("usage: policy <folder> purge <interval>")
-			}
-			d, err := time.ParseDuration(args[2])
+		if len(rest) >= 2 {
+			kind, err := core.ParsePolicyKind(rest[1])
 			if err != nil {
 				return err
 			}
-			p.PurgeAfter = d
+			p.Kind = kind
+			p.PurgeAfter = 0
+			if kind == core.PolicyPurge {
+				if len(rest) != 3 {
+					return fmt.Errorf("usage: stdchk policy <folder> purge <interval>")
+				}
+				d, err := time.ParseDuration(rest[2])
+				if err != nil {
+					return err
+				}
+				p.PurgeAfter = d
+			}
 		}
-		return cl.SetPolicy(args[0], p)
+		if retention.Enabled() || len(rest) == 1 {
+			p.Retention = retention
+		}
+		return cl.SetPolicy(folder, p)
 	default:
-		return fmt.Errorf("usage: policy <folder> [none|replace|purge <interval>]")
+		return fmt.Errorf("usage: stdchk policy [-keep-last N] [-keep-hourly N] <folder> [none|replace|purge <interval>]")
 	}
 }
 
-func cmdBenefactors(cl *client.Client) error {
+func cmdBenefactors(args []string) error {
+	fs := flag.NewFlagSet("stdchk benefactors", flag.ContinueOnError)
+	conn := connFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cl, err := conn.connect(client.Config{})
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
 	infos, err := cl.Benefactors()
 	if err != nil {
 		return err
@@ -269,7 +519,17 @@ func cmdBenefactors(cl *client.Client) error {
 	return nil
 }
 
-func cmdStats(cl *client.Client) error {
+func cmdStats(args []string) error {
+	fs := flag.NewFlagSet("stdchk stats", flag.ContinueOnError)
+	conn := connFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cl, err := conn.connect(client.Config{})
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
 	s, err := cl.ManagerStats()
 	if err != nil {
 		return err
@@ -281,6 +541,8 @@ func cmdStats(cl *client.Client) error {
 	fmt.Printf("dedup probes: %d rpcs / %d chunks, hits: %d\n", s.DedupBatches, s.DedupChunks, s.DedupHits)
 	fmt.Printf("map fetches: %d, version revalidations: %d, hot-map cache: %d hits / %d misses / %d invalidations\n",
 		s.GetMaps, s.StatVersions, s.MapCache.Hits, s.MapCache.Misses, s.MapCache.Invalidations)
+	fmt.Printf("catalog queries: %d histories, %d diffs, %d prefetch batches\n",
+		s.Histories, s.Diffs, s.PrefetchBatches)
 	fmt.Printf("replicas copied: %d, chunks collected: %d, versions pruned: %d\n",
 		s.ReplicasCopied, s.ChunksCollected, s.VersionsPruned)
 	contended := 0.0

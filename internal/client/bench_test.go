@@ -118,7 +118,7 @@ func benchOpenRead(b *testing.B, cacheEntries int, byVersion bool) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		r, err := cl.OpenVersion(name, ver)
+		r, err := cl.Open(name, client.OpenOptions{Version: ver})
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -153,6 +153,10 @@ type Config struct {
 	// full MGetMap, the historical behavior and the -map-cache=false
 	// ablation baseline.
 	MapCacheEntries int
+	// Writer is an optional identity stamped on every version this client
+	// commits, surfaced in the dataset's version history (provenance: which
+	// job/rank wrote each checkpoint). Empty leaves lineage anonymous.
+	Writer string
 	// SharedManagerConns, when positive, multiplexes the client's
 	// metadata RPCs over that many shared session-tagged connections to
 	// the manager instead of one pooled connection per outstanding call
@@ -308,12 +312,65 @@ func (c *Client) Create(name string) (*Writer, error) {
 	return newWriter(c, name)
 }
 
-// Open opens the latest committed version for reading.
-func (c *Client) Open(name string) (*Reader, error) {
-	return c.OpenVersion(name, 0)
+// OpenOptions selects which committed version Open serves and how. The
+// zero value means "the latest version, fetched in full" — exactly what
+// Open with no options does. At most one of Version, AsOf, and Latest may
+// select a version.
+type OpenOptions struct {
+	// Version opens a specific committed version (0 = unset).
+	Version core.VersionID
+	// Latest explicitly requests the newest committed version — the
+	// default when no selector is set; it exists so call sites can spell
+	// the intent out and so option structs built programmatically can
+	// assert "no explicit version leaked in here".
+	Latest bool
+	// AsOf opens the newest version committed at or before this instant
+	// (time-travel read). Resolution costs one history RPC.
+	AsOf time.Time
+	// Baseline enables incremental restore: the version the caller
+	// already holds locally. Chunks the opened version shares with the
+	// baseline are served from BaselineData (hash-verified) instead of
+	// the network, so a restore after a small delta fetches only the
+	// delta. Requires BaselineData.
+	Baseline core.VersionID
+	// BaselineData is the full content of the Baseline version as the
+	// caller holds it locally. Length must equal the baseline version's
+	// file size; bytes that fail per-chunk hash verification fall back to
+	// a network fetch, so a corrupt local baseline costs correctness
+	// nothing.
+	BaselineData []byte
 }
 
-// OpenVersion opens a specific committed version (0 = latest).
+// validate rejects contradictory selector combinations.
+func (o OpenOptions) validate() error {
+	selectors := 0
+	if o.Version != 0 {
+		selectors++
+	}
+	if o.Latest {
+		selectors++
+	}
+	if !o.AsOf.IsZero() {
+		selectors++
+	}
+	if selectors > 1 {
+		return errors.New("client: OpenOptions: Version, Latest, and AsOf are mutually exclusive")
+	}
+	if o.Baseline != 0 && o.BaselineData == nil {
+		return errors.New("client: OpenOptions: Baseline requires BaselineData")
+	}
+	if o.Baseline == 0 && o.BaselineData != nil {
+		return errors.New("client: OpenOptions: BaselineData requires Baseline")
+	}
+	return nil
+}
+
+// Open opens a committed version for reading. With no options it serves
+// the latest version — the historical behavior. One OpenOptions value
+// may select an explicit Version, the newest version AsOf an instant, or
+// (the default) the latest; adding Baseline/BaselineData turns the open
+// into an incremental restore that fetches only chunks the opened
+// version does not share with the caller's local baseline copy.
 //
 // The chunk-map cache makes re-opens cheap: an explicit version that hits
 // needs no manager RPC at all (committed versions are immutable), and a
@@ -325,40 +382,151 @@ func (c *Client) Open(name string) (*Reader, error) {
 // (not-found, federation partition epoch mismatch, member unreachable)
 // propagates instead of falling back to the cache: a cached map must
 // never mask the metadata plane refusing the request.
+func (c *Client) Open(name string, opts ...OpenOptions) (*Reader, error) {
+	var opt OpenOptions
+	switch len(opts) {
+	case 0:
+	case 1:
+		opt = opts[0]
+	default:
+		return nil, errors.New("client: Open takes at most one OpenOptions")
+	}
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	ver := opt.Version
+	if !opt.AsOf.IsZero() {
+		v, err := c.resolveAsOf(name, opt.AsOf)
+		if err != nil {
+			return nil, err
+		}
+		ver = v
+	}
+	fileName, cm, err := c.openMap(name, ver)
+	if err != nil {
+		return nil, err
+	}
+	r := newReader(c, fileName, cm)
+	if opt.Baseline != 0 {
+		_, baseMap, err := c.openMap(name, opt.Baseline)
+		if err != nil {
+			return nil, fmt.Errorf("client: open %s: baseline version %d: %w", name, opt.Baseline, err)
+		}
+		base, err := newBaseline(baseMap, opt.BaselineData)
+		if err != nil {
+			return nil, fmt.Errorf("client: open %s: %w", name, err)
+		}
+		r.base = base
+	}
+	return r, nil
+}
+
+// OpenVersion opens a specific committed version (0 = latest).
+//
+// Deprecated: use Open(name, OpenOptions{Version: ver}).
 func (c *Client) OpenVersion(name string, ver core.VersionID) (*Reader, error) {
+	if ver == 0 {
+		return c.Open(name)
+	}
+	return c.Open(name, OpenOptions{Version: ver})
+}
+
+// resolveAsOf maps an instant to the newest version committed at or
+// before it, via the dataset's history.
+func (c *Client) resolveAsOf(name string, asOf time.Time) (core.VersionID, error) {
+	hist, err := c.History(name)
+	if err != nil {
+		return 0, fmt.Errorf("client: open %s as of %s: %w", name, asOf.Format(time.RFC3339), err)
+	}
+	var ver core.VersionID
+	for _, v := range hist.Versions { // oldest first
+		if !v.CommittedAt.After(asOf) {
+			ver = v.Version
+		}
+	}
+	if ver == 0 {
+		return 0, fmt.Errorf("client: open %s as of %s: no version that old: %w",
+			name, asOf.Format(time.RFC3339), core.ErrNotFound)
+	}
+	return ver, nil
+}
+
+// openMap resolves name (+ optional explicit version) to a committed
+// chunk-map, serving from the client cache when it can.
+func (c *Client) openMap(name string, ver core.VersionID) (string, *core.ChunkMap, error) {
 	dsKey := namespace.DatasetOf(name)
 	if ver != 0 {
 		if fileName, cm := c.maps.get(dsKey, ver); cm != nil {
-			return newReader(c, fileName, cm), nil
+			return fileName, cm, nil
 		}
-		return c.openFetch(name, dsKey, ver)
+		return c.fetchMap(name, dsKey, ver)
 	}
 	if !c.maps.hasDataset(dsKey) {
 		// Nothing cached for this dataset (or caching disabled): the
 		// revalidation probe cannot save the fetch, so keep the
 		// historical single-RPC cold path.
-		return c.openFetch(name, dsKey, 0)
+		return c.fetchMap(name, dsKey, 0)
 	}
 	sv, err := c.mgr.StatVersion(proto.StatVersionReq{Name: name})
 	if err != nil {
-		return nil, fmt.Errorf("client: open %s: %w", name, err)
+		return "", nil, fmt.Errorf("client: open %s: %w", name, err)
 	}
 	if fileName, cm := c.maps.get(dsKey, sv.Version); cm != nil {
-		return newReader(c, fileName, cm), nil
+		return fileName, cm, nil
 	}
 	// Fetch the exact version the probe resolved: a commit racing this
 	// open must not slide a different version under the cache key.
-	return c.openFetch(name, dsKey, sv.Version)
+	return c.fetchMap(name, dsKey, sv.Version)
 }
 
-// openFetch pays the full MGetMap and caches the result.
-func (c *Client) openFetch(name, dsKey string, ver core.VersionID) (*Reader, error) {
+// fetchMap pays the full MGetMap and caches the result.
+func (c *Client) fetchMap(name, dsKey string, ver core.VersionID) (string, *core.ChunkMap, error) {
 	resp, err := c.mgr.GetMap(proto.GetMapReq{Name: name, Version: ver})
 	if err != nil {
-		return nil, fmt.Errorf("client: open %s: %w", name, err)
+		return "", nil, fmt.Errorf("client: open %s: %w", name, err)
 	}
 	c.maps.put(dsKey, resp.Name, resp.Map)
-	return newReader(c, resp.Name, resp.Map), nil
+	return resp.Name, resp.Map, nil
+}
+
+// History reports the dataset's version lineage, oldest first: identity,
+// commit time, writer, size, and how much each version shares with its
+// predecessor.
+func (c *Client) History(name string) (proto.HistoryResp, error) {
+	resp, err := c.mgr.History(proto.HistoryReq{Name: name})
+	if err != nil {
+		return proto.HistoryResp{}, fmt.Errorf("client: history %s: %w", name, err)
+	}
+	return resp, nil
+}
+
+// Diff reports the byte ranges of version to that differ from version
+// from (0 = latest for to). Bytes outside the returned ranges are
+// guaranteed identical in both versions.
+func (c *Client) Diff(name string, from, to core.VersionID) (proto.DiffResp, error) {
+	resp, err := c.mgr.Diff(proto.DiffReq{Name: name, From: from, To: to})
+	if err != nil {
+		return proto.DiffResp{}, fmt.Errorf("client: diff %s: %w", name, err)
+	}
+	return resp, nil
+}
+
+// PrefetchMaps warms the client chunk-map cache for a set of names in
+// one metadata round trip per federation member touched (cross-member
+// map prefetch). Best-effort: names the metadata plane does not know are
+// skipped, not errors. Returns how many maps were installed.
+func (c *Client) PrefetchMaps(names []string) (int, error) {
+	if len(names) == 0 {
+		return 0, nil
+	}
+	resp, err := c.mgr.GetMaps(proto.GetMapsReq{Names: names})
+	if err != nil {
+		return 0, fmt.Errorf("client: prefetch maps: %w", err)
+	}
+	for _, nm := range resp.Maps {
+		c.maps.put(namespace.DatasetOf(nm.Name), nm.Name, nm.Map)
+	}
+	return len(resp.Maps), nil
 }
 
 // MapCacheStats snapshots the client chunk-map cache counters.
@@ -371,8 +539,16 @@ func (c *Client) Delete(name string, ver core.VersionID) error {
 	if err := c.mgr.Delete(proto.DeleteReq{Name: name, Version: ver}); err != nil {
 		return fmt.Errorf("client: delete %s: %w", name, err)
 	}
-	c.maps.invalidateDataset(namespace.DatasetOf(name))
+	c.InvalidateMaps(name)
 	return nil
+}
+
+// InvalidateMaps drops every cached chunk-map of name's dataset. Local
+// deletes call it automatically; callers who learn out-of-band that the
+// server pruned versions (retention policies fire on the manager, not
+// here) use it to stop serving condemned maps.
+func (c *Client) InvalidateMaps(name string) {
+	c.maps.invalidateDataset(namespace.DatasetOf(name))
 }
 
 // List lists datasets, optionally restricted to a folder.

@@ -34,6 +34,14 @@ type ManagerEndpoint interface {
 	HasChunks(name string, ids []core.ChunkID) ([]bool, error)
 	// GetMap fetches a committed chunk-map.
 	GetMap(req proto.GetMapReq) (proto.GetMapResp, error)
+	// GetMaps batch-fetches committed chunk-maps (cache prefetch).
+	// Best-effort: unknown names are absent from the reply.
+	GetMaps(req proto.GetMapsReq) (proto.GetMapsResp, error)
+	// History reports a dataset's version lineage, oldest first.
+	History(req proto.HistoryReq) (proto.HistoryResp, error)
+	// Diff reports the byte ranges that changed between two committed
+	// versions of a dataset.
+	Diff(req proto.DiffReq) (proto.DiffResp, error)
 	// StatVersion resolves a name to its committed version identity (no
 	// location payload): the chunk-map cache's lightweight "is my cached
 	// map still the latest?" revalidation probe.
@@ -138,6 +146,24 @@ func (s *singleManager) HasChunks(_ string, ids []core.ChunkID) ([]bool, error) 
 func (s *singleManager) GetMap(req proto.GetMapReq) (proto.GetMapResp, error) {
 	var resp proto.GetMapResp
 	err := s.call(proto.MGetMap, req, &resp)
+	return resp, err
+}
+
+func (s *singleManager) GetMaps(req proto.GetMapsReq) (proto.GetMapsResp, error) {
+	var resp proto.GetMapsResp
+	err := s.call(proto.MGetMaps, req, &resp)
+	return resp, err
+}
+
+func (s *singleManager) History(req proto.HistoryReq) (proto.HistoryResp, error) {
+	var resp proto.HistoryResp
+	err := s.call(proto.MHistory, req, &resp)
+	return resp, err
+}
+
+func (s *singleManager) Diff(req proto.DiffReq) (proto.DiffResp, error) {
+	var resp proto.DiffResp
+	err := s.call(proto.MDiff, req, &resp)
 	return resp, err
 }
 

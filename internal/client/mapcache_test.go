@@ -82,6 +82,35 @@ func (f *fakeMetadata) Delete(req proto.DeleteReq) error {
 	return nil
 }
 
+func (f *fakeMetadata) GetMaps(req proto.GetMapsReq) (proto.GetMapsResp, error) {
+	var resp proto.GetMapsResp
+	for _, name := range req.Names {
+		chain := f.chains[name]
+		if len(chain) == 0 {
+			continue // best-effort: unknown names are skipped
+		}
+		m := chain[len(chain)-1]
+		resp.Maps = append(resp.Maps, proto.NamedMap{Name: f.fileName(name, m), Map: m})
+	}
+	return resp, nil
+}
+func (f *fakeMetadata) History(req proto.HistoryReq) (proto.HistoryResp, error) {
+	chain := f.chains[req.Name]
+	if len(chain) == 0 {
+		return proto.HistoryResp{}, core.ErrNotFound
+	}
+	var resp proto.HistoryResp
+	for _, m := range chain {
+		resp.Versions = append(resp.Versions, proto.VersionLineage{
+			Version: m.Version, Name: f.fileName(req.Name, m),
+			FileSize: m.FileSize, CommittedAt: m.CreatedAt, Chunks: len(m.Chunks),
+		})
+	}
+	return resp, nil
+}
+func (f *fakeMetadata) Diff(proto.DiffReq) (proto.DiffResp, error) {
+	return proto.DiffResp{}, errors.New("fake: not implemented")
+}
 func (f *fakeMetadata) Alloc(proto.AllocReq) (proto.AllocResp, error) {
 	return proto.AllocResp{}, errors.New("fake: not implemented")
 }
@@ -132,7 +161,7 @@ func TestMapCacheExplicitVersionZeroRPCs(t *testing.T) {
 	f.commit("app.n1", 7, []core.NodeID{"b1:1"})
 	c := cacheTestClient(t, f, 0)
 
-	r, err := c.OpenVersion("app.n1", 7)
+	r, err := c.Open("app.n1", OpenOptions{Version: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,7 +170,7 @@ func TestMapCacheExplicitVersionZeroRPCs(t *testing.T) {
 		t.Fatalf("cold open: %d getMaps, %d statVersions; want 1, 0", f.getMaps, f.statVersions)
 	}
 	for i := 0; i < 3; i++ {
-		r, err := c.OpenVersion("app.n1", 7)
+		r, err := c.Open("app.n1", OpenOptions{Version: 7})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -202,7 +231,7 @@ func TestMapCacheLatestRevalidation(t *testing.T) {
 		t.Fatalf("post-commit open: %d statVersions, %d getMaps; want 2, 2", f.statVersions, f.getMaps)
 	}
 	// The superseded version remains cached and servable explicitly.
-	if _, err := c.OpenVersion("app.n1", 1); err != nil {
+	if _, err := c.Open("app.n1", OpenOptions{Version: 1}); err != nil {
 		t.Fatal(err)
 	}
 	if f.getMaps != 2 {
@@ -234,13 +263,13 @@ func TestMapCacheDeleteInvalidates(t *testing.T) {
 	f := newFakeMetadata()
 	f.commit("app.n1", 1, []core.NodeID{"b1:1"})
 	c := cacheTestClient(t, f, 0)
-	if _, err := c.OpenVersion("app.n1", 1); err != nil {
+	if _, err := c.Open("app.n1", OpenOptions{Version: 1}); err != nil {
 		t.Fatal(err)
 	}
 	if err := c.Delete("app.n1", 0); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.OpenVersion("app.n1", 1); !errors.Is(err, core.ErrNotFound) {
+	if _, err := c.Open("app.n1", OpenOptions{Version: 1}); !errors.Is(err, core.ErrNotFound) {
 		t.Fatalf("open of deleted version returned %v, want ErrNotFound", err)
 	}
 	if s := c.MapCacheStats(); s.Invalidations != 1 {
@@ -276,7 +305,7 @@ func TestMapCacheLRUEviction(t *testing.T) {
 	c := cacheTestClient(t, f, 2)
 	open := func(d int) {
 		t.Helper()
-		r, err := c.OpenVersion(fmt.Sprintf("ds%d.n1", d), core.VersionID(d+1))
+		r, err := c.Open(fmt.Sprintf("ds%d.n1", d), OpenOptions{Version: core.VersionID(d + 1)})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -5,11 +5,56 @@ import (
 	"io"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"stdchk/internal/core"
 	"stdchk/internal/proto"
 	"stdchk/internal/wire"
 )
+
+// baseline is an incremental-restore chunk source: the bytes of a version
+// the caller already holds locally, indexed by content-based chunk name.
+// A chunk of the opened version whose ID appears here is copied from the
+// local bytes (hash-verified) instead of fetched over the network, so a
+// restore onto a warm node fetches only the delta between the two
+// versions. Verification makes a corrupt local baseline cost correctness
+// nothing — a mismatched chunk silently falls back to the network.
+type baseline struct {
+	data  []byte
+	index map[core.ChunkID]int64 // chunk ID -> first byte offset in data
+}
+
+// newBaseline indexes a local copy of baseline version cm. The data
+// length must match the version's committed size — a truncated or grown
+// local file means the caller's premise ("I hold version N") is wrong.
+func newBaseline(cm *core.ChunkMap, data []byte) (*baseline, error) {
+	if int64(len(data)) != cm.FileSize {
+		return nil, fmt.Errorf("baseline data is %d bytes, version %d holds %d", len(data), cm.Version, cm.FileSize)
+	}
+	b := &baseline{data: data, index: make(map[core.ChunkID]int64, len(cm.Chunks))}
+	var off int64
+	for _, ref := range cm.Chunks {
+		if _, dup := b.index[ref.ID]; !dup {
+			b.index[ref.ID] = off
+		}
+		off += ref.Size
+	}
+	return b, nil
+}
+
+// chunk returns the local bytes for ref if the baseline holds them and
+// they verify against the chunk's content-based name.
+func (b *baseline) chunk(ref core.ChunkRef) ([]byte, bool) {
+	off, ok := b.index[ref.ID]
+	if !ok || off+ref.Size > int64(len(b.data)) {
+		return nil, false
+	}
+	local := b.data[off : off+ref.Size]
+	if core.HashChunk(local) != ref.ID {
+		return nil, false
+	}
+	return local, true
+}
 
 // Reader streams one committed version of a checkpoint image. Chunks are
 // prefetched in parallel (read-ahead) from the benefactors named in the
@@ -35,6 +80,14 @@ type Reader struct {
 	// failover still walks the full list. Building the order here also
 	// keeps fetch from touching (or re-ordering) the shared map.
 	locs [][]core.NodeID
+	// base, when non-nil, serves chunks shared with a local baseline
+	// version without touching the network (incremental restore).
+	base *baseline
+
+	// bytesFetched / bytesLocal split the bytes handed to the application
+	// by source: network fetches vs. hash-verified local baseline copies.
+	bytesFetched atomic.Int64
+	bytesLocal   atomic.Int64
 
 	mu       sync.Mutex
 	pending  map[int]chan fetchResult
@@ -90,6 +143,14 @@ func (r *Reader) Size() int64 { return r.cm.FileSize }
 
 // Map returns a copy of the chunk-map (diagnostics, tooling).
 func (r *Reader) Map() *core.ChunkMap { return r.cm.Clone() }
+
+// BytesFetched reports how many bytes this reader pulled over the
+// network so far (chunks dispatched count once they verify).
+func (r *Reader) BytesFetched() int64 { return r.bytesFetched.Load() }
+
+// BytesLocal reports how many bytes were served from the incremental-
+// restore baseline instead of the network (0 without a baseline).
+func (r *Reader) BytesLocal() int64 { return r.bytesLocal.Load() }
 
 var _ io.ReadCloser = (*Reader)(nil)
 
@@ -165,6 +226,17 @@ func (r *Reader) advanceLocked() error {
 // chunk's content-based name.
 func (r *Reader) fetch(idx int, ch chan<- fetchResult) {
 	ref := r.cm.Chunks[idx]
+	if r.base != nil {
+		if local, ok := r.base.chunk(ref); ok {
+			// Copy into a wire buffer so every result, local or fetched,
+			// returns to the pool the same way.
+			buf := wire.GetBuf(len(local))
+			copy(buf, local)
+			r.bytesLocal.Add(ref.Size)
+			ch <- fetchResult{data: buf}
+			return
+		}
+	}
 	locs := r.locs[idx]
 	var lastErr error
 	for _, node := range locs {
@@ -183,6 +255,7 @@ func (r *Reader) fetch(idx int, ch chan<- fetchResult) {
 			wire.PutBuf(body)
 			continue
 		}
+		r.bytesFetched.Add(int64(len(body)))
 		ch <- fetchResult{data: body}
 		return
 	}

@@ -155,6 +155,7 @@ func newWriter(c *Client, name string) (*Writer, error) {
 		Variable:     w.cbch != nil,
 		ReserveBytes: c.cfg.ReserveQuantum,
 		Replication:  c.cfg.Replication,
+		Writer:       c.cfg.Writer,
 	}
 	sess, err := c.mgr.Alloc(req)
 	if err != nil {

@@ -94,15 +94,100 @@ func ParseDurability(s string) (Durability, error) {
 	}
 }
 
+// Retention is a per-folder version-retention schedule, orthogonal to
+// the lifetime Kind the way Durability is. A zero Retention retains
+// everything. When set, the retention worker keeps, per dataset:
+//
+//   - the KeepLast most recent versions, always including the newest, and
+//   - the newest version within each of the last KeepHourly distinct
+//     hour buckets (commit time truncated to the hour),
+//
+// and removes every version in neither set. KeepLast <= 0 with
+// KeepHourly > 0 means "hourly only" still never drops the newest
+// version.
+type Retention struct {
+	// KeepLast retains the N most recent versions.
+	KeepLast int `json:"keepLast,omitempty"`
+	// KeepHourly retains the newest version of each of the last N
+	// distinct commit hours.
+	KeepHourly int `json:"keepHourly,omitempty"`
+}
+
+// Enabled reports whether the schedule retains anything selectively
+// (a zero Retention disables retention pruning entirely).
+func (r Retention) Enabled() bool { return r.KeepLast > 0 || r.KeepHourly > 0 }
+
+// Validate checks the schedule's parameters.
+func (r Retention) Validate() error {
+	if r.KeepLast < 0 {
+		return fmt.Errorf("retention: negative keepLast %d", r.KeepLast)
+	}
+	if r.KeepHourly < 0 {
+		return fmt.Errorf("retention: negative keepHourly %d", r.KeepHourly)
+	}
+	return nil
+}
+
+// RetainVersions applies schedule r to a version chain and reports which
+// entries survive. times lists the commit timestamps oldest-first (the
+// catalog's version-chain order); the returned keep slice is parallel to
+// it. The function is pure — the retention property tests drive it
+// directly — and the newest version is always retained, so an enabled
+// schedule can never empty a dataset.
+func (r Retention) RetainVersions(times []time.Time) []bool {
+	keep := make([]bool, len(times))
+	if len(times) == 0 {
+		return keep
+	}
+	if !r.Enabled() {
+		for i := range keep {
+			keep[i] = true
+		}
+		return keep
+	}
+	// KeepLast most recent, and the newest unconditionally.
+	keep[len(times)-1] = true
+	for i := len(times) - r.KeepLast; i < len(times); i++ {
+		if i >= 0 {
+			keep[i] = true
+		}
+	}
+	if r.KeepHourly > 0 {
+		// Walk newest-to-oldest; the first version seen in each hour
+		// bucket is that bucket's newest. Buckets are counted in the
+		// order encountered, so the "last KeepHourly distinct hours"
+		// are the KeepHourly newest buckets that actually have versions.
+		buckets := 0
+		var last time.Time
+		haveLast := false
+		for i := len(times) - 1; i >= 0; i-- {
+			h := times[i].Truncate(time.Hour)
+			if haveLast && h.Equal(last) {
+				continue
+			}
+			buckets++
+			if buckets > r.KeepHourly {
+				break
+			}
+			last, haveLast = h, true
+			keep[i] = true
+		}
+	}
+	return keep
+}
+
 // Policy is the per-folder data-lifetime policy. KeepVersions optionally
 // retains the most recent N versions under PolicyReplace (N=1 reproduces the
 // paper's "new images make older ones obsolete"); PurgeAfter applies under
-// PolicyPurge. Durability selects the folder's journal durability tier.
+// PolicyPurge. Durability selects the folder's journal durability tier and
+// Retention the folder's version-retention schedule (both orthogonal to
+// Kind).
 type Policy struct {
 	Kind         PolicyKind    `json:"kind"`
 	KeepVersions int           `json:"keepVersions,omitempty"`
 	PurgeAfter   time.Duration `json:"purgeAfter,omitempty"`
 	Durability   Durability    `json:"durability,omitempty"`
+	Retention    Retention     `json:"retention,omitempty"`
 }
 
 // DefaultPolicy is applied to folders without explicit metadata.
@@ -116,6 +201,9 @@ func (p Policy) Validate() error {
 	case DurabilityDefault, DurabilityRelaxed, DurabilityFsync:
 	default:
 		return fmt.Errorf("policy: unknown durability %d", int(p.Durability))
+	}
+	if err := p.Retention.Validate(); err != nil {
+		return err
 	}
 	switch p.Kind {
 	case PolicyNone:

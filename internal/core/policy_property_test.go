@@ -1,0 +1,131 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+// retainOracle is an independent, by-the-definition reimplementation of
+// the retention schedule: the KeepLast most recent versions, plus the
+// newest version of each of the KeepHourly newest distinct commit hours,
+// plus — unconditionally — the newest version. The property test below
+// pins the production single-pass implementation against it.
+func retainOracle(r Retention, times []time.Time) map[int]bool {
+	keep := make(map[int]bool)
+	if len(times) == 0 {
+		return keep
+	}
+	if !r.Enabled() {
+		for i := range times {
+			keep[i] = true
+		}
+		return keep
+	}
+	keep[len(times)-1] = true
+	for i := len(times) - r.KeepLast; i < len(times); i++ {
+		if i >= 0 {
+			keep[i] = true
+		}
+	}
+	// Newest index of every hour bucket, then the KeepHourly newest buckets.
+	newestIn := make(map[time.Time]int)
+	for i, ts := range times {
+		h := ts.Truncate(time.Hour)
+		if cur, ok := newestIn[h]; !ok || i > cur {
+			newestIn[h] = i
+		}
+	}
+	var buckets []time.Time
+	for h := range newestIn {
+		buckets = append(buckets, h)
+	}
+	sort.Slice(buckets, func(a, b int) bool { return buckets[a].After(buckets[b]) })
+	for k := 0; k < r.KeepHourly && k < len(buckets); k++ {
+		keep[newestIn[buckets[k]]] = true
+	}
+	return keep
+}
+
+// TestRetainVersionsPropertyMatchesOracle checks RetainVersions against
+// the oracle over random schedules and random ascending commit chains,
+// and asserts the schedule's standalone invariants: the newest version
+// always survives an enabled schedule, a disabled schedule keeps
+// everything, and the keep slice stays parallel to the input.
+func TestRetainVersionsPropertyMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	base := time.Date(2026, 8, 7, 9, 0, 0, 0, time.UTC)
+	for trial := 0; trial < 300; trial++ {
+		n := rng.Intn(12)
+		times := make([]time.Time, n)
+		ts := base
+		for i := range times {
+			// Gaps from seconds to hours, so chains cross bucket boundaries
+			// unevenly: some hours dense with versions, some empty.
+			ts = ts.Add(time.Duration(1+rng.Intn(7200)) * time.Second)
+			times[i] = ts
+		}
+		r := Retention{KeepLast: rng.Intn(5), KeepHourly: rng.Intn(5)}
+
+		keep := r.RetainVersions(times)
+		if len(keep) != n {
+			t.Fatalf("trial %d: keep slice has %d entries for %d versions", trial, len(keep), n)
+		}
+		want := retainOracle(r, times)
+		for i := range keep {
+			if keep[i] != want[i] {
+				t.Fatalf("trial %d (%+v): keep[%d] = %v, oracle says %v\ntimes: %v",
+					trial, r, i, keep[i], want[i], times)
+			}
+		}
+		if n > 0 {
+			if !r.Enabled() {
+				for i, k := range keep {
+					if !k {
+						t.Fatalf("trial %d: disabled schedule dropped version %d", trial, i)
+					}
+				}
+			} else if !keep[n-1] {
+				t.Fatalf("trial %d (%+v): newest version not retained", trial, r)
+			}
+		}
+	}
+}
+
+// TestRetainVersionsHourlyBoundaries pins keep-hourly's bucket edges
+// explicitly: commits a second apart straddling an hour boundary land in
+// distinct buckets, while a dense run inside one hour collapses to its
+// newest member.
+func TestRetainVersionsHourlyBoundaries(t *testing.T) {
+	h := time.Date(2026, 8, 7, 10, 0, 0, 0, time.UTC)
+	times := []time.Time{
+		h.Add(5 * time.Minute),             // 10:05  bucket 10
+		h.Add(30 * time.Minute),            // 10:30  bucket 10
+		h.Add(time.Hour - time.Second),     // 10:59:59  bucket 10 (newest in it)
+		h.Add(time.Hour),                   // 11:00:00  bucket 11 — one second later, new bucket
+		h.Add(2*time.Hour + 7*time.Minute), // 12:07  bucket 12
+	}
+	keep := Retention{KeepHourly: 2}.RetainVersions(times)
+	want := []bool{false, false, false, true, true} // newest of buckets 11 and 12
+	for i := range want {
+		if keep[i] != want[i] {
+			t.Fatalf("KeepHourly=2: keep = %v, want %v", keep, want)
+		}
+	}
+	keep = Retention{KeepHourly: 3}.RetainVersions(times)
+	want = []bool{false, false, true, true, true} // 10:59:59 is bucket 10's newest
+	for i := range want {
+		if keep[i] != want[i] {
+			t.Fatalf("KeepHourly=3: keep = %v, want %v", keep, want)
+		}
+	}
+	// Combined schedule: keep-last widens the hourly selection.
+	keep = Retention{KeepLast: 2, KeepHourly: 3}.RetainVersions(times)
+	want = []bool{false, false, true, true, true}
+	for i := range want {
+		if keep[i] != want[i] {
+			t.Fatalf("KeepLast=2,KeepHourly=3: keep = %v, want %v", keep, want)
+		}
+	}
+}

@@ -118,6 +118,7 @@ func All() []Runner {
 		{Name: "managerload", Title: "Manager load (§V.E): metadata tps vs concurrent writers, striped vs single-lock catalog", Run: ManagerLoad},
 		{Name: "fedload", Title: "Federated manager load (§V.E extension): aggregate metadata tps at 1/2/4 partitioned managers over sockets", Run: FedLoad},
 		{Name: "restartload", Title: "Restart storm (§V read path): cold vs warm chunk-map caches, N readers re-opening M datasets through the router", Run: RestartLoad},
+		{Name: "restoredelta", Title: "Incremental restore (§IV.A read goal): full vs baseline-delta restore bytes and latency through the router", Run: RestoreDelta},
 		{Name: "openload", Title: "Open-loop traffic: latency vs Poisson offered load over mux'd connections, with the admission-control ablation", Run: OpenLoad},
 	}
 }

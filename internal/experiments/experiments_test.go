@@ -13,7 +13,7 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"table1", "fig2", "fig3", "fig4", "fig5", "fig6",
 		"table2", "table3", "table3live", "table4", "fig7", "fig8", "table5",
-		"managerload", "fedload", "restartload", "openload",
+		"managerload", "fedload", "restartload", "restoredelta", "openload",
 	}
 	runners := All()
 	if len(runners) != len(want) {
@@ -382,6 +382,74 @@ func TestRestartLoadAblationSmoke(t *testing.T) {
 		if r.Phase == "warm" && r.GetMaps != r.Opens {
 			t.Fatalf("cache-disabled warm pass issued %d getMaps for %d opens, want one per open", r.GetMaps, r.Opens)
 		}
+	}
+}
+
+// TestRestoreDeltaSmoke runs the full-vs-incremental restore experiment
+// briefly over real sockets through the federation router and gates the
+// incremental-restore acceptance criteria on the JSON records: a full
+// restore fetches the whole image, an incremental restore fetches no
+// more than the manager-reported diff (both restores are byte-verified
+// against the committed image inside the experiment), and fetched +
+// local bytes always reassemble the full file.
+func TestRestoreDeltaSmoke(t *testing.T) {
+	var buf, js bytes.Buffer
+	if err := RestoreDelta(Config{Runs: 1, Out: &buf, JSON: &js}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Full vs incremental restore", "incremental", "diff bytes", "paper"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	type rec struct {
+		Experiment string  `json:"experiment"`
+		DeltaFrac  float64 `json:"deltaFrac"`
+		Mode       string  `json:"mode"`
+		FileBytes  int64   `json:"fileBytes"`
+		DiffBytes  int64   `json:"diffBytes"`
+		Fetched    int64   `json:"fetchedBytes"`
+		Local      int64   `json:"localBytes"`
+		RestoreMs  float64 `json:"restoreMs"`
+	}
+	lines := 0
+	for _, line := range strings.Split(strings.TrimSpace(js.String()), "\n") {
+		if line == "" {
+			continue
+		}
+		lines++
+		var r rec
+		if err := json.Unmarshal([]byte(line), &r); err != nil {
+			t.Fatalf("bad JSON record %q: %v", line, err)
+		}
+		if r.Experiment != "restoredelta" || r.FileBytes <= 0 || r.RestoreMs <= 0 {
+			t.Fatalf("implausible record: %+v", r)
+		}
+		if r.DiffBytes <= 0 || r.DiffBytes >= r.FileBytes {
+			t.Fatalf("diff of a partial delta should be in (0, fileBytes): %+v", r)
+		}
+		switch r.Mode {
+		case "full":
+			if r.Fetched != r.FileBytes || r.Local != 0 {
+				t.Fatalf("full restore fetched %d / reused %d of %d bytes: %+v", r.Fetched, r.Local, r.FileBytes, r)
+			}
+		case "incremental":
+			// The headline claim: an incremental restore moves only the
+			// version delta over the network.
+			if r.Fetched > r.DiffBytes {
+				t.Fatalf("incremental restore fetched %d bytes for a %d-byte diff: %+v", r.Fetched, r.DiffBytes, r)
+			}
+			if r.Fetched+r.Local != r.FileBytes {
+				t.Fatalf("fetched %d + local %d != file %d: %+v", r.Fetched, r.Local, r.FileBytes, r)
+			}
+		default:
+			t.Fatalf("unknown mode %q: %+v", r.Mode, r)
+		}
+	}
+	// 3 delta fractions x 2 modes.
+	if lines != 6 {
+		t.Fatalf("%d JSON records, want 6", lines)
 	}
 }
 

@@ -145,7 +145,7 @@ func RestartLoad(cfg Config) error {
 		var r *client.Reader
 		var err error
 		if mode == "version" {
-			r, err = cl.OpenVersion(names[d], latest[d])
+			r, err = cl.Open(names[d], client.OpenOptions{Version: latest[d]})
 		} else {
 			r, err = cl.Open(names[d])
 		}

@@ -1,0 +1,211 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"stdchk/internal/client"
+	"stdchk/internal/core"
+	"stdchk/internal/device"
+	"stdchk/internal/grid"
+	"stdchk/internal/manager"
+)
+
+// RestoreDelta measures full versus incremental restore: a reader that
+// already holds version N locally re-opens version N+1 with
+// OpenOptions.Baseline, so only the chunks the two versions do NOT share
+// cross the network. The sweep varies how much of the checkpoint changed
+// between the versions (the delta fraction) and records, per restore,
+// the bytes fetched, the bytes reused from the local baseline, and the
+// manager's answer to MDiff — the three numbers whose agreement is the
+// feature's acceptance criterion (fetched ≈ diff, fetched + local =
+// file size, output byte-identical either way).
+//
+// The metadata plane is a 2-member federation over real sockets, so the
+// history/diff query plane and the cross-member map prefetch (MGetMaps,
+// one round trip per member touched) run through the Router exactly as
+// a deployment would drive them.
+//
+// Like managerload/fedload the shape is fixed (Config.Scale has no
+// effect): 512 KB images in 32 KB chunks, delta fractions 1/16, 1/4,
+// 1/2; Config.Runs sets the repetitions averaged per cell.
+func RestoreDelta(cfg Config) error {
+	cfg = cfg.withDefaults()
+	const (
+		managers  = 2
+		imageSize = 512 << 10
+		chunkSize = 32 << 10
+		nChunks   = imageSize / chunkSize
+	)
+	deltaFracs := []float64{1.0 / 16, 1.0 / 4, 1.0 / 2}
+
+	type cell struct {
+		Experiment string  `json:"experiment"`
+		DeltaFrac  float64 `json:"deltaFrac"`
+		Mode       string  `json:"mode"` // "full" | "incremental"
+		FileBytes  int64   `json:"fileBytes"`
+		DiffBytes  int64   `json:"diffBytes"`
+		Fetched    int64   `json:"fetchedBytes"`
+		Local      int64   `json:"localBytes"`
+		RestoreMs  float64 `json:"restoreMs"`
+	}
+
+	c, err := grid.Start(grid.Options{
+		Managers:          managers,
+		Benefactors:       8,
+		BenefactorProfile: device.Unshaped(),
+		Manager: manager.Config{
+			HeartbeatInterval:   200 * time.Millisecond,
+			ReplicationInterval: time.Hour, // no replica churn mid-measurement
+			PruneInterval:       time.Hour,
+		},
+		GCGrace:    time.Hour,
+		GCInterval: time.Hour,
+	})
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+
+	cl, _, err := c.NewClient(client.Config{
+		StripeWidth: 2, ChunkSize: chunkSize, Replication: 1,
+		Semantics: core.WriteOptimistic,
+	}, device.Unshaped())
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+
+	// Seed one dataset per delta fraction: t0 is the base image, t1 the
+	// mutated one. Fixed chunking keeps unchanged regions chunk-identical,
+	// so the catalog's chunk-span diff is exact.
+	baseData := make([]byte, imageSize)
+	for i := range baseData {
+		baseData[i] = byte(i*31 + 7)
+	}
+	names := make([]string, len(deltaFracs))
+	baseVer := make([]core.VersionID, len(deltaFracs))
+	newVer := make([]core.VersionID, len(deltaFracs))
+	newData := make([][]byte, len(deltaFracs))
+	writeImage := func(name string, data []byte) error {
+		w, err := cl.Create(name)
+		if err != nil {
+			return err
+		}
+		if _, err := w.Write(data); err != nil {
+			return err
+		}
+		if err := w.Close(); err != nil {
+			return err
+		}
+		return w.Wait()
+	}
+	for d, frac := range deltaFracs {
+		names[d] = fmt.Sprintf("rd.n%d", d)
+		if err := writeImage(names[d]+".t0", baseData); err != nil {
+			return err
+		}
+		mutated := append([]byte(nil), baseData...)
+		changed := int(float64(nChunks) * frac)
+		if changed < 1 {
+			changed = 1
+		}
+		// Spread the changed chunks across the image.
+		for i := 0; i < changed; i++ {
+			ch := i * nChunks / changed
+			off := ch * chunkSize
+			for j := off; j < off+chunkSize; j++ {
+				mutated[j] ^= 0xA5
+			}
+		}
+		if err := writeImage(names[d]+".t1", mutated); err != nil {
+			return err
+		}
+		newData[d] = mutated
+		info, err := cl.Stat(names[d])
+		if err != nil {
+			return err
+		}
+		baseVer[d] = info.Versions[0].Version
+		newVer[d] = info.Versions[1].Version
+	}
+
+	// Warm the client's chunk-map cache for every dataset in one batched
+	// round trip per federation member (MGetMaps through the Router).
+	if _, err := cl.PrefetchMaps(names); err != nil {
+		return err
+	}
+
+	fmt.Fprintf(cfg.Out, "Full vs incremental restore: %d KB images in %d KB chunks through a %d-manager router\n",
+		imageSize>>10, chunkSize>>10, managers)
+	fmt.Fprintf(cfg.Out, "%-7s %10s %10s %13s %12s %12s %10s\n",
+		"delta", "mode", "bytes", "diff bytes", "fetched", "local", "ms")
+
+	var cells []cell
+	restore := func(d int, mode string) (cell, error) {
+		diff, err := cl.Diff(names[d], baseVer[d], newVer[d])
+		if err != nil {
+			return cell{}, err
+		}
+		opt := client.OpenOptions{Version: newVer[d]}
+		if mode == "incremental" {
+			opt.Baseline = baseVer[d]
+			opt.BaselineData = baseData
+		}
+		start := time.Now()
+		r, err := cl.Open(names[d], opt)
+		if err != nil {
+			return cell{}, err
+		}
+		got, err := r.ReadAll()
+		if err != nil {
+			r.Close()
+			return cell{}, err
+		}
+		elapsed := time.Since(start)
+		fetched, local := r.BytesFetched(), r.BytesLocal()
+		r.Close()
+		if !bytes.Equal(got, newData[d]) {
+			return cell{}, fmt.Errorf("%s restore of %s.t1 is not byte-identical to the committed image", mode, names[d])
+		}
+		return cell{
+			Experiment: "restoredelta", DeltaFrac: deltaFracs[d], Mode: mode,
+			FileBytes: int64(len(got)), DiffBytes: diff.DiffBytes,
+			Fetched: fetched, Local: local,
+			RestoreMs: float64(elapsed.Microseconds()) / 1000,
+		}, nil
+	}
+	for d := range deltaFracs {
+		for _, mode := range []string{"full", "incremental"} {
+			// Average the latency over Runs; byte counters are per restore
+			// and identical across repetitions, so the last cell carries them.
+			var acc cell
+			for rep := 0; rep < cfg.Runs; rep++ {
+				cc, err := restore(d, mode)
+				if err != nil {
+					return fmt.Errorf("restoredelta %s %.3f: %w", mode, deltaFracs[d], err)
+				}
+				cc.RestoreMs += acc.RestoreMs
+				acc = cc
+			}
+			acc.RestoreMs /= float64(cfg.Runs)
+			cells = append(cells, acc)
+			fmt.Fprintf(cfg.Out, "%-7.3f %10s %10d %13d %12d %12d %10.1f\n",
+				acc.DeltaFrac, acc.Mode, acc.FileBytes, acc.DiffBytes, acc.Fetched, acc.Local, acc.RestoreMs)
+		}
+	}
+	fmt.Fprintf(cfg.Out, "incremental restores fetch only the version delta; unchanged chunks are hash-verified local copies\n")
+	fmt.Fprintf(cfg.Out, "paper: read performance minimizes restart delays (§IV.A); 1-CPU boxes time-slice reader and servers, see EXPERIMENTS.md\n\n")
+
+	if cfg.JSON != nil {
+		enc := json.NewEncoder(cfg.JSON)
+		for _, cl := range cells {
+			if err := enc.Encode(cl); err != nil {
+				return fmt.Errorf("restoredelta: json: %w", err)
+			}
+		}
+	}
+	return nil
+}

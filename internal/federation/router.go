@@ -364,6 +364,66 @@ func (r *Router) GetMap(req proto.GetMapReq) (proto.GetMapResp, error) {
 	return resp, err
 }
 
+// GetMaps batch-fetches committed chunk-maps, grouping req.Names by
+// partition owner so each touched member is asked exactly once. The
+// call keeps the manager's best-effort contract: names a member does
+// not know are silently absent from the merged reply (prefetch is an
+// optimization, the per-name GetMap path remains authoritative).
+func (r *Router) GetMaps(req proto.GetMapsReq) (proto.GetMapsResp, error) {
+	req.PartitionEpoch = r.wireEpoch()
+	byOwner := make(map[int][]string)
+	for _, name := range req.Names {
+		i, _ := r.ms.OwnerOf(name)
+		byOwner[i] = append(byOwner[i], name)
+	}
+	var (
+		mu     sync.Mutex
+		merged proto.GetMapsResp
+		wg     sync.WaitGroup
+		errs   = make([]error, r.ms.Len())
+	)
+	for i, names := range byOwner {
+		wg.Add(1)
+		go func(i int, names []string) {
+			defer wg.Done()
+			var resp proto.GetMapsResp
+			mreq := proto.GetMapsReq{Names: names, PartitionEpoch: req.PartitionEpoch}
+			if err := r.callOwner(names[0], proto.MGetMaps, mreq, &resp); err != nil {
+				errs[i] = err
+				return
+			}
+			mu.Lock()
+			merged.Maps = append(merged.Maps, resp.Maps...)
+			mu.Unlock()
+		}(i, names)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return proto.GetMapsResp{}, err
+		}
+	}
+	return merged, nil
+}
+
+// History reports a dataset's version lineage from the owner of req.Name.
+func (r *Router) History(req proto.HistoryReq) (proto.HistoryResp, error) {
+	req.PartitionEpoch = r.wireEpoch()
+	var resp proto.HistoryResp
+	err := r.callOwner(req.Name, proto.MHistory, req, &resp)
+	return resp, err
+}
+
+// Diff computes the changed byte ranges between two versions on the
+// owner of req.Name — both versions of a dataset live on one member, so
+// the diff never crosses a partition boundary.
+func (r *Router) Diff(req proto.DiffReq) (proto.DiffResp, error) {
+	req.PartitionEpoch = r.wireEpoch()
+	var resp proto.DiffResp
+	err := r.callOwner(req.Name, proto.MDiff, req, &resp)
+	return resp, err
+}
+
 // StatVersion resolves a name to its committed version identity on the
 // owner of req.Name — the client chunk-map cache's "latest" revalidation
 // probe. The partition epoch rides along like every dataset-scoped call,
@@ -490,6 +550,9 @@ func MergeStats(all []proto.ManagerStats) proto.ManagerStats {
 		agg.DedupHits += st.DedupHits
 		agg.GetMaps += st.GetMaps
 		agg.StatVersions += st.StatVersions
+		agg.Histories += st.Histories
+		agg.Diffs += st.Diffs
+		agg.PrefetchBatches += st.PrefetchBatches
 		agg.MapCache.Hits += st.MapCache.Hits
 		agg.MapCache.Misses += st.MapCache.Misses
 		agg.MapCache.Invalidations += st.MapCache.Invalidations

@@ -158,7 +158,7 @@ func TestVersionChainAndOpenVersion(t *testing.T) {
 	}
 	// Every version individually addressable.
 	for i, ver := range versions {
-		r, err := cl.OpenVersion("app.n1", ver)
+		r, err := cl.Open("app.n1", client.OpenOptions{Version: ver})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -118,7 +118,7 @@ func TestReadPathCacheEndToEnd(t *testing.T) {
 		t.Fatalf("chain has %d versions, want 2", len(info.Versions))
 	}
 	before := c.Stats()
-	r, err := cl1.OpenVersion("rp.n1", info.Versions[0].Version)
+	r, err := cl1.Open("rp.n1", client.OpenOptions{Version: info.Versions[0].Version})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -213,7 +213,7 @@ func TestFederatedCachedMapEpochCheck(t *testing.T) {
 	// An explicit-version open never consults the manager: committed
 	// versions are immutable, so the cached map still serves reads (the
 	// data plane is untouched by the metadata misconfiguration).
-	r2, err := cl.OpenVersion(name, ver)
+	r2, err := cl.Open(name, client.OpenOptions{Version: ver})
 	if err != nil {
 		t.Fatalf("explicit-version open from cache failed: %v", err)
 	}

@@ -149,6 +149,7 @@ type version struct {
 	chunks      []core.ChunkRef
 	newBytes    int64
 	committedAt time.Time
+	writer      string // client identity declared at alloc ("" = none)
 }
 
 type chunkEntry struct {
@@ -546,7 +547,7 @@ func commitPlan(fileName string, chunkSize int64, variable bool, fileSize int64,
 // commit already holds a reference to, and a commit that fails validation
 // was never observable by dedup probes or copy-on-write validation — the
 // same all-or-nothing visibility the single-lock catalog gave.
-func (c *catalog) commit(fileName string, folder string, replication int, chunkSize int64, variable bool, fileSize int64, chunks []proto.CommitChunk) (*core.ChunkMap, int64, error) {
+func (c *catalog) commit(fileName string, folder string, replication int, chunkSize int64, variable bool, fileSize int64, chunks []proto.CommitChunk, writer string) (*core.ChunkMap, int64, error) {
 	key := namespace.DatasetOf(fileName)
 	refs, charges, err := commitPlan(fileName, chunkSize, variable, fileSize, chunks)
 	if err != nil {
@@ -578,6 +579,7 @@ func (c *catalog) commit(fileName string, folder string, replication int, chunkS
 		if err := c.journalHook(journalEntry{
 			Op: "commit", Name: fileName, Replication: replication,
 			ChunkSize: chunkSize, Variable: variable, FileSize: fileSize, Chunks: chunks,
+			Writer: writer,
 		}); err != nil {
 			if created {
 				delete(sh.byName, key)
@@ -600,6 +602,7 @@ func (c *catalog) commit(fileName string, folder string, replication int, chunkS
 		chunks:      refs,
 		newBytes:    newBytes,
 		committedAt: time.Now(),
+		writer:      writer,
 	}
 	ds.versions = append(ds.versions, v)
 	c.logicalBytes.Add(fileSize)
@@ -747,6 +750,149 @@ func (c *catalog) lookupLocked(sh *datasetShard, name string, ver core.VersionID
 	return ds, ds.versions[len(ds.versions)-1], nil
 }
 
+// history returns a dataset's version lineage, oldest first, with
+// chunk-sharing measured against each version's immediate predecessor.
+// It touches only the dataset stripe (RLock) — no chunk stripes: sharing
+// is computed from the versions' own chunk-ref lists.
+func (c *catalog) history(name string) (proto.HistoryResp, error) {
+	key := namespace.DatasetOf(name)
+	sh := c.dsShardOf(key)
+	sh.rlock()
+	defer sh.runlock()
+	ds, ok := sh.byName[key]
+	if !ok || len(ds.versions) == 0 {
+		return proto.HistoryResp{}, fmt.Errorf("dataset %q: %w", name, core.ErrNotFound)
+	}
+	resp := proto.HistoryResp{Dataset: ds.id, Folder: ds.folder}
+	var prev map[core.ChunkID]struct{}
+	for _, v := range ds.versions {
+		cur := make(map[core.ChunkID]struct{}, len(v.chunks))
+		sharedChunks, sharedBytes := 0, int64(0)
+		for _, ref := range v.chunks {
+			cur[ref.ID] = struct{}{}
+			if _, shared := prev[ref.ID]; shared {
+				sharedChunks++
+				sharedBytes += ref.Size
+			}
+		}
+		resp.Versions = append(resp.Versions, proto.VersionLineage{
+			Version:      v.id,
+			Name:         v.fileName,
+			FileSize:     v.fileSize,
+			NewBytes:     v.newBytes,
+			Writer:       v.writer,
+			CommittedAt:  v.committedAt,
+			Chunks:       len(v.chunks),
+			SharedChunks: sharedChunks,
+			SharedBytes:  sharedBytes,
+		})
+		prev = cur
+	}
+	return resp, nil
+}
+
+// chunkSpan identifies one chunk occurrence by content AND position. Two
+// versions agree on a byte range exactly when the same chunk hash covers
+// the same offset span in both — the invariant the diff below rests on.
+type chunkSpan struct {
+	id     core.ChunkID
+	offset int64
+	size   int64
+}
+
+// spanSet indexes a version's chunk occurrences by (id, offset, size).
+func spanSet(v *version) map[chunkSpan]struct{} {
+	spans := make(map[chunkSpan]struct{}, len(v.chunks))
+	var off int64
+	for _, ref := range v.chunks {
+		spans[chunkSpan{id: ref.ID, offset: off, size: ref.Size}] = struct{}{}
+		off += ref.Size
+	}
+	return spans
+}
+
+// diff computes the changed byte ranges between versions from and to of
+// one dataset (0 = latest), in to's byte space. A range is emitted for
+// every to-chunk that does not cover the identical offset span with the
+// identical hash in from; bytes outside the ranges are guaranteed equal
+// (SHA-1 content addressing), so the ranges are a safe — and, under
+// fixed chunking, chunk-exact — superset of the bytewise diff. Ranges
+// come out sorted, non-overlapping, and coalesced.
+func (c *catalog) diff(name string, from, to core.VersionID) (proto.DiffResp, error) {
+	sh := c.dsShardOf(namespace.DatasetOf(name))
+	sh.rlock()
+	defer sh.runlock()
+	_, vf, err := c.lookupLocked(sh, name, from)
+	if err != nil {
+		return proto.DiffResp{}, err
+	}
+	_, vt, err := c.lookupLocked(sh, name, to)
+	if err != nil {
+		return proto.DiffResp{}, err
+	}
+	resp := proto.DiffResp{
+		From: vf.id, To: vt.id,
+		FromSize: vf.fileSize, ToSize: vt.fileSize,
+	}
+	base := spanSet(vf)
+	var off int64
+	for _, ref := range vt.chunks {
+		if _, same := base[chunkSpan{id: ref.ID, offset: off, size: ref.Size}]; !same {
+			resp.Ranges = appendRange(resp.Ranges, off, ref.Size)
+			resp.DiffBytes += ref.Size
+		}
+		off += ref.Size
+	}
+	return resp, nil
+}
+
+// appendRange extends the last range when the new span is adjacent,
+// otherwise appends. Callers feed spans in ascending offset order.
+func appendRange(rs []proto.ByteRange, off, n int64) []proto.ByteRange {
+	if k := len(rs); k > 0 && rs[k-1].Offset+rs[k-1].Length == off {
+		rs[k-1].Length += n
+		return rs
+	}
+	return append(rs, proto.ByteRange{Offset: off, Length: n})
+}
+
+// removeVersionsLocked is the single exit path for committed versions:
+// client deletes, replace-policy trims, purges, and retention prunes all
+// funnel through it. It journals one "delete" entry per victim BEFORE
+// any effect becomes visible (mirroring commit's ordering — and closing
+// the old gap where trim/purge removals were never journaled, so replay
+// resurrected pruned versions), invalidates the dataset's hot maps in
+// exactly one place, dereferences the victims' chunks, and removes the
+// dataset entirely when no version survives.
+//
+// Callers hold sh's write lock and pass victims ∪ kept == ds.versions.
+// A journal failure aborts with nothing applied; entries already
+// journaled for earlier victims replay as deletes after a crash, which
+// is idempotent for every caller (a delete the client retried, or a
+// prune the worker would re-select).
+func (c *catalog) removeVersionsLocked(sh *datasetShard, ds *dataset, victims, kept []*version) ([]core.ChunkID, error) {
+	if len(victims) == 0 {
+		return nil, nil
+	}
+	if c.journalHook != nil {
+		for _, v := range victims {
+			if err := c.journalHook(journalEntry{Op: "delete", Name: ds.name, Version: v.id}); err != nil {
+				return nil, fmt.Errorf("remove %s v%d: journal: %w", ds.name, v.id, err)
+			}
+		}
+	}
+	// A removed version must not be servable from the hot-map cache: its
+	// chunks may lose their last reference and be garbage collected.
+	c.maps.invalidateDataset(ds.name)
+	orphans := c.dropVersions(victims)
+	ds.versions = kept
+	if len(ds.versions) == 0 {
+		delete(sh.byName, ds.name)
+		c.releaseDatasetID(ds.id)
+	}
+	return orphans, nil
+}
+
 // deleteVersion removes one version (or, with ver == 0, the whole
 // dataset). It returns the chunk IDs whose reference count dropped to zero
 // (now orphaned; benefactor GC reaps them).
@@ -788,24 +934,7 @@ func (c *catalog) deleteVersion(name string, ver core.VersionID) ([]core.ChunkID
 		victims = ds.versions
 		kept = nil
 	}
-	// Journal before the first cross-stripe-visible effect (chunk
-	// dereferencing), mirroring commit's ordering. A journal failure aborts
-	// the delete with nothing applied.
-	if c.journalHook != nil {
-		if err := c.journalHook(journalEntry{Op: "delete", Name: name, Version: ver}); err != nil {
-			return nil, fmt.Errorf("delete %s: journal: %w", name, err)
-		}
-	}
-	// A deleted version must not be servable from the hot-map cache: its
-	// chunks may lose their last reference and be garbage collected.
-	c.maps.invalidateDataset(key)
-	orphans := c.dropVersions(victims)
-	ds.versions = kept
-	if len(ds.versions) == 0 {
-		delete(sh.byName, key)
-		c.releaseDatasetID(ds.id)
-	}
-	return orphans, nil
+	return c.removeVersionsLocked(sh, ds, victims, kept)
 }
 
 // dropVersions decrements refcounts for the victims' chunks and returns

@@ -45,6 +45,9 @@ type journalEntry struct {
 	FileSize    int64               `json:"fileSize,omitempty"`
 	Chunks      []proto.CommitChunk `json:"chunks,omitempty"`
 	Policy      *core.Policy        `json:"policy,omitempty"`
+	// Writer is the committing client's declared identity (commit entries
+	// only; absent in journals written before writer identity existed).
+	Writer string `json:"writer,omitempty"`
 }
 
 // journal is the append-only writer plus the entries found at open time.
@@ -594,7 +597,7 @@ func (m *Manager) replayJournal(watermark uint64) error {
 		replayed++
 		switch e.Op {
 		case "commit":
-			_, _, err := m.cat.commit(e.Name, namespace.FolderOf(e.Name), e.Replication, e.ChunkSize, e.Variable, e.FileSize, e.Chunks)
+			_, _, err := m.cat.commit(e.Name, namespace.FolderOf(e.Name), e.Replication, e.ChunkSize, e.Variable, e.FileSize, e.Chunks, e.Writer)
 			if err != nil {
 				return fmt.Errorf("entry %d (commit %s): %w", i, e.Name, err)
 			}

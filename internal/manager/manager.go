@@ -208,6 +208,9 @@ type Manager struct {
 		dedupHits          atomic.Int64
 		getMaps            atomic.Int64
 		statVersions       atomic.Int64
+		histories          atomic.Int64
+		diffs              atomic.Int64
+		prefetchBatches    atomic.Int64
 		replicasCopied     atomic.Int64
 		chunksCollected    atomic.Int64
 		versionsPruned     atomic.Int64
@@ -299,7 +302,7 @@ func New(cfg Config) (*Manager, error) {
 	m.wg.Add(3)
 	go m.sweepLoop()
 	go m.replicationLoop()
-	go m.pruneLoop()
+	go m.retentionLoop()
 	if m.journal != nil && cfg.SnapshotInterval > 0 {
 		m.wg.Add(1)
 		go m.snapshotLoop()
@@ -531,6 +534,44 @@ func (m *Manager) handle(r *wire.Req) (wire.Resp, error) {
 			return wire.Resp{}, err
 		}
 		return wire.Resp{Meta: proto.GetMapResp{Name: name, Map: cm}}, nil
+	case proto.MGetMaps:
+		var req proto.GetMapsReq
+		if err := wire.UnmarshalMeta(r.Meta, &req); err != nil {
+			return wire.Resp{}, err
+		}
+		m.stats.transactions.Add(1)
+		m.stats.prefetchBatches.Add(1)
+		return m.handleGetMaps(req)
+	case proto.MHistory:
+		var req proto.HistoryReq
+		if err := wire.UnmarshalMeta(r.Meta, &req); err != nil {
+			return wire.Resp{}, err
+		}
+		m.stats.transactions.Add(1)
+		m.stats.histories.Add(1)
+		if err := m.checkPartition(req.Name, req.PartitionEpoch); err != nil {
+			return wire.Resp{}, err
+		}
+		resp, err := m.cat.history(req.Name)
+		if err != nil {
+			return wire.Resp{}, err
+		}
+		return wire.Resp{Meta: resp}, nil
+	case proto.MDiff:
+		var req proto.DiffReq
+		if err := wire.UnmarshalMeta(r.Meta, &req); err != nil {
+			return wire.Resp{}, err
+		}
+		m.stats.transactions.Add(1)
+		m.stats.diffs.Add(1)
+		if err := m.checkPartition(req.Name, req.PartitionEpoch); err != nil {
+			return wire.Resp{}, err
+		}
+		resp, err := m.cat.diff(req.Name, req.From, req.To)
+		if err != nil {
+			return wire.Resp{}, err
+		}
+		return wire.Resp{Meta: resp}, nil
 	case proto.MStatVersion:
 		var req proto.StatVersionReq
 		if err := wire.UnmarshalMeta(r.Meta, &req); err != nil {
@@ -665,8 +706,32 @@ func (m *Manager) handleAlloc(req proto.AllocReq) (wire.Resp, error) {
 	if err != nil {
 		return wire.Resp{}, err
 	}
-	s := m.sess.open(req.Name, stripe, chunkSize, req.Variable, repl, perNode)
+	s := m.sess.open(req.Name, stripe, chunkSize, req.Variable, repl, perNode, req.Writer)
 	return wire.Resp{Meta: proto.AllocResp{WriteID: s.id, Stripe: stripe}}, nil
+}
+
+// handleGetMaps serves the batch map prefetch (MGetMaps): the latest
+// chunk-map of every owned, existing name in the request. Non-owned and
+// unknown names are skipped, not errors — a router fans the identical
+// batch to every touched federation member and each answers for its own
+// partition; the client falls back to per-name fetches for the rest. An
+// epoch mismatch still fails the whole batch (router config drift).
+func (m *Manager) handleGetMaps(req proto.GetMapsReq) (wire.Resp, error) {
+	var resp proto.GetMapsResp
+	for _, name := range req.Names {
+		if err := m.checkPartition(name, req.PartitionEpoch); err != nil {
+			if errors.Is(err, core.ErrEpochMismatch) {
+				return wire.Resp{}, err
+			}
+			continue
+		}
+		fileName, cm, err := m.cat.getMap(name, 0)
+		if err != nil {
+			continue
+		}
+		resp.Maps = append(resp.Maps, proto.NamedMap{Name: fileName, Map: cm})
+	}
+	return wire.Resp{Meta: resp}, nil
 }
 
 func (m *Manager) handleExtend(req proto.ExtendReq) (wire.Resp, error) {
@@ -695,7 +760,7 @@ func (m *Manager) handleCommit(req proto.CommitReq) (wire.Resp, error) {
 	// The catalog journals the commit itself (via the journal hook, inside
 	// the dataset stripe's critical section) so journal order matches
 	// publication order.
-	cm, newBytes, err := m.cat.commit(s.name, namespace.FolderOf(s.name), s.replication, s.chunkSize, s.variable, req.FileSize, req.Chunks)
+	cm, newBytes, err := m.cat.commit(s.name, namespace.FolderOf(s.name), s.replication, s.chunkSize, s.variable, req.FileSize, req.Chunks, s.writer)
 	if err != nil {
 		return wire.Resp{}, err
 	}
@@ -806,6 +871,9 @@ func (m *Manager) statsSnapshot() proto.ManagerStats {
 		DedupHits:         m.stats.dedupHits.Load(),
 		GetMaps:           m.stats.getMaps.Load(),
 		StatVersions:      m.stats.statVersions.Load(),
+		Histories:         m.stats.histories.Load(),
+		Diffs:             m.stats.diffs.Load(),
+		PrefetchBatches:   m.stats.prefetchBatches.Load(),
 		MapCache:          m.cat.maps.snapshot(),
 		ReplicasCopied:    m.stats.replicasCopied.Load(),
 		ChunksCollected:   m.stats.chunksCollected.Load(),

@@ -141,7 +141,7 @@ func payloadBytes(seed int64, n int) []byte {
 func TestCatalogCommitAndGetMap(t *testing.T) {
 	c := newCatalog()
 	chunks, total := commitChunks(1, 3, 100)
-	cm, newBytes, err := c.commit("app.n1.t0", "app", 2, 100, false, total, chunks)
+	cm, newBytes, err := c.commit("app.n1.t0", "app", 2, 100, false, total, chunks, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -190,7 +190,7 @@ func TestCatalogCommitValidation(t *testing.T) {
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
 			cs, fs := tt.mut()
-			if _, _, err := c.commit("x.n1.t0", "x", 1, 100, false, fs, cs); err == nil {
+			if _, _, err := c.commit("x.n1.t0", "x", 1, 100, false, fs, cs, ""); err == nil {
 				t.Fatal("invalid commit accepted")
 			}
 		})
@@ -200,7 +200,7 @@ func TestCatalogCommitValidation(t *testing.T) {
 func TestCatalogCOWSharing(t *testing.T) {
 	c := newCatalog()
 	chunks, total := commitChunks(3, 4, 50)
-	if _, _, err := c.commit("cow.n1.t0", "cow", 1, 50, false, total, chunks); err != nil {
+	if _, _, err := c.commit("cow.n1.t0", "cow", 1, 50, false, total, chunks, ""); err != nil {
 		t.Fatal(err)
 	}
 	// Second version shares chunks 0..2 (no locations = COW reference)
@@ -212,7 +212,7 @@ func TestCatalogCOWSharing(t *testing.T) {
 		{ID: chunks[2].ID, Size: 50},
 		{ID: core.HashChunk(newData), Size: 50, Locations: []core.NodeID{"n2"}},
 	}
-	_, newBytes, err := c.commit("cow.n1.t1", "cow", 1, 50, false, total, shared)
+	_, newBytes, err := c.commit("cow.n1.t1", "cow", 1, 50, false, total, shared, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -254,7 +254,7 @@ func TestCatalogCOWSharing(t *testing.T) {
 func TestCatalogDeleteWholeDataset(t *testing.T) {
 	c := newCatalog()
 	chunks, total := commitChunks(4, 2, 10)
-	if _, _, err := c.commit("d.n1.t0", "d", 1, 10, false, total, chunks); err != nil {
+	if _, _, err := c.commit("d.n1.t0", "d", 1, 10, false, total, chunks, ""); err != nil {
 		t.Fatal(err)
 	}
 	orphans, err := c.deleteVersion("d.n1", 0)
@@ -276,7 +276,7 @@ func TestCatalogHasChunksAndReferenced(t *testing.T) {
 	c := newCatalog()
 	chunks, total := commitChunks(5, 2, 10)
 	ghost := core.HashChunk([]byte("ghost"))
-	if _, _, err := c.commit("h.n1.t0", "h", 1, 10, false, total, chunks); err != nil {
+	if _, _, err := c.commit("h.n1.t0", "h", 1, 10, false, total, chunks, ""); err != nil {
 		t.Fatal(err)
 	}
 	got := c.hasChunks([]core.ChunkID{chunks[0].ID, ghost})
@@ -292,11 +292,14 @@ func TestCatalogTrimVersions(t *testing.T) {
 	c := newCatalog()
 	for ts := 0; ts < 5; ts++ {
 		chunks, total := commitChunks(int64(10+ts), 2, 10)
-		if _, _, err := c.commit(fmt.Sprintf("t.n1.t%d", ts), "t", 1, 10, false, total, chunks); err != nil {
+		if _, _, err := c.commit(fmt.Sprintf("t.n1.t%d", ts), "t", 1, 10, false, total, chunks, ""); err != nil {
 			t.Fatal(err)
 		}
 	}
-	removed, orphans := c.trimVersions("t.n1", 2)
+	removed, orphans, err := c.retain("t.n1", core.Retention{KeepLast: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if removed != 3 {
 		t.Fatalf("removed %d, want 3", removed)
 	}
@@ -318,15 +321,15 @@ func TestCatalogTrimVersions(t *testing.T) {
 func TestCatalogPurgeOlderThan(t *testing.T) {
 	c := newCatalog()
 	chunks, total := commitChunks(20, 2, 10)
-	if _, _, err := c.commit("p.n1.t0", "p", 1, 10, false, total, chunks); err != nil {
+	if _, _, err := c.commit("p.n1.t0", "p", 1, 10, false, total, chunks, ""); err != nil {
 		t.Fatal(err)
 	}
 	// Nothing younger than the far past.
-	if removed, _ := c.purgeOlderThan("p", time.Now().Add(-time.Hour)); removed != 0 {
-		t.Fatalf("purged %d, want 0", removed)
+	if removed, _, err := c.applyRetention("p", core.Retention{}, time.Now().Add(-time.Hour)); err != nil || removed != 0 {
+		t.Fatalf("purged %d (err %v), want 0", removed, err)
 	}
-	if removed, _ := c.purgeOlderThan("p", time.Now().Add(time.Hour)); removed != 1 {
-		t.Fatalf("purged %d, want 1", removed)
+	if removed, _, err := c.applyRetention("p", core.Retention{}, time.Now().Add(time.Hour)); err != nil || removed != 1 {
+		t.Fatalf("purged %d (err %v), want 1", removed, err)
 	}
 	if _, err := c.stat("p.n1", nil); !errors.Is(err, core.ErrNotFound) {
 		t.Fatalf("stat after purge: %v", err)
@@ -336,7 +339,7 @@ func TestCatalogPurgeOlderThan(t *testing.T) {
 func TestCatalogUnderReplicated(t *testing.T) {
 	c := newCatalog()
 	chunks, total := commitChunks(30, 3, 10)
-	if _, _, err := c.commit("u.n1.t0", "u", 2, 10, false, total, chunks); err != nil {
+	if _, _, err := c.commit("u.n1.t0", "u", 2, 10, false, total, chunks, ""); err != nil {
 		t.Fatal(err)
 	}
 	jobs := c.underReplicated(nil)
@@ -371,10 +374,10 @@ func TestCatalogUnderReplicatedSharedChunkMaxTarget(t *testing.T) {
 	shared := []proto.CommitChunk{{
 		ID: core.HashChunk(data), Size: 10, Locations: []core.NodeID{"n1", "n2"},
 	}}
-	if _, _, err := c.commit("ua.n1.t0", "ua", 2, 10, false, 10, shared); err != nil {
+	if _, _, err := c.commit("ua.n1.t0", "ua", 2, 10, false, 10, shared, ""); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := c.commit("ub.n1.t0", "ub", 3, 10, false, 10, shared); err != nil {
+	if _, _, err := c.commit("ub.n1.t0", "ub", 3, 10, false, 10, shared, ""); err != nil {
 		t.Fatal(err)
 	}
 	jobs := c.underReplicated(nil)
@@ -388,7 +391,7 @@ func TestCatalogUnderReplicatedSharedChunkMaxTarget(t *testing.T) {
 
 func TestSessionTableLifecycle(t *testing.T) {
 	st := newSessionTable(time.Minute)
-	s := st.open("a.n1.t0", []proto.Stripe{{ID: "n1", Addr: "x"}}, 100, false, 2, 50)
+	s := st.open("a.n1.t0", []proto.Stripe{{ID: "n1", Addr: "x"}}, 100, false, 2, 50, "")
 	if s.id == 0 {
 		t.Fatal("zero session id")
 	}
@@ -417,8 +420,8 @@ func TestSessionTableLifecycle(t *testing.T) {
 
 func TestSessionTableExpiry(t *testing.T) {
 	st := newSessionTable(10 * time.Millisecond)
-	st.open("a.n1.t0", nil, 100, false, 1, 10)
-	st.open("b.n1.t0", nil, 100, false, 1, 10)
+	st.open("a.n1.t0", nil, 100, false, 1, 10, "")
+	st.open("b.n1.t0", nil, 100, false, 1, 10, "")
 	if st.active() != 2 {
 		t.Fatalf("active = %d", st.active())
 	}
@@ -454,7 +457,13 @@ func TestPolicyTable(t *testing.T) {
 	}
 	pt.set("a", core.Policy{Kind: core.PolicyPurge, PurgeAfter: time.Minute})
 	pt.set("b", core.Policy{Kind: core.PolicyReplace})
-	if folders := pt.purgeFolders(); len(folders) != 1 {
-		t.Fatalf("purgeFolders = %v", folders)
+	if folders := pt.enforcedFolders(); len(folders) != 1 {
+		t.Fatalf("enforcedFolders = %v", folders)
+	}
+	// A retention schedule makes a folder background-enforced regardless
+	// of its lifetime kind.
+	pt.set("c", core.Policy{Kind: core.PolicyNone, Retention: core.Retention{KeepLast: 3}})
+	if folders := pt.enforcedFolders(); len(folders) != 2 {
+		t.Fatalf("enforcedFolders with retention = %v", folders)
 	}
 }

@@ -30,7 +30,7 @@ func hotCacheChunks(seed, n int, size int64, locs []core.NodeID) ([]proto.Commit
 func TestHotMapCacheServesRepeatGetMaps(t *testing.T) {
 	c := newCatalogStripes(16)
 	chunks, total := hotCacheChunks(1, 4, 64, []core.NodeID{"n2:1", "n1:1"})
-	if _, _, err := c.commit("hot.n1.t0", "hot", 1, 64, false, total, chunks); err != nil {
+	if _, _, err := c.commit("hot.n1.t0", "hot", 1, 64, false, total, chunks, ""); err != nil {
 		t.Fatal(err)
 	}
 	name1, m1, err := c.getMap("hot.n1", 0)
@@ -77,7 +77,7 @@ func TestHotMapCacheServesRepeatGetMaps(t *testing.T) {
 func TestHotMapCacheCommitInvalidates(t *testing.T) {
 	c := newCatalogStripes(16)
 	chunks, total := hotCacheChunks(2, 2, 64, []core.NodeID{"n1:1"})
-	if _, _, err := c.commit("inv.n1.t0", "inv", 1, 64, false, total, chunks); err != nil {
+	if _, _, err := c.commit("inv.n1.t0", "inv", 1, 64, false, total, chunks, ""); err != nil {
 		t.Fatal(err)
 	}
 	if _, _, err := c.getMap("inv.n1", 0); err != nil {
@@ -88,7 +88,7 @@ func TestHotMapCacheCommitInvalidates(t *testing.T) {
 	for i, ch := range chunks {
 		shared[i] = proto.CommitChunk{ID: ch.ID, Size: ch.Size, Locations: []core.NodeID{"n9:1"}}
 	}
-	if _, _, err := c.commit("inv.n1.t1", "inv", 1, 64, false, total, shared); err != nil {
+	if _, _, err := c.commit("inv.n1.t1", "inv", 1, 64, false, total, shared, ""); err != nil {
 		t.Fatal(err)
 	}
 	if s := c.maps.snapshot(); s.Invalidations != 1 {
@@ -118,7 +118,7 @@ func TestHotMapCacheCommitInvalidates(t *testing.T) {
 func TestHotMapCacheDeleteInvalidates(t *testing.T) {
 	c := newCatalogStripes(16)
 	chunks, total := hotCacheChunks(3, 2, 64, []core.NodeID{"n1:1"})
-	if _, _, err := c.commit("del.n1.t0", "del", 1, 64, false, total, chunks); err != nil {
+	if _, _, err := c.commit("del.n1.t0", "del", 1, 64, false, total, chunks, ""); err != nil {
 		t.Fatal(err)
 	}
 	if _, _, err := c.getMap("del.n1", 0); err != nil {
@@ -139,7 +139,7 @@ func TestHotMapCachePruneInvalidates(t *testing.T) {
 	c := newCatalogStripes(16)
 	for ti := 0; ti < 3; ti++ {
 		chunks, total := hotCacheChunks(40+ti, 2, 64, []core.NodeID{"n1:1"})
-		if _, _, err := c.commit(fmt.Sprintf("pr.n1.t%d", ti), "pr", 1, 64, false, total, chunks); err != nil {
+		if _, _, err := c.commit(fmt.Sprintf("pr.n1.t%d", ti), "pr", 1, 64, false, total, chunks, ""); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -147,8 +147,8 @@ func TestHotMapCachePruneInvalidates(t *testing.T) {
 		t.Fatal(err)
 	}
 	invBefore := c.maps.snapshot().Invalidations
-	if removed, _ := c.trimVersions("pr.n1", 1); removed != 2 {
-		t.Fatalf("trimmed %d versions, want 2", removed)
+	if removed, _, err := c.retain("pr.n1", core.Retention{KeepLast: 1}); err != nil || removed != 2 {
+		t.Fatalf("trimmed %d versions (err %v), want 2", removed, err)
 	}
 	if got := c.maps.snapshot().Invalidations; got != invBefore+1 {
 		t.Fatalf("trim recorded %d invalidations, want %d", got, invBefore+1)
@@ -157,8 +157,8 @@ func TestHotMapCachePruneInvalidates(t *testing.T) {
 		t.Fatal(err)
 	}
 	invBefore = c.maps.snapshot().Invalidations
-	if removed, _ := c.purgeOlderThan("pr", time.Now().Add(time.Hour)); removed != 1 {
-		t.Fatalf("purged %d versions, want 1", removed)
+	if removed, _, err := c.applyRetention("pr", core.Retention{}, time.Now().Add(time.Hour)); err != nil || removed != 1 {
+		t.Fatalf("purged %d versions (err %v), want 1", removed, err)
 	}
 	if got := c.maps.snapshot().Invalidations; got != invBefore+1 {
 		t.Fatalf("purge recorded %d invalidations, want %d", got, invBefore+1)
@@ -171,7 +171,7 @@ func TestHotMapCachePruneInvalidates(t *testing.T) {
 func TestHotMapCacheReplicaDeathFlushes(t *testing.T) {
 	c := newCatalogStripes(16)
 	chunks, total := hotCacheChunks(4, 2, 64, []core.NodeID{"dead:1", "live:1"})
-	if _, _, err := c.commit("rd.n1.t0", "rd", 1, 64, false, total, chunks); err != nil {
+	if _, _, err := c.commit("rd.n1.t0", "rd", 1, 64, false, total, chunks, ""); err != nil {
 		t.Fatal(err)
 	}
 	if _, _, err := c.getMap("rd.n1", 0); err != nil {
@@ -233,7 +233,7 @@ func TestStatVersionResolvesLikeGetMap(t *testing.T) {
 	c := newCatalogStripes(16)
 	for ti := 0; ti < 3; ti++ {
 		chunks, total := hotCacheChunks(10+ti, 2, 64, []core.NodeID{"n1:1"})
-		if _, _, err := c.commit(fmt.Sprintf("sv.n1.t%d", ti), "sv", 1, 64, false, total, chunks); err != nil {
+		if _, _, err := c.commit(fmt.Sprintf("sv.n1.t%d", ti), "sv", 1, 64, false, total, chunks, ""); err != nil {
 			t.Fatal(err)
 		}
 	}

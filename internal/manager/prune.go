@@ -60,13 +60,14 @@ func (p *policyTable) get(folder string) core.Policy {
 	return core.DefaultPolicy()
 }
 
-// purgeFolders lists folders with a purge policy.
-func (p *policyTable) purgeFolders() map[string]core.Policy {
+// enforcedFolders lists folders whose policy prunes anything in the
+// background: a purge interval, a retention schedule, or both.
+func (p *policyTable) enforcedFolders() map[string]core.Policy {
 	p.mu.RLock()
 	defer p.mu.RUnlock()
 	out := make(map[string]core.Policy)
 	for folder, policy := range p.m {
-		if policy.Kind == core.PolicyPurge {
+		if policy.Kind == core.PolicyPurge || policy.Retention.Enabled() {
 			out[folder] = policy
 		}
 	}
@@ -74,23 +75,32 @@ func (p *policyTable) purgeFolders() map[string]core.Policy {
 }
 
 // applyReplacePolicy enforces "automated replace" right after a commit:
-// the newly committed image makes versions beyond the keep window obsolete.
+// the newly committed image makes versions beyond the keep window
+// obsolete. It runs through the same centralized (journaled) removal
+// path as deletes and the retention worker.
 func (m *Manager) applyReplacePolicy(fileName string) {
 	folder := namespace.FolderOf(fileName)
 	policy := m.policies.get(folder)
 	if policy.Kind != core.PolicyReplace {
 		return
 	}
-	removed, orphans := m.cat.trimVersions(namespace.DatasetOf(fileName), policy.Keep())
+	removed, orphans, err := m.cat.retain(namespace.DatasetOf(fileName), core.Retention{KeepLast: policy.Keep()})
+	if err != nil {
+		m.logf("replace policy on %s: %v", fileName, err)
+		return
+	}
 	if removed > 0 {
 		m.stats.versionsPruned.Add(int64(removed))
 		m.logf("replace policy on %s: pruned %d versions, %d chunks orphaned", fileName, removed, len(orphans))
 	}
 }
 
-// pruneLoop enforces "automated purge": versions older than the folder's
-// interval are removed.
-func (m *Manager) pruneLoop() {
+// retentionLoop is the background retention worker: it enforces purge
+// intervals and retention schedules (keep-last-N / keep-hourly) per
+// folder, and after a round that removed versions it takes a catalog
+// snapshot — retention is the journal-compaction trigger, so pruned
+// history leaves the journal too instead of replaying forever.
+func (m *Manager) retentionLoop() {
 	defer m.wg.Done()
 	ticker := time.NewTicker(m.cfg.PruneInterval)
 	defer ticker.Stop()
@@ -99,82 +109,104 @@ func (m *Manager) pruneLoop() {
 		case <-m.stop:
 			return
 		case now := <-ticker.C:
-			m.pruneOnce(now)
+			m.retentionOnce(now)
 		}
 	}
 }
 
-// pruneOnce applies purge policies once; exposed for tests.
-func (m *Manager) pruneOnce(now time.Time) int {
+// retentionOnce applies every folder's purge/retention policy once and
+// returns the number of versions removed; exposed for tests.
+func (m *Manager) retentionOnce(now time.Time) int {
 	total := 0
-	for folder, policy := range m.policies.purgeFolders() {
-		cutoff := now.Add(-policy.PurgeAfter)
-		removed, orphans := m.cat.purgeOlderThan(folder, cutoff)
+	for folder, policy := range m.policies.enforcedFolders() {
+		var cutoff time.Time
+		if policy.Kind == core.PolicyPurge {
+			cutoff = now.Add(-policy.PurgeAfter)
+		}
+		removed, orphans, err := m.cat.applyRetention(folder, policy.Retention, cutoff)
+		if err != nil {
+			m.logf("retention on folder %q: %v", folder, err)
+		}
 		if removed > 0 {
 			m.stats.versionsPruned.Add(int64(removed))
-			m.logf("purge policy on folder %q: pruned %d versions, %d chunks orphaned", folder, removed, len(orphans))
+			m.logf("retention on folder %q: pruned %d versions, %d chunks orphaned", folder, removed, len(orphans))
 		}
 		total += removed
+	}
+	if total > 0 && m.journal != nil {
+		// Fold the removals into a snapshot so the truncated journal stops
+		// carrying (and replaying) versions retention already condemned.
+		if _, err := m.Snapshot(); err != nil {
+			m.logf("retention snapshot: %v", err)
+		}
 	}
 	return total
 }
 
-// trimVersions keeps only the most recent `keep` versions of a dataset.
-func (c *catalog) trimVersions(datasetKey string, keep int) (int, []core.ChunkID) {
-	if keep < 1 {
-		keep = 1
+// selectRetention partitions a dataset's version chain into victims and
+// survivors per schedule r plus an optional purge cutoff (zero = no
+// purge). The purge cutoff wins over the schedule: purge is an explicit
+// "data expires after T" contract, so even a schedule-retained version
+// goes once it ages past the cutoff. Callers hold the dataset's shard
+// lock.
+func selectRetention(ds *dataset, r core.Retention, cutoff time.Time) (victims, kept []*version) {
+	times := make([]time.Time, len(ds.versions))
+	for i, v := range ds.versions {
+		times[i] = v.committedAt
 	}
+	keep := r.RetainVersions(times)
+	for i, v := range ds.versions {
+		purged := !cutoff.IsZero() && v.committedAt.Before(cutoff)
+		if purged || !keep[i] {
+			victims = append(victims, v)
+		} else {
+			kept = append(kept, v)
+		}
+	}
+	return victims, kept
+}
+
+// retain applies a retention schedule to one dataset (the replace
+// policy's post-commit trim). Unknown datasets are a no-op.
+func (c *catalog) retain(datasetKey string, r core.Retention) (int, []core.ChunkID, error) {
 	sh := c.dsShardOf(datasetKey)
 	sh.lock()
 	defer sh.unlock()
 	ds, ok := sh.byName[datasetKey]
-	if !ok || len(ds.versions) <= keep {
-		return 0, nil
+	if !ok {
+		return 0, nil, nil
 	}
-	victims := ds.versions[:len(ds.versions)-keep]
-	kept := append([]*version(nil), ds.versions[len(ds.versions)-keep:]...)
-	// Pruned versions must leave the hot-map cache like deleted ones do:
-	// their chunks may be garbage collected, and stranded entries would
-	// crowd live maps out of the LRU.
-	c.maps.invalidateDataset(datasetKey)
-	orphans := c.dropVersions(victims)
-	ds.versions = kept
-	return len(victims), orphans
+	victims, kept := selectRetention(ds, r, time.Time{})
+	orphans, err := c.removeVersionsLocked(sh, ds, victims, kept)
+	return len(victims), orphans, err
 }
 
-// purgeOlderThan removes all versions in a folder committed before the
-// cutoff. Datasets left empty are removed entirely. Shards are swept one
-// at a time, so a long purge never stalls commits on other stripes.
-func (c *catalog) purgeOlderThan(folder string, cutoff time.Time) (int, []core.ChunkID) {
+// applyRetention sweeps a folder, applying schedule r and an optional
+// purge cutoff to every dataset through the centralized removal path.
+// Shards are swept one at a time, so a long sweep never stalls commits
+// on other stripes.
+func (c *catalog) applyRetention(folder string, r core.Retention, cutoff time.Time) (int, []core.ChunkID, error) {
 	removed := 0
 	var orphans []core.ChunkID
 	for _, sh := range c.ds {
 		sh.lock()
-		for key, ds := range sh.byName {
+		for _, ds := range sh.byName {
 			if ds.folder != folder {
 				continue
 			}
-			var victims, kept []*version
-			for _, v := range ds.versions {
-				if v.committedAt.Before(cutoff) {
-					victims = append(victims, v)
-				} else {
-					kept = append(kept, v)
-				}
-			}
+			victims, kept := selectRetention(ds, r, cutoff)
 			if len(victims) == 0 {
 				continue
 			}
-			c.maps.invalidateDataset(key) // as trimVersions: purged maps leave the cache
-			orphans = append(orphans, c.dropVersions(victims)...)
-			ds.versions = kept
-			removed += len(victims)
-			if len(ds.versions) == 0 {
-				delete(sh.byName, key)
-				c.releaseDatasetID(ds.id)
+			o, err := c.removeVersionsLocked(sh, ds, victims, kept)
+			if err != nil {
+				sh.unlock()
+				return removed, orphans, err
 			}
+			orphans = append(orphans, o...)
+			removed += len(victims)
 		}
 		sh.unlock()
 	}
-	return removed, orphans
+	return removed, orphans, nil
 }

@@ -213,7 +213,7 @@ func TestCatalogRestoreIdempotentAndCounterSafe(t *testing.T) {
 	}
 	// New commits must not collide with restored IDs.
 	moreChunks, moreTotal := commitChunks(91, 1, 10)
-	cm2, _, err := c.commit("r.n1.t1", "r", 1, 10, false, moreTotal, moreChunks)
+	cm2, _, err := c.commit("r.n1.t1", "r", 1, 10, false, moreTotal, moreChunks, "")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -37,7 +37,8 @@ type session struct {
 	chunkSize   int64 // fixed striping size, or max span bound when variable
 	variable    bool  // content-defined (variable-size) chunking session
 	replication int
-	perNode     int64 // cumulative reservation per stripe node
+	perNode     int64  // cumulative reservation per stripe node
+	writer      string // client identity declared at alloc ("" = none)
 	lastActive  time.Time
 }
 
@@ -59,7 +60,7 @@ func (t *sessionTable) shardOf(id uint64) *sessionShard {
 	return t.shards[id&uint64(len(t.shards)-1)]
 }
 
-func (t *sessionTable) open(name string, stripe []proto.Stripe, chunkSize int64, variable bool, replication int, perNode int64) *session {
+func (t *sessionTable) open(name string, stripe []proto.Stripe, chunkSize int64, variable bool, replication int, perNode int64, writer string) *session {
 	s := &session{
 		id:          t.next.Add(1),
 		name:        name,
@@ -68,6 +69,7 @@ func (t *sessionTable) open(name string, stripe []proto.Stripe, chunkSize int64,
 		variable:    variable,
 		replication: replication,
 		perNode:     perNode,
+		writer:      writer,
 		lastActive:  time.Now(),
 	}
 	for _, st := range stripe {

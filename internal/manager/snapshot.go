@@ -71,6 +71,7 @@ type snapVersion struct {
 	Variable    bool           `json:"variable,omitempty"`
 	NewBytes    int64          `json:"newBytes"`
 	CommittedAt time.Time      `json:"committedAt"`
+	Writer      string         `json:"writer,omitempty"`
 	Chunks      []snapChunk    `json:"chunks"`
 }
 
@@ -149,6 +150,7 @@ func (m *Manager) captureSnapshot() *snapshotState {
 					Variable:    v.variable,
 					NewBytes:    v.newBytes,
 					CommittedAt: v.committedAt,
+					Writer:      v.writer,
 					Chunks:      make([]snapChunk, len(v.chunks)),
 				}
 				for i, ref := range v.chunks {
@@ -355,6 +357,7 @@ func (c *catalog) installSnapshot(st *snapshotState) error {
 				chunks:      refs,
 				newBytes:    sv.NewBytes,
 				committedAt: sv.CommittedAt,
+				writer:      sv.Writer,
 			})
 			c.logicalBytes.Add(sv.FileSize)
 			c.confirmChunks(charges)

@@ -52,6 +52,18 @@ const (
 	MHasChunks = "m.haschunks"
 	// MGetMap fetches the chunk-map of a committed version.
 	MGetMap = "m.getmap"
+	// MGetMaps batch-fetches the latest chunk-maps of several datasets in
+	// one round trip (cross-member map prefetch: a restart storm warms a
+	// job's whole checkpoint set with one call per federation member).
+	MGetMaps = "m.getmaps"
+	// MHistory returns a dataset's version lineage: one entry per
+	// committed version with identity, writer, sizes, and chunk sharing
+	// against the predecessor (the catalog query plane's list operation).
+	MHistory = "m.history"
+	// MDiff computes the changed byte ranges between two committed
+	// versions of a dataset from their chunk-maps (the catalog query
+	// plane's compare operation; incremental restore's planning input).
+	MDiff = "m.diff"
 	// MStatVersion resolves a name to its committed version identity —
 	// no location payload. It is the lightweight revalidation probe behind
 	// the client's chunk-map cache: a "latest" open asks only "is my cached
@@ -188,6 +200,10 @@ type AllocReq struct {
 	ReserveBytes int64 `json:"reserveBytes"`
 	// Replication is the user-defined replication target.
 	Replication int `json:"replication"`
+	// Writer optionally identifies the writing client (user@host, job id,
+	// …). It is recorded on the committed version and surfaced by
+	// MHistory; empty when the client declares no identity.
+	Writer string `json:"writer,omitempty"`
 }
 
 // AllocResp returns the session handle and the stripe.
@@ -255,6 +271,100 @@ type GetMapReq struct {
 type GetMapResp struct {
 	Name string         `json:"name"`
 	Map  *core.ChunkMap `json:"map"`
+}
+
+// GetMapsReq batch-fetches the latest chunk-maps of several datasets
+// (MGetMaps). The request is best-effort: names not found, or not owned
+// by the serving federation member, are silently omitted from the
+// response — the caller falls back to per-name MGetMap for the rest.
+type GetMapsReq struct {
+	Names []string `json:"names"`
+	// PartitionEpoch mirrors AllocReq.PartitionEpoch. Ownership of each
+	// name is checked individually; non-owned names are skipped, not
+	// errors, so a router can fan one batch per member without
+	// partition-exact pre-splitting.
+	PartitionEpoch uint64 `json:"partitionEpoch,omitempty"`
+}
+
+// GetMapsResp returns the resolved maps, at most one per requested name.
+type GetMapsResp struct {
+	Maps []NamedMap `json:"maps"`
+}
+
+// HistoryReq asks for a dataset's version lineage (MHistory). Name may
+// be a dataset key or any full file name of the dataset.
+type HistoryReq struct {
+	Name string `json:"name"`
+	// PartitionEpoch mirrors AllocReq.PartitionEpoch.
+	PartitionEpoch uint64 `json:"partitionEpoch,omitempty"`
+}
+
+// VersionLineage is one committed version in a dataset's history,
+// ordered oldest-first in HistoryResp. SharedChunks/SharedBytes measure
+// copy-on-write sharing against the immediate predecessor version (both
+// zero for the first version).
+type VersionLineage struct {
+	// Version is the catalog version id and Name the full file name
+	// committed under it.
+	Version core.VersionID `json:"version"`
+	Name    string         `json:"name"`
+	// FileSize is the logical byte size; NewBytes the bytes this version
+	// actually added to the store (FileSize minus deduped bytes).
+	FileSize int64 `json:"fileSize"`
+	NewBytes int64 `json:"newBytes"`
+	// Writer is the identity declared at alloc time ("" when none).
+	Writer string `json:"writer,omitempty"`
+	// CommittedAt is the manager-side commit timestamp.
+	CommittedAt time.Time `json:"committedAt"`
+	// Chunks is the version's chunk count; SharedChunks of those also
+	// appear in the predecessor version, covering SharedBytes bytes.
+	Chunks       int   `json:"chunks"`
+	SharedChunks int   `json:"sharedChunks"`
+	SharedBytes  int64 `json:"sharedBytes"`
+}
+
+// HistoryResp carries the lineage, oldest version first.
+type HistoryResp struct {
+	// Dataset is the catalog dataset id and Folder its policy folder.
+	Dataset  core.DatasetID   `json:"dataset"`
+	Folder   string           `json:"folder"`
+	Versions []VersionLineage `json:"versions"`
+}
+
+// DiffReq asks for the changed byte ranges between versions From and To
+// of one dataset (MDiff). Either may be 0 meaning the latest version;
+// From and To may name the versions in either order.
+type DiffReq struct {
+	Name string         `json:"name"`
+	From core.VersionID `json:"from,omitempty"`
+	To   core.VersionID `json:"to,omitempty"`
+	// PartitionEpoch mirrors AllocReq.PartitionEpoch.
+	PartitionEpoch uint64 `json:"partitionEpoch,omitempty"`
+}
+
+// ByteRange is one half-open changed span [Offset, Offset+Length) in
+// the To version's byte space.
+type ByteRange struct {
+	Offset int64 `json:"offset"`
+	Length int64 `json:"length"`
+}
+
+// DiffResp reports the diff. Ranges are sorted, non-overlapping, and
+// coalesced; a byte outside every range is guaranteed identical in both
+// versions (same chunk hash covering the same offset). DiffBytes is the
+// sum of range lengths — the exact byte budget of an incremental
+// restore from From to To.
+type DiffResp struct {
+	// From and To are the resolved version ids (after latest-resolution).
+	From core.VersionID `json:"from"`
+	To   core.VersionID `json:"to"`
+	// FromSize and ToSize are the logical sizes of the two versions.
+	FromSize int64 `json:"fromSize"`
+	ToSize   int64 `json:"toSize"`
+	// Ranges lists the changed spans in To's byte space.
+	Ranges []ByteRange `json:"ranges"`
+	// DiffBytes is the total changed-byte count (sum over Ranges).
+	DiffBytes int64 `json:"diffBytes"`
 }
 
 // StatVersionReq asks which committed version a name currently resolves
@@ -385,6 +495,12 @@ type ManagerStats struct {
 	// re-opens add one StatVersion and zero GetMaps.
 	GetMaps      int64 `json:"getMaps"`
 	StatVersions int64 `json:"statVersions"`
+	// Histories and Diffs count the catalog query plane's MHistory and
+	// MDiff RPCs; PrefetchBatches counts MGetMaps batch map fetches (the
+	// cross-member prefetch that warms a restart storm's map caches).
+	Histories       int64 `json:"histories,omitempty"`
+	Diffs           int64 `json:"diffs,omitempty"`
+	PrefetchBatches int64 `json:"prefetchBatches,omitempty"`
 	// MapCache reports the manager-side hot-map cache in front of getMap
 	// (memoized wire-ready location sets per dataset version).
 	MapCache        MapCacheStats `json:"mapCache"`

@@ -79,12 +79,27 @@ type (
 	PolicyKind = core.PolicyKind
 	// WriteSemantics selects optimistic or pessimistic writes.
 	WriteSemantics = core.WriteSemantics
+	// Retention is a folder version-retention schedule (keep-last-N,
+	// keep-hourly), enforced by the manager's background retention worker.
+	Retention = core.Retention
 	// Protocol selects the write data path.
 	Protocol = client.Protocol
 	// WriteMetrics carries a write session's measurements.
 	WriteMetrics = client.WriteMetrics
 	// ManagerStats aggregates manager-side counters.
 	ManagerStats = proto.ManagerStats
+	// OpenOptions selects which committed version Open serves: an explicit
+	// Version, the newest AsOf an instant, or (default) the latest —
+	// optionally restored incrementally against a local Baseline.
+	OpenOptions = client.OpenOptions
+	// HistoryResp is a dataset's version lineage, oldest first.
+	HistoryResp = proto.HistoryResp
+	// VersionLineage describes one version in a dataset's history.
+	VersionLineage = proto.VersionLineage
+	// DiffResp lists the byte ranges that changed between two versions.
+	DiffResp = proto.DiffResp
+	// ByteRange is one changed [Offset, Offset+Length) span in a diff.
+	ByteRange = proto.ByteRange
 )
 
 // Policy kinds (paper §IV.D).
@@ -148,6 +163,9 @@ type Options struct {
 	// PushMapReplicas stores chunk-map copies on stripe benefactors at
 	// commit, enabling manager recovery by quorum (paper §IV.A).
 	PushMapReplicas bool
+	// Writer is an optional identity stamped on every version this client
+	// commits, surfaced in version history (checkpoint provenance).
+	Writer string
 }
 
 // Client is a stdchk client: create/read checkpoint files, manage
@@ -183,6 +201,7 @@ func (o Options) clientConfig() client.Config {
 		TempFileBytes:   o.TempFileBytes,
 		Incremental:     o.Incremental,
 		PushMapReplicas: o.PushMapReplicas,
+		Writer:          o.Writer,
 	}
 }
 
@@ -211,13 +230,34 @@ func Connect(opts Options) (*Client, error) {
 // one (app, node) pair form a version chain.
 func (c *Client) Create(name string) (*Writer, error) { return c.inner.Create(name) }
 
-// Open opens the latest committed version for reading.
-func (c *Client) Open(name string) (*Reader, error) { return c.inner.Open(name) }
+// Open opens a committed version for reading: the latest by default, or
+// the version the single optional OpenOptions selects (explicit Version,
+// newest AsOf an instant, incremental restore against a Baseline).
+func (c *Client) Open(name string, opts ...OpenOptions) (*Reader, error) {
+	return c.inner.Open(name, opts...)
+}
 
 // OpenVersion opens a specific version (0 = latest).
+//
+// Deprecated: use Open(name, OpenOptions{Version: v}).
 func (c *Client) OpenVersion(name string, v VersionID) (*Reader, error) {
 	return c.inner.OpenVersion(name, v)
 }
+
+// History reports a dataset's version lineage, oldest first: identity,
+// commit time, writer, size, and sharing with each predecessor.
+func (c *Client) History(name string) (HistoryResp, error) { return c.inner.History(name) }
+
+// Diff reports the byte ranges of version to that differ from version
+// from (to = 0 means latest). Bytes outside the ranges are identical.
+func (c *Client) Diff(name string, from, to VersionID) (DiffResp, error) {
+	return c.inner.Diff(name, from, to)
+}
+
+// PrefetchMaps warms the client's chunk-map cache for several datasets in
+// one metadata round trip per federation member touched. Unknown names
+// are skipped; returns how many maps were installed.
+func (c *Client) PrefetchMaps(names []string) (int, error) { return c.inner.PrefetchMaps(names) }
 
 // Delete removes one version, or all versions when v is 0.
 func (c *Client) Delete(name string, v VersionID) error { return c.inner.Delete(name, v) }
