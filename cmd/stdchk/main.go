@@ -1,7 +1,8 @@
 // Command stdchk is the client CLI: store, retrieve, list, diff and
 // manage checkpoint files in a stdchk pool. Each subcommand owns its
-// flags; connection flags (-manager, -mux, -map-cache) are shared by all
-// of them and come after the subcommand name.
+// flags; connection flags (-manager, -mux, -map-cache, -data-mux,
+// -upload-window, -read-batch) are shared by all of them and come after
+// the subcommand name.
 //
 // Usage:
 //
@@ -17,6 +18,7 @@
 //	stdchk rm -manager host:9400 app.n1
 //	stdchk policy -manager host:9400 app replace
 //	stdchk policy -manager host:9400 -keep-last 4 -keep-hourly 24 app
+//	stdchk policy -manager host:9400 -dry-run [app]
 //	stdchk benefactors -manager host:9400
 //	stdchk stats -manager host:9400
 //
@@ -50,9 +52,12 @@ const usage = "usage: stdchk <write|read|restore|history|diff|ls|stat|rm|policy|
 
 // connOpts are the connection flags every subcommand shares.
 type connOpts struct {
-	manager  *string
-	mapCache *bool
-	mux      *int
+	manager      *string
+	mapCache     *bool
+	mux          *int
+	dataMux      *bool
+	uploadWindow *int
+	readBatch    *int
 }
 
 // connFlags registers the shared connection flags on a subcommand's
@@ -60,9 +65,12 @@ type connOpts struct {
 // subcommands and silently miss others.
 func connFlags(fs *flag.FlagSet) *connOpts {
 	return &connOpts{
-		manager:  fs.String("manager", "127.0.0.1:9400", "manager address, or comma-separated federation member list"),
-		mapCache: fs.Bool("map-cache", true, "cache chunk-maps client-side: explicit-version re-opens need zero manager RPCs, latest opens one revalidation probe (false = full getMap per open, the ablation baseline)"),
-		mux:      fs.Int("mux", 0, "share N session-multiplexed manager connections for metadata RPCs instead of pooling one serial conn per in-flight call (0 = serial pool; chunk traffic to benefactors is unaffected)"),
+		manager:      fs.String("manager", "127.0.0.1:9400", "manager address, or comma-separated federation member list"),
+		mapCache:     fs.Bool("map-cache", true, "cache chunk-maps client-side: explicit-version re-opens need zero manager RPCs, latest opens one revalidation probe (false = full getMap per open, the ablation baseline)"),
+		mux:          fs.Int("mux", 0, "share N session-multiplexed manager connections for metadata RPCs instead of pooling one serial conn per in-flight call (0 = serial pool; chunk traffic to benefactors is unaffected)"),
+		dataMux:      fs.Bool("data-mux", false, "pipeline chunk traffic to benefactors over shared session-multiplexed connections: writes keep a window of in-flight puts per stripe node, reads batch the prefetch window into one request per replica (false = the historical one-blocking-call-per-chunk transport)"),
+		uploadWindow: fs.Int("upload-window", 0, "with -data-mux: in-flight chunk puts per stripe node (0 = 8)"),
+		readBatch:    fs.Int("read-batch", 0, "with -data-mux: chunk IDs per batched read request (0 = 16)"),
 	}
 }
 
@@ -72,6 +80,9 @@ func (o *connOpts) connect(cfg client.Config) (*client.Client, error) {
 	if !*o.mapCache {
 		cfg.MapCacheEntries = -1
 	}
+	cfg.DataMux = *o.dataMux
+	cfg.UploadWindow = *o.uploadWindow
+	cfg.ReadBatch = *o.readBatch
 	if members := federation.SplitMembers(*o.manager); len(members) > 1 {
 		// A member list makes this client federation-aware: dataset-scoped
 		// calls route to the partition owner, the rest fan out.
@@ -427,6 +438,7 @@ func cmdPolicy(args []string) error {
 	var (
 		keepLast   = fs.Int("keep-last", 0, "retention: keep the N most recent versions (0 = no keep-last schedule)")
 		keepHourly = fs.Int("keep-hourly", 0, "retention: keep the newest version of each of the last N distinct hours (0 = no keep-hourly schedule)")
+		dryRun     = fs.Bool("dry-run", false, "audit: report which versions the next retention sweep would prune, per enforced folder, without mutating anything (folder argument optional; omit to audit every enforced folder)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -438,6 +450,41 @@ func cmdPolicy(args []string) error {
 	defer cl.Close()
 	rest := fs.Args()
 	retention := core.Retention{KeepLast: *keepLast, KeepHourly: *keepHourly}
+	if *dryRun {
+		if len(rest) > 1 || retention.Enabled() {
+			return fmt.Errorf("usage: stdchk policy -dry-run [<folder>]")
+		}
+		folder := ""
+		if len(rest) == 1 {
+			folder = rest[0]
+		}
+		resp, err := cl.PolicyDryRun(folder)
+		if err != nil {
+			return err
+		}
+		if len(resp.Folders) == 0 {
+			fmt.Println("no enforced folders: the next retention sweep would prune nothing")
+			return nil
+		}
+		for _, f := range resp.Folders {
+			fmt.Printf("folder %s: %s", f.Folder, f.Policy.Kind)
+			if f.Policy.Kind == core.PolicyPurge {
+				fmt.Printf(" after %v", f.Policy.PurgeAfter)
+			}
+			if f.Policy.Retention.KeepLast > 0 {
+				fmt.Printf(" keep-last=%d", f.Policy.Retention.KeepLast)
+			}
+			if f.Policy.Retention.KeepHourly > 0 {
+				fmt.Printf(" keep-hourly=%d", f.Policy.Retention.KeepHourly)
+			}
+			fmt.Printf(" — next sweep prunes %d version(s)\n", len(f.Victims))
+			for _, v := range f.Victims {
+				fmt.Printf("  would prune v%-4d %-28s %12d bytes  %s\n",
+					v.Version, v.Name, v.FileSize, v.CommittedAt.Format(time.RFC3339))
+			}
+		}
+		return nil
+	}
 	switch {
 	case len(rest) == 1 && !retention.Enabled():
 		// Display.

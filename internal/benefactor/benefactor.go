@@ -52,6 +52,11 @@ type Config struct {
 	// Shaper wraps accepted connections with device models (the node's
 	// NIC/disk).
 	Shaper wire.Shaper
+	// MaxConnInflight bounds concurrently dispatched session-tagged
+	// frames per connection (0 = wire.DefaultConnInflight). Pipelined
+	// clients ride this: a window of tagged BPut/BGetBatch frames is
+	// served concurrently, while untagged (serial) clients are untouched.
+	MaxConnInflight int
 	// DialShaper wraps outbound connections (replication pushes, manager
 	// calls).
 	DialShaper wire.Shaper
@@ -124,7 +129,11 @@ func New(cfg Config) (*Benefactor, error) {
 	for _, id := range b.chunks.Inventory() {
 		b.births[id] = now
 	}
-	b.srv = wire.NewServer(ln, b.handle, cfg.Shaper)
+	b.srv = wire.NewServerWithConfig(ln, wire.ServerConfig{
+		Handler:         b.handle,
+		Shaper:          cfg.Shaper,
+		MaxConnInflight: cfg.MaxConnInflight,
+	})
 
 	if members := cfg.managerMembers(); len(members) > 0 {
 		r, err := federation.NewRouter(federation.RouterConfig{
@@ -217,6 +226,13 @@ func (b *Benefactor) handle(req *wire.Req) (wire.Resp, error) {
 			return wire.Resp{}, err
 		}
 		return wire.Resp{Body: data, Recycle: true}, nil
+	case proto.BGetBatch:
+		var batch proto.BatchGetReq
+		if err := wire.UnmarshalMeta(req.Meta, &batch); err != nil {
+			return wire.Resp{}, err
+		}
+		meta, body := b.fetchBatch(batch.IDs)
+		return wire.Resp{Meta: meta, Body: body, Recycle: body != nil}, nil
 	case proto.BHas:
 		var has proto.HasReq
 		if err := wire.UnmarshalMeta(req.Meta, &has); err != nil {
@@ -316,6 +332,50 @@ func (b *Benefactor) fetchChunk(id core.ChunkID) ([]byte, error) {
 		wire.PutBuf(buf)
 	}
 	return data, nil
+}
+
+// fetchBatch assembles a BGetBatch response: every present chunk is read
+// via GetInto directly into one pooled body buffer (no per-chunk copies),
+// concatenated in request order. Chunks that are absent — or that vanish
+// or change size between the sizing pass and the read — are reported with
+// size -1 so the caller fails over per chunk, never per batch. The body is
+// pooled and ownership transfers to the response frame (Recycle).
+func (b *Benefactor) fetchBatch(ids []core.ChunkID) (proto.BatchGetResp, []byte) {
+	sizes := make([]int64, len(ids))
+	var total int64
+	for i, id := range ids {
+		if sz, ok := b.chunks.Size(id); ok {
+			sizes[i] = sz
+			total += sz
+		} else {
+			sizes[i] = -1
+		}
+	}
+	if total == 0 {
+		return proto.BatchGetResp{Sizes: sizes}, nil
+	}
+	body := wire.GetBuf(int(total))[:0]
+	for i, id := range ids {
+		if sizes[i] < 0 {
+			continue
+		}
+		off := len(body)
+		data, err := b.chunks.GetInto(id, body[off:off])
+		if err != nil || int64(len(data)) != sizes[i] {
+			// Deleted or rewritten between sizing and read: hand the slot
+			// to the caller's replica failover instead of failing the batch.
+			sizes[i] = -1
+			continue
+		}
+		if len(data) > 0 && &data[0] != &body[off : off+1][0] {
+			// The store allocated fresh instead of serving in place (size
+			// raced past our budget); skip rather than copy twice.
+			sizes[i] = -1
+			continue
+		}
+		body = body[:off+len(data)]
+	}
+	return proto.BatchGetResp{Sizes: sizes}, body
 }
 
 // replicateTo pushes one of this node's chunks to another benefactor

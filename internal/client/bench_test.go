@@ -55,6 +55,126 @@ func BenchmarkOpenRead(b *testing.B) {
 	}
 }
 
+// BenchmarkUploadPipeline contrasts the two write transports over the
+// same stripe: "serial" is one blocking BPut per chunk per stripe node,
+// "mux" the DataMux windowed pipeline (in-flight BPuts over shared
+// session-tagged connections, acks decoupled from sends). Rides the
+// bench-compare allocs gate: the pipelined path must not add per-chunk
+// allocations over the serial one.
+func BenchmarkUploadPipeline(b *testing.B) {
+	for _, variant := range []struct {
+		name string
+		cfg  client.Config
+	}{
+		{"serial", client.Config{StripeWidth: 4}},
+		{"mux", client.Config{StripeWidth: 4, DataMux: true, UploadWindow: 8}},
+	} {
+		b.Run(variant.name, func(b *testing.B) {
+			benchEmitChunkPipeline(b, variant.cfg)
+		})
+	}
+}
+
+// BenchmarkReadPath contrasts the two restore transports: "serial" is the
+// per-chunk BGet path, "mux" the DataMux plane (prefetch window grouped
+// by replica into BGetBatch requests over shared connections). One op is
+// an explicit-version cached open plus a full read of an 8-chunk image,
+// so the delta between the variants is pure data-plane transport. Rides
+// the bench-compare allocs gate.
+func BenchmarkReadPath(b *testing.B) {
+	for _, variant := range []struct {
+		name string
+		mux  bool
+	}{
+		{"serial", false},
+		{"mux", true},
+	} {
+		b.Run(variant.name, func(b *testing.B) {
+			benchReadPath(b, variant.mux)
+		})
+	}
+}
+
+func benchReadPath(b *testing.B, mux bool) {
+	mgr, err := manager.New(manager.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer mgr.Close()
+	for i := 0; i < 4; i++ {
+		bf, err := benefactor.New(benefactor.Config{ManagerAddr: mgr.Addr()})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer bf.Close()
+	}
+	for deadline := time.Now().Add(5 * time.Second); mgr.Stats().OnlineBenefactors < 4; {
+		if time.Now().After(deadline) {
+			b.Fatalf("only %d benefactors registered", mgr.Stats().OnlineBenefactors)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cl, err := client.New(client.Config{
+		ManagerAddr: mgr.Addr(),
+		StripeWidth: 4,
+		ChunkSize:   64 << 10,
+		Replication: 1,
+		ReadAhead:   8,
+		DataMux:     mux,
+		ReadBatch:   8,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cl.Close()
+
+	const name = "bench.n3.t0"
+	w, err := cl.Create(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := make([]byte, 512<<10) // 8 chunks of 64 KB
+	for i := range data {
+		data[i] = byte(i * 29)
+	}
+	if _, err := w.Write(data); err != nil {
+		b.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		b.Fatal(err)
+	}
+	if err := w.Wait(); err != nil {
+		b.Fatal(err)
+	}
+	info, err := cl.Stat(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ver := info.Versions[len(info.Versions)-1].Version
+
+	buf := make([]byte, 64<<10)
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := cl.Open(name, client.OpenOptions{Version: ver})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for {
+			if _, err := r.Read(buf); err != nil {
+				if err == io.EOF {
+					break
+				}
+				b.Fatal(err)
+			}
+		}
+		if err := r.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func benchOpenRead(b *testing.B, cacheEntries int, byVersion bool) {
 	mgr, err := manager.New(manager.Config{})
 	if err != nil {

@@ -162,10 +162,27 @@ type Config struct {
 	// the manager instead of one pooled connection per outstanding call
 	// — the million-writer topology, where socket count stops scaling
 	// with writer count. Zero keeps the historical per-call pool. Chunk
-	// traffic to benefactors is unaffected (bulk bodies want their own
-	// sockets). Ignored when Endpoint is set; a federated Router selects
-	// shared mode via its own RouterConfig.SharedConns.
+	// traffic to benefactors is governed separately by DataMux. Ignored
+	// when Endpoint is set; a federated Router selects shared mode via
+	// its own RouterConfig.SharedConns.
 	SharedManagerConns int
+	// DataMux moves chunk traffic to benefactors onto shared
+	// session-tagged (multiplexed) connections and pipelines the data
+	// plane: each stripe uploader keeps UploadWindow BPuts in flight per
+	// node (acks decoupled from sends), and the reader batches its
+	// prefetch window into one BGetBatch request per replica node. Off
+	// (the default), chunk traffic keeps the historical stop-and-wait
+	// path — one blocking call per chunk on untagged connections,
+	// byte-identical on the wire to older clients.
+	DataMux bool
+	// UploadWindow bounds the in-flight (sent, unacked) BPuts per stripe
+	// node when DataMux is on (0 = 8). The write window is additionally
+	// bounded by BufferBytes, which caps total buffered chunk bytes.
+	UploadWindow int
+	// ReadBatch bounds the chunk IDs one BGetBatch request carries when
+	// DataMux is on (0 = 16). The read window is additionally bounded by
+	// the ReadAhead/ReadAheadBytes prefetch budget.
+	ReadBatch int
 	// Logger receives operational messages; nil discards.
 	Logger *log.Logger
 }
@@ -192,6 +209,12 @@ func (c Config) withDefaults() Config {
 	if c.ReadAhead <= 0 {
 		c.ReadAhead = 4
 	}
+	if c.UploadWindow <= 0 {
+		c.UploadWindow = 8
+	}
+	if c.ReadBatch <= 0 {
+		c.ReadBatch = 16
+	}
 	if c.Chunking == ChunkCbCH {
 		c.CbCH = c.CbCH.WithDefaults()
 	}
@@ -205,6 +228,12 @@ type Client struct {
 	// mgrPool, when non-nil, is a shared (multiplexed) pool dedicated to
 	// manager metadata RPCs (Config.SharedManagerConns); owned here.
 	mgrPool *wire.Pool
+	// dataPool, when non-nil, is the shared (multiplexed) pool carrying
+	// pipelined chunk traffic to benefactors (Config.DataMux): batched
+	// reads and windowed uploads tag their frames and share these
+	// sockets instead of dialing per call. Owned here; nil when DataMux
+	// is off and chunk traffic rides the serial pool.
+	dataPool *wire.Pool
 	// mgr is the metadata service seam: a single manager or a federated
 	// router, resolved once at construction.
 	mgr ManagerEndpoint
@@ -285,6 +314,13 @@ func New(cfg Config) (*Client, error) {
 	default:
 		c.mgr = &singleManager{pool: c.pool, addr: cfg.ManagerAddr}
 	}
+	if cfg.DataMux {
+		// Two shared conns per benefactor: one keeps the pipe full for
+		// bulk bodies, the second lets small control frames (batch
+		// headers, acks) interleave instead of queueing behind a 1 MB
+		// chunk mid-flight.
+		c.dataPool = wire.NewSharedPool(cfg.Shaper, 2)
+	}
 	return c, nil
 }
 
@@ -294,6 +330,9 @@ func (c *Client) Close() error {
 	c.pool.Close()
 	if c.mgrPool != nil {
 		c.mgrPool.Close()
+	}
+	if c.dataPool != nil {
+		c.dataPool.Close()
 	}
 	return err
 }
@@ -325,7 +364,9 @@ type OpenOptions struct {
 	// assert "no explicit version leaked in here".
 	Latest bool
 	// AsOf opens the newest version committed at or before this instant
-	// (time-travel read). Resolution costs one history RPC.
+	// (time-travel read). New managers resolve the instant server-side
+	// under the dataset lock (one lightweight stat probe); old managers
+	// cost one history RPC instead.
 	AsOf time.Time
 	// Baseline enables incremental restore: the version the caller
 	// already holds locally. Chunks the opened version shares with the
@@ -432,8 +473,25 @@ func (c *Client) OpenVersion(name string, ver core.VersionID) (*Reader, error) {
 }
 
 // resolveAsOf maps an instant to the newest version committed at or
-// before it, via the dataset's history.
+// before it. New managers resolve it server-side, under the dataset
+// stripe, from one lightweight MStatVersion probe carrying the instant;
+// the AsOfResolved echo proves the server honored it. Servers predating
+// as-of resolution ignore the unknown field and answer "latest" with no
+// echo, and the client falls back to the historical MHistory walk. Probe
+// errors fall back too: the history path re-derives the authoritative
+// answer (dataset missing, or no version that old) at the cost of one
+// extra round trip on an already-failing open.
 func (c *Client) resolveAsOf(name string, asOf time.Time) (core.VersionID, error) {
+	sv, err := c.mgr.StatVersion(proto.StatVersionReq{Name: name, AsOf: asOf})
+	if err == nil && sv.AsOfResolved {
+		return sv.Version, nil
+	}
+	return c.resolveAsOfFromHistory(name, asOf)
+}
+
+// resolveAsOfFromHistory is the client-side fallback: walk the dataset's
+// version history and pick the newest commit not after the instant.
+func (c *Client) resolveAsOfFromHistory(name string, asOf time.Time) (core.VersionID, error) {
 	hist, err := c.History(name)
 	if err != nil {
 		return 0, fmt.Errorf("client: open %s as of %s: %w", name, asOf.Format(time.RFC3339), err)
@@ -587,6 +645,17 @@ func (c *Client) GetPolicy(folder string) (core.Policy, error) {
 		return core.Policy{}, fmt.Errorf("client: get policy of %q: %w", folder, err)
 	}
 	return p, nil
+}
+
+// PolicyDryRun audits retention without mutating anything: for each
+// enforced folder (or just the given one, when non-empty) it reports the
+// versions the next sweep would prune under the policy in force now.
+func (c *Client) PolicyDryRun(folder string) (proto.PolicyDryRunResp, error) {
+	resp, err := c.mgr.PolicyDryRun(proto.PolicyDryRunReq{Folder: folder})
+	if err != nil {
+		return proto.PolicyDryRunResp{}, fmt.Errorf("client: policy dry-run: %w", err)
+	}
+	return resp, nil
 }
 
 // ManagerStats snapshots metadata-service counters (merged across members

@@ -56,6 +56,10 @@ type ManagerEndpoint interface {
 	SetPolicy(folder string, p core.Policy) error
 	// GetPolicy reads a folder's policy.
 	GetPolicy(folder string) (core.Policy, error)
+	// PolicyDryRun reports which versions the next retention sweep would
+	// prune (folder "" = every enforced folder), without mutating
+	// anything.
+	PolicyDryRun(req proto.PolicyDryRunReq) (proto.PolicyDryRunResp, error)
 	// ReplStatus reports the replication level of a dataset's latest
 	// version.
 	ReplStatus(name string) (proto.ReplStatusResp, error)
@@ -199,6 +203,12 @@ func (s *singleManager) GetPolicy(folder string) (core.Policy, error) {
 	var resp proto.PolicyGetResp
 	err := s.call(proto.MPolicyGet, proto.PolicyGetReq{Folder: folder}, &resp)
 	return resp.Policy, err
+}
+
+func (s *singleManager) PolicyDryRun(req proto.PolicyDryRunReq) (proto.PolicyDryRunResp, error) {
+	var resp proto.PolicyDryRunResp
+	err := s.call(proto.MPolicyDryRun, req, &resp)
+	return resp, err
 }
 
 func (s *singleManager) ReplStatus(name string) (proto.ReplStatusResp, error) {

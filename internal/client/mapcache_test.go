@@ -134,6 +134,9 @@ func (f *fakeMetadata) SetPolicy(string, core.Policy) error { return nil }
 func (f *fakeMetadata) GetPolicy(string) (core.Policy, error) {
 	return core.Policy{}, nil
 }
+func (f *fakeMetadata) PolicyDryRun(proto.PolicyDryRunReq) (proto.PolicyDryRunResp, error) {
+	return proto.PolicyDryRunResp{}, nil
+}
 func (f *fakeMetadata) ReplStatus(string) (proto.ReplStatusResp, error) {
 	return proto.ReplStatusResp{}, core.ErrNotFound
 }

@@ -65,6 +65,15 @@ func (b *baseline) chunk(ref core.ChunkRef) ([]byte, bool) {
 // The prefetch window is bounded in bytes, not chunks, so variable-size
 // (CbCH) maps — whose spans range from tens of KB to the max bound — hold
 // a stable amount of memory in flight regardless of boundary luck.
+//
+// With Config.DataMux the scheduler batches: each dispatch round groups
+// the window's chunks by their preferred replica and issues one BGetBatch
+// request per node over the shared multiplexed pool, instead of one BGet
+// connection-acquire/RTT per chunk. A miss inside a batch — node down,
+// chunk absent, integrity failure — demotes only the affected chunks to
+// the per-chunk fetch path, which walks the remaining replicas; chunks
+// the batch did serve are never re-fetched (per-chunk, not per-batch,
+// failover).
 type Reader struct {
 	c    *Client
 	name string
@@ -88,6 +97,11 @@ type Reader struct {
 	// by source: network fetches vs. hash-verified local baseline copies.
 	bytesFetched atomic.Int64
 	bytesLocal   atomic.Int64
+	// bytesBatched counts the subset of bytesFetched served by BGetBatch
+	// replies (Config.DataMux) rather than per-chunk BGets — the
+	// observable that proves batching engaged instead of silently falling
+	// back.
+	bytesBatched atomic.Int64
 
 	mu       sync.Mutex
 	pending  map[int]chan fetchResult
@@ -152,6 +166,11 @@ func (r *Reader) BytesFetched() int64 { return r.bytesFetched.Load() }
 // restore baseline instead of the network (0 without a baseline).
 func (r *Reader) BytesLocal() int64 { return r.bytesLocal.Load() }
 
+// BytesBatched reports how many of the fetched bytes arrived in BGetBatch
+// replies — always 0 without Config.DataMux, and less than BytesFetched
+// whenever per-chunk failover had to re-fetch slots a batch missed.
+func (r *Reader) BytesBatched() int64 { return r.bytesBatched.Load() }
+
 var _ io.ReadCloser = (*Reader)(nil)
 
 // Read implements io.Reader.
@@ -183,14 +202,28 @@ func (r *Reader) Read(p []byte) (int, error) {
 // chunk the application is waiting on), so a map of heterogeneous chunk
 // sizes prefetches roughly the same number of bytes as a fixed-size one.
 func (r *Reader) advanceLocked() error {
-	for r.started < len(r.cm.Chunks) && (r.started == r.next || r.inflight < r.budget) {
-		idx := r.started
-		ch := make(chan fetchResult, 1)
-		r.pending[idx] = ch
-		r.inflight += r.cm.Chunks[idx].Size
-		r.started++
-		go r.fetch(idx, ch)
+	// Refill hysteresis: top the window up only once it has drained to
+	// half (or the consumer's chunk was never dispatched). Without it the
+	// steady state dispatches exactly one chunk per chunk consumed, which
+	// degrades the DataMux batch path to single-ID requests; draining to
+	// the low-water mark keeps each dispatch round wide enough for
+	// dispatchBatches to group.
+	var batched []batchItem
+	if r.started == r.next || r.inflight < r.budget/2 {
+		for r.started < len(r.cm.Chunks) && (r.started == r.next || r.inflight < r.budget) {
+			idx := r.started
+			ch := make(chan fetchResult, 1)
+			r.pending[idx] = ch
+			r.inflight += r.cm.Chunks[idx].Size
+			r.started++
+			if r.batchable(idx) {
+				batched = append(batched, batchItem{idx: idx, ch: ch})
+			} else {
+				go r.fetch(idx, ch)
+			}
+		}
 	}
+	r.dispatchBatches(batched)
 	ch, ok := r.pending[r.next]
 	if !ok {
 		return fmt.Errorf("reader: chunk %d not scheduled", r.next)
@@ -219,6 +252,122 @@ func (r *Reader) advanceLocked() error {
 	r.inflight -= r.cm.Chunks[r.next].Size
 	r.next++
 	return nil
+}
+
+// batchItem is one prefetch-window chunk staged for a batched read: its
+// map index and the pending channel that must receive exactly one result.
+type batchItem struct {
+	idx int
+	ch  chan fetchResult
+}
+
+// batchable reports whether a chunk should ride a BGetBatch request.
+// Chunks the local baseline may serve, and chunks with no replicas at
+// all, keep the per-chunk path (which handles both cases); everything
+// else batches when the data mux is on.
+func (r *Reader) batchable(idx int) bool {
+	if r.c.dataPool == nil || len(r.locs[idx]) == 0 {
+		return false
+	}
+	if r.base != nil {
+		if _, local := r.base.index[r.cm.Chunks[idx].ID]; local {
+			return false
+		}
+	}
+	return true
+}
+
+// dispatchBatches groups one dispatch round's chunks by preferred replica
+// (the head of each chunk's rotated preference order, so one reader's
+// batches still spread across the stripe) and issues one BGetBatch per
+// node per Config.ReadBatch IDs.
+func (r *Reader) dispatchBatches(items []batchItem) {
+	if len(items) == 0 {
+		return
+	}
+	groups := make(map[core.NodeID][]batchItem)
+	var order []core.NodeID
+	for _, it := range items {
+		node := r.locs[it.idx][0]
+		if _, ok := groups[node]; !ok {
+			order = append(order, node)
+		}
+		groups[node] = append(groups[node], it)
+	}
+	limit := r.c.cfg.ReadBatch
+	for _, node := range order {
+		group := groups[node]
+		for len(group) > limit {
+			part := group[:limit]
+			group = group[limit:]
+			go r.fetchBatch(node, part)
+		}
+		go r.fetchBatch(node, group)
+	}
+}
+
+// fetchBatch retrieves one node's share of the dispatch window with a
+// single BGetBatch request over the shared multiplexed pool. The reply
+// carries per-slot sizes (-1 = unserved) and the served chunks
+// concatenated in request order; each served chunk is hash-verified and
+// copied into its own pooled buffer before delivery, so the per-chunk
+// buffer lifecycle is identical to the serial path. Any slot the batch
+// could not serve — request-level transport failure, per-slot miss,
+// integrity mismatch, malformed framing — falls back to the per-chunk
+// fetch, which walks that chunk's remaining replicas.
+func (r *Reader) fetchBatch(node core.NodeID, items []batchItem) {
+	fallback := func(rest []batchItem) {
+		for _, it := range rest {
+			go r.fetch(it.idx, it.ch)
+		}
+	}
+	addr, err := r.resolve(node)
+	if err != nil {
+		fallback(items)
+		return
+	}
+	ids := make([]core.ChunkID, len(items))
+	for i, it := range items {
+		ids[i] = r.cm.Chunks[it.idx].ID
+	}
+	var resp proto.BatchGetResp
+	body, err := r.c.dataPool.Call(addr, proto.BGetBatch, proto.BatchGetReq{IDs: ids}, nil, &resp)
+	if err != nil || len(resp.Sizes) != len(items) {
+		if body != nil {
+			wire.PutBuf(body)
+		}
+		fallback(items)
+		return
+	}
+	var off int64
+	for i, it := range items {
+		sz := resp.Sizes[i]
+		if sz < 0 {
+			go r.fetch(it.idx, it.ch)
+			continue
+		}
+		if off+sz > int64(len(body)) {
+			// Sizes promise more bytes than arrived: nothing at or past
+			// this slot can be framed.
+			fallback(items[i:])
+			break
+		}
+		data := body[off : off+sz]
+		off += sz
+		ref := r.cm.Chunks[it.idx]
+		if sz != ref.Size || core.HashChunk(data) != ref.ID {
+			go r.fetch(it.idx, it.ch)
+			continue
+		}
+		buf := wire.GetBuf(len(data))
+		copy(buf, data)
+		r.bytesFetched.Add(sz)
+		r.bytesBatched.Add(sz)
+		it.ch <- fetchResult{data: buf}
+	}
+	if body != nil {
+		wire.PutBuf(body)
+	}
 }
 
 // fetch retrieves one chunk, trying each replica in the preference order

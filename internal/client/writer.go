@@ -94,7 +94,20 @@ type Writer struct {
 type uploadWorker struct {
 	addr string
 	ch   chan uploadItem
+	// Exactly one of conn/mux is set. conn is the historical transport:
+	// untagged frames, one blocking stop-and-wait call per chunk. mux
+	// (Config.DataMux) tags frames on a multiplexed connection so up to
+	// Config.UploadWindow puts ride it concurrently.
 	conn *wire.Conn
+	mux  *wire.MuxConn
+}
+
+func (u *uploadWorker) close() {
+	if u.mux != nil {
+		u.mux.Close()
+		return
+	}
+	u.conn.Close()
 }
 
 // chunkItem is a filled, not-yet-hashed chunk travelling from the filling
@@ -167,15 +180,19 @@ func newWriter(c *Client, name string) (*Writer, error) {
 	w.reserved = c.cfg.ReserveQuantum
 
 	for _, st := range w.stripe {
-		conn, err := wire.Dial(st.Addr, c.cfg.Shaper)
+		worker := &uploadWorker{addr: st.Addr, ch: make(chan uploadItem, 4)}
+		if c.cfg.DataMux {
+			worker.mux, err = wire.DialMux(st.Addr, c.cfg.Shaper)
+		} else {
+			worker.conn, err = wire.Dial(st.Addr, c.cfg.Shaper)
+		}
 		if err != nil {
 			w.abort()
-			for _, worker := range w.workers {
-				worker.conn.Close()
+			for _, prev := range w.workers {
+				prev.close()
 			}
 			return nil, fmt.Errorf("client: create %s: dial stripe node %s: %w", name, st.Addr, err)
 		}
-		worker := &uploadWorker{addr: st.Addr, ch: make(chan uploadItem, 4), conn: conn}
 		w.workers = append(w.workers, worker)
 	}
 	for _, worker := range w.workers {
@@ -517,6 +534,10 @@ func (w *Writer) releaseChunks(batch []hashedChunk) {
 // buffers return to the pool once the frame is on the wire.
 func (w *Writer) runUploader(worker *uploadWorker) {
 	defer w.workerWg.Done()
+	if worker.mux != nil {
+		w.runPipelinedUploader(worker)
+		return
+	}
 	for item := range worker.ch {
 		n := int64(len(*item.buf))
 		w.mu.Lock()
@@ -530,12 +551,60 @@ func (w *Writer) runUploader(worker *uploadWorker) {
 				w.recordUpload(item, worker, n)
 			}
 		}
-		w.mu.Lock()
-		w.inflight -= n
-		w.cond.Broadcast()
-		w.mu.Unlock()
-		w.c.putChunkBuf(item.buf)
+		w.settleUpload(item, n)
 	}
+}
+
+// runPipelinedUploader is the Config.DataMux upload loop: up to
+// Config.UploadWindow puts ride this node's multiplexed connection
+// concurrently, so a chunk's send no longer waits for the previous
+// chunk's ack — on a high-latency path the window, not the RTT, sets the
+// upload rate. Acks settle in whatever order they land: recordUpload
+// appends locations to commitChunks[idx] under the session lock and the
+// commit map is index-addressed, so completion order is irrelevant. Any
+// failed put fails the whole session (sticky), after which queued chunks
+// drain unsent; the loop returns only when every in-flight call has
+// settled, so teardown never closes the connection under a live call and
+// every pooled buffer is back exactly once.
+func (w *Writer) runPipelinedUploader(worker *uploadWorker) {
+	var calls sync.WaitGroup
+	window := make(chan struct{}, w.c.cfg.UploadWindow)
+	for item := range worker.ch {
+		item := item
+		n := int64(len(*item.buf))
+		w.mu.Lock()
+		failed := w.err != nil
+		w.mu.Unlock()
+		if failed {
+			w.settleUpload(item, n)
+			continue
+		}
+		window <- struct{}{}
+		calls.Add(1)
+		go func() {
+			defer calls.Done()
+			defer func() { <-window }()
+			_, err := worker.mux.Call(proto.BPut, proto.PutReq{ID: item.id}, *item.buf, nil)
+			if err != nil {
+				w.fail(fmt.Errorf("upload chunk %d to %s: %w", item.idx, worker.addr, err))
+			} else {
+				w.recordUpload(item, worker, n)
+			}
+			w.settleUpload(item, n)
+		}()
+	}
+	calls.Wait()
+}
+
+// settleUpload unwinds one chunk's write-window accounting and returns
+// its buffer to the pool, after its upload completed, failed, or was
+// skipped on an already-failed session.
+func (w *Writer) settleUpload(item uploadItem, n int64) {
+	w.mu.Lock()
+	w.inflight -= n
+	w.cond.Broadcast()
+	w.mu.Unlock()
+	w.c.putChunkBuf(item.buf)
 }
 
 func (w *Writer) recordUpload(item uploadItem, worker *uploadWorker, n int64) {
@@ -700,7 +769,7 @@ func (w *Writer) teardown() {
 	}
 	w.workerWg.Wait()
 	for _, worker := range workers {
-		worker.conn.Close()
+		worker.close()
 	}
 }
 

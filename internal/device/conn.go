@@ -2,6 +2,7 @@ package device
 
 import (
 	"net"
+	"time"
 )
 
 // ShapedConn wraps a net.Conn so that traffic is paced by the local NIC's
@@ -35,7 +36,17 @@ func Shape(conn net.Conn, nic *NIC, fabric *Limiter) net.Conn {
 const writeQuantum = 64 << 10
 
 // Write paces the outgoing bytes through the NIC TX queue and the fabric.
+// A NIC with a Delay first pays the one-way link latency: the blocking
+// charge models a stop-and-wait sender, so each serial request costs one
+// latency while a windowed transport overlaps the charges of its in-flight
+// requests across connections. A frame emitted as several Write segments
+// (header then body) pays per segment; the harnesses that calibrate
+// against Delay put it on the request side, whose frames are single-
+// segment.
 func (s *ShapedConn) Write(p []byte) (int, error) {
+	if s.nic != nil && s.nic.Delay > 0 {
+		time.Sleep(s.nic.Delay)
+	}
 	if s.nic == nil && s.fabric == nil {
 		return s.Conn.Write(p)
 	}

@@ -182,10 +182,18 @@ func (d *Disk) acquire(n int, rate float64) {
 }
 
 // NIC models a full-duplex network interface: independent transmit and
-// receive queues at the link speed.
+// receive queues at the link speed, plus an optional fixed per-transmission
+// latency.
 type NIC struct {
 	TX *Limiter
 	RX *Limiter
+	// Delay is the one-way latency a transmission pays before its bytes
+	// enter the link: propagation plus the sender's protocol-stack cost.
+	// It is charged per transmit segment, which makes a stop-and-wait
+	// exchange pay it once per request — the per-RPC cost that pipelined
+	// and batched transports amortize across a window (paper §IV.E). Zero
+	// is a latency-free link.
+	Delay time.Duration
 }
 
 // NewNIC returns a NIC with the given link bandwidth (bytes per second) in
@@ -261,6 +269,10 @@ type Profile struct {
 	// LinkBps is the NIC speed in bytes per second (paper: 1 Gbps
 	// benefactors; 10 Gbps client in §V.D).
 	LinkBps float64
+	// LinkDelay is the NIC's one-way per-transmission latency (see
+	// NIC.Delay). The readload harness uses it to model the LAN round
+	// trip a serial chunk transfer pays per request.
+	LinkDelay time.Duration
 	// MemCopyBps bounds in-memory copies (the /stdchk/null path in
 	// Table 1 is memcpy-limited at about 1 GB/s).
 	MemCopyBps float64
@@ -299,9 +311,11 @@ func Unshaped() Profile { return Profile{} }
 
 // NewNode materializes a profile into device instances.
 func NewNode(p Profile) *Node {
+	nic := NewNIC(p.LinkBps)
+	nic.Delay = p.LinkDelay
 	return &Node{
 		Disk: NewDisk(p.DiskReadBps, p.DiskWriteBps),
-		NIC:  NewNIC(p.LinkBps),
+		NIC:  nic,
 		Mem:  NewLimiter(p.MemCopyBps),
 		Fuse: NewCallCost(p.FuseCallCost),
 	}

@@ -3,6 +3,7 @@ package experiments
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"io"
 	"strconv"
 	"strings"
@@ -14,6 +15,7 @@ func TestRegistryComplete(t *testing.T) {
 		"table1", "fig2", "fig3", "fig4", "fig5", "fig6",
 		"table2", "table3", "table3live", "table4", "fig7", "fig8", "table5",
 		"managerload", "fedload", "restartload", "restoredelta", "openload",
+		"readload",
 	}
 	runners := All()
 	if len(runners) != len(want) {
@@ -528,6 +530,82 @@ func TestOpenLoadSmoke(t *testing.T) {
 	}
 	if unbounded != 1 {
 		t.Fatalf("%d unbounded ablation cells, want 1", unbounded)
+	}
+}
+
+// TestReadLoadSmoke runs the pipelined-data-plane restore experiment
+// briefly over real sockets and gates its acceptance criteria on the JSON
+// records: every cell restores byte-identically (verified inside the
+// experiment), fetches exactly the image once, the pipelined cells are
+// fully served by BGetBatch (no silent fallback to per-chunk BGets), and
+// at 32 KB chunks the pipelined restore is at least 2x the serial one.
+// The 2x gate is deterministic even on a 1-CPU box: the serial arm's
+// floor is one modeled link-latency sleep per chunk, wall-clock the
+// pipelined window provably overlaps.
+func TestReadLoadSmoke(t *testing.T) {
+	var buf, js bytes.Buffer
+	if err := ReadLoad(Config{Runs: 1, Out: &buf, JSON: &js}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Pipelined vs serial restore", "speedup", "paper"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	type rec struct {
+		Experiment string  `json:"experiment"`
+		ChunkKB    int64   `json:"chunkKB"`
+		Mode       string  `json:"mode"`
+		FileBytes  int64   `json:"fileBytes"`
+		Fetched    int64   `json:"fetchedBytes"`
+		Batched    int64   `json:"batchedBytes"`
+		RestoreMs  float64 `json:"restoreMs"`
+		MBps       float64 `json:"mbps"`
+	}
+	lines := 0
+	ms := map[string]float64{} // "mode@chunkKB" -> restore ms
+	for _, line := range strings.Split(strings.TrimSpace(js.String()), "\n") {
+		if line == "" {
+			continue
+		}
+		lines++
+		var r rec
+		if err := json.Unmarshal([]byte(line), &r); err != nil {
+			t.Fatalf("bad JSON record %q: %v", line, err)
+		}
+		if r.Experiment != "readload" || r.FileBytes <= 0 || r.RestoreMs <= 0 || r.MBps <= 0 {
+			t.Fatalf("implausible record: %+v", r)
+		}
+		if r.Fetched != r.FileBytes {
+			t.Fatalf("restore fetched %d of %d bytes: %+v", r.Fetched, r.FileBytes, r)
+		}
+		switch r.Mode {
+		case "serial":
+			if r.Batched != 0 {
+				t.Fatalf("serial cell served %d bytes via BGetBatch: %+v", r.Batched, r)
+			}
+		case "pipelined":
+			if r.Batched != r.FileBytes {
+				t.Fatalf("pipelined cell batched only %d of %d bytes: %+v", r.Batched, r.FileBytes, r)
+			}
+		default:
+			t.Fatalf("unknown mode %q: %+v", r.Mode, r)
+		}
+		ms[fmt.Sprintf("%s@%d", r.Mode, r.ChunkKB)] = r.RestoreMs
+	}
+	// 3 chunk sizes x 2 modes.
+	if lines != 6 {
+		t.Fatalf("%d JSON records, want 6", lines)
+	}
+	serial, pipelined := ms["serial@32"], ms["pipelined@32"]
+	if serial == 0 || pipelined == 0 {
+		t.Fatalf("missing 32 KB cells in %v", ms)
+	}
+	// The tentpole acceptance criterion.
+	if serial < 2*pipelined {
+		t.Fatalf("pipelined restore at 32 KB chunks is %.1fms vs serial %.1fms — less than the required 2x speedup",
+			pipelined, serial)
 	}
 }
 

@@ -506,6 +506,50 @@ func (r *Router) GetPolicy(folder string) (core.Policy, error) {
 	return core.Policy{}, firstErr
 }
 
+// PolicyDryRun audits the next retention sweep across the whole
+// federation: every member scans its own partition of the namespace, and
+// the per-folder victim lists merge (datasets partition across members,
+// so the lists are disjoint). Victims within a merged folder stay sorted
+// by name then version, matching the single-manager answer.
+func (r *Router) PolicyDryRun(req proto.PolicyDryRunReq) (proto.PolicyDryRunResp, error) {
+	var mu sync.Mutex
+	byFolder := make(map[string]*proto.FolderDryRun)
+	err := r.fanOut(func(i int) error {
+		var resp proto.PolicyDryRunResp
+		if err := r.call(i, proto.MPolicyDryRun, req, &resp); err != nil {
+			return err
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		for _, f := range resp.Folders {
+			if have, ok := byFolder[f.Folder]; ok {
+				have.Victims = append(have.Victims, f.Victims...)
+			} else {
+				folder := f
+				byFolder[f.Folder] = &folder
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return proto.PolicyDryRunResp{}, err
+	}
+	var out proto.PolicyDryRunResp
+	for _, f := range byFolder {
+		sort.Slice(f.Victims, func(a, b int) bool {
+			if f.Victims[a].Name != f.Victims[b].Name {
+				return f.Victims[a].Name < f.Victims[b].Name
+			}
+			return f.Victims[a].Version < f.Victims[b].Version
+		})
+		out.Folders = append(out.Folders, *f)
+	}
+	sort.Slice(out.Folders, func(a, b int) bool {
+		return out.Folders[a].Folder < out.Folders[b].Folder
+	})
+	return out, nil
+}
+
 // ManagerStats merges every member's counters into a federation-wide
 // snapshot: partitioned quantities (datasets, versions, chunks, bytes,
 // transaction counters) sum; benefactor counts — every member sees the

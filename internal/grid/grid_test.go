@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"reflect"
 	"sync"
 	"testing"
 	"time"
@@ -432,6 +433,61 @@ func TestPurgePolicyExpiresVersions(t *testing.T) {
 			t.Fatal("purge policy did not expire the version")
 		}
 		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// TestPolicyDryRunAuditsWithoutMutating drives the retention audit end
+// to end through a federated metadata plane: the dry run names exactly
+// the versions the next sweep would prune, merged across members into
+// one per-folder report, and leaves the catalog untouched.
+func TestPolicyDryRunAuditsWithoutMutating(t *testing.T) {
+	c := fedCluster(t, 2, 2)
+	cl := testClient(t, c, client.Config{ChunkSize: 32 << 10, StripeWidth: 1})
+	if err := cl.SetPolicy("aud", core.Policy{Kind: core.PolicyNone, Retention: core.Retention{KeepLast: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	// Two datasets, two versions each; KeepLast 1 condemns each .t0.
+	for _, ds := range []string{"aud.n0", "aud.n1"} {
+		for ts := 0; ts < 2; ts++ {
+			writeFile(t, cl, fmt.Sprintf("%s.t%d", ds, ts), payload(int64(len(ds)+ts), 64<<10))
+		}
+	}
+	resp, err := cl.PolicyDryRun("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Folders) != 1 || resp.Folders[0].Folder != "aud" {
+		t.Fatalf("dry run folders = %+v, want exactly [aud]", resp.Folders)
+	}
+	folder := resp.Folders[0]
+	if folder.Policy.Retention.KeepLast != 1 {
+		t.Fatalf("dry run echoes policy %+v, want KeepLast 1", folder.Policy)
+	}
+	var names []string
+	for _, v := range folder.Victims {
+		names = append(names, v.Name)
+	}
+	want := []string{"aud.n0.t0", "aud.n1.t0"}
+	if !reflect.DeepEqual(names, want) {
+		t.Fatalf("dry run victims %v, want %v (merged across members, sorted)", names, want)
+	}
+	// Folder filter: a named folder restricts the report; an unenforced
+	// folder yields nothing.
+	if resp, err = cl.PolicyDryRun("aud"); err != nil || len(resp.Folders) != 1 {
+		t.Fatalf("filtered dry run: %+v, %v", resp.Folders, err)
+	}
+	if resp, err = cl.PolicyDryRun("other"); err != nil || len(resp.Folders) != 0 {
+		t.Fatalf("dry run of unenforced folder: %+v, %v", resp.Folders, err)
+	}
+	// The audit mutated nothing: both datasets still hold both versions.
+	for _, ds := range []string{"aud.n0", "aud.n1"} {
+		info, err := cl.Stat(ds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(info.Versions) != 2 {
+			t.Fatalf("%s has %d versions after dry run, want 2", ds, len(info.Versions))
+		}
 	}
 }
 

@@ -166,10 +166,21 @@ func TestFederatedTimeTravel(t *testing.T) {
 		}
 		return got, r
 	}
+	beforeAsOf := c.Stats()
 	asOfGot, asOfR := readAll(client.OpenOptions{AsOf: v1.CommittedAt})
 	asOfR.Close()
 	if !bytes.Equal(asOfGot, base) {
 		t.Fatal("as-of open pinned to v1's commit time did not serve v1's bytes")
+	}
+	// The instant must resolve manager-side, under the dataset stripe:
+	// one lightweight MStatVersion probe and the map fetch — no MHistory
+	// walk (the old client-side fallback, kept only for old servers).
+	afterAsOf := c.Stats()
+	if d := afterAsOf.Histories - beforeAsOf.Histories; d != 0 {
+		t.Fatalf("as-of open issued %d MHistory RPCs, want 0 (server-side resolution)", d)
+	}
+	if d := afterAsOf.StatVersions - beforeAsOf.StatVersions; d != 1 {
+		t.Fatalf("as-of open issued %d MStatVersion probes, want 1", d)
 	}
 
 	// Full restore of v2, then incremental restore of v2 against a local

@@ -719,6 +719,60 @@ func (c *catalog) statVersion(name string) (string, core.DatasetID, core.Version
 	return v.fileName, ds.id, v.id, nil
 }
 
+// getMapAsOf is getMap with as-of resolution: it serves the newest
+// version committed at or before asOf, resolved under the same dataset
+// stripe RLock that serves the map — one round trip where the client
+// previously paid an MHistory walk plus a getMap. The hot-map cache
+// applies unchanged (keyed by the resolved version).
+func (c *catalog) getMapAsOf(name string, asOf time.Time) (string, *core.ChunkMap, error) {
+	key := namespace.DatasetOf(name)
+	sh := c.dsShardOf(key)
+	sh.rlock()
+	defer sh.runlock()
+	ds, v, err := c.lookupAsOfLocked(sh, name, asOf)
+	if err != nil {
+		return "", nil, err
+	}
+	if fileName, m := c.maps.get(key, v.id); m != nil {
+		return fileName, m, nil
+	}
+	gen := c.maps.generation()
+	m := c.buildMap(ds, v)
+	c.maps.put(gen, key, v.fileName, m.Clone())
+	return v.fileName, m, nil
+}
+
+// statVersionAsOf is statVersion with as-of resolution.
+func (c *catalog) statVersionAsOf(name string, asOf time.Time) (string, core.DatasetID, core.VersionID, error) {
+	sh := c.dsShardOf(namespace.DatasetOf(name))
+	sh.rlock()
+	defer sh.runlock()
+	ds, v, err := c.lookupAsOfLocked(sh, name, asOf)
+	if err != nil {
+		return "", 0, 0, err
+	}
+	return v.fileName, ds.id, v.id, nil
+}
+
+// lookupAsOfLocked resolves a name to the newest version committed at or
+// before asOf. Callers hold the dataset shard's lock.
+func (c *catalog) lookupAsOfLocked(sh *datasetShard, name string, asOf time.Time) (*dataset, *version, error) {
+	key := namespace.DatasetOf(name)
+	ds, ok := sh.byName[key]
+	if !ok || len(ds.versions) == 0 {
+		return nil, nil, fmt.Errorf("dataset %q: %w", name, core.ErrNotFound)
+	}
+	// Versions are ordered oldest-first: the first one at or before asOf,
+	// scanning from the newest, is the answer.
+	for i := len(ds.versions) - 1; i >= 0; i-- {
+		if v := ds.versions[i]; !v.committedAt.After(asOf) {
+			return ds, v, nil
+		}
+	}
+	return nil, nil, fmt.Errorf("dataset %q has no version at or before %s: %w",
+		name, asOf.Format(time.RFC3339), core.ErrNotFound)
+}
+
 // lookupLocked resolves a name (+ optional explicit version) to a version.
 // Callers hold the dataset shard's lock.
 func (c *catalog) lookupLocked(sh *datasetShard, name string, ver core.VersionID) (*dataset, *version, error) {

@@ -529,11 +529,21 @@ func (m *Manager) handle(r *wire.Req) (wire.Resp, error) {
 		if err := m.checkPartition(req.Name, req.PartitionEpoch); err != nil {
 			return wire.Resp{}, err
 		}
-		name, cm, err := m.cat.getMap(req.Name, req.Version)
+		var (
+			name string
+			cm   *core.ChunkMap
+			err  error
+		)
+		asOf := req.Version == 0 && !req.AsOf.IsZero()
+		if asOf {
+			name, cm, err = m.cat.getMapAsOf(req.Name, req.AsOf)
+		} else {
+			name, cm, err = m.cat.getMap(req.Name, req.Version)
+		}
 		if err != nil {
 			return wire.Resp{}, err
 		}
-		return wire.Resp{Meta: proto.GetMapResp{Name: name, Map: cm}}, nil
+		return wire.Resp{Meta: proto.GetMapResp{Name: name, Map: cm, AsOfResolved: asOf}}, nil
 	case proto.MGetMaps:
 		var req proto.GetMapsReq
 		if err := wire.UnmarshalMeta(r.Meta, &req); err != nil {
@@ -582,11 +592,22 @@ func (m *Manager) handle(r *wire.Req) (wire.Resp, error) {
 		if err := m.checkPartition(req.Name, req.PartitionEpoch); err != nil {
 			return wire.Resp{}, err
 		}
-		name, ds, ver, err := m.cat.statVersion(req.Name)
+		var (
+			name string
+			ds   core.DatasetID
+			ver  core.VersionID
+			err  error
+		)
+		asOf := !req.AsOf.IsZero()
+		if asOf {
+			name, ds, ver, err = m.cat.statVersionAsOf(req.Name, req.AsOf)
+		} else {
+			name, ds, ver, err = m.cat.statVersion(req.Name)
+		}
 		if err != nil {
 			return wire.Resp{}, err
 		}
-		return wire.Resp{Meta: proto.StatVersionResp{Name: name, Dataset: ds, Version: ver}}, nil
+		return wire.Resp{Meta: proto.StatVersionResp{Name: name, Dataset: ds, Version: ver, AsOfResolved: asOf}}, nil
 	case proto.MList:
 		var req proto.ListReq
 		if err := wire.UnmarshalMeta(r.Meta, &req); err != nil {
@@ -633,6 +654,12 @@ func (m *Manager) handle(r *wire.Req) (wire.Resp, error) {
 			return wire.Resp{}, err
 		}
 		return wire.Resp{Meta: proto.PolicyGetResp{Policy: m.policies.get(req.Folder)}}, nil
+	case proto.MPolicyDryRun:
+		var req proto.PolicyDryRunReq
+		if err := wire.UnmarshalMeta(r.Meta, &req); err != nil {
+			return wire.Resp{}, err
+		}
+		return wire.Resp{Meta: m.policyDryRun(req, time.Now())}, nil
 	case proto.MGCReport:
 		var req proto.GCReportReq
 		if err := wire.UnmarshalMeta(r.Meta, &req); err != nil {

@@ -336,6 +336,55 @@ func TestCatalogPurgeOlderThan(t *testing.T) {
 	}
 }
 
+// TestCatalogDryRunRetentionMatchesSweep pins the audit contract: the
+// dry run names exactly the versions the real sweep would remove, and
+// names them without removing anything.
+func TestCatalogDryRunRetentionMatchesSweep(t *testing.T) {
+	c := newCatalog()
+	for ts := 0; ts < 5; ts++ {
+		chunks, total := commitChunks(int64(40+ts), 2, 10)
+		if _, _, err := c.commit(fmt.Sprintf("dr.n1.t%d", ts), "dr", 1, 10, false, total, chunks, ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	victims := c.dryRunRetention("dr", core.Retention{KeepLast: 2}, time.Time{})
+	if len(victims) != 3 {
+		t.Fatalf("dry run names %d victims, want 3: %+v", len(victims), victims)
+	}
+	for i, v := range victims {
+		want := fmt.Sprintf("dr.n1.t%d", i)
+		if v.Name != want {
+			t.Fatalf("victim %d is %q, want %q", i, v.Name, want)
+		}
+		if v.FileSize <= 0 || v.Version == 0 || v.CommittedAt.IsZero() {
+			t.Fatalf("victim %d lacks identity fields: %+v", i, v)
+		}
+	}
+	// Auditing mutated nothing.
+	info, err := c.stat("dr.n1", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(info.Versions) != 5 {
+		t.Fatalf("dry run removed versions: %d left, want 5", len(info.Versions))
+	}
+	// The real sweep removes exactly the predicted set.
+	removed, _, err := c.applyRetention("dr", core.Retention{KeepLast: 2}, time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != len(victims) {
+		t.Fatalf("sweep removed %d versions, dry run predicted %d", removed, len(victims))
+	}
+	info, err = c.stat("dr.n1", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(info.Versions) != 2 || info.Versions[0].Name != "dr.n1.t3" {
+		t.Fatalf("post-sweep survivors: %+v", info.Versions)
+	}
+}
+
 func TestCatalogUnderReplicated(t *testing.T) {
 	c := newCatalog()
 	chunks, total := commitChunks(30, 3, 10)

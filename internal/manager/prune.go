@@ -1,11 +1,13 @@
 package manager
 
 import (
+	"sort"
 	"sync"
 	"time"
 
 	"stdchk/internal/core"
 	"stdchk/internal/namespace"
+	"stdchk/internal/proto"
 )
 
 // policyTable holds per-folder data-lifetime policies (paper §IV.D).
@@ -164,6 +166,66 @@ func selectRetention(ds *dataset, r core.Retention, cutoff time.Time) (victims, 
 		}
 	}
 	return victims, kept
+}
+
+// policyDryRun reports exactly what the next retention sweep would prune
+// — the audit companion to retentionOnce, sharing its cutoff arithmetic
+// and selectRetention's partition function — without mutating anything.
+// Folder "" audits every enforced folder; folders with an enforced policy
+// but nothing to prune are reported with empty Victims.
+func (m *Manager) policyDryRun(req proto.PolicyDryRunReq, now time.Time) proto.PolicyDryRunResp {
+	var resp proto.PolicyDryRunResp
+	for folder, policy := range m.policies.enforcedFolders() {
+		if req.Folder != "" && folder != req.Folder {
+			continue
+		}
+		var cutoff time.Time
+		if policy.Kind == core.PolicyPurge {
+			cutoff = now.Add(-policy.PurgeAfter)
+		}
+		resp.Folders = append(resp.Folders, proto.FolderDryRun{
+			Folder:  folder,
+			Policy:  policy,
+			Victims: m.cat.dryRunRetention(folder, policy.Retention, cutoff),
+		})
+	}
+	sort.Slice(resp.Folders, func(i, j int) bool {
+		return resp.Folders[i].Folder < resp.Folders[j].Folder
+	})
+	return resp
+}
+
+// dryRunRetention mirrors applyRetention read-only: the same shard sweep
+// and the same selectRetention partition, under per-shard RLocks, listing
+// the victims instead of removing them.
+func (c *catalog) dryRunRetention(folder string, r core.Retention, cutoff time.Time) []proto.PruneCandidate {
+	var out []proto.PruneCandidate
+	for _, sh := range c.ds {
+		sh.rlock()
+		for _, ds := range sh.byName {
+			if ds.folder != folder {
+				continue
+			}
+			victims, _ := selectRetention(ds, r, cutoff)
+			for _, v := range victims {
+				out = append(out, proto.PruneCandidate{
+					Dataset:     ds.id,
+					Name:        v.fileName,
+					Version:     v.id,
+					FileSize:    v.fileSize,
+					CommittedAt: v.committedAt,
+				})
+			}
+		}
+		sh.runlock()
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].Version < out[j].Version
+	})
+	return out
 }
 
 // retain applies a retention schedule to one dataset (the replace

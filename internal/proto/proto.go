@@ -16,6 +16,12 @@ const (
 	BPut = "b.put"
 	// BGet fetches one chunk: meta GetReq, response body = chunk bytes.
 	BGet = "b.get"
+	// BGetBatch fetches many chunks in one round trip: meta BatchGetReq,
+	// response meta BatchGetResp with per-chunk sizes, response body = the
+	// present chunks' bytes concatenated in request order. Absent or
+	// unreadable chunks are reported per-slot (size -1), never as a
+	// request-level error, so one dead chunk cannot fail a whole batch.
+	BGetBatch = "b.getbatch"
 	// BHas asks which of a set of chunks the benefactor holds.
 	BHas = "b.has"
 	// BDel deletes chunks (GC executor).
@@ -79,6 +85,10 @@ const (
 	MPolicySet = "m.policyset"
 	// MPolicyGet reads a folder's policy.
 	MPolicyGet = "m.policyget"
+	// MPolicyDryRun reports which versions the next retention sweep would
+	// prune, per enforced folder, without mutating anything (the audit
+	// companion to the background pruner).
+	MPolicyDryRun = "m.policydryrun"
 	// MGCReport reconciles a benefactor's chunk inventory; the response
 	// lists chunks the benefactor may delete.
 	MGCReport = "m.gcreport"
@@ -99,6 +109,19 @@ type PutReq struct {
 // GetReq names the chunk for BGet.
 type GetReq struct {
 	ID core.ChunkID `json:"id"`
+}
+
+// BatchGetReq names the chunks for a BGetBatch, in response-body order.
+type BatchGetReq struct {
+	IDs []core.ChunkID `json:"ids"`
+}
+
+// BatchGetResp describes a BGetBatch body: Sizes is parallel to the
+// request's IDs, with Sizes[i] the byte length of chunk i within the
+// concatenated body, or -1 when the benefactor could not serve it (the
+// caller retries those chunks against another replica).
+type BatchGetResp struct {
+	Sizes []int64 `json:"sizes"`
 }
 
 // HasReq asks about a batch of chunks (BHas / MHasChunks).
@@ -263,6 +286,12 @@ type AbortReq struct {
 type GetMapReq struct {
 	Name    string         `json:"name"`
 	Version core.VersionID `json:"version,omitempty"`
+	// AsOf, when set (and Version is 0), asks the manager to resolve the
+	// newest version committed at or before this instant under the dataset
+	// stripe — one round trip instead of a client-side MHistory walk. Old
+	// servers ignore the field and resolve latest; the response's
+	// AsOfResolved echo tells the client whether to fall back.
+	AsOf time.Time `json:"asOf,omitempty"`
 	// PartitionEpoch mirrors AllocReq.PartitionEpoch.
 	PartitionEpoch uint64 `json:"partitionEpoch,omitempty"`
 }
@@ -271,6 +300,10 @@ type GetMapReq struct {
 type GetMapResp struct {
 	Name string         `json:"name"`
 	Map  *core.ChunkMap `json:"map"`
+	// AsOfResolved confirms the server honored GetMapReq.AsOf. Absent in
+	// replies from servers predating as-of resolution, which is the
+	// client's signal to resolve via MHistory instead.
+	AsOfResolved bool `json:"asOfResolved,omitempty"`
 }
 
 // GetMapsReq batch-fetches the latest chunk-maps of several datasets
@@ -373,6 +406,9 @@ type DiffResp struct {
 // timestep's version.
 type StatVersionReq struct {
 	Name string `json:"name"`
+	// AsOf mirrors GetMapReq.AsOf: resolve the newest version committed
+	// at or before this instant instead of the latest.
+	AsOf time.Time `json:"asOf,omitempty"`
 	// PartitionEpoch mirrors AllocReq.PartitionEpoch.
 	PartitionEpoch uint64 `json:"partitionEpoch,omitempty"`
 }
@@ -385,6 +421,8 @@ type StatVersionResp struct {
 	Name    string         `json:"name"`
 	Dataset core.DatasetID `json:"dataset"`
 	Version core.VersionID `json:"version"`
+	// AsOfResolved mirrors GetMapResp.AsOfResolved.
+	AsOfResolved bool `json:"asOfResolved,omitempty"`
 }
 
 // ListReq lists datasets under a folder ("" = all).
@@ -431,6 +469,36 @@ type PolicyGetReq struct {
 // PolicyGetResp returns the folder policy.
 type PolicyGetResp struct {
 	Policy core.Policy `json:"policy"`
+}
+
+// PolicyDryRunReq asks what the next retention sweep would prune
+// (MPolicyDryRun). Folder "" audits every enforced folder.
+type PolicyDryRunReq struct {
+	Folder string `json:"folder,omitempty"`
+}
+
+// PruneCandidate is one version a retention sweep would remove.
+type PruneCandidate struct {
+	Dataset     core.DatasetID `json:"dataset"`
+	Name        string         `json:"name"` // full file name of the version
+	Version     core.VersionID `json:"version"`
+	FileSize    int64          `json:"fileSize"`
+	CommittedAt time.Time      `json:"committedAt"`
+}
+
+// FolderDryRun reports one enforced folder's audit: the policy in force
+// and the versions the next sweep would prune under it. A folder with an
+// enforced policy but nothing to prune appears with empty Victims, so
+// the audit also confirms what is safe.
+type FolderDryRun struct {
+	Folder  string           `json:"folder"`
+	Policy  core.Policy      `json:"policy"`
+	Victims []PruneCandidate `json:"victims,omitempty"`
+}
+
+// PolicyDryRunResp lists the audited folders, sorted by folder name.
+type PolicyDryRunResp struct {
+	Folders []FolderDryRun `json:"folders"`
 }
 
 // GCReportReq carries a benefactor's inventory of chunks old enough to be
