@@ -41,6 +41,8 @@ func run(args []string) error {
 		id       = fs.String("id", "", "node identity (default: listen address)")
 		gcEvery  = fs.Duration("gc-interval", time.Minute, "garbage collection interval")
 		gcGrace  = fs.Duration("gc-grace", 10*time.Minute, "age before a chunk becomes a GC candidate; keep above the longest write session")
+		scrub    = fs.Duration("scrub-interval", 0, "background integrity scrub pace: each tick re-hashes a batch of stored chunks against their content addresses, quarantining and reporting corrupt replicas (0 = scrubbing off)")
+		scrubN   = fs.Int("scrub-batch", 0, "chunks verified per scrub tick (0 = default 16)")
 		quiet    = fs.Bool("quiet", false, "suppress operational logging")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -51,13 +53,15 @@ func run(args []string) error {
 		logger = log.New(os.Stderr, "", log.LstdFlags)
 	}
 	cfg := benefactor.Config{
-		ID:           core.NodeID(*id),
-		ListenAddr:   *listen,
-		ManagerAddrs: federation.SplitMembers(*mgr),
-		Capacity:     *capacity,
-		GCInterval:   *gcEvery,
-		GCGrace:      *gcGrace,
-		Logger:       logger,
+		ID:            core.NodeID(*id),
+		ListenAddr:    *listen,
+		ManagerAddrs:  federation.SplitMembers(*mgr),
+		Capacity:      *capacity,
+		GCInterval:    *gcEvery,
+		GCGrace:       *gcGrace,
+		ScrubInterval: *scrub,
+		ScrubBatch:    *scrubN,
+		Logger:        logger,
 	}
 	if *dir != "" {
 		st, err := store.OpenDisk(*dir, *capacity, nil)

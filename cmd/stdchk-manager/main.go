@@ -43,6 +43,8 @@ func run(args []string) error {
 		heartbeat   = fs.Duration("heartbeat", 5*time.Second, "benefactor heartbeat interval")
 		stripe      = fs.Int("stripe", 4, "default stripe width")
 		replication = fs.Int("replication", 2, "default replication target")
+		deadTimeout = fs.Duration("dead-timeout", 0, "heartbeat silence past which a suspect benefactor is declared dead and decommissioned — its chunk locations are dropped (journaled) and repair rebuilds from survivors (0 = 10x the node TTL, negative = never)")
+		repairBytes = fs.Int64("repair-bytes-per-round", 0, "byte budget per replication-scheduler round, spent critical-band (single-replica chunks) first (0 = unbudgeted)")
 		stripes     = fs.Int("metadata-stripes", 0, "metadata lock-stripe count (0 = default 16, 1 = single-lock baseline for ablations)")
 		fed         = fs.String("federation", "", "comma-separated federation member addresses; this process serves the -member-index'th partition")
 		memberIdx   = fs.Int("member-index", 0, "this manager's index in the -federation member list")
@@ -75,24 +77,26 @@ func run(args []string) error {
 		return err
 	}
 	m, err := manager.New(manager.Config{
-		ListenAddr:         *listen,
-		HeartbeatInterval:  *heartbeat,
-		DefaultStripeWidth: *stripe,
-		DefaultReplication: *replication,
-		MetadataStripes:    *stripes,
-		MapCacheEntries:    mapCacheEntries,
-		FederationMembers:  members,
-		MemberIndex:        *memberIdx,
-		JournalPath:        *journal,
-		SyncJournal:        *syncJournal,
-		FsyncJournal:       *fsyncJrnl,
-		SnapshotInterval:   *snapEvery,
-		Recover:            *recover,
-		MaxPendingOps:      *maxPending,
-		MaxConnInflight:    *maxInflight,
-		RetryAfterHint:     *retryAfter,
-		WritePriority:      true,
-		Logger:             logger,
+		ListenAddr:          *listen,
+		HeartbeatInterval:   *heartbeat,
+		DefaultStripeWidth:  *stripe,
+		DefaultReplication:  *replication,
+		DeadTimeout:         *deadTimeout,
+		RepairBytesPerRound: *repairBytes,
+		MetadataStripes:     *stripes,
+		MapCacheEntries:     mapCacheEntries,
+		FederationMembers:   members,
+		MemberIndex:         *memberIdx,
+		JournalPath:         *journal,
+		SyncJournal:         *syncJournal,
+		FsyncJournal:        *fsyncJrnl,
+		SnapshotInterval:    *snapEvery,
+		Recover:             *recover,
+		MaxPendingOps:       *maxPending,
+		MaxConnInflight:     *maxInflight,
+		RetryAfterHint:      *retryAfter,
+		WritePriority:       true,
+		Logger:              logger,
 	})
 	if err != nil {
 		return err

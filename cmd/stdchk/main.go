@@ -556,9 +556,12 @@ func cmdBenefactors(args []string) error {
 		return err
 	}
 	for _, b := range infos {
-		state := "offline"
-		if b.Online {
-			state = "online"
+		state := string(b.State)
+		if state == "" { // older manager: only the Online bool
+			state = "offline"
+			if b.Online {
+				state = "online"
+			}
 		}
 		fmt.Printf("%-24s %-22s %-8s free=%d reserved=%d chunks=%d\n",
 			b.ID, b.Addr, state, b.Free, b.Reserved, b.ChunkHeld)
@@ -581,7 +584,8 @@ func cmdStats(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("benefactors: %d (%d online)\n", s.Benefactors, s.OnlineBenefactors)
+	fmt.Printf("benefactors: %d (%d online, %d suspect, %d dead)\n",
+		s.Benefactors, s.OnlineBenefactors, s.SuspectBenefactors, s.DeadBenefactors)
 	fmt.Printf("datasets: %d, versions: %d, unique chunks: %d\n", s.Datasets, s.Versions, s.UniqueChunks)
 	fmt.Printf("logical bytes: %d, stored bytes: %d\n", s.LogicalBytes, s.StoredBytes)
 	fmt.Printf("active sessions: %d, transactions: %d\n", s.ActiveSessions, s.Transactions)
@@ -592,6 +596,11 @@ func cmdStats(args []string) error {
 		s.Histories, s.Diffs, s.PrefetchBatches)
 	fmt.Printf("replicas copied: %d, chunks collected: %d, versions pruned: %d\n",
 		s.ReplicasCopied, s.ChunksCollected, s.VersionsPruned)
+	rp := s.Repair
+	fmt.Printf("repair: %d pending (%d critical), %d bytes copied, %d failed copies\n",
+		rp.Pending, rp.Critical, rp.CopiedBytes, rp.Failed)
+	fmt.Printf("churn: %d locations reconciled on rejoin, %d decommissions, %d corrupt replicas scrubbed out\n",
+		rp.Reconciled, rp.Decommissions, rp.CorruptReported)
 	contended := 0.0
 	if s.StripeOps > 0 {
 		contended = 100 * float64(s.StripeContention) / float64(s.StripeOps)

@@ -49,6 +49,17 @@ type Config struct {
 	// chunks older than this are reported as GC candidates, which keeps
 	// in-flight (uncommitted) uploads safe.
 	GCGrace time.Duration
+	// ScrubInterval paces the background integrity scrub: every tick,
+	// up to ScrubBatch stored chunks are re-read and re-hashed against
+	// their content addresses, and any that fail are quarantined (deleted
+	// locally, reported on the next heartbeat so the manager drops the
+	// location and schedules critical-priority repair). Zero disables
+	// scrubbing.
+	ScrubInterval time.Duration
+	// ScrubBatch caps the chunks verified per scrub tick — the rate limit
+	// that keeps scrub I/O from competing with the serve path. Defaults
+	// to 16.
+	ScrubBatch int
 	// Shaper wraps accepted connections with device models (the node's
 	// NIC/disk).
 	Shaper wire.Shaper
@@ -74,6 +85,9 @@ func (c Config) withDefaults() Config {
 	if c.GCGrace <= 0 {
 		c.GCGrace = 30 * time.Second
 	}
+	if c.ScrubBatch <= 0 {
+		c.ScrubBatch = 16
+	}
 	return c
 }
 
@@ -92,6 +106,14 @@ type Benefactor struct {
 	mu     sync.Mutex
 	births map[core.ChunkID]time.Time
 	maps   map[string]*core.ChunkMap // chunk-map replicas for recovery
+	// Scrub state (guarded by mu). scrubCursor resumes the inventory walk
+	// across ticks; corrupt accumulates quarantined chunk IDs until a
+	// successful heartbeat delivers them to the manager; the counters feed
+	// BStats.
+	scrubCursor  core.ChunkID
+	corrupt      []core.ChunkID
+	scrubbed     int64
+	corruptFound int64
 
 	stop      chan struct{}
 	wg        sync.WaitGroup
@@ -151,6 +173,10 @@ func New(cfg Config) (*Benefactor, error) {
 		b.wg.Add(2)
 		go b.managerLoop()
 		go b.gcLoop()
+	}
+	if cfg.ScrubInterval > 0 {
+		b.wg.Add(1)
+		go b.scrubLoop()
 	}
 	return b, nil
 }
@@ -283,10 +309,15 @@ func (b *Benefactor) handle(req *wire.Req) (wire.Resp, error) {
 	case proto.BPing:
 		return wire.Resp{Meta: proto.HeartbeatResp{OK: true}}, nil
 	case proto.BStats:
+		b.mu.Lock()
+		scrubbed, corrupt := b.scrubbed, b.corruptFound
+		b.mu.Unlock()
 		return wire.Resp{Meta: proto.StatsResp{
-			Used:     b.chunks.Used(),
-			Capacity: b.chunks.Capacity(),
-			Chunks:   b.chunks.Len(),
+			Used:           b.chunks.Used(),
+			Capacity:       b.chunks.Capacity(),
+			Chunks:         b.chunks.Len(),
+			ScrubbedChunks: scrubbed,
+			CorruptChunks:  corrupt,
 		}}, nil
 	default:
 		return wire.Resp{}, fmt.Errorf("benefactor: unknown op %q", req.Op)
@@ -424,19 +455,31 @@ func lastIndexByte(s string, c byte) int {
 
 // managerLoop keeps the node's soft state fresh across the metadata
 // plane: each round announces to every member through the router, which
-// registers with members that do not know the node yet (first contact, or
-// a restarted member whose heartbeat rejection proves it forgot us) and
+// registers with members that do not know the node yet (first contact, a
+// restarted member whose heartbeat rejection proves it forgot us, or a
+// member that declared this node dead and decommissioned it) and
 // heartbeats the rest. A member being merely unreachable does not trigger
-// re-registration anywhere — re-registering clears the node's live
-// reservations, so it is reserved for members that explicitly lost state.
+// re-registration anywhere; registrations carry the chunk inventory, so
+// the member reconciles the node's surviving replicas in that one RPC and
+// answers with the chunks it no longer wants. Heartbeats deliver pending
+// scrub verdicts; a verdict stays queued until a fully successful round so
+// a flaky member cannot lose a corruption report.
 func (b *Benefactor) managerLoop() {
 	defer b.wg.Done()
 	interval := time.Second
 	registered := make([]bool, b.mgrs.Membership().Len())
 	for {
-		resp, err := b.mgrs.Announce(b.registerReq(), b.heartbeatReq(), registered)
+		hb := b.heartbeatReq()
+		resp, err := b.mgrs.Announce(b.registerReq(), hb, registered)
 		if err != nil {
 			b.logf("announce: %v", err)
+		} else if len(hb.Corrupt) > 0 {
+			b.clearReported(hb.Corrupt)
+		}
+		if resp.Reconciled > 0 || len(resp.Garbage) > 0 {
+			n := b.dropGarbage(resp.Garbage)
+			b.logf("rejoin: %d locations reconciled, %d/%d garbage chunks dropped",
+				resp.Reconciled, n, len(resp.Garbage))
 		}
 		if resp.HeartbeatInterval > 0 {
 			interval = resp.HeartbeatInterval
@@ -449,6 +492,54 @@ func (b *Benefactor) managerLoop() {
 	}
 }
 
+// clearReported removes delivered scrub verdicts from the pending corrupt
+// list, keeping any that were quarantined while the announce was in
+// flight.
+func (b *Benefactor) clearReported(ids []core.ChunkID) {
+	sent := make(map[core.ChunkID]struct{}, len(ids))
+	for _, id := range ids {
+		sent[id] = struct{}{}
+	}
+	b.mu.Lock()
+	kept := b.corrupt[:0]
+	for _, id := range b.corrupt {
+		if _, ok := sent[id]; !ok {
+			kept = append(kept, id)
+		}
+	}
+	b.corrupt = kept
+	b.mu.Unlock()
+}
+
+// dropGarbage deletes chunks the manager condemned at re-registration,
+// under the same grace filter as the GC protocol: chunks younger than
+// GCGrace survive even when condemned — the condemning member may simply
+// not have committed them yet (an in-flight upload racing a flap) — and
+// the regular GC rounds collect them once aged if the verdict holds.
+func (b *Benefactor) dropGarbage(ids []core.ChunkID) int {
+	if len(ids) == 0 {
+		return 0
+	}
+	cutoff := time.Now().Add(-b.cfg.GCGrace)
+	dropped := 0
+	for _, id := range ids {
+		b.mu.Lock()
+		birth, known := b.births[id]
+		b.mu.Unlock()
+		if known && !birth.Before(cutoff) {
+			continue
+		}
+		if err := b.chunks.Delete(id); err != nil {
+			continue
+		}
+		b.mu.Lock()
+		delete(b.births, id)
+		b.mu.Unlock()
+		dropped++
+	}
+	return dropped
+}
+
 // free reports the node's advertised free space ("unlimited" contributions
 // advertise 1 TB).
 func (b *Benefactor) free() int64 {
@@ -459,20 +550,35 @@ func (b *Benefactor) free() int64 {
 }
 
 func (b *Benefactor) registerReq() proto.RegisterReq {
+	// The inventory rides along so a manager that decommissioned this node
+	// (or restarted) reconciles surviving replicas in the registration
+	// itself instead of re-replicating them.
+	inv := b.chunks.Inventory()
+	if len(inv) > proto.MaxRegisterChunks {
+		inv = inv[:proto.MaxRegisterChunks]
+	}
 	return proto.RegisterReq{
 		ID:       b.id,
 		Addr:     b.Addr(),
 		Capacity: b.chunks.Capacity(),
 		Free:     b.free(),
+		Chunks:   inv,
 	}
 }
 
 func (b *Benefactor) heartbeatReq() proto.HeartbeatReq {
+	b.mu.Lock()
+	var corrupt []core.ChunkID
+	if len(b.corrupt) > 0 {
+		corrupt = append(corrupt, b.corrupt...)
+	}
+	b.mu.Unlock()
 	return proto.HeartbeatReq{
-		ID:     b.id,
-		Free:   b.free(),
-		Used:   b.chunks.Used(),
-		Chunks: b.chunks.Len(),
+		ID:      b.id,
+		Free:    b.free(),
+		Used:    b.chunks.Used(),
+		Chunks:  b.chunks.Len(),
+		Corrupt: corrupt,
 	}
 }
 

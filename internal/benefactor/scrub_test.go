@@ -1,0 +1,88 @@
+package benefactor
+
+import (
+	"fmt"
+	"testing"
+
+	"stdchk/internal/core"
+	"stdchk/internal/faultpoint"
+	"stdchk/internal/proto"
+)
+
+// putChunks stores n distinct chunks and returns their IDs.
+func putChunks(t *testing.T, b *Benefactor, n int) []core.ChunkID {
+	t.Helper()
+	ids := make([]core.ChunkID, n)
+	for i := range ids {
+		data := []byte(fmt.Sprintf("scrub payload %d", i))
+		ids[i] = core.HashChunk(data)
+		call(t, b.Addr(), proto.BPut, proto.PutReq{ID: ids[i]}, data, nil)
+	}
+	return ids
+}
+
+// TestScrubCursorResumesAndWraps: with a batch smaller than the
+// inventory, successive rounds must cover distinct chunks until the
+// cursor wraps — full coverage without ever re-reading the whole store
+// in one rate-limit window.
+func TestScrubCursorResumesAndWraps(t *testing.T) {
+	b := startNode(t, Config{ScrubBatch: 2})
+	putChunks(t, b, 5)
+
+	total := 0
+	for round := 0; round < 3; round++ {
+		checked, corrupt := b.ScrubOnce()
+		if checked != 2 || corrupt != 0 {
+			t.Fatalf("round %d: checked=%d corrupt=%d, want 2 healthy", round, checked, corrupt)
+		}
+		total += checked
+	}
+	if total <= 5 {
+		t.Fatalf("scrubbed %d chunk-verifications over 3 rounds of 2; cursor should have wrapped past the 5-chunk inventory", total)
+	}
+	var stats proto.StatsResp
+	call(t, b.Addr(), proto.BStats, nil, nil, &stats)
+	if stats.ScrubbedChunks != int64(total) || stats.CorruptChunks != 0 {
+		t.Fatalf("stats report %d scrubbed / %d corrupt, want %d / 0", stats.ScrubbedChunks, stats.CorruptChunks, total)
+	}
+}
+
+// TestScrubQuarantinesCorruptChunk: a failed verification (injected via
+// the benefactor.scrub.corrupt faultpoint, standing in for a flipped
+// bit) must delete the replica locally and surface in the stats — the
+// heartbeat report to the manager is pinned at the grid level.
+func TestScrubQuarantinesCorruptChunk(t *testing.T) {
+	defer faultpoint.Reset()
+	b := startNode(t, Config{ScrubBatch: 64})
+	ids := putChunks(t, b, 3)
+
+	if err := faultpoint.Enable("benefactor.scrub.corrupt", faultpoint.Config{
+		Mode: faultpoint.ModeError, Count: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	checked, corrupt := b.ScrubOnce()
+	if checked != 3 || corrupt != 1 {
+		t.Fatalf("checked=%d corrupt=%d, want 3 checked with 1 quarantined", checked, corrupt)
+	}
+	held := 0
+	for _, id := range ids {
+		if b.Store().Has(id) {
+			held++
+		}
+	}
+	if held != 2 {
+		t.Fatalf("%d replicas survive the quarantine, want 2 (the corrupt one deleted)", held)
+	}
+	var stats proto.StatsResp
+	call(t, b.Addr(), proto.BStats, nil, nil, &stats)
+	if stats.CorruptChunks != 1 {
+		t.Fatalf("stats report %d corrupt chunks, want 1", stats.CorruptChunks)
+	}
+
+	// The quarantined chunk is gone from the inventory: the next round
+	// verifies only survivors and finds them healthy.
+	if checked, corrupt := b.ScrubOnce(); checked != 2 || corrupt != 0 {
+		t.Fatalf("post-quarantine round: checked=%d corrupt=%d, want 2 healthy", checked, corrupt)
+	}
+}

@@ -139,7 +139,7 @@ func newReader(c *Client, name string, cm *core.ChunkMap) *Reader {
 		}
 		locs[i] = ordered
 	}
-	return &Reader{
+	r := &Reader{
 		c:       c,
 		name:    name,
 		cm:      cm,
@@ -147,6 +147,43 @@ func newReader(c *Client, name string, cm *core.ChunkMap) *Reader {
 		budget:  budget,
 		pending: make(map[int]chan fetchResult),
 	}
+	r.warmAddrs()
+	return r
+}
+
+// warmAddrs pre-resolves every non-address node ID in the chunk map
+// while the manager is still reachable, so an already-opened reader
+// keeps working through a managerless window (the reader holds the map
+// AND the addresses). Best-effort: on failure resolution falls back to
+// the lazy per-read path.
+func (r *Reader) warmAddrs() {
+	need := false
+	r.c.benefMu.Lock()
+scan:
+	for _, replicas := range r.locs {
+		for _, node := range replicas {
+			if strings.ContainsRune(string(node), ':') {
+				continue
+			}
+			if _, ok := r.c.benefAddrs[node]; !ok {
+				need = true
+				break scan
+			}
+		}
+	}
+	r.c.benefMu.Unlock()
+	if !need {
+		return
+	}
+	infos, err := r.c.Benefactors()
+	if err != nil {
+		return
+	}
+	r.c.benefMu.Lock()
+	for _, info := range infos {
+		r.c.benefAddrs[info.ID] = info.Addr
+	}
+	r.c.benefMu.Unlock()
 }
 
 // Name returns the file name of the opened version.

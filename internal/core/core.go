@@ -335,8 +335,23 @@ type DatasetInfo struct {
 	Versions []VersionInfo `json:"versions"`
 }
 
+// NodeState is a benefactor's position in the registry's lifecycle state
+// machine: Online (heartbeating) → Suspect (missed heartbeats past the
+// node TTL) → Dead (silent past the dead timeout; decommissioned). A
+// heartbeat from a Suspect node restores Online; a Dead node must
+// re-register, and its chunk locations were already dropped.
+type NodeState string
+
+// Node lifecycle states (see NodeState).
+const (
+	NodeOnline  NodeState = "online"
+	NodeSuspect NodeState = "suspect"
+	NodeDead    NodeState = "dead"
+)
+
 // BenefactorInfo summarizes a benefactor's registration state at the
-// manager (soft-state registry, paper §IV.A).
+// manager (soft-state registry, paper §IV.A). Online mirrors
+// State == NodeOnline for older consumers of the listing.
 type BenefactorInfo struct {
 	ID        NodeID    `json:"id"`
 	Addr      string    `json:"addr"`
@@ -344,6 +359,7 @@ type BenefactorInfo struct {
 	Free      int64     `json:"free"`
 	Reserved  int64     `json:"reserved"`
 	Online    bool      `json:"online"`
+	State     NodeState `json:"state,omitempty"`
 	LastSeen  time.Time `json:"lastSeen"`
 	ChunkHeld int       `json:"chunksHeld"`
 }

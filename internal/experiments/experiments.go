@@ -121,6 +121,7 @@ func All() []Runner {
 		{Name: "restoredelta", Title: "Incremental restore (§IV.A read goal): full vs baseline-delta restore bytes and latency through the router", Run: RestoreDelta},
 		{Name: "openload", Title: "Open-loop traffic: latency vs Poisson offered load over mux'd connections, with the admission-control ablation", Run: OpenLoad},
 		{Name: "readload", Title: "Pipelined data plane (§IV.E read path): restore MB/s vs chunk size, serial stop-and-wait vs batched mux transport", Run: ReadLoad},
+		{Name: "churnload", Title: "Benefactor churn (§III donation dynamics): flap/death/rejoin cycles, priority repair timeline, zero-loss restores", Run: ChurnLoad},
 	}
 }
 

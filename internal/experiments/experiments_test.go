@@ -15,7 +15,7 @@ func TestRegistryComplete(t *testing.T) {
 		"table1", "fig2", "fig3", "fig4", "fig5", "fig6",
 		"table2", "table3", "table3live", "table4", "fig7", "fig8", "table5",
 		"managerload", "fedload", "restartload", "restoredelta", "openload",
-		"readload",
+		"readload", "churnload",
 	}
 	runners := All()
 	if len(runners) != len(want) {
@@ -606,6 +606,63 @@ func TestReadLoadSmoke(t *testing.T) {
 	if serial < 2*pipelined {
 		t.Fatalf("pipelined restore at 32 KB chunks is %.1fms vs serial %.1fms — less than the required 2x speedup",
 			pipelined, serial)
+	}
+}
+
+// TestChurnLoadSmoke runs one flap + death + rejoin cycle and checks the
+// hard gates: zero loss on every phase, a decommission past DeadTimeout,
+// critical repairs completing no later than bulk, and metadata-only flap
+// healing (reconciliation, not copies).
+func TestChurnLoadSmoke(t *testing.T) {
+	var buf, js bytes.Buffer
+	if err := ChurnLoad(Config{Runs: 1, Out: &buf, JSON: &js}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Churn:", "flap", "death", "rejoin", "zeroLoss"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	type rec struct {
+		Experiment      string  `json:"experiment"`
+		Phase           string  `json:"phase"`
+		CriticalClearMs float64 `json:"criticalClearMs"`
+		RepairedMs      float64 `json:"repairedMs"`
+		CopiedBytes     int64   `json:"copiedBytes"`
+		Reconciled      int64   `json:"reconciled"`
+		Decommissions   int64   `json:"decommissions"`
+		ZeroLoss        bool    `json:"zeroLoss"`
+	}
+	phases := map[string]rec{}
+	for _, line := range strings.Split(strings.TrimSpace(js.String()), "\n") {
+		if line == "" {
+			continue
+		}
+		var r rec
+		if err := json.Unmarshal([]byte(line), &r); err != nil {
+			t.Fatalf("bad JSON record %q: %v", line, err)
+		}
+		if r.Experiment != "churnload" || !r.ZeroLoss {
+			t.Fatalf("record lost data or is mislabeled: %+v", r)
+		}
+		phases[r.Phase] = r
+	}
+	if len(phases) != 3 {
+		t.Fatalf("phases %v, want flap/death/rejoin", phases)
+	}
+	if f := phases["flap"]; f.Reconciled <= 0 {
+		t.Fatalf("flap healed without reconciling inventory: %+v", f)
+	}
+	d := phases["death"]
+	if d.CopiedBytes <= 0 || d.Decommissions != 1 {
+		t.Fatalf("death did not repair+decommission: %+v", d)
+	}
+	if d.CriticalClearMs <= 0 || d.CriticalClearMs > d.RepairedMs {
+		t.Fatalf("critical band did not clear before bulk repair finished: %+v", d)
+	}
+	if rj := phases["rejoin"]; rj.Reconciled <= 0 {
+		t.Fatalf("decommissioned donor rejoined without re-adopting replicas: %+v", rj)
 	}
 }
 

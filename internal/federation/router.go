@@ -1,6 +1,7 @@
 package federation
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"log"
@@ -581,6 +582,12 @@ func MergeStats(all []proto.ManagerStats) proto.ManagerStats {
 		if st.OnlineBenefactors > agg.OnlineBenefactors {
 			agg.OnlineBenefactors = st.OnlineBenefactors
 		}
+		if st.SuspectBenefactors > agg.SuspectBenefactors {
+			agg.SuspectBenefactors = st.SuspectBenefactors
+		}
+		if st.DeadBenefactors > agg.DeadBenefactors {
+			agg.DeadBenefactors = st.DeadBenefactors
+		}
 		agg.Datasets += st.Datasets
 		agg.Versions += st.Versions
 		agg.UniqueChunks += st.UniqueChunks
@@ -601,6 +608,15 @@ func MergeStats(all []proto.ManagerStats) proto.ManagerStats {
 		agg.MapCache.Misses += st.MapCache.Misses
 		agg.MapCache.Invalidations += st.MapCache.Invalidations
 		agg.ReplicasCopied += st.ReplicasCopied
+		// Repair gauges and counters are partition-local work, so they sum
+		// like the other partitioned quantities.
+		agg.Repair.Pending += st.Repair.Pending
+		agg.Repair.Critical += st.Repair.Critical
+		agg.Repair.CopiedBytes += st.Repair.CopiedBytes
+		agg.Repair.Failed += st.Repair.Failed
+		agg.Repair.CorruptReported += st.Repair.CorruptReported
+		agg.Repair.Reconciled += st.Repair.Reconciled
+		agg.Repair.Decommissions += st.Repair.Decommissions
 		agg.ChunksCollected += st.ChunksCollected
 		agg.VersionsPruned += st.VersionsPruned
 		agg.JournalBatches += st.JournalBatches
@@ -663,14 +679,29 @@ func (r *Router) MemberStats() ([]proto.ManagerStats, error) {
 }
 
 // Benefactors merges the donor listings; every member sees the same pool,
-// so entries deduplicate by node ID (first member's view wins).
+// so entries deduplicate by node ID (first member's view wins). Because
+// the views are redundant, an unreachable member only degrades the
+// listing, never fails it: readers resolving node IDs to addresses must
+// keep working while a member is down. Only the whole federation being
+// unreachable is an error.
 func (r *Router) Benefactors() ([]core.BenefactorInfo, error) {
 	resps := make([]proto.BenefactorsResp, r.ms.Len())
+	answered := make([]bool, r.ms.Len())
 	err := r.fanOut(func(i int) error {
-		return r.call(i, proto.MBenefactors, nil, &resps[i])
+		if e := r.call(i, proto.MBenefactors, nil, &resps[i]); e != nil {
+			return e
+		}
+		answered[i] = true
+		return nil
 	})
 	if err != nil {
-		return nil, err
+		any := false
+		for _, ok := range answered {
+			any = any || ok
+		}
+		if !any {
+			return nil, err
+		}
 	}
 	seen := make(map[core.NodeID]struct{})
 	var out []core.BenefactorInfo
@@ -700,21 +731,49 @@ func (r *Router) Register(req proto.RegisterReq) (proto.RegisterResp, error) {
 	if err != nil {
 		return proto.RegisterResp{}, err
 	}
-	return mergeRegisterResps(resps), nil
+	return mergeRegisterResps(resps, nil), nil
 }
 
 // mergeRegisterResps folds per-member registration replies: the shortest
 // heartbeat interval any member asked for (refresh fast enough for the
-// most demanding member) and the OR of the recovery flags. Shared by
-// Register and Announce so the benefactor's two soft-state paths can
-// never diverge.
-func mergeRegisterResps(resps []proto.RegisterResp) proto.RegisterResp {
+// most demanding member), the OR of the recovery flags, and the sum of
+// the reconciled-location counts. Shared by Register and Announce so the
+// benefactor's two soft-state paths can never diverge.
+//
+// The garbage sets follow the GC protocol's conservatism: a chunk is
+// garbage only when EVERY member condemned it, and only in a round where
+// every member actually registered (registeredNow nil means all did; a
+// partial Announce round defers the verdict to the periodic GC protocol).
+// A member voting garbage for a chunk another member's partition still
+// references must never get the chunk deleted.
+func mergeRegisterResps(resps []proto.RegisterResp, registeredNow []bool) proto.RegisterResp {
 	var merged proto.RegisterResp
-	for _, resp := range resps {
+	allRegistered := true
+	for i, resp := range resps {
 		if merged.HeartbeatInterval == 0 || (resp.HeartbeatInterval > 0 && resp.HeartbeatInterval < merged.HeartbeatInterval) {
 			merged.HeartbeatInterval = resp.HeartbeatInterval
 		}
 		merged.Recovering = merged.Recovering || resp.Recovering
+		merged.Reconciled += resp.Reconciled
+		if registeredNow != nil && !registeredNow[i] {
+			allRegistered = false
+		}
+	}
+	if allRegistered {
+		votes := make(map[core.ChunkID]int)
+		for _, resp := range resps {
+			for _, id := range resp.Garbage {
+				votes[id]++
+			}
+		}
+		for id, n := range votes {
+			if n == len(resps) {
+				merged.Garbage = append(merged.Garbage, id)
+			}
+		}
+		sort.Slice(merged.Garbage, func(a, b int) bool {
+			return bytes.Compare(merged.Garbage[a][:], merged.Garbage[b][:]) < 0
+		})
 	}
 	return merged
 }
@@ -728,17 +787,22 @@ func mergeRegisterResps(resps []proto.RegisterResp) proto.RegisterResp {
 //
 // Crucially, an *unreachable* member is merely skipped for the round
 // (health-tracked, retried next round): it must not flip the node into a
-// global re-register, because re-registration clears the node's live
-// reservations on the members that are up. Only a member that explicitly
-// forgot the node is re-registered, and only that member. The merged
-// reply carries the shortest heartbeat interval any member asked for and
-// ORs the recovery flags; the error is the first member's failure, after
-// every member was attempted.
+// global re-register. Only a member that explicitly forgot the node — a
+// restart, or a decommission after the member declared the node dead —
+// is re-registered, and only that member; the registration carries the
+// node's chunk inventory, which that member reconciles against its
+// catalog (and its reservation counter against the node's live write
+// sessions). The merged reply carries the shortest heartbeat interval
+// any member asked for, ORs the recovery flags, sums the reconciled
+// counts, and intersects the garbage sets (only when every member
+// registered this round; see mergeRegisterResps); the error is the first
+// member's failure, after every member was attempted.
 func (r *Router) Announce(reg proto.RegisterReq, hb proto.HeartbeatReq, registered []bool) (proto.RegisterResp, error) {
 	if len(registered) != r.ms.Len() {
 		return proto.RegisterResp{}, fmt.Errorf("federation: announce with %d member flags, membership has %d", len(registered), r.ms.Len())
 	}
 	resps := make([]proto.RegisterResp, r.ms.Len())
+	registeredNow := make([]bool, r.ms.Len())
 	err := r.fanOut(func(i int) error {
 		if registered[i] {
 			var hresp proto.HeartbeatResp
@@ -750,17 +814,18 @@ func (r *Router) Announce(reg proto.RegisterReq, hb proto.HeartbeatReq, register
 			if !errors.Is(err, core.ErrNotFound) {
 				return err // unreachable or transient: keep state, retry next round
 			}
-			registered[i] = false // member restarted and forgot the node
+			registered[i] = false // member restarted or decommissioned the node
 		}
 		var rresp proto.RegisterResp
 		if err := r.call(i, proto.MRegister, reg, &rresp); err != nil {
 			return err
 		}
 		registered[i] = true
+		registeredNow[i] = true
 		resps[i] = rresp
 		return nil
 	})
-	return mergeRegisterResps(resps), err
+	return mergeRegisterResps(resps, registeredNow), err
 }
 
 // Heartbeat refreshes a benefactor's soft state on every member.

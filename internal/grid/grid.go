@@ -49,6 +49,10 @@ type Options struct {
 	// GCInterval / GCGrace configure benefactor garbage collection.
 	GCInterval time.Duration
 	GCGrace    time.Duration
+	// ScrubInterval enables benefactor integrity scrubbing (0 = off).
+	ScrubInterval time.Duration
+	// ScrubBatch caps chunks verified per scrub tick (0 = default).
+	ScrubBatch int
 	// DiskBacked stores chunks in per-node temp directories instead of
 	// memory.
 	DiskBacked bool
@@ -68,6 +72,17 @@ type Cluster struct {
 
 	opts  Options
 	nodes []*device.Node
+	specs []benefSpec
+}
+
+// benefSpec pins a benefactor slot's durable identity: the node ID and
+// disk directory survive a stop/restart cycle, so a restarted donor
+// rejoins as itself (same registry entry, same on-disk chunks) instead of
+// as a stranger — what a real machine does after a reboot.
+type benefSpec struct {
+	id   core.NodeID
+	dir  string // disk store directory ("" = memory-backed)
+	node *device.Node
 }
 
 // ManagerAddrs lists the metadata-plane member addresses in member order.
@@ -137,37 +152,60 @@ func Start(opts Options) (*Cluster, error) {
 }
 
 // AddBenefactor starts one more donor node (it registers asynchronously;
-// use AwaitOnline to wait).
+// use AwaitOnline to wait). The node gets a stable identity ("benef-N")
+// so a later RestartBenefactor rejoins as the same registry entry.
 func (c *Cluster) AddBenefactor() (*benefactor.Benefactor, error) {
 	node := device.NewNode(c.opts.BenefactorProfile)
 	c.nodes = append(c.nodes, node)
-	var st store.Store
+	spec := benefSpec{
+		id:   core.NodeID(fmt.Sprintf("benef-%d", len(c.specs))),
+		node: node,
+	}
 	if c.opts.DiskBacked {
 		dir := c.opts.DiskDir
 		if dir == "" {
 			dir = "."
 		}
-		ds, err := store.OpenDisk(fmt.Sprintf("%s/benef-%d", dir, len(c.Benefactors)), c.opts.BenefactorCapacity, node.Disk)
+		spec.dir = fmt.Sprintf("%s/%s", dir, spec.id)
+	}
+	b, err := c.startBenefactor(spec)
+	if err != nil {
+		return nil, err
+	}
+	c.specs = append(c.specs, spec)
+	c.Benefactors = append(c.Benefactors, b)
+	return b, nil
+}
+
+// startBenefactor launches a donor for one spec (initial start or
+// restart): the disk store reopens the spec's directory, memory-backed
+// slots come back empty.
+func (c *Cluster) startBenefactor(spec benefSpec) (*benefactor.Benefactor, error) {
+	var st store.Store
+	if spec.dir != "" {
+		ds, err := store.OpenDisk(spec.dir, c.opts.BenefactorCapacity, spec.node.Disk)
 		if err != nil {
 			return nil, fmt.Errorf("grid: open disk store: %w", err)
 		}
 		st = ds
 	} else {
-		st = store.NewMemory(c.opts.BenefactorCapacity, node.Disk)
+		st = store.NewMemory(c.opts.BenefactorCapacity, spec.node.Disk)
 	}
 	b, err := benefactor.New(benefactor.Config{
-		ListenAddr:   "127.0.0.1:0",
-		ManagerAddrs: c.ManagerAddrs(),
-		Store:        st,
-		GCInterval:   c.opts.GCInterval,
-		GCGrace:      c.opts.GCGrace,
-		Shaper:       ShaperFor(node, c.Fabric),
-		DialShaper:   ShaperFor(node, c.Fabric),
+		ID:            spec.id,
+		ListenAddr:    "127.0.0.1:0",
+		ManagerAddrs:  c.ManagerAddrs(),
+		Store:         st,
+		GCInterval:    c.opts.GCInterval,
+		GCGrace:       c.opts.GCGrace,
+		ScrubInterval: c.opts.ScrubInterval,
+		ScrubBatch:    c.opts.ScrubBatch,
+		Shaper:        ShaperFor(spec.node, c.Fabric),
+		DialShaper:    ShaperFor(spec.node, c.Fabric),
 	})
 	if err != nil {
 		return nil, fmt.Errorf("grid: start benefactor: %w", err)
 	}
-	c.Benefactors = append(c.Benefactors, b)
 	return b, nil
 }
 
@@ -179,6 +217,30 @@ func (c *Cluster) StopBenefactor(i int) error {
 	err := c.Benefactors[i].Close()
 	c.Benefactors[i] = nil
 	return err
+}
+
+// RestartBenefactor revives a stopped donor slot under its original
+// identity (churn injection). Disk-backed slots come back with their
+// chunks intact — the rejoin-reconciliation case — while memory-backed
+// slots come back empty, modelling a reimaged machine. A still-running
+// slot is stopped first. The new process listens on a fresh port; the
+// registration it sends updates the manager's address record.
+func (c *Cluster) RestartBenefactor(i int) (*benefactor.Benefactor, error) {
+	if i < 0 || i >= len(c.specs) {
+		return nil, fmt.Errorf("grid: no benefactor %d", i)
+	}
+	if c.Benefactors[i] != nil {
+		if err := c.Benefactors[i].Close(); err != nil {
+			return nil, fmt.Errorf("grid: stop benefactor %d: %w", i, err)
+		}
+		c.Benefactors[i] = nil
+	}
+	b, err := c.startBenefactor(c.specs[i])
+	if err != nil {
+		return nil, err
+	}
+	c.Benefactors[i] = b
+	return b, nil
 }
 
 // AwaitOnline blocks until every manager reports at least n online

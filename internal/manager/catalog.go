@@ -1032,6 +1032,43 @@ func (c *catalog) addLocation(id core.ChunkID, node core.NodeID) {
 	}
 }
 
+// adoptLocation re-adds a replica location from a re-registration
+// inventory, but only for chunks the catalog still knows — committed
+// (refs) or mid-commit (pending). It reports whether the chunk was
+// adopted; a false return means the caller may declare the chunk garbage
+// to the node. Pending chunks count as known so an in-flight commit's
+// uploads can never be condemned by a concurrent flap.
+func (c *catalog) adoptLocation(id core.ChunkID, node core.NodeID) bool {
+	sh := c.ck[c.ckIndexOf(id)]
+	sh.lock()
+	defer sh.unlock()
+	e, ok := sh.chunks[id]
+	if !ok || (e.refs <= 0 && e.pending <= 0) {
+		return false
+	}
+	e.locations[node] = struct{}{}
+	return true
+}
+
+// dropLocation removes one replica location of one chunk (scrub-reported
+// corruption) and reports whether it existed. A real drop flushes the
+// hot-map cache: a cached map pointing at the quarantined replica would
+// send readers to a chunk the node just deleted.
+func (c *catalog) dropLocation(id core.ChunkID, node core.NodeID) bool {
+	sh := c.ck[c.ckIndexOf(id)]
+	sh.lock()
+	e, ok := sh.chunks[id]
+	if ok {
+		_, ok = e.locations[node]
+		delete(e.locations, node)
+	}
+	sh.unlock()
+	if ok {
+		c.maps.invalidateAll()
+	}
+	return ok
+}
+
 // dropLocationEverywhere removes a node from all chunk location sets
 // (permanent decommission; not used for mere offline transitions, where
 // the node may come back with its chunks intact). This is the one event
@@ -1039,16 +1076,22 @@ func (c *catalog) addLocation(id core.ChunkID, node core.NodeID) {
 // hot-map cache is flushed: a node's chunks span datasets, and a cached
 // map pointing at the dead replica would defeat reader failover. The
 // flush runs after the scrub — its generation bump also discards any map
-// built concurrently from half-scrubbed stripes.
-func (c *catalog) dropLocationEverywhere(node core.NodeID) {
+// built concurrently from half-scrubbed stripes. Returns the number of
+// locations dropped (decommission telemetry).
+func (c *catalog) dropLocationEverywhere(node core.NodeID) int {
+	dropped := 0
 	for _, sh := range c.ck {
 		sh.lock()
 		for _, e := range sh.chunks {
-			delete(e.locations, node)
+			if _, ok := e.locations[node]; ok {
+				delete(e.locations, node)
+				dropped++
+			}
 		}
 		sh.unlock()
 	}
 	c.maps.invalidateAll()
+	return dropped
 }
 
 // list summarizes datasets, optionally restricted to a folder.

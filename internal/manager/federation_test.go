@@ -127,9 +127,9 @@ func TestPartitionEpochMismatch(t *testing.T) {
 // TestRegistryStatsCounters checks the striped registry's per-op counters
 // surface through ManagerStats like the PR 3 stripe counters do.
 func TestRegistryStatsCounters(t *testing.T) {
-	r := newRegistry(time.Minute)
-	r.register(regReq("s1", 1<<20))
-	r.register(regReq("s2", 1<<20))
+	r := newRegistry(time.Minute, 0)
+	r.register(regReq("s1", 1<<20), 0)
+	r.register(regReq("s2", 1<<20), 0)
 	if err := r.heartbeat(proto.HeartbeatReq{ID: "s1", Free: 1 << 20}); err != nil {
 		t.Fatal(err)
 	}
@@ -163,10 +163,10 @@ func TestRegistryStatsCounters(t *testing.T) {
 // and round-robin must keep touching multiple nodes. Run with -race this
 // is the concurrency proof for the atomic-cursor redesign.
 func TestRegistryConcurrentAlloc(t *testing.T) {
-	r := newRegistry(time.Minute)
+	r := newRegistry(time.Minute, 0)
 	const nodes, workers, rounds = 8, 12, 40
 	for i := 0; i < nodes; i++ {
-		r.register(regReq(fmt.Sprintf("cn%d", i), 1<<30))
+		r.register(regReq(fmt.Sprintf("cn%d", i), 1<<30), 0)
 	}
 	var wg sync.WaitGroup
 	touched := make([]map[core.NodeID]int, workers)

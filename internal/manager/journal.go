@@ -36,7 +36,7 @@ var (
 // replay whenever no snapshot watermark excludes them.
 type journalEntry struct {
 	Seq         uint64              `json:"seq,omitempty"`
-	Op          string              `json:"op"` // commit | delete | policy
+	Op          string              `json:"op"` // commit | delete | policy | decommission
 	Name        string              `json:"name"`
 	Version     core.VersionID      `json:"version,omitempty"`
 	Replication int                 `json:"replication,omitempty"`
@@ -609,6 +609,12 @@ func (m *Manager) replayJournal(watermark uint64) error {
 			if e.Policy != nil {
 				m.policies.set(e.Name, *e.Policy)
 			}
+		case "decommission":
+			// Name carries the dead node's ID. Replaying the drop keeps a
+			// restarted manager from resurrecting chunk locations on a node
+			// that was declared dead before the crash; if the node later
+			// rejoins, register's inventory reconciliation re-adopts them.
+			m.cat.dropLocationEverywhere(core.NodeID(e.Name))
 		default:
 			return fmt.Errorf("entry %d: unknown journal op %q", i, e.Op)
 		}

@@ -38,7 +38,7 @@ func driveSequentialJournal(t *testing.T, syncJournal bool) []byte {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m.reg.register(regReq("sq1", 1<<30))
+	m.reg.register(regReq("sq1", 1<<30), 0)
 	for w := 0; w < 3; w++ {
 		for ti := 0; ti < 4; ti++ {
 			name := fmt.Sprintf("seq.n%d.t%d", w, ti)
@@ -126,7 +126,7 @@ func TestAsyncJournalCloseDrains(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m.reg.register(regReq("dr1", 1<<30))
+	m.reg.register(regReq("dr1", 1<<30), 0)
 	const commits = 500
 	for i := 0; i < commits; i++ {
 		name := fmt.Sprintf("drain.n%d.t0", i)

@@ -56,6 +56,13 @@ type Config struct {
 	// NodeTTL expires benefactors that stop heartbeating. Defaults to 3x
 	// the heartbeat interval.
 	NodeTTL time.Duration
+	// DeadTimeout is the heartbeat silence past which a suspect (expired)
+	// benefactor is declared dead and decommissioned: its chunk locations
+	// are dropped from the catalog (journaled, so restarts do not
+	// resurrect them) and repair re-replicates from the survivors. Zero
+	// defaults to 10x NodeTTL; negative disables death entirely (suspects
+	// linger forever, the pre-lifecycle behavior).
+	DeadTimeout time.Duration
 	// DefaultStripeWidth applies when a client requests width 0.
 	DefaultStripeWidth int
 	// DefaultChunkSize applies when a client requests chunk size 0.
@@ -67,6 +74,12 @@ type Config struct {
 	ReplicationInterval time.Duration
 	// ReplicationParallel caps concurrent replica copies per round.
 	ReplicationParallel int
+	// RepairBytesPerRound caps the bytes of replica copies one scheduler
+	// round may schedule, so a mass failure's repair storm cannot saturate
+	// the benefactor links foreground writes need. The scheduler consumes
+	// jobs critical-band first, so a tight budget always goes to the most
+	// exposed chunks. Zero leaves rounds unbudgeted.
+	RepairBytesPerRound int64
 	// WritePriority throttles replication to one copy per round while
 	// write sessions are active (paper: "Creation of new files has
 	// priority over replication").
@@ -149,6 +162,11 @@ func (c Config) withDefaults() Config {
 	if c.NodeTTL <= 0 {
 		c.NodeTTL = 3 * c.HeartbeatInterval
 	}
+	if c.DeadTimeout == 0 {
+		c.DeadTimeout = 10 * c.NodeTTL
+	} else if c.DeadTimeout < 0 {
+		c.DeadTimeout = 0 // disabled: the registry never declares death
+	}
 	if c.DefaultStripeWidth <= 0 {
 		c.DefaultStripeWidth = 4
 	}
@@ -212,15 +230,28 @@ type Manager struct {
 		diffs              atomic.Int64
 		prefetchBatches    atomic.Int64
 		replicasCopied     atomic.Int64
-		chunksCollected    atomic.Int64
-		versionsPruned     atomic.Int64
-		journalReplayed    atomic.Int64
-		snapshots          atomic.Int64
-		snapshotSeq        atomic.Uint64
+		// Repair plane (proto.RepairStats). The first two are gauges
+		// sampled at the last scheduler round; the rest are cumulative.
+		repairPending       atomic.Int64
+		repairCritical      atomic.Int64
+		repairCopiedBytes   atomic.Int64
+		repairFailed        atomic.Int64
+		repairCorrupt       atomic.Int64 // corrupt replicas reported by scrubbing
+		repairReconciled    atomic.Int64 // locations re-adopted from rejoin inventories
+		repairDecommissions atomic.Int64
+		chunksCollected     atomic.Int64
+		versionsPruned      atomic.Int64
+		journalReplayed     atomic.Int64
+		snapshots           atomic.Int64
+		snapshotSeq         atomic.Uint64
 	}
 
 	stop chan struct{}
-	wg   sync.WaitGroup
+	// repairKick nudges the replication scheduler to run immediately
+	// (decommission, corruption report, rejoin) instead of waiting out the
+	// tick. Buffered: one pending kick covers any number of events.
+	repairKick chan struct{}
+	wg         sync.WaitGroup
 
 	closeOnce sync.Once
 }
@@ -229,15 +260,16 @@ type Manager struct {
 func New(cfg Config) (*Manager, error) {
 	cfg = cfg.withDefaults()
 	m := &Manager{
-		cfg:      cfg,
-		reg:      newRegistry(cfg.NodeTTL),
-		cat:      newCatalogStripes(cfg.MetadataStripes),
-		sess:     newSessionTableStripes(cfg.SessionTTL, cfg.MetadataStripes),
-		pool:     wire.NewPool(cfg.DialShaper, 8),
-		logger:   cfg.Logger,
-		policies: newPolicyTable(),
-		adm:      newAdmission(cfg.MaxPendingOps, cfg.RetryAfterHint),
-		stop:     make(chan struct{}),
+		cfg:        cfg,
+		reg:        newRegistry(cfg.NodeTTL, cfg.DeadTimeout),
+		cat:        newCatalogStripes(cfg.MetadataStripes),
+		sess:       newSessionTableStripes(cfg.SessionTTL, cfg.MetadataStripes),
+		pool:       wire.NewPool(cfg.DialShaper, 8),
+		logger:     cfg.Logger,
+		policies:   newPolicyTable(),
+		adm:        newAdmission(cfg.MaxPendingOps, cfg.RetryAfterHint),
+		stop:       make(chan struct{}),
+		repairKick: make(chan struct{}, 1),
 	}
 	if len(cfg.FederationMembers) > 0 {
 		if cfg.MemberIndex < 0 || cfg.MemberIndex >= len(cfg.FederationMembers) {
@@ -458,6 +490,20 @@ func (m *Manager) handle(r *wire.Req) (wire.Resp, error) {
 		}
 		if err := m.reg.heartbeat(req); err != nil {
 			return wire.Resp{}, err
+		}
+		// Scrub reports: a quarantined replica leaves the chunk-map now, so
+		// readers stop being routed to it and the repair scheduler sees the
+		// chunk one replica short immediately.
+		if len(req.Corrupt) > 0 {
+			dropped := 0
+			for _, id := range req.Corrupt {
+				if m.cat.dropLocation(id, req.ID) {
+					dropped++
+				}
+			}
+			m.stats.repairCorrupt.Add(int64(len(req.Corrupt)))
+			m.logf("benefactor %s reported %d corrupt chunks (%d locations dropped)", req.ID, len(req.Corrupt), dropped)
+			m.kickRepair()
 		}
 		return wire.Resp{Meta: proto.HeartbeatResp{OK: true, Recovering: m.recovering.Load()}}, nil
 	case proto.MAlloc:
@@ -692,7 +738,7 @@ func (m *Manager) handleRegister(req proto.RegisterReq) (wire.Resp, error) {
 	if req.ID == "" || req.Addr == "" {
 		return wire.Resp{}, errors.New("manager: register requires id and addr")
 	}
-	m.reg.register(req)
+	prev := m.reg.register(req, m.sess.reservedOn(req.ID))
 	m.logf("registered benefactor %s at %s (capacity %d)", req.ID, req.Addr, req.Capacity)
 	recovering := m.recovering.Load()
 	if recovering {
@@ -702,10 +748,38 @@ func (m *Manager) handleRegister(req proto.RegisterReq) (wire.Resp, error) {
 			m.pullRecoveryMaps(addr)
 		}(req.Addr)
 	}
-	return wire.Resp{Meta: proto.RegisterResp{
+	resp := proto.RegisterResp{
 		HeartbeatInterval: m.cfg.HeartbeatInterval,
 		Recovering:        recovering,
-	}}, nil
+	}
+	// Rejoin reconciliation: the registration carries the node's chunk
+	// inventory. Locations the catalog still wants (committed or
+	// mid-commit) are re-adopted — a flap past DeadTimeout heals in this
+	// one RPC instead of re-replicating everything the decommission
+	// dropped — and the remainder is returned as the node's garbage set.
+	// While recovering the catalog is incomplete: adopt what has already
+	// been restored, condemn nothing.
+	chunks := req.Chunks
+	if len(chunks) > proto.MaxRegisterChunks {
+		chunks = chunks[:proto.MaxRegisterChunks]
+	}
+	for _, id := range chunks {
+		if m.cat.adoptLocation(id, req.ID) {
+			resp.Reconciled++
+		} else if !recovering {
+			resp.Garbage = append(resp.Garbage, id)
+		}
+	}
+	if resp.Reconciled > 0 {
+		m.stats.repairReconciled.Add(int64(resp.Reconciled))
+		m.logf("benefactor %s rejoined: %d locations reconciled, %d garbage", req.ID, resp.Reconciled, len(resp.Garbage))
+	}
+	if prev == core.NodeDead || resp.Reconciled > 0 {
+		// Reconciled locations may satisfy repairs the decommission queued;
+		// a fresh round recomputes against the healed chunk-map.
+		m.kickRepair()
+	}
+	return wire.Resp{Meta: resp}, nil
 }
 
 func (m *Manager) handleAlloc(req proto.AllocReq) (wire.Resp, error) {
@@ -849,7 +923,7 @@ func (m *Manager) handleGCReport(req proto.GCReportReq) (wire.Resp, error) {
 }
 
 func (m *Manager) statsSnapshot() proto.ManagerStats {
-	total, online := m.reg.counts()
+	total, online, suspectN, deadN := m.reg.counts()
 	datasets, versions, chunks, logical, stored := m.cat.counters()
 	dsStripes, ckStripes := m.cat.stripeSnapshot()
 	sessStripes := m.sess.stripeSnapshot()
@@ -873,45 +947,56 @@ func (m *Manager) statsSnapshot() proto.ManagerStats {
 	allocCount, allocSum, allocBuckets := m.allocLat.Snapshot()
 	commitCount, commitSum, commitBuckets := m.commitLat.Snapshot()
 	return proto.ManagerStats{
-		Admission:         m.adm.snapshot(),
-		AllocLatency:      proto.LatencyStats{Count: allocCount, SumMicros: allocSum, Buckets: allocBuckets},
-		CommitLatency:     proto.LatencyStats{Count: commitCount, SumMicros: commitSum, Buckets: commitBuckets},
-		CatalogStripes:    dsStripes,
-		ChunkStripes:      ckStripes,
-		SessionStripes:    sessStripes,
-		Registry:          regStats,
-		StripeOps:         stripeOps,
-		StripeContention:  stripeContended,
-		Federation:        fedInfo,
-		Benefactors:       total,
-		OnlineBenefactors: online,
-		Datasets:          datasets,
-		Versions:          versions,
-		UniqueChunks:      chunks,
-		LogicalBytes:      logical,
-		StoredBytes:       stored,
-		ActiveSessions:    m.sess.active(),
-		Transactions:      m.stats.transactions.Load(),
-		Extends:           m.stats.extends.Load(),
-		DedupBatches:      m.stats.dedupBatches.Load(),
-		DedupChunks:       m.stats.dedupChunksQueried.Load(),
-		DedupHits:         m.stats.dedupHits.Load(),
-		GetMaps:           m.stats.getMaps.Load(),
-		StatVersions:      m.stats.statVersions.Load(),
-		Histories:         m.stats.histories.Load(),
-		Diffs:             m.stats.diffs.Load(),
-		PrefetchBatches:   m.stats.prefetchBatches.Load(),
-		MapCache:          m.cat.maps.snapshot(),
-		ReplicasCopied:    m.stats.replicasCopied.Load(),
-		ChunksCollected:   m.stats.chunksCollected.Load(),
-		VersionsPruned:    m.stats.versionsPruned.Load(),
-		JournalBatches:    jBatches,
-		JournalBatchLen:   jBatchLen,
-		JournalFsyncs:     jFsyncs,
-		JournalErrors:     jErrs,
-		JournalReplayed:   m.stats.journalReplayed.Load(),
-		Snapshots:         m.stats.snapshots.Load(),
-		SnapshotSeq:       int64(m.stats.snapshotSeq.Load()),
+		Admission:          m.adm.snapshot(),
+		AllocLatency:       proto.LatencyStats{Count: allocCount, SumMicros: allocSum, Buckets: allocBuckets},
+		CommitLatency:      proto.LatencyStats{Count: commitCount, SumMicros: commitSum, Buckets: commitBuckets},
+		CatalogStripes:     dsStripes,
+		ChunkStripes:       ckStripes,
+		SessionStripes:     sessStripes,
+		Registry:           regStats,
+		StripeOps:          stripeOps,
+		StripeContention:   stripeContended,
+		Federation:         fedInfo,
+		Benefactors:        total,
+		OnlineBenefactors:  online,
+		SuspectBenefactors: suspectN,
+		DeadBenefactors:    deadN,
+		Datasets:           datasets,
+		Versions:           versions,
+		UniqueChunks:       chunks,
+		LogicalBytes:       logical,
+		StoredBytes:        stored,
+		ActiveSessions:     m.sess.active(),
+		Transactions:       m.stats.transactions.Load(),
+		Extends:            m.stats.extends.Load(),
+		DedupBatches:       m.stats.dedupBatches.Load(),
+		DedupChunks:        m.stats.dedupChunksQueried.Load(),
+		DedupHits:          m.stats.dedupHits.Load(),
+		GetMaps:            m.stats.getMaps.Load(),
+		StatVersions:       m.stats.statVersions.Load(),
+		Histories:          m.stats.histories.Load(),
+		Diffs:              m.stats.diffs.Load(),
+		PrefetchBatches:    m.stats.prefetchBatches.Load(),
+		MapCache:           m.cat.maps.snapshot(),
+		ReplicasCopied:     m.stats.replicasCopied.Load(),
+		Repair: proto.RepairStats{
+			Pending:         m.stats.repairPending.Load(),
+			Critical:        m.stats.repairCritical.Load(),
+			CopiedBytes:     m.stats.repairCopiedBytes.Load(),
+			Failed:          m.stats.repairFailed.Load(),
+			CorruptReported: m.stats.repairCorrupt.Load(),
+			Reconciled:      m.stats.repairReconciled.Load(),
+			Decommissions:   m.stats.repairDecommissions.Load(),
+		},
+		ChunksCollected: m.stats.chunksCollected.Load(),
+		VersionsPruned:  m.stats.versionsPruned.Load(),
+		JournalBatches:  jBatches,
+		JournalBatchLen: jBatchLen,
+		JournalFsyncs:   jFsyncs,
+		JournalErrors:   jErrs,
+		JournalReplayed: m.stats.journalReplayed.Load(),
+		Snapshots:       m.stats.snapshots.Load(),
+		SnapshotSeq:     int64(m.stats.snapshotSeq.Load()),
 	}
 }
 
@@ -960,14 +1045,45 @@ func (m *Manager) sweepLoop() {
 		case <-m.stop:
 			return
 		case now := <-ticker.C:
-			for _, id := range m.reg.sweep(now) {
-				m.logf("benefactor %s expired (no heartbeat)", id)
+			suspect, dead := m.reg.sweep(now)
+			for _, id := range suspect {
+				m.logf("benefactor %s suspect (no heartbeat)", id)
+			}
+			for _, id := range dead {
+				m.decommission(id)
 			}
 			for _, s := range m.sess.expire(now) {
 				m.reg.release(s.stripeIDs, s.perNode)
 				m.logf("write session %d (%s) expired; reservations released", s.id, s.name)
 			}
 		}
+	}
+}
+
+// decommission drops every chunk location a dead benefactor held and
+// journals the drop, so a manager restart cannot resurrect locations on a
+// node declared dead before the crash. Repair then re-replicates from the
+// survivors; if the node eventually rejoins, register's inventory
+// reconciliation re-adopts whatever it still holds. The journal record is
+// written outside any dataset stripe's critical section, so its order
+// against concurrent commits is best-effort — a replay divergence there
+// only re-creates locations that the next sweep or rejoin reconciles.
+func (m *Manager) decommission(id core.NodeID) {
+	// The drop proceeds even if journaling fails: routing readers to a
+	// dead node is worse than a replayed journal missing one drop.
+	m.journalRecord(journalEntry{Op: "decommission", Name: string(id)})
+	dropped := m.cat.dropLocationEverywhere(id)
+	m.stats.repairDecommissions.Add(1)
+	m.logf("benefactor %s dead (silent past %v): decommissioned, %d chunk locations dropped", id, m.cfg.DeadTimeout, dropped)
+	m.kickRepair()
+}
+
+// kickRepair nudges the replication scheduler to run now instead of at its
+// next tick. Non-blocking: a pending kick already covers the event.
+func (m *Manager) kickRepair() {
+	select {
+	case m.repairKick <- struct{}{}:
+	default:
 	}
 }
 

@@ -20,10 +20,10 @@ func regReq(id string, free int64) proto.RegisterReq {
 }
 
 func TestRegistryRegisterHeartbeatSweep(t *testing.T) {
-	r := newRegistry(50 * time.Millisecond)
-	r.register(regReq("n1", 1000))
-	r.register(regReq("n2", 1000))
-	if total, online := r.counts(); total != 2 || online != 2 {
+	r := newRegistry(50*time.Millisecond, 0)
+	r.register(regReq("n1", 1000), 0)
+	r.register(regReq("n2", 1000), 0)
+	if total, online, _, _ := r.counts(); total != 2 || online != 2 {
 		t.Fatalf("counts = %d/%d", online, total)
 	}
 	if err := r.heartbeat(proto.HeartbeatReq{ID: "n1", Free: 900}); err != nil {
@@ -32,25 +32,25 @@ func TestRegistryRegisterHeartbeatSweep(t *testing.T) {
 	if err := r.heartbeat(proto.HeartbeatReq{ID: "ghost"}); !errors.Is(err, core.ErrNotFound) {
 		t.Fatalf("ghost heartbeat: %v", err)
 	}
-	// After TTL, both expire.
-	expired := r.sweep(time.Now().Add(100 * time.Millisecond))
-	if len(expired) != 2 {
-		t.Fatalf("expired %d nodes, want 2", len(expired))
+	// After TTL, both turn suspect.
+	suspect, dead := r.sweep(time.Now().Add(100 * time.Millisecond))
+	if len(suspect) != 2 || len(dead) != 0 {
+		t.Fatalf("sweep = %d suspect, %d dead; want 2, 0", len(suspect), len(dead))
 	}
 	if r.online("n1") {
 		t.Fatal("n1 online after sweep")
 	}
 	// Re-registration revives.
-	r.register(regReq("n1", 500))
+	r.register(regReq("n1", 500), 0)
 	if !r.online("n1") {
 		t.Fatal("n1 offline after re-register")
 	}
 }
 
 func TestRegistryAllocateStripeRoundRobin(t *testing.T) {
-	r := newRegistry(time.Minute)
+	r := newRegistry(time.Minute, 0)
 	for i := 0; i < 4; i++ {
-		r.register(regReq(fmt.Sprintf("n%d", i), 1<<20))
+		r.register(regReq(fmt.Sprintf("n%d", i), 1<<20), 0)
 	}
 	// Width 2 stripes must rotate across registrations.
 	first, err := r.allocateStripe(2, 10)
@@ -67,9 +67,9 @@ func TestRegistryAllocateStripeRoundRobin(t *testing.T) {
 }
 
 func TestRegistryAllocateSkipsFullAndOffline(t *testing.T) {
-	r := newRegistry(time.Minute)
-	r.register(regReq("big", 1<<20))
-	r.register(regReq("small", 10))
+	r := newRegistry(time.Minute, 0)
+	r.register(regReq("big", 1<<20), 0)
+	r.register(regReq("small", 10), 0)
 	stripe, err := r.allocateStripe(2, 100)
 	if err != nil {
 		t.Fatal(err)
@@ -92,18 +92,18 @@ func TestRegistryAllocateSkipsFullAndOffline(t *testing.T) {
 }
 
 func TestRegistryAllocateEmptyPool(t *testing.T) {
-	r := newRegistry(time.Minute)
+	r := newRegistry(time.Minute, 0)
 	if _, err := r.allocateStripe(2, 10); !errors.Is(err, core.ErrNoBenefactors) {
 		t.Fatalf("empty pool: %v", err)
 	}
 }
 
 func TestRegistryPickTargets(t *testing.T) {
-	r := newRegistry(time.Minute)
-	r.register(regReq("a", 100))
-	r.register(regReq("b", 1000))
-	r.register(regReq("c", 500))
-	targets := r.pickTargets(2, map[core.NodeID]struct{}{"b": {}})
+	r := newRegistry(time.Minute, 0)
+	r.register(regReq("a", 100), 0)
+	r.register(regReq("b", 1000), 0)
+	r.register(regReq("c", 500), 0)
+	targets := r.pickTargets(2, map[core.NodeID]struct{}{"b": {}}, 0)
 	if len(targets) != 2 {
 		t.Fatalf("%d targets, want 2", len(targets))
 	}

@@ -205,7 +205,7 @@ func TestHotMapCacheDisabled(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer m.Close()
-	m.reg.register(regReq("n1", 1<<30))
+	m.reg.register(regReq("n1", 1<<30), 0)
 	alloc, err := m.handleAlloc(proto.AllocReq{Name: "off.n1.t0", StripeWidth: 1, ChunkSize: 64, ReserveBytes: 64})
 	if err != nil {
 		t.Fatal(err)

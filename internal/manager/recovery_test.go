@@ -78,7 +78,7 @@ func TestManagerJournalRestartRestoresCatalog(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Simulate a full write cycle directly against the handlers.
-	m1.reg.register(regReq("n1", 1<<30))
+	m1.reg.register(regReq("n1", 1<<30), 0)
 	alloc, err := m1.handleAlloc(proto.AllocReq{Name: "jr.n1.t0", StripeWidth: 1, ChunkSize: 10, ReserveBytes: 100})
 	if err != nil {
 		t.Fatal(err)

@@ -13,7 +13,9 @@ import (
 
 // registry is the soft-state benefactor directory (paper §IV.A): nodes
 // publish their status and free space via registration and periodic
-// heartbeats; missing heartbeats expire a node to offline.
+// heartbeats; missing heartbeats walk a node down the lifecycle state
+// machine online → suspect (past ttl) → dead (past deadAfter, at which
+// point the manager decommissions it).
 //
 // Once the catalog was striped (PR 3), the registry's single mutex was
 // the next lock every alloc serialized on. The hot paths now avoid write
@@ -28,6 +30,10 @@ import (
 // lock.
 type registry struct {
 	ttl time.Duration
+	// deadAfter is the heartbeat silence past which a suspect node is
+	// declared dead (0 = never: suspects linger, the pre-lifecycle
+	// behavior).
+	deadAfter time.Duration
 
 	// tbl guards the nodes map and ring slice (membership), read-mostly.
 	tbl    stripedMu
@@ -48,40 +54,48 @@ type benefactorState struct {
 	reserved int64 // bytes promised to open write sessions
 }
 
-func newRegistry(ttl time.Duration) *registry {
+func newRegistry(ttl, deadAfter time.Duration) *registry {
 	return &registry{
-		ttl:   ttl,
-		nodes: make(map[core.NodeID]*benefactorState),
+		ttl:       ttl,
+		deadAfter: deadAfter,
+		nodes:     make(map[core.NodeID]*benefactorState),
 	}
 }
 
-// register adds or refreshes a node. Re-registration (a restarted
-// benefactor) keeps its identity and clears stale reservations. This is
-// the only path that takes the table lock in write mode. A new node's
-// state is fully populated before it is published into the table, so a
-// concurrent reader can never observe a zero-valued registration.
-func (r *registry) register(req proto.RegisterReq) {
+// register adds or refreshes a node and returns the node's previous
+// lifecycle state ("" for a first registration). Re-registration (a
+// restarted or flapped benefactor) keeps its identity; its reservation
+// counter is set to `reserved`, the caller's sum over the live write
+// sessions still striped onto the node — NOT cleared to zero, which would
+// let the manager over-promise space those sessions were already granted.
+// This is the only path that takes the table lock in write mode. A new
+// node's state is fully populated before it is published into the table,
+// so a concurrent reader can never observe a zero-valued registration.
+func (r *registry) register(req proto.RegisterReq, reserved int64) core.NodeState {
 	info := core.BenefactorInfo{
 		ID:       req.ID,
 		Addr:     req.Addr,
 		Capacity: req.Capacity,
 		Free:     req.Free,
 		Online:   true,
+		State:    core.NodeOnline,
 		LastSeen: time.Now(),
 	}
 	r.tbl.lock()
 	st, ok := r.nodes[req.ID]
 	if !ok {
-		r.nodes[req.ID] = &benefactorState{info: info}
+		r.nodes[req.ID] = &benefactorState{info: info, reserved: reserved}
 		r.ring = append(r.ring, req.ID)
 		r.tbl.unlock()
-		return
+		return ""
 	}
 	r.tbl.unlock()
 	st.mu.Lock()
+	prev := st.info.State
 	st.info = info
-	st.reserved = 0
+	st.reserved = reserved
 	st.mu.Unlock()
+	return prev
 }
 
 // lookup finds a node under the table read lock.
@@ -93,7 +107,11 @@ func (r *registry) lookup(id core.NodeID) (*benefactorState, bool) {
 }
 
 // heartbeat refreshes a node's soft state. Unknown nodes are rejected so a
-// restarted manager forces re-registration (and with it, recovery).
+// restarted manager forces re-registration (and with it, recovery). Dead
+// nodes are rejected the same way: their chunk locations were dropped at
+// decommission, so they must rejoin through register, whose inventory
+// reconciliation re-adopts whatever they still hold. A suspect node's
+// heartbeat restores it to online.
 func (r *registry) heartbeat(req proto.HeartbeatReq) error {
 	r.heartbeats.Add(1)
 	st, ok := r.lookup(req.ID)
@@ -101,29 +119,48 @@ func (r *registry) heartbeat(req proto.HeartbeatReq) error {
 		return fmt.Errorf("heartbeat from unregistered node %s: %w", req.ID, core.ErrNotFound)
 	}
 	st.mu.Lock()
+	if st.info.State == core.NodeDead {
+		st.mu.Unlock()
+		return fmt.Errorf("heartbeat from decommissioned node %s: %w", req.ID, core.ErrNotFound)
+	}
 	st.info.Free = req.Free
 	st.info.ChunkHeld = req.Chunks
 	st.info.Online = true
+	st.info.State = core.NodeOnline
 	st.info.LastSeen = time.Now()
 	st.mu.Unlock()
 	return nil
 }
 
-// sweep expires nodes whose heartbeats stopped. It returns the IDs that
-// transitioned to offline during this sweep.
-func (r *registry) sweep(now time.Time) []core.NodeID {
+// sweep walks silent nodes down the lifecycle: online nodes past the ttl
+// become suspect, suspect nodes past deadAfter become dead. It returns
+// the IDs that transitioned during this sweep; the caller decommissions
+// the dead ones. A node declared dead has its reservation counter zeroed
+// here — the decommission releases the node's promises — under the same
+// leaf lock that flips the state, so the pair is atomic.
+func (r *registry) sweep(now time.Time) (suspect, dead []core.NodeID) {
 	r.tbl.rlock()
 	defer r.tbl.runlock()
-	var expired []core.NodeID
 	for id, st := range r.nodes {
 		st.mu.Lock()
-		if st.info.Online && now.Sub(st.info.LastSeen) > r.ttl {
-			st.info.Online = false
-			expired = append(expired, id)
+		silent := now.Sub(st.info.LastSeen)
+		switch st.info.State {
+		case core.NodeOnline:
+			if silent > r.ttl {
+				st.info.Online = false
+				st.info.State = core.NodeSuspect
+				suspect = append(suspect, id)
+			}
+		case core.NodeSuspect:
+			if r.deadAfter > 0 && silent > r.deadAfter {
+				st.info.State = core.NodeDead
+				st.reserved = 0
+				dead = append(dead, id)
+			}
 		}
 		st.mu.Unlock()
 	}
-	return expired
+	return suspect, dead
 }
 
 // online reports whether the node is currently considered alive.
@@ -164,19 +201,25 @@ func (r *registry) list() []core.BenefactorInfo {
 	return out
 }
 
-// counts returns (total, online) node counts.
-func (r *registry) counts() (int, int) {
+// counts returns node counts by lifecycle state.
+func (r *registry) counts() (total, online, suspect, dead int) {
 	r.tbl.rlock()
 	defer r.tbl.runlock()
-	online := 0
 	for _, st := range r.nodes {
 		st.mu.Lock()
-		if st.info.Online {
-			online++
+		switch st.info.State {
+		case core.NodeSuspect:
+			suspect++
+		case core.NodeDead:
+			dead++
+		default:
+			if st.info.Online {
+				online++
+			}
 		}
 		st.mu.Unlock()
 	}
-	return len(r.nodes), online
+	return len(r.nodes), online, suspect, dead
 }
 
 // allocateStripe picks `width` online benefactors in round-robin order
@@ -250,12 +293,19 @@ func (r *registry) release(ids []core.NodeID, perNodeBytes int64) {
 }
 
 // pickTargets selects up to n online nodes, excluding `exclude`, with the
-// most available space first (replication destinations).
-func (r *registry) pickTargets(n int, exclude map[core.NodeID]struct{}) []proto.Stripe {
+// most available space first (replication destinations), and charges each
+// selected node a perBytes transfer reservation so concurrent repair
+// rounds cannot collectively overfill a node that admission control
+// thinks has free space. The caller MUST release every returned node's
+// reservation once its copy lands or fails; the copied bytes then show up
+// in the node's next heartbeat Free (one heartbeat of double-count slack
+// is accepted over holding reservations hostage to heartbeat timing).
+func (r *registry) pickTargets(n int, exclude map[core.NodeID]struct{}, perBytes int64) []proto.Stripe {
 	r.tbl.rlock()
 	defer r.tbl.runlock()
 	type cand struct {
 		id    core.NodeID
+		st    *benefactorState
 		addr  string
 		avail int64
 	}
@@ -269,10 +319,10 @@ func (r *registry) pickTargets(n int, exclude map[core.NodeID]struct{}) []proto.
 		addr := st.info.Addr
 		avail := st.info.Free - st.reserved
 		st.mu.Unlock()
-		if !online {
+		if !online || avail < perBytes {
 			continue
 		}
-		cands = append(cands, cand{id: id, addr: addr, avail: avail})
+		cands = append(cands, cand{id: id, st: st, addr: addr, avail: avail})
 	}
 	sort.Slice(cands, func(i, j int) bool {
 		if cands[i].avail != cands[j].avail {
@@ -285,7 +335,14 @@ func (r *registry) pickTargets(n int, exclude map[core.NodeID]struct{}) []proto.
 	}
 	out := make([]proto.Stripe, 0, n)
 	for _, c := range cands[:n] {
-		out = append(out, proto.Stripe{ID: c.id, Addr: c.addr})
+		// Re-admit under the leaf lock: the sort ran on a stale snapshot
+		// and a racing allocation may have claimed the space since.
+		c.st.mu.Lock()
+		if c.st.info.Online && c.st.info.Free-c.st.reserved >= perBytes {
+			c.st.reserved += perBytes
+			out = append(out, proto.Stripe{ID: c.id, Addr: c.addr})
+		}
+		c.st.mu.Unlock()
 	}
 	return out
 }

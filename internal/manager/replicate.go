@@ -18,12 +18,22 @@ type replJob struct {
 	needed  int
 }
 
-// maxJobsPerRound bounds the work the scheduler picks up in one pass.
-const maxJobsPerRound = 256
+// Priority bands. A chunk with a single live replica is one failure from
+// loss and repairs before merely-degraded chunks; each band keeps its own
+// per-round cap so a deep critical backlog cannot permanently starve bulk
+// repair (nor the reverse). The critical band gets most of the round.
+const (
+	maxJobsPerRound = 256
+	criticalBandCap = 192
+	bulkBandCap     = maxJobsPerRound - criticalBandCap
+)
 
 // underReplicated scans the catalog for chunks whose live replica count is
 // below their dataset's target. The manager builds the shadow-chunk-map
-// from these (paper §IV.A "Data replication").
+// from these (paper §IV.A "Data replication"). Jobs come back ordered by
+// liveness deficit — every single-live-replica (critical) chunk before any
+// multi-replica (bulk) one — so a downstream byte budget always spends on
+// the most exposed data first.
 //
 // The scan streams one dataset stripe at a time under its read lock,
 // consulting the content index per version with one grouped acquisition
@@ -31,14 +41,16 @@ const maxJobsPerRound = 256
 // dataset stripes in the lock order). Like the single-lock scan it
 // replaces, it deduplicates only *emitted* jobs — a chunk that satisfies
 // one dataset's target is still re-examined against a later dataset's
-// higher target — scans to completion unless the per-round job cap stops
-// it, and so can never starve a chunk behind fully-replicated ones.
-// Memory is O(jobs), bounded by maxJobsPerRound. All locking here is
-// uninstrumented: this background pass must not pollute the stripe
-// ops/contention metrics that measure client-driven serialization.
+// higher target, and a chunk skipped because its band filled stays
+// unmarked so the next round picks it up — scans to completion unless
+// both band caps stop it, and so can never starve a chunk behind
+// fully-replicated ones. Memory is O(jobs), bounded by maxJobsPerRound.
+// All locking here is uninstrumented: this background pass must not
+// pollute the stripe ops/contention metrics that measure client-driven
+// serialization.
 func (c *catalog) underReplicated(online func(core.NodeID) bool) []replJob {
 	emitted := make(map[core.ChunkID]struct{}, maxJobsPerRound)
-	var jobs []replJob
+	var critical, bulk []replJob
 	for _, sh := range c.ds {
 		sh.mu.RLock()
 		for _, ds := range sh.byName {
@@ -66,9 +78,16 @@ func (c *catalog) underReplicated(online func(core.NodeID) bool) []replJob {
 						if len(live) == 0 || len(live) >= target {
 							continue
 						}
+						band, bandCap := &bulk, bulkBandCap
+						if len(live) == 1 {
+							band, bandCap = &critical, criticalBandCap
+						}
+						if len(*band) >= bandCap {
+							continue
+						}
 						emitted[ref.ID] = struct{}{}
 						sort.Slice(live, func(a, b int) bool { return live[a] < live[b] })
-						jobs = append(jobs, replJob{
+						*band = append(*band, replJob{
 							id:      ref.ID,
 							size:    ref.Size,
 							sources: live,
@@ -76,20 +95,22 @@ func (c *catalog) underReplicated(online func(core.NodeID) bool) []replJob {
 						})
 					}
 				})
-				if len(jobs) >= maxJobsPerRound {
+				if len(critical) >= criticalBandCap && len(bulk) >= bulkBandCap {
 					sh.mu.RUnlock()
-					return jobs[:maxJobsPerRound]
+					return append(critical, bulk...)
 				}
 			}
 		}
 		sh.mu.RUnlock()
 	}
-	return jobs
+	return append(critical, bulk...)
 }
 
 // replicationLoop runs the background replication scheduler. Foreground
 // writes have priority: while write sessions are active the scheduler
-// throttles itself to one copy per round (paper §IV.A).
+// throttles itself to one copy per round (paper §IV.A). Repair kicks
+// (decommission, corruption report, rejoin) start a round immediately
+// instead of waiting out the tick.
 func (m *Manager) replicationLoop() {
 	defer m.wg.Done()
 	ticker := time.NewTicker(m.cfg.ReplicationInterval)
@@ -100,16 +121,58 @@ func (m *Manager) replicationLoop() {
 			return
 		case <-ticker.C:
 			m.replicateOnce()
+		case <-m.repairKick:
+			m.replicateOnce()
 		}
 	}
+}
+
+// UnderReplicated runs one on-demand under-replication scan and reports
+// the band sizes: critical chunks are one failure from loss (a single
+// live replica), bulk chunks merely degraded. Both zero means every
+// referenced chunk is back at its dataset's replication target — the
+// convergence probe churn harnesses poll between failure injections.
+func (m *Manager) UnderReplicated() (critical, bulk int) {
+	for _, j := range m.cat.underReplicated(m.reg.online) {
+		if len(j.sources) == 1 {
+			critical++
+		} else {
+			bulk++
+		}
+	}
+	return critical, bulk
 }
 
 // replicateOnce performs one scheduler round and returns the number of
 // replicas successfully created. Exposed for tests and the ablation bench.
 func (m *Manager) replicateOnce() int {
 	jobs := m.cat.underReplicated(m.reg.online)
+	critical := 0
+	for _, j := range jobs {
+		if len(j.sources) == 1 {
+			critical++
+		}
+	}
+	m.stats.repairPending.Store(int64(len(jobs)))
+	m.stats.repairCritical.Store(int64(critical))
 	if len(jobs) == 0 {
 		return 0
+	}
+	// Byte budget. Jobs arrive critical-first, so when the round cannot
+	// afford everything the surviving prefix is the critical band. At
+	// least one job always survives — a budget smaller than the smallest
+	// chunk must still make progress.
+	if max := m.cfg.RepairBytesPerRound; max > 0 {
+		var scheduled int64
+		cut := len(jobs)
+		for i, j := range jobs {
+			scheduled += j.size * int64(j.needed)
+			if scheduled > max && i > 0 {
+				cut = i
+				break
+			}
+		}
+		jobs = jobs[:cut]
 	}
 	budget := m.cfg.ReplicationParallel
 	if m.cfg.WritePriority && m.sess.active() > 0 {
@@ -148,37 +211,60 @@ func (m *Manager) replicateOnce() int {
 // replicateChunk copies one chunk to `needed` new benefactors by
 // instructing a live holder to push it (source-driven copy, as in the
 // paper's shadow-map protocol: "The shadow-map is then sent to the source
-// benefactors to initiate a copy to the new set of benefactors").
+// benefactors to initiate a copy to the new set of benefactors"). Under
+// churn the first holder may die between the scan and the copy, so every
+// target retries across all live sources before counting as a failure.
 func (m *Manager) replicateChunk(job replJob) int {
 	exclude := make(map[core.NodeID]struct{}, len(job.sources))
 	for _, s := range job.sources {
 		exclude[s] = struct{}{}
 	}
-	targets := m.reg.pickTargets(job.needed, exclude)
+	targets := m.reg.pickTargets(job.needed, exclude, job.size)
 	if len(targets) == 0 {
 		return 0
 	}
-	var srcAddr string
+	type src struct {
+		id   core.NodeID
+		addr string
+	}
+	var srcs []src
 	for _, s := range job.sources {
 		if addr, ok := m.reg.addr(s); ok && m.reg.online(s) {
-			srcAddr = addr
-			break
+			srcs = append(srcs, src{id: s, addr: addr})
 		}
 	}
-	if srcAddr == "" {
+	if len(srcs) == 0 {
+		for _, tgt := range targets {
+			m.reg.release([]core.NodeID{tgt.ID}, job.size)
+		}
+		m.stats.repairFailed.Add(int64(len(targets)))
 		return 0
 	}
 	copied := 0
 	for _, tgt := range targets {
-		req := proto.ReplicateReq{ID: job.id, Target: tgt.Addr}
-		if _, err := m.pool.Call(srcAddr, proto.BReplicate, req, nil, nil); err != nil {
-			m.logf("replicate %s -> %s: %v", job.id.Short(), tgt.ID, err)
+		ok := false
+		for _, s := range srcs {
+			req := proto.ReplicateReq{ID: job.id, Target: tgt.Addr}
+			if _, err := m.pool.Call(s.addr, proto.BReplicate, req, nil, nil); err != nil {
+				m.logf("replicate %s from %s -> %s: %v", job.id.Short(), s.id, tgt.ID, err)
+				continue
+			}
+			ok = true
+			break
+		}
+		// The transfer reservation (charged by pickTargets) is released
+		// either way: a landed copy surfaces in the target's next heartbeat
+		// Free, a failed one never used the space.
+		m.reg.release([]core.NodeID{tgt.ID}, job.size)
+		if !ok {
+			m.stats.repairFailed.Add(1)
 			continue
 		}
 		// Shadow-map commit: the new location becomes part of the
 		// authoritative chunk-map only after the copy succeeded.
 		m.cat.addLocation(job.id, tgt.ID)
 		m.stats.replicasCopied.Add(1)
+		m.stats.repairCopiedBytes.Add(job.size)
 		copied++
 	}
 	return copied

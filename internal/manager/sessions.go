@@ -140,6 +140,28 @@ func (t *sessionTable) expire(now time.Time) []*session {
 	return dead
 }
 
+// reservedOn sums the per-node reservations that open sessions hold on
+// one node. Re-registration reconciles against this instead of zeroing
+// the node's counter: a flapping benefactor must not wipe space that live
+// write sessions were already promised, or the manager over-promises the
+// node to the next alloc.
+func (t *sessionTable) reservedOn(node core.NodeID) int64 {
+	var total int64
+	for _, sh := range t.shards {
+		sh.rlock()
+		for _, s := range sh.sessions {
+			for _, id := range s.stripeIDs {
+				if id == node {
+					total += s.perNode
+					break
+				}
+			}
+		}
+		sh.runlock()
+	}
+	return total
+}
+
 // active returns the number of open sessions (replication gives way to
 // active foreground writes).
 func (t *sessionTable) active() int {

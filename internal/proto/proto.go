@@ -167,7 +167,16 @@ type StatsResp struct {
 	Used     int64 `json:"used"`
 	Capacity int64 `json:"capacity"`
 	Chunks   int   `json:"chunks"`
+	// ScrubbedChunks counts integrity-scrub verifications since start;
+	// CorruptChunks the chunks the scrub quarantined.
+	ScrubbedChunks int64 `json:"scrubbedChunks,omitempty"`
+	CorruptChunks  int64 `json:"corruptChunks,omitempty"`
 }
+
+// MaxRegisterChunks bounds the chunk inventory a RegisterReq carries for
+// rejoin reconciliation. Nodes holding more send the newest batch and
+// leave the remainder to the GC protocol's inventory reports.
+const MaxRegisterChunks = 65536
 
 // RegisterReq announces a benefactor.
 type RegisterReq struct {
@@ -175,6 +184,12 @@ type RegisterReq struct {
 	Addr     string      `json:"addr"`
 	Capacity int64       `json:"capacity"`
 	Free     int64       `json:"free"`
+	// Chunks is the node's chunk inventory (at most MaxRegisterChunks),
+	// carried so a re-registration reconciles in one RPC: the manager
+	// re-adds the locations it still references and answers with the
+	// garbage set, instead of re-replicating everything a flapped node
+	// already holds.
+	Chunks []core.ChunkID `json:"chunksHeld,omitempty"`
 }
 
 // RegisterResp configures the benefactor's soft-state refresh.
@@ -184,6 +199,13 @@ type RegisterResp struct {
 	// and wants the benefactor's chunk-map replicas (paper §IV.A manager
 	// failure handling).
 	Recovering bool `json:"recovering,omitempty"`
+	// Reconciled counts the RegisterReq.Chunks the manager still
+	// references and re-adopted as live replica locations.
+	Reconciled int `json:"reconciled,omitempty"`
+	// Garbage lists the RegisterReq.Chunks the manager no longer
+	// references; the node may delete them immediately. Empty while the
+	// manager is recovering (its catalog is incomplete).
+	Garbage []core.ChunkID `json:"garbage,omitempty"`
 }
 
 // HeartbeatReq refreshes soft state.
@@ -192,6 +214,10 @@ type HeartbeatReq struct {
 	Free   int64       `json:"free"`
 	Used   int64       `json:"used"`
 	Chunks int         `json:"chunks"`
+	// Corrupt lists chunks the node's integrity scrub quarantined since
+	// the last acknowledged heartbeat. The manager drops these replica
+	// locations and schedules critical-priority repair.
+	Corrupt []core.ChunkID `json:"corrupt,omitempty"`
 }
 
 // HeartbeatResp may carry manager commands back to the benefactor.
@@ -535,15 +561,20 @@ type ReplStatusResp struct {
 
 // ManagerStats aggregates manager-side counters (MStats).
 type ManagerStats struct {
-	Benefactors       int   `json:"benefactors"`
-	OnlineBenefactors int   `json:"onlineBenefactors"`
-	Datasets          int   `json:"datasets"`
-	Versions          int   `json:"versions"`
-	UniqueChunks      int   `json:"uniqueChunks"`
-	LogicalBytes      int64 `json:"logicalBytes"`
-	StoredBytes       int64 `json:"storedBytes"`
-	ActiveSessions    int   `json:"activeSessions"`
-	Transactions      int64 `json:"transactions"`
+	Benefactors       int `json:"benefactors"`
+	OnlineBenefactors int `json:"onlineBenefactors"`
+	// SuspectBenefactors and DeadBenefactors split the not-online nodes by
+	// lifecycle state: suspects missed heartbeats past the node TTL, dead
+	// nodes stayed silent past the dead timeout and were decommissioned.
+	SuspectBenefactors int   `json:"suspectBenefactors,omitempty"`
+	DeadBenefactors    int   `json:"deadBenefactors,omitempty"`
+	Datasets           int   `json:"datasets"`
+	Versions           int   `json:"versions"`
+	UniqueChunks       int   `json:"uniqueChunks"`
+	LogicalBytes       int64 `json:"logicalBytes"`
+	StoredBytes        int64 `json:"storedBytes"`
+	ActiveSessions     int   `json:"activeSessions"`
+	Transactions       int64 `json:"transactions"`
 	// Extends counts MExtend RPCs: the writer extends its reservation by
 	// as many quanta as a Write requires in one call, so this stays at
 	// one per reservation jump regardless of how many quanta it spans.
@@ -575,6 +606,9 @@ type ManagerStats struct {
 	ReplicasCopied  int64         `json:"replicasCopied"`
 	ChunksCollected int64         `json:"chunksCollected"`
 	VersionsPruned  int64         `json:"versionsPruned"`
+	// Repair reports the priority repair scheduler (liveness-deficit
+	// bands, byte budget) and the scrub-driven corruption healing loop.
+	Repair RepairStats `json:"repair"`
 	// Journal* report the metadata journal's durability pipeline.
 	// JournalBatches counts flush batches reaching the file and
 	// JournalBatchLen the entries they carried — their ratio is the
@@ -691,6 +725,30 @@ type RegistryStats struct {
 	Reserves   int64 `json:"reserves"`
 	Releases   int64 `json:"releases"`
 	Heartbeats int64 `json:"heartbeats"`
+}
+
+// RepairStats reports the manager's priority repair plane. Pending and
+// Critical are gauges sampled at the last scheduler round: the number of
+// under-replicated chunks the round saw, and how many of those were down
+// to a single live replica (the critical band, repaired first). The rest
+// are cumulative counters since start.
+type RepairStats struct {
+	// Pending is the under-replicated job count at the last round (after
+	// the per-band round caps); Critical the 1-live-replica subset.
+	Pending  int64 `json:"pending"`
+	Critical int64 `json:"critical"`
+	// CopiedBytes accumulates the bytes of successfully created repair
+	// replicas; Failed counts jobs whose copy failed against every live
+	// source in a round (retried next round).
+	CopiedBytes int64 `json:"copiedBytes"`
+	Failed      int64 `json:"failed"`
+	// CorruptReported counts corrupt chunk locations dropped on benefactor
+	// scrub reports; Reconciled counts replica locations re-adopted from
+	// re-registration inventories (flap healing without re-replication).
+	CorruptReported int64 `json:"corruptReported"`
+	Reconciled      int64 `json:"reconciled"`
+	// Decommissions counts nodes declared dead and decommissioned.
+	Decommissions int64 `json:"decommissions"`
 }
 
 // FederationInfo describes a manager's membership in a federated
